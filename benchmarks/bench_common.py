@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table or figure): it
+prints the rows/series to the terminal (bypassing pytest capture) and
+also writes them under ``benchmarks/results/`` so EXPERIMENTS.md can
+cite the measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(capsys, experiment_id: str, text: str) -> None:
+    """Show a result table on the live terminal and persist it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    with capsys.disabled():
+        print(f"\n{text}\n[saved to {os.path.relpath(path)}]")

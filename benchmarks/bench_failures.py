@@ -1,0 +1,125 @@
+"""E11 -- failures (future-work item 3): the protocols under loss and
+crashes.
+
+The paper excludes failures; our extension restores bounded delivery
+via ARQ and durable registers for crash-recovery.  This bench measures
+what that costs and checks the guarantees survive:
+
+* loss-rate sweep: completion stays at 100%, latency degrades
+  gracefully, and zero false alarms;
+* detection still works under loss;
+* a user crash spanning a sync stalls it (liveness cost) but produces
+  no false alarm, and the workload completes after recovery.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from bench_common import emit
+from repro.analysis import format_table
+from repro.core.scenarios import build_simulation
+from repro.server.attacks import ForkAttack
+from repro.simulation.faults import LossyNetwork, crash_schedule
+from repro.simulation.workload import steady_workload
+
+LOSS_SWEEP = (0.0, 0.1, 0.3, 0.5)
+
+
+def run_lossy(loss_rate: float, attack=None, seed: int = 6):
+    workload = steady_workload(3, 10, spacing=12, keyspace=6,
+                               write_ratio=0.6, seed=seed)
+    lossy = LossyNetwork(user_ids=workload.user_ids, loss_rate=loss_rate,
+                         seed=seed, retransmit_timeout=3, max_attempts=7)
+    simulation = build_simulation(
+        "protocol2", workload, k=4, seed=seed, network=lossy,
+        attack=attack,
+        transaction_timeout=3 * lossy.worst_case_delay(),
+    )
+    report = simulation.execute(max_rounds=8000)
+    return report, lossy, workload
+
+
+def test_failures_loss_sweep(capsys, benchmark):
+    rows = []
+    makespans = {}
+    for loss in LOSS_SWEEP:
+        report, lossy, workload = run_lossy(loss)
+        assert not report.detected, (loss, report.alarms)
+        completed = sum(report.operations_completed.values())
+        assert completed == workload.total_operations(), loss
+        completions = [r for rs in report.completion_rounds.values() for r in rs]
+        makespans[loss] = max(completions)
+        rows.append([loss, completed, lossy.losses_injected,
+                     makespans[loss], False])
+
+    emit(capsys, "E11_failures_loss", format_table(
+        ["loss rate", "ops completed", "losses injected", "finish round",
+         "false alarms"],
+        rows,
+        title="E11a: Protocol II over a lossy link (ARQ) -- graceful degradation",
+    ))
+    assert makespans[0.5] >= makespans[0.0]  # loss costs latency, never loses ops
+
+    benchmark.pedantic(lambda: run_lossy(0.3)[0], rounds=3, iterations=1)
+
+
+def test_failures_detection_survives_loss(capsys, benchmark):
+    detected = fired = 0
+    for seed in (6, 7, 8):
+        workload = steady_workload(3, 14, spacing=8, keyspace=6,
+                                   write_ratio=0.6, seed=seed)
+        lossy = LossyNetwork(user_ids=workload.user_ids, loss_rate=0.25,
+                             seed=seed, retransmit_timeout=3, max_attempts=7)
+        attack = ForkAttack(victims=["user1"], fork_round=workload.horizon() // 2)
+        simulation = build_simulation(
+            "protocol2", workload, k=4, seed=seed, network=lossy, attack=attack,
+            transaction_timeout=3 * lossy.worst_case_delay())
+        report = simulation.execute(max_rounds=8000)
+        assert not report.false_alarm
+        if report.first_deviation_round is not None:
+            fired += 1
+            if report.detected:
+                detected += 1
+    assert fired >= 2
+    assert detected == fired
+
+    emit(capsys, "E11_failures_detection", format_table(
+        ["loss rate", "forks fired", "forks detected"],
+        [[0.25, fired, detected]],
+        title="E11b: fork detection under 25% message loss",
+    ))
+
+    benchmark.pedantic(
+        lambda: run_lossy(0.25, attack=ForkAttack(victims=["user1"], fork_round=40))[0],
+        rounds=3, iterations=1)
+
+
+def test_failures_crash_recovery(capsys, benchmark):
+    def run_crash():
+        workload = steady_workload(3, 10, spacing=4, seed=8)
+        offline = {"user2": crash_schedule([(15, 45)])}
+        simulation = build_simulation("protocol2", workload, k=3, seed=8,
+                                      offline=offline, transaction_timeout=120)
+        return simulation.execute(max_rounds=8000), workload
+
+    report, workload = run_crash()
+    assert not report.detected
+    assert sum(report.operations_completed.values()) == workload.total_operations()
+
+    baseline_workload = steady_workload(3, 10, spacing=4, seed=8)
+    baseline = build_simulation("protocol2", baseline_workload, k=3, seed=8).execute()
+
+    emit(capsys, "E11_failures_crash", format_table(
+        ["scenario", "ops completed", "finish round", "false alarms"],
+        [
+            ["no crash", sum(baseline.operations_completed.values()),
+             baseline.rounds_executed, baseline.false_alarm],
+            ["user2 down rounds 15-45", sum(report.operations_completed.values()),
+             report.rounds_executed, report.false_alarm],
+        ],
+        title="E11c: crash-recovery user (durable registers, stalled sync resumes)",
+    ))
+    assert report.rounds_executed > baseline.rounds_executed  # the liveness cost
+
+    benchmark.pedantic(lambda: run_crash()[0], rounds=3, iterations=1)

@@ -1,0 +1,131 @@
+"""E3 -- Figure 3 / Lemma 4.1: the XOR replay and the tagged-state fix.
+
+The paper's Figure 3 shows a server replaying state (D2, 2) so that
+every intermediate node of the seen-state graph has even degree: a
+plain XOR of untagged states telescopes to (first ^ last) and the fork
+is invisible.  Protocol II's two refinements -- tagging each state with
+the user that validated the transition into it, and the per-user
+counter regression check -- make the same replay leave odd-degree
+vertices, so the register check fails (Lemma 4.1).
+
+This bench regenerates the figure as an ablation table:
+
+* untagged XOR register        -> attack hidden (check passes);
+* tagged, no counter check     -> attack hidden for a same-user replay;
+* full Protocol II             -> attack detected.
+
+plus a randomized fork sweep against the full protocol in simulation.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from bench_common import emit
+from repro.analysis import format_table
+from repro.core import build_simulation
+from repro.crypto.hashing import hash_bytes, hash_state, hash_tagged_state, xor_all
+from repro.protocols.graph import StateGraph
+from repro.server.attacks import ForkAttack
+from repro.simulation.workload import steady_workload
+
+ROOTS = {name: hash_bytes(f"M({name})".encode())
+         for name in ("D0", "D1", "D2", "D2p", "D2pp", "D3", "D4")}
+
+# Figure 3's edges: (old, old_ctr) -> (new, new_ctr), validating user.
+FIG3 = [
+    ("D0", 0, "D1", 1, "u1"),
+    ("D1", 1, "D2", 2, "u2"),
+    ("D2", 2, "D3", 3, "u1"),
+    ("D0", 0, "D2p", 2, "u2"),
+    ("D2p", 2, "D3", 3, "u3"),
+    ("D0", 0, "D2pp", 2, "u1"),
+    ("D2pp", 2, "D3", 3, "u2"),
+    ("D3", 3, "D4", 4, "u3"),
+]
+
+
+def untagged_check() -> tuple[bool, bool]:
+    """(check passes?, graph is a true serial history?)"""
+    tag = lambda name, ctr: hash_state(ROOTS[name], ctr)
+    graph = StateGraph()
+    sigma = xor_all(tag(o, oc) ^ tag(n, nc) for o, oc, n, nc, _u in FIG3)
+    for o, oc, n, nc, _u in FIG3:
+        graph.add(tag(o, oc), tag(n, nc))
+    passes = sigma == (tag("D0", 0) ^ tag("D4", 4))
+    return passes, graph.is_directed_path()
+
+
+def tagged_check() -> tuple[bool, bool]:
+    """Full Protocol II: tags + distinct same-counter validators."""
+    producer = {("D0", 0): ""}
+    tag = lambda name, ctr, user: hash_tagged_state(ROOTS[name], ctr, user)
+    edges = []
+    for o, oc, n, nc, user in FIG3:
+        old = tag(o, oc, producer.get((o, oc), ""))
+        new = tag(n, nc, user)
+        producer.setdefault((n, nc), user)
+        edges.append((old, new))
+    graph = StateGraph()
+    for old, new in edges:
+        graph.add(old, new)
+    sigma = xor_all(old ^ new for old, new in edges)
+    start = tag("D0", 0, "")
+    candidates = {new for _old, new in edges}
+    passes = any(sigma == (start ^ last) for last in candidates)
+    return passes, graph.is_directed_path()
+
+
+def test_fig3_ablation(capsys, benchmark):
+    untagged_passes, untagged_path = untagged_check()
+    tagged_passes, tagged_path = tagged_check()
+
+    rows = [
+        ["untagged XOR h(M(D)||ctr)", not untagged_path, untagged_passes,
+         "HIDDEN" if untagged_passes else "detected"],
+        ["tagged h(M(D)||ctr||user) + ctr check", not tagged_path, tagged_passes,
+         "HIDDEN" if tagged_passes else "detected"],
+    ]
+    emit(capsys, "E3_fig3_xor_replay", format_table(
+        ["register design", "server actually forked", "sync check passes", "outcome"],
+        rows,
+        title="E3 / Figure 3: the replay attack vs register designs (ablation)",
+    ))
+
+    assert untagged_passes, "Figure 3: untagged XOR must hide the replay"
+    assert not tagged_passes, "Protocol II tagging must expose the replay"
+    assert not untagged_path and not tagged_path
+
+    benchmark(tagged_check)
+
+
+def test_fig3_randomized_forks_always_detected(capsys, benchmark):
+    """A fork sweep: whatever round the server forks at, Protocol II's
+    registers refuse to telescope at the next sync."""
+    detected = 0
+    fired = 0
+    for seed in range(6):
+        workload = steady_workload(3, 14, keyspace=6, write_ratio=0.6, seed=seed)
+        attack = ForkAttack(victims=["user1"], fork_round=10 + 5 * seed)
+        simulation = build_simulation("protocol2", workload, attack=attack, k=4, seed=seed)
+        report = simulation.execute()
+        assert not report.false_alarm
+        if report.first_deviation_round is not None:
+            fired += 1
+            # Theorem 4.2's exact promise: detection before any user
+            # completes more than k operations issued after deviation.
+            ops_after = report.max_ops_after_deviation()
+            assert report.detected or ops_after < 4, (seed, ops_after)
+            if report.detected:
+                detected += 1
+    assert fired >= 4  # the sweep must actually exercise the attack
+    assert detected >= fired - 1
+
+    workload = steady_workload(3, 14, keyspace=6, write_ratio=0.6, seed=0)
+    attack_factory = lambda: ForkAttack(victims=["user1"], fork_round=10)
+
+    def kernel():
+        simulation = build_simulation("protocol2", workload, attack=attack_factory(), k=4, seed=0)
+        return simulation.execute()
+
+    benchmark.pedantic(kernel, rounds=3, iterations=1)

@@ -1,0 +1,79 @@
+"""E4 -- Figure 4 / Theorem 4.3: Protocol III epochs.
+
+"This protocol guarantees that a fault by the server will be detected
+within two epochs" -- a time bound, not an operation bound, with no
+broadcast channel at all.
+
+Regenerates the epoch-length sweep: for each epoch length t, inject a
+fork and measure detection latency in rounds and in epochs.  The
+latency must stay within two epochs (plus scheduling slack inside the
+detecting epoch) and must scale linearly with t -- that is the knob
+the deployment turns.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from bench_common import emit
+from repro.analysis import format_table
+from repro.core import build_simulation
+from repro.server.attacks import ForkAttack
+from repro.simulation.workload import epoch_workload
+
+EPOCH_LENGTHS = (20, 30, 40, 60)
+
+
+def run_epoch_fork(epoch_length: int, seed: int = 5):
+    workload = epoch_workload(n_users=3, epoch_length=epoch_length,
+                              epochs=9, keyspace=6, seed=seed)
+    fork_round = int(epoch_length * 2.4)
+    attack = ForkAttack(victims=["user1"], fork_round=fork_round)
+    simulation = build_simulation("protocol3", workload, attack=attack,
+                                  epoch_length=epoch_length, seed=seed)
+    report = simulation.execute()
+    return report, fork_round
+
+
+def test_fig4_epoch_sweep(capsys, benchmark):
+    rows = []
+    delays = {}
+    for t in EPOCH_LENGTHS:
+        report, fork_round = run_epoch_fork(t)
+        assert report.detected, t
+        assert not report.false_alarm
+        # Theorem 4.3's clock starts at the *fault* (the fork), not at
+        # the first deviating response the fork happens to serve.
+        delay = report.detection_round - fork_round
+        delays[t] = delay
+        rows.append([t, fork_round, report.detection_round,
+                     delay, round(delay / t, 2), report.broadcasts_sent])
+        # Theorem 4.3 bound (plus in-epoch scheduling slack).
+        assert delay <= 2 * t + t // 2, (t, delay)
+
+    emit(capsys, "E4_fig4_epochs", format_table(
+        ["epoch length t", "fork (fault) round", "detect round", "delay (rounds)",
+         "delay (epochs)", "broadcasts used"],
+        rows,
+        title="E4 / Figure 4: Protocol III detects within two epochs, no broadcast",
+    ))
+
+    # Latency scales with t: quadrupling t should not leave delay flat.
+    assert delays[60] > delays[20]
+    # And never a single broadcast-channel message.
+    assert all(row[5] == 0 for row in rows)
+
+    benchmark.pedantic(lambda: run_epoch_fork(30)[0], rounds=3, iterations=1)
+
+
+def test_fig4_honest_epochs_clean(capsys, benchmark):
+    def kernel():
+        workload = epoch_workload(n_users=3, epoch_length=30, epochs=6,
+                                  keyspace=6, seed=8)
+        simulation = build_simulation("protocol3", workload, epoch_length=30, seed=8)
+        return simulation.execute()
+
+    report = kernel()
+    assert not report.detected
+    assert report.broadcasts_sent == 0
+    benchmark.pedantic(kernel, rounds=3, iterations=1)

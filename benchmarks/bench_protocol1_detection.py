@@ -1,0 +1,83 @@
+"""E5 -- Protocol I / Theorem 4.1: signed-root detection and constant
+per-operation overhead.
+
+Two series:
+
+* k-sweep: detection of a partition fork within k operations per user,
+  mirroring E1 but with the signature-based protocol (and a PKI);
+* message accounting: exactly one extra (blocking) client->server
+  message per operation, independent of history length -- the bounded
+  workload preservation argument of Theorem 4.1.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from bench_common import emit
+from repro.analysis import format_table, overhead_metrics
+from repro.core import build_simulation
+from repro.server.attacks import ForkAttack
+from repro.simulation.workload import partitionable_workload, steady_workload
+
+K_SWEEP = (2, 4, 8, 16)
+
+
+def run_partition(k: int, seed: int = 3):
+    # Sparse schedule: Protocol I's blocking handshake halves server
+    # throughput, and a saturated server would serialise everything
+    # before the fork engages.
+    workload = partitionable_workload(group_a_size=1, group_b_size=2, k=k,
+                                      seed=seed, spacing=16, fork_round=60)
+    attack = ForkAttack(victims=workload.metadata["group_b"],
+                        fork_round=workload.metadata["fork_round"])
+    simulation = build_simulation("protocol1", workload, attack=attack, k=k, seed=seed)
+    return simulation.execute()
+
+
+def test_protocol1_k_sweep(capsys, benchmark):
+    rows = []
+    for k in K_SWEEP:
+        report = run_partition(k)
+        assert report.detected, k
+        assert not report.false_alarm
+        ops_after = report.max_ops_after_deviation()
+        assert ops_after is not None and ops_after <= k, (k, ops_after)
+        rows.append([k, True, report.detection_delay_rounds(), ops_after])
+
+    emit(capsys, "E5_protocol1_detection", format_table(
+        ["sync period k", "detected", "delay (rounds)", "max ops issued after fork"],
+        rows,
+        title="E5 / Theorem 4.1: Protocol I detects the partition within k",
+    ))
+
+    benchmark.pedantic(lambda: run_partition(4), rounds=3, iterations=1)
+
+
+def test_protocol1_constant_message_overhead(capsys, benchmark):
+    """3 messages per op (query, response, signature), regardless of how
+    long the system has been running -- the constant c of bounded
+    workload preservation."""
+    rows = []
+    for ops_per_user in (4, 8, 16):
+        workload = steady_workload(3, ops_per_user, spacing=10, seed=9)
+        simulation = build_simulation("protocol1", workload, k=10_000, seed=9)
+        report = simulation.execute()
+        assert not report.detected
+        metrics = overhead_metrics(report)
+        rows.append([metrics.operations, metrics.messages,
+                     metrics.messages_per_operation])
+        assert metrics.messages_per_operation == 3.0
+
+    emit(capsys, "E5_protocol1_overhead", format_table(
+        ["operations", "messages", "messages / operation"],
+        rows,
+        title="E5: Protocol I per-operation message overhead is constant (= 3)",
+    ))
+
+    workload = steady_workload(3, 8, spacing=10, seed=9)
+
+    def kernel():
+        return build_simulation("protocol1", workload, k=10_000, seed=9).execute()
+
+    benchmark.pedantic(kernel, rounds=3, iterations=1)

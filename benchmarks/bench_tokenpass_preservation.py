@@ -1,0 +1,64 @@
+"""E7 -- Section 2.2.3: the token-passing strawman fails bounded
+workload preservation.
+
+"In a workload where a user performs two operations in succession, the
+above protocol forces the user to wait for all the other users to
+write null records to the server before performing her second
+operation!"
+
+Regenerates the n-sweep: the gap between one user's back-to-back
+operations grows linearly with the number of users under token passing,
+while Protocol II keeps it constant -- the measured form of the
+c-workload-preservation definition.
+"""
+
+import statistics
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from bench_common import emit
+from repro.analysis import format_table, user_gaps
+from repro.core import build_simulation
+from repro.simulation.workload import back_to_back_workload
+
+N_SWEEP = (2, 4, 8, 16)
+SLOT_LENGTH = 6
+
+
+def mean_gap(protocol: str, n_users: int, seed: int = 2) -> float:
+    workload = back_to_back_workload(n_users, ops_per_user=3, seed=seed)
+    simulation = build_simulation(protocol, workload, k=10_000,
+                                  slot_length=SLOT_LENGTH, seed=seed)
+    report = simulation.execute()
+    assert not report.detected
+    gaps = user_gaps(report, "user0")
+    assert gaps, "busy user must have completed several operations"
+    return statistics.mean(gaps)
+
+
+def test_tokenpass_gap_grows_with_users(capsys, benchmark):
+    rows = []
+    token_gaps = {}
+    protocol2_gaps = {}
+    for n in N_SWEEP:
+        token_gaps[n] = mean_gap("tokenpass", n)
+        protocol2_gaps[n] = mean_gap("protocol2", n)
+        rows.append([n, round(token_gaps[n], 1), round(protocol2_gaps[n], 1),
+                     round(token_gaps[n] / protocol2_gaps[n], 1)])
+
+    emit(capsys, "E7_tokenpass_preservation", format_table(
+        ["users n", "token-pass gap (rounds)", "Protocol II gap (rounds)",
+         "slowdown factor"],
+        rows,
+        title="E7 / Section 2.2.3: back-to-back operation gap vs number of users",
+    ))
+
+    # Token passing: gap ~ n * slot_length (linear in n).
+    assert token_gaps[16] > token_gaps[2] * 4
+    assert token_gaps[16] >= 0.8 * 16 * SLOT_LENGTH
+    # Protocol II: constant small gap regardless of n.
+    assert max(protocol2_gaps.values()) <= min(protocol2_gaps.values()) + 2
+    assert max(protocol2_gaps.values()) <= 5
+
+    benchmark.pedantic(lambda: mean_gap("tokenpass", 4), rounds=3, iterations=1)

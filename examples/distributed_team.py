@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario (Section 3.1 / Figure 1).
+
+A programmer in the US commits a change to Common.h and goes offline;
+a programmer in China makes causally dependent changes.  A compromised
+server mounts the partition attack: it shows the US branch one history
+and the China branch another.
+
+We run the exact same workload three times:
+
+* under today's CVS (the naive client)    -> the fork goes unnoticed;
+* under Protocol II with sync period k    -> some user detects it
+  before anyone completes more than k operations after the fork;
+* under Protocol III (no broadcast)       -> the epoch audit catches it
+  within two epochs.
+
+Run:  python examples/distributed_team.py
+"""
+
+from repro.analysis import detection_metrics, format_table
+from repro.core import build_simulation
+from repro.server.attacks import ForkAttack
+from repro.simulation.workload import epoch_workload, partitionable_workload
+
+
+def run_partition(protocol: str, k: int = 4, epoch_length: int = 30):
+    if protocol == "protocol3":
+        workload = epoch_workload(n_users=3, epoch_length=epoch_length,
+                                  epochs=8, keyspace=8, seed=11)
+        victims = ["user2"]
+        fork_round = int(epoch_length * 2.5)
+    else:
+        workload = partitionable_workload(group_a_size=1, group_b_size=2,
+                                          k=k, seed=11)
+        victims = workload.metadata["group_b"]
+        fork_round = workload.metadata["fork_round"]
+    attack = ForkAttack(victims=victims, fork_round=fork_round)
+    simulation = build_simulation(protocol, workload, attack=attack,
+                                  k=k, epoch_length=epoch_length, seed=11)
+    return simulation.execute()
+
+
+def main() -> None:
+    print(__doc__)
+    rows = []
+    for protocol in ("naive", "protocol2", "protocol3"):
+        report = run_partition(protocol)
+        metrics = detection_metrics(report)
+        rows.append([
+            protocol,
+            metrics.deviated,
+            metrics.detected,
+            metrics.detection_delay_rounds,
+            metrics.ops_after_deviation if metrics.detected else None,
+            metrics.reasons[0][:48] + "..." if metrics.reasons else "-",
+        ])
+    print(format_table(
+        ["protocol", "server forked?", "detected?", "delay (rounds)",
+         "ops after fork", "first alarm"],
+        rows,
+        title="Partition attack (Figure 1) against three clients",
+    ))
+    print()
+    print("Today's CVS (naive) is silently split in two; the paper's")
+    print("protocols turn the same attack into a bounded-delay alarm.")
+
+
+if __name__ == "__main__":
+    main()

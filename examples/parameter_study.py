@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""A parameter study with the campaign runner: the k / detection-delay
+trade-off, measured properly (multiple seeds, aggregate statistics).
+
+This is the research-tool surface a downstream user reaches for when
+tuning a deployment: how often do we want to pay for a sync, and how
+much detection latency does that buy back?
+
+Run:  python examples/parameter_study.py
+"""
+
+from repro.analysis import format_table
+from repro.analysis.campaign import Campaign
+from repro.server.attacks import ForkAttack
+from repro.simulation.workload import steady_workload
+
+
+def study_k(k: int, seeds=(1, 2, 3, 4, 5)):
+    campaign = Campaign(
+        protocols=["protocol2"],
+        seeds=list(seeds),
+        workload_factory=lambda protocol, seed: steady_workload(
+            3, 16, spacing=4, keyspace=6, write_ratio=0.6, seed=seed),
+        attack_factories={
+            "fork": lambda wl, seed: ForkAttack(
+                victims=["user1"], fork_round=wl.horizon() // 2),
+        },
+        build_kwargs={"k": k},
+    )
+    (cell,) = campaign.run()
+    return cell
+
+
+def main() -> None:
+    print(__doc__)
+    rows = []
+    for k in (1, 2, 4, 8, 16):
+        cell = study_k(k)
+        rows.append([
+            k,
+            f"{cell.detected}/{cell.deviated}",
+            cell.false_alarms,
+            round(cell.mean_delay, 1) if cell.mean_delay is not None else None,
+            cell.delay_percentile(0.9),
+            cell.worst_ops_after,
+        ])
+    print(format_table(
+        ["sync period k", "caught/fired", "false alarms",
+         "mean delay (rounds)", "p90 delay", "worst ops after fork"],
+        rows,
+        title="Protocol II: the k knob across 5 seeds (fork mid-workload)",
+    ))
+    print()
+    print("Reading: detection stays total and false-alarm-free at every k;")
+    print("the operator trades sync frequency against the rollback window.")
+
+
+if __name__ == "__main__":
+    main()

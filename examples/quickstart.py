@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: a verified CVS in thirty lines.
+
+The client trusts nothing but a single 32-byte root digest.  Every
+checkout, commit, log, and diff is verified against it; a compromised
+server raises instead of corrupting your working copy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import CvsClient, CvsServer
+
+
+def main() -> None:
+    server = CvsServer()                      # the (un)trusted server
+    alice = CvsClient(server, author="alice")  # keeps only a root digest
+
+    # Build up a tiny project.
+    alice.commit("hello.c", ['#include <stdio.h>',
+                             'int main() { printf("hi\\n"); }'], "initial import")
+    alice.commit("hello.c", ['#include <stdio.h>',
+                             'int main() { printf("hello, world\\n"); return 0; }'],
+                 "be polite, return 0")
+    alice.commit("Makefile", ["hello: hello.c", "\tcc -o hello hello.c"], "build file")
+
+    print("files:", alice.paths())
+    print()
+    print("verified checkout of hello.c:")
+    for line in alice.checkout("hello.c"):
+        print("   ", line)
+    print()
+
+    print("history of hello.c:")
+    for revision in alice.log("hello.c"):
+        print(f"    {revision.number}  {revision.author:8s}  {revision.log_message}")
+    print()
+
+    print("what changed between 1.1 and head:")
+    print(alice.diff("hello.c", "1.1"))
+
+    print(f"client trust state: one digest = {alice.root_digest.hex()}")
+    print("(the server stores everything; the client can verify anything)")
+
+
+if __name__ == "__main__":
+    main()

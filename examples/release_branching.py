@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Release engineering on a verified repository: branches, hotfixes,
+merges, and concurrent-edit updates -- all checked against one digest.
+
+The classic CVS workflow: cut a release branch, keep developing on the
+trunk, land a hotfix on the branch, merge it back.  Every checkout and
+commit below is verified by the client against its tracked root digest;
+the server could be anyone's machine.
+
+Run:  python examples/release_branching.py
+"""
+
+from repro.core import CvsClient, CvsServer
+from repro.storage.merge import render_with_markers
+
+
+def show(title, lines):
+    print(f"--- {title} ---")
+    for line in lines:
+        print("   ", line)
+    print()
+
+
+def main() -> None:
+    print(__doc__)
+    server = CvsServer()
+    dev = CvsClient(server, author="release-eng")
+
+    # trunk development
+    dev.commit("app.c", [
+        "#include <stdio.h>",
+        "int main() {",
+        '    printf("v1.0\\n");',
+        "    return 0;",
+        "}",
+    ], "1.0 feature complete")
+
+    # cut the release branch at the 1.0 revision
+    branch = dev.branch("app.c")
+    print(f"cut release branch {branch} at app.c {dev.log('app.c')[-1].number}\n")
+
+    # trunk moves on
+    dev.commit("app.c", [
+        "#include <stdio.h>",
+        "static const char *version = \"2.0-dev\";",
+        "int main() {",
+        '    printf("%s\\n", version);',
+        "    return 0;",
+        "}",
+    ], "start 2.0 development")
+
+    # a critical fix lands on the release branch
+    dev.commit_on_branch("app.c", branch, [
+        "#include <stdio.h>",
+        "int main() {",
+        '    printf("v1.0\\n");',
+        "    fflush(stdout);   /* HOTFIX: unflushed output on crash */",
+        "    return 0;",
+        "}",
+    ], "hotfix: flush stdout")
+    print(f"hotfix committed as {dev.log('app.c')[-1].number} "
+          f"(trunk) / {branch}.1 (branch)\n")
+
+    show(f"release branch head ({branch}.1)", dev.checkout("app.c", f"{branch}.1"))
+    show("trunk head", dev.checkout("app.c"))
+
+    # merge the hotfix back into the trunk
+    result = dev.merge_branch("app.c", branch, "merge hotfix into 2.0")
+    if result.has_conflicts:
+        print("merge had conflicts:")
+        for line in render_with_markers(result, "trunk", branch):
+            print("   ", line)
+    else:
+        show("trunk after merging the hotfix", dev.checkout("app.c"))
+
+    # meanwhile: a concurrent working-copy edit, updated against the new head
+    working = dev.checkout("app.c", "1.1")
+    working[0] = "#include <stdio.h>  /* reviewed */"
+    update = dev.update("app.c", working, base_revision="1.1")
+    print(f"cvs update of a 1.1-based working copy: "
+          f"{'CONFLICTS' if update.has_conflicts else 'merged cleanly'}")
+    if not update.has_conflicts:
+        show("updated working copy", update.lines())
+
+    print("full history of app.c (all verified):")
+    for revision in dev.log("app.c"):
+        print(f"    {revision.number:8s} {revision.log_message}")
+    print(f"\nclient trust state throughout: one digest "
+          f"({dev.root_digest.short()}...)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Trusted CVS (ICDE 2006): multi-user versioning on an untrusted "
+        "server, with deviation-detection protocols"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

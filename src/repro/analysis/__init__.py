@@ -1,0 +1,25 @@
+"""Analysis helpers: metrics for the paper's desiderata and table
+rendering for the benchmark harness."""
+
+from repro.analysis.metrics import (
+    DetectionMetrics,
+    OverheadMetrics,
+    detection_metrics,
+    overhead_metrics,
+    preservation_factor,
+    user_gaps,
+)
+from repro.analysis.tables import format_series, format_table
+from repro.analysis.timeline import render_timeline
+
+__all__ = [
+    "DetectionMetrics",
+    "OverheadMetrics",
+    "detection_metrics",
+    "overhead_metrics",
+    "preservation_factor",
+    "user_gaps",
+    "format_series",
+    "format_table",
+    "render_timeline",
+]

@@ -1,0 +1,120 @@
+"""Campaign runner: sweep protocols x attacks x seeds, aggregate stats.
+
+The research-tool layer on top of single simulations: define a matrix,
+run it, and get per-cell aggregates (detection rate, false-alarm rate,
+delay percentiles) suitable for tables and regressions.  Used by the
+soundness benches and available to downstream users for their own
+parameter studies.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.scenarios import build_simulation
+from repro.simulation.runner import SimulationReport
+from repro.simulation.workload import Workload
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Aggregates for one (protocol, attack) cell across seeds."""
+
+    protocol: str
+    attack_name: str
+    runs: int
+    deviated: int
+    detected: int
+    false_alarms: int
+    delay_rounds: tuple[int, ...]
+    ops_after_deviation: tuple[int, ...]
+
+    @property
+    def detection_rate(self) -> float:
+        return self.detected / self.deviated if self.deviated else 1.0
+
+    @property
+    def mean_delay(self) -> float | None:
+        return statistics.mean(self.delay_rounds) if self.delay_rounds else None
+
+    def delay_percentile(self, fraction: float) -> float | None:
+        if not self.delay_rounds:
+            return None
+        ordered = sorted(self.delay_rounds)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return float(ordered[index])
+
+    @property
+    def worst_ops_after(self) -> int | None:
+        return max(self.ops_after_deviation) if self.ops_after_deviation else None
+
+
+@dataclass
+class Campaign:
+    """A sweep definition: factories keyed by name.
+
+    ``workload_factory(protocol, seed)`` builds the workload;
+    ``attack_factories`` maps attack names to
+    ``factory(workload, seed) -> Attack | None`` (None = honest).
+    """
+
+    protocols: list[str]
+    seeds: list[int]
+    workload_factory: Callable[[str, int], Workload]
+    attack_factories: dict[str, Callable[[Workload, int], object]]
+    build_kwargs: dict = field(default_factory=dict)
+
+    def run(self, max_rounds: int = 6000) -> list[CellResult]:
+        results: list[CellResult] = []
+        for protocol in self.protocols:
+            for attack_name, attack_factory in self.attack_factories.items():
+                reports: list[SimulationReport] = []
+                for seed in self.seeds:
+                    workload = self.workload_factory(protocol, seed)
+                    attack = attack_factory(workload, seed)
+                    simulation = build_simulation(protocol, workload, attack=attack,
+                                                  seed=seed, **self.build_kwargs)
+                    reports.append(simulation.execute(max_rounds=max_rounds))
+                results.append(_aggregate(protocol, attack_name, reports))
+        return results
+
+
+def _aggregate(protocol: str, attack_name: str, reports: list[SimulationReport]) -> CellResult:
+    deviated = [r for r in reports if r.first_deviation_round is not None]
+    detected = [r for r in deviated if r.detected]
+    delays = tuple(r.detection_delay_rounds() for r in detected
+                   if r.detection_delay_rounds() is not None)
+    ops_after = tuple(r.max_ops_after_deviation() for r in deviated
+                      if r.max_ops_after_deviation() is not None)
+    return CellResult(
+        protocol=protocol,
+        attack_name=attack_name,
+        runs=len(reports),
+        deviated=len(deviated),
+        detected=len(detected),
+        false_alarms=sum(1 for r in reports if r.false_alarm),
+        delay_rounds=delays,
+        ops_after_deviation=ops_after,
+    )
+
+
+def campaign_table(results: list[CellResult]) -> list[list[object]]:
+    """Rows for :func:`repro.analysis.tables.format_table`."""
+    rows = []
+    for cell in results:
+        rows.append([
+            cell.protocol,
+            cell.attack_name,
+            f"{cell.detected}/{cell.deviated}" if cell.deviated else "n/a",
+            cell.false_alarms,
+            round(cell.mean_delay, 1) if cell.mean_delay is not None else None,
+            cell.delay_percentile(0.9),
+            cell.worst_ops_after,
+        ])
+    return rows
+
+
+CAMPAIGN_HEADERS = ["protocol", "attack", "caught/fired", "false alarms",
+                    "mean delay (r)", "p90 delay (r)", "worst ops-after"]

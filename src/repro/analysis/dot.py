@@ -1,0 +1,38 @@
+"""DOT (Graphviz) rendering of seen-state graphs.
+
+Debugging aid for the Lemma 4.1 machinery: dump a
+:class:`~repro.protocols.graph.StateGraph` as DOT text, with the
+Lemma's property verdicts in the graph label.  No Graphviz dependency
+-- the output is plain text you can paste into any renderer.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.graph import StateGraph
+
+
+def state_graph_to_dot(graph: StateGraph, name: str = "states",
+                       labels: dict | None = None) -> str:
+    """Render the graph; ``labels`` optionally maps digests to names."""
+    labels = labels or {}
+    properties = graph.lemma41_properties()
+    verdict = "directed path" if graph.is_directed_path() else "NOT a path"
+    caption = ", ".join(f"{key}={'ok' if value else 'FAIL'}"
+                        for key, value in properties.items())
+    lines = [
+        f"digraph {name} {{",
+        "  rankdir=LR;",
+        f'  label="{verdict} | {caption}";',
+        "  node [shape=box, fontname=monospace];",
+    ]
+    in_degrees = graph.in_degrees()
+    for node in sorted(graph.nodes(), key=lambda d: d.hex()):
+        display = labels.get(node, node.short())
+        colour = ""
+        if in_degrees.get(node, 0) > 1:
+            colour = ', style=filled, fillcolor="#f4cccc"'  # Lemma violation
+        lines.append(f'  "{node.short()}" [label="{display}"{colour}];')
+    for transition in graph.transitions:
+        lines.append(f'  "{transition.old.short()}" -> "{transition.new.short()}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,168 @@
+"""Theorem 3.1, executable: the partition attack is *indistinguishable*.
+
+The paper's impossibility proof constructs, for a partitionable
+workload, two honest runs rA and rB with a common prefix, and shows the
+untrusted server can weave them into a single run r where every user in
+group A sees exactly what it would see in rA, and every user in group B
+exactly what it would see in rB.  Since a (deterministic) client's
+behaviour is a function of its view, no client that communicates only
+with the server can behave differently in r than in the corresponding
+honest run -- so none can detect the fork, for *any* client strategy.
+
+This module builds that triple of runs concretely and checks view
+equality message-for-message:
+
+* :func:`demonstrate_partition` -- run rA, rB (honest) and r (forked)
+  for a given protocol, compare every user's message transcript.
+  For server-only protocols the transcripts match exactly: QED, the
+  attack is undetectable.  For protocols that use the broadcast channel
+  (sync enabled), the B users' transcripts *diverge* -- external
+  communication is precisely what breaks the indistinguishability,
+  which is the constructive content of Section 4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.scenarios import build_simulation
+from repro.mtree.database import ReadQuery, WriteQuery
+from repro.server.attacks import ForkAttack
+from repro.simulation.workload import Intent, Workload
+
+NO_SYNC = 10 ** 9  # a sync period no run ever reaches
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """The Figure 1 timeline: groups, fork point, per-group suffixes."""
+
+    group_a: tuple[str, ...]
+    group_b: tuple[str, ...]
+    fork_round: int
+    prefix: dict[str, list[Intent]]
+    suffix_a: dict[str, list[Intent]]
+    suffix_b: dict[str, list[Intent]]
+
+    def workload(self, include_a: bool, include_b: bool) -> Workload:
+        schedules: dict[str, list[Intent]] = {}
+        for user in (*self.group_a, *self.group_b):
+            schedule = list(self.prefix.get(user, []))
+            if include_a:
+                schedule += self.suffix_a.get(user, [])
+            if include_b:
+                schedule += self.suffix_b.get(user, [])
+            schedules[user] = sorted(schedule, key=lambda intent: intent.round)
+        return Workload(name="partition-spec", schedules=schedules)
+
+
+def make_partition_spec(
+    group_a_size: int = 1,
+    group_b_size: int = 2,
+    prefix_ops: int = 3,
+    suffix_ops: int = 4,
+    keyspace: int = 8,
+    seed: int = 0,
+) -> PartitionSpec:
+    """Build a partitionable timeline with a quiescent gap at the fork
+    (so the clone lands on a deterministic state in every run)."""
+    rng = random.Random(seed)
+    group_a = tuple(f"a{i}" for i in range(group_a_size))
+    group_b = tuple(f"b{i}" for i in range(group_b_size))
+
+    def key() -> bytes:
+        return f"file{rng.randrange(keyspace):03d}".encode()
+
+    prefix: dict[str, list[Intent]] = {}
+    round_no = 2
+    for _ in range(prefix_ops):
+        for user in (*group_a, *group_b):
+            query = WriteQuery(key(), f"{user}@{round_no}".encode()) \
+                if rng.random() < 0.5 else ReadQuery(key())
+            prefix.setdefault(user, []).append(Intent(round=round_no, query=query))
+            round_no += 3
+    fork_round = round_no + 6  # quiescent gap
+
+    def suffix(users: tuple[str, ...]) -> dict[str, list[Intent]]:
+        schedules: dict[str, list[Intent]] = {}
+        r = fork_round + 4
+        for _ in range(suffix_ops):
+            for user in users:
+                query = WriteQuery(key(), f"{user}@{r}".encode()) \
+                    if rng.random() < 0.6 else ReadQuery(key())
+                schedules.setdefault(user, []).append(Intent(round=r, query=query))
+                r += 3
+        return schedules
+
+    return PartitionSpec(
+        group_a=group_a,
+        group_b=group_b,
+        fork_round=fork_round,
+        prefix=prefix,
+        suffix_a=suffix(group_a),
+        suffix_b=suffix(group_b),
+    )
+
+
+@dataclass(frozen=True)
+class IndistinguishabilityReport:
+    """Outcome of the three-run construction."""
+
+    protocol: str
+    views_match_a: bool      # A-users: view in r == view in rA
+    views_match_b: bool      # B-users: view in r == view in rB
+    attack_detected: bool    # did anyone alarm in r?
+    honest_runs_clean: bool  # rA and rB must be alarm-free
+    server_forked: bool      # ground truth: r really did deviate
+
+    @property
+    def theorem_holds(self) -> bool:
+        """The Theorem 3.1 conclusion for this client: views identical
+        and (necessarily) no detection."""
+        return (self.views_match_a and self.views_match_b
+                and not self.attack_detected and self.server_forked)
+
+
+def _transcripts(simulation) -> dict[str, list]:
+    return {user.user_id: list(user.view_transcript) for user in simulation.users}
+
+
+def demonstrate_partition(
+    protocol: str,
+    spec: PartitionSpec | None = None,
+    k: int = NO_SYNC,
+    seed: int = 0,
+    **build_kwargs,
+) -> IndistinguishabilityReport:
+    """Run the rA / rB / r construction and compare views."""
+    spec = spec or make_partition_spec(seed=seed)
+    combined = spec.workload(True, True)
+
+    run_a = build_simulation(protocol, spec.workload(True, False), k=k,
+                             seed=seed, populate_from=combined, **build_kwargs)
+    report_a = run_a.execute()
+    run_b = build_simulation(protocol, spec.workload(False, True), k=k,
+                             seed=seed, populate_from=combined, **build_kwargs)
+    report_b = run_b.execute()
+
+    attack = ForkAttack(victims=list(spec.group_b), fork_round=spec.fork_round)
+    run_r = build_simulation(protocol, combined, k=k,
+                             seed=seed, attack=attack, **build_kwargs)
+    report_r = run_r.execute()
+
+    views_a = _transcripts(run_a)
+    views_b = _transcripts(run_b)
+    views_r = _transcripts(run_r)
+
+    match_a = all(views_r[user] == views_a[user] for user in spec.group_a)
+    match_b = all(views_r[user] == views_b[user] for user in spec.group_b)
+
+    return IndistinguishabilityReport(
+        protocol=protocol,
+        views_match_a=match_a,
+        views_match_b=match_b,
+        attack_detected=report_r.detected,
+        honest_runs_clean=not report_a.detected and not report_b.detected,
+        server_forked=report_r.first_deviation_round is not None,
+    )

@@ -1,0 +1,89 @@
+"""Metrics over simulation reports: the quantities the paper's
+desiderata are stated in.
+
+* detection delay, in rounds and in per-user operations initiated
+  after the deviation (k-bounded deviation detection, Section 2.2.1);
+* workload preservation factor: how much a protocol stretches the
+  gaps between a user's operations relative to the naive baseline
+  (c-workload preservation, Section 2.2.3);
+* message overhead per operation (Protocol I's extra blocking message
+  vs Protocol II's none, Section 4.3);
+* throughput in completed operations per round.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.simulation.runner import SimulationReport
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Detection outcome of one adversarial run."""
+
+    deviated: bool
+    detected: bool
+    false_alarm: bool
+    detection_delay_rounds: int | None
+    ops_after_deviation: int | None
+    detecting_users: tuple[str, ...]
+    reasons: tuple[str, ...]
+
+
+def detection_metrics(report: SimulationReport) -> DetectionMetrics:
+    return DetectionMetrics(
+        deviated=report.first_deviation_round is not None,
+        detected=report.detected,
+        false_alarm=report.false_alarm,
+        detection_delay_rounds=report.detection_delay_rounds(),
+        ops_after_deviation=report.max_ops_after_deviation(),
+        detecting_users=tuple(sorted(report.alarms)),
+        reasons=tuple(alarm.reason for _, alarm in sorted(report.alarms.items())),
+    )
+
+
+@dataclass(frozen=True)
+class OverheadMetrics:
+    """Cost profile of one (usually honest) run."""
+
+    operations: int
+    rounds: int
+    messages: int
+    broadcasts: int
+    messages_per_operation: float
+    throughput_ops_per_round: float
+    completion_makespan: int
+
+
+def overhead_metrics(report: SimulationReport) -> OverheadMetrics:
+    operations = sum(report.operations_completed.values())
+    completions = [r for rounds in report.completion_rounds.values() for r in rounds]
+    makespan = (max(completions) - min(completions) + 1) if completions else 0
+    return OverheadMetrics(
+        operations=operations,
+        rounds=report.rounds_executed,
+        messages=report.messages_sent,
+        broadcasts=report.broadcasts_sent,
+        messages_per_operation=(report.messages_sent / operations) if operations else 0.0,
+        throughput_ops_per_round=(operations / makespan) if makespan else 0.0,
+        completion_makespan=makespan,
+    )
+
+
+def user_gaps(report: SimulationReport, user_id: str) -> list[int]:
+    """Rounds between consecutive completed operations of one user."""
+    rounds = report.completion_rounds.get(user_id, [])
+    return [b - a for a, b in zip(rounds, rounds[1:])]
+
+
+def preservation_factor(report: SimulationReport, baseline: SimulationReport, user_id: str) -> float:
+    """How much a protocol stretches one user's operation gaps relative
+    to a baseline run of the same workload (Section 2.2.3's ``c``,
+    measured rather than proved)."""
+    ours = user_gaps(report, user_id)
+    reference = user_gaps(baseline, user_id)
+    if not ours or not reference:
+        return 1.0
+    return statistics.mean(ours) / max(statistics.mean(reference), 1e-9)

@@ -1,0 +1,301 @@
+"""Exhaustive small-model checking of Protocol II (Theorem 4.2).
+
+Benchmarks sample the adversary space; this module *enumerates* it.
+Within a bounded model -- n users, m operations -- the server's entire
+freedom under Protocol II is:
+
+* which previously created state to serve each operation from (the VO
+  binds everything else: the client recomputes roots itself, so the
+  server cannot invent transitions, only replay/fork real ones);
+* which owner ``j`` to claim for the served state (the one field the VO
+  does not bind).
+
+We enumerate every combination of (operating-user sequence, serve-state
+picks, claimed owners) and check, for each behaviour:
+
+* ground truth: the behaviour is *honest* iff every operation was
+  served from the current tip with the true owner -- anything else
+  produces a run no serial execution matches;
+* the protocol's verdict: immediate rejection (the per-op counter /
+  initial-owner checks) or the end-of-run sync predicate.
+
+The theorem, in miniature: honest behaviours are always accepted, and
+every deviating behaviour is rejected by the end.  Exhaustiveness is
+what the randomized campaigns cannot give.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.crypto.hashing import Digest, hash_bytes, hash_tagged_state, xor_all
+
+
+@dataclass(frozen=True)
+class _State:
+    """One database state in the model: root, counter, true owner."""
+
+    root: Digest
+    ctr: int
+    owner: str
+
+
+@dataclass(frozen=True)
+class BehaviourResult:
+    """Outcome of one enumerated server behaviour."""
+
+    users: tuple[str, ...]
+    picks: tuple[int, ...]
+    claimed_owners: tuple[str, ...]
+    honest: bool
+    rejected_immediately: bool
+    sync_passes: bool
+
+    @property
+    def accepted(self) -> bool:
+        return not self.rejected_immediately and self.sync_passes
+
+
+def _fresh_root(parent: _State, op_index: int) -> Digest:
+    """A deterministic distinct root for the state an operation creates."""
+    return hash_bytes(parent.root.value + bytes([op_index]))
+
+
+def run_behaviour(
+    user_sequence: tuple[str, ...],
+    picks: tuple[int, ...],
+    claimed_owners: tuple[str, ...],
+    all_users: tuple[str, ...],
+) -> BehaviourResult:
+    """Execute one fully specified server behaviour against Protocol II
+    clients and return ground truth plus the protocol verdict."""
+    initial = _State(root=hash_bytes(b"genesis"), ctr=0, owner="")
+    states: list[_State] = [initial]
+    sigma = {u: Digest.zero() for u in all_users}
+    last = {u: Digest.zero() for u in all_users}
+    gctr = {u: 0 for u in all_users}
+    tip = 0
+    honest = True
+    rejected = False
+
+    for op_index, (user, pick, claimed) in enumerate(
+            zip(user_sequence, picks, claimed_owners)):
+        served = states[pick]
+        if pick != tip or claimed != served.owner:
+            honest = False
+
+        # --- client-side per-operation checks (Protocol II step 4) ---
+        if served.ctr < gctr[user]:
+            rejected = True
+            break
+        if served.ctr == 0 and claimed != "":
+            rejected = True
+            break
+
+        old_tag = hash_tagged_state(served.root, served.ctr, claimed)
+        new_state = _State(root=_fresh_root(served, op_index),
+                           ctr=served.ctr + 1, owner=user)
+        new_tag = hash_tagged_state(new_state.root, new_state.ctr, user)
+        sigma[user] = sigma[user] ^ old_tag ^ new_tag
+        last[user] = new_tag
+        gctr[user] = served.ctr + 1
+        states.append(new_state)
+        tip = len(states) - 1
+
+    if rejected:
+        sync_passes = False
+    else:
+        total = xor_all(sigma.values())
+        s0 = hash_tagged_state(initial.root, 0, "")
+        candidates = [l for l in last.values() if l]
+        if candidates:
+            sync_passes = any((s0 ^ l) == total for l in candidates)
+        else:
+            sync_passes = total == Digest.zero()
+
+    return BehaviourResult(
+        users=user_sequence,
+        picks=picks,
+        claimed_owners=claimed_owners,
+        honest=honest,
+        rejected_immediately=rejected,
+        sync_passes=sync_passes,
+    )
+
+
+@dataclass(frozen=True)
+class ModelCheckReport:
+    """Aggregate verdict over the exhaustive behaviour space."""
+
+    behaviours: int
+    honest_accepted: int
+    honest_rejected: int        # completeness violations (must be 0)
+    deviating_rejected: int
+    deviating_accepted: int     # soundness violations (must be 0)
+    counterexamples: tuple[BehaviourResult, ...]
+
+    @property
+    def theorem_holds(self) -> bool:
+        return self.honest_rejected == 0 and self.deviating_accepted == 0
+
+
+def model_check(
+    n_users: int = 2,
+    n_ops: int = 4,
+    enumerate_owner_lies: bool = True,
+    max_counterexamples: int = 5,
+) -> ModelCheckReport:
+    """Enumerate every server behaviour in the bounded model."""
+    users = tuple(f"u{i}" for i in range(n_users))
+    owner_choices = users + ("",) if enumerate_owner_lies else None
+
+    behaviours = honest_accepted = honest_rejected = 0
+    deviating_rejected = deviating_accepted = 0
+    counterexamples: list[BehaviourResult] = []
+
+    pick_spaces = [range(i + 1) for i in range(n_ops)]
+    for user_sequence in product(users, repeat=n_ops):
+        for picks in product(*pick_spaces):
+            if enumerate_owner_lies:
+                owner_space = product(owner_choices, repeat=n_ops)
+            else:
+                owner_space = [None]
+            for owners in owner_space:
+                if owners is None:
+                    # honest owner claims, derived on the fly
+                    owners = _true_owners(user_sequence, picks)
+                result = run_behaviour(user_sequence, picks, tuple(owners), users)
+                behaviours += 1
+                if result.honest:
+                    if result.accepted:
+                        honest_accepted += 1
+                    else:
+                        honest_rejected += 1
+                        if len(counterexamples) < max_counterexamples:
+                            counterexamples.append(result)
+                else:
+                    if result.accepted:
+                        deviating_accepted += 1
+                        if len(counterexamples) < max_counterexamples:
+                            counterexamples.append(result)
+                    else:
+                        deviating_rejected += 1
+
+    return ModelCheckReport(
+        behaviours=behaviours,
+        honest_accepted=honest_accepted,
+        honest_rejected=honest_rejected,
+        deviating_rejected=deviating_rejected,
+        deviating_accepted=deviating_accepted,
+        counterexamples=tuple(counterexamples),
+    )
+
+
+def _true_owners(user_sequence: tuple[str, ...], picks: tuple[int, ...]) -> list[str]:
+    """The honest owner claims for a given pick sequence."""
+    owners_of_states = [""]
+    claims = []
+    for user, pick in zip(user_sequence, picks):
+        claims.append(owners_of_states[pick])
+        owners_of_states.append(user)
+    return claims
+
+
+# ---------------------------------------------------------------------------
+# Protocol I (Theorem 4.1) in the same bounded model
+# ---------------------------------------------------------------------------
+
+
+def run_behaviour_protocol1(
+    user_sequence: tuple[str, ...],
+    picks: tuple[int, ...],
+    all_users: tuple[str, ...],
+) -> BehaviourResult:
+    """Protocol I against one fully specified server behaviour.
+
+    Signatures bind states completely (the client recomputes the root
+    from the VO and verifies the signature over exactly that root and
+    counter), so the server's only freedom is *which* signed state to
+    serve each operation from.  Client checks: counter non-regression
+    per user.  Sync predicate: exists i with gctr_i == sum_k lctr_k.
+    """
+    states: list[_State] = [_State(root=hash_bytes(b"genesis"), ctr=0, owner="")]
+    lctr = {u: 0 for u in all_users}
+    gctr = {u: 0 for u in all_users}
+    tip = 0
+    honest = True
+    rejected = False
+
+    for op_index, (user, pick) in enumerate(zip(user_sequence, picks)):
+        served = states[pick]
+        if pick != tip:
+            honest = False
+        if served.ctr < gctr[user]:
+            rejected = True
+            break
+        new_state = _State(root=_fresh_root(served, op_index),
+                           ctr=served.ctr + 1, owner=user)
+        lctr[user] += 1
+        gctr[user] = served.ctr + 1
+        states.append(new_state)
+        tip = len(states) - 1
+
+    if rejected:
+        sync_passes = False
+    else:
+        total = sum(lctr.values())
+        operated = [u for u in all_users if lctr[u] > 0]
+        if operated:
+            sync_passes = any(gctr[u] == total for u in operated)
+        else:
+            sync_passes = total == 0
+
+    return BehaviourResult(
+        users=user_sequence,
+        picks=picks,
+        claimed_owners=(),
+        honest=honest,
+        rejected_immediately=rejected,
+        sync_passes=sync_passes,
+    )
+
+
+def model_check_protocol1(
+    n_users: int = 2,
+    n_ops: int = 5,
+    max_counterexamples: int = 5,
+) -> ModelCheckReport:
+    """Enumerate every Protocol I server behaviour in the bounded model."""
+    users = tuple(f"u{i}" for i in range(n_users))
+    behaviours = honest_accepted = honest_rejected = 0
+    deviating_rejected = deviating_accepted = 0
+    counterexamples: list[BehaviourResult] = []
+
+    pick_spaces = [range(i + 1) for i in range(n_ops)]
+    for user_sequence in product(users, repeat=n_ops):
+        for picks in product(*pick_spaces):
+            result = run_behaviour_protocol1(user_sequence, picks, users)
+            behaviours += 1
+            if result.honest:
+                if result.accepted:
+                    honest_accepted += 1
+                else:
+                    honest_rejected += 1
+                    if len(counterexamples) < max_counterexamples:
+                        counterexamples.append(result)
+            elif result.accepted:
+                deviating_accepted += 1
+                if len(counterexamples) < max_counterexamples:
+                    counterexamples.append(result)
+            else:
+                deviating_rejected += 1
+
+    return ModelCheckReport(
+        behaviours=behaviours,
+        honest_accepted=honest_accepted,
+        honest_rejected=honest_rejected,
+        deviating_rejected=deviating_rejected,
+        deviating_accepted=deviating_accepted,
+        counterexamples=tuple(counterexamples),
+    )

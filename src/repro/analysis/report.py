@@ -1,0 +1,50 @@
+"""Collect saved benchmark results into one report.
+
+``python -m repro.analysis.report [results_dir]`` concatenates the
+tables every benchmark saved under ``benchmarks/results/`` (in
+experiment order) into a single text report -- the quick way to refresh
+the numbers quoted in EXPERIMENTS.md after a re-run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+DEFAULT_RESULTS_DIR = os.path.join("benchmarks", "results")
+
+
+def collect_report(results_dir: str = DEFAULT_RESULTS_DIR) -> str:
+    """All saved experiment tables, ordered by experiment id."""
+    if not os.path.isdir(results_dir):
+        raise FileNotFoundError(
+            f"no results at {results_dir!r} -- run "
+            "'pytest benchmarks/ --benchmark-only' first")
+    sections = []
+    for name in sorted(os.listdir(results_dir)):
+        if not name.endswith(".txt"):
+            continue
+        path = os.path.join(results_dir, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            body = handle.read().rstrip()
+        sections.append(f"[{name[:-4]}]\n{body}")
+    if not sections:
+        raise FileNotFoundError(f"no .txt results in {results_dir!r}")
+    header = "Trusted CVS -- measured experiment results\n" + "=" * 44
+    return header + "\n\n" + "\n\n".join(sections) + "\n"
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    argv = argv if argv is not None else sys.argv[1:]
+    results_dir = argv[0] if argv else DEFAULT_RESULTS_DIR
+    try:
+        print(collect_report(results_dir), file=out)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

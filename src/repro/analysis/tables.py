@@ -1,0 +1,40 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark prints the rows/series its paper artifact reports;
+this module keeps the formatting uniform and dependency-free.
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list[object]], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_series(name: str, xs: list[object], ys: list[object], x_label: str = "x", y_label: str = "y") -> str:
+    """Render a figure series as aligned columns (shape over absolutes)."""
+    rows = [[x, y] for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=name)

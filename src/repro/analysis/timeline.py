@@ -1,0 +1,60 @@
+"""Textual timelines of simulation runs -- the debugging lens.
+
+Renders a :class:`~repro.simulation.runner.SimulationReport` as an
+ordered, per-round narrative: operations issued and completed, the
+ground-truth deviation onset, and every alarm.  Invaluable when a
+protocol test fails and you need to see *what the users saw, when*.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.runner import SimulationReport
+
+
+def render_timeline(
+    report: SimulationReport,
+    max_events: int = 200,
+    around_deviation: int | None = None,
+) -> str:
+    """A round-ordered event listing.
+
+    ``around_deviation`` (rounds) windows the output to that many rounds
+    either side of the deviation onset -- the part that matters when
+    debugging a detection failure.
+    """
+    events: list[tuple[int, int, str]] = []  # (round, sort-rank, text)
+
+    for timed in report.run.actions:
+        action = timed.action
+        if action.kind == "query":
+            text = f"{action.user_id} issues #{action.txn_id} ({action.description})"
+            rank = 0
+        else:
+            text = f"{action.user_id} completes #{action.txn_id}"
+            rank = 1
+        events.append((timed.round, rank, text))
+
+    if report.first_deviation_round is not None:
+        events.append((report.first_deviation_round, 2,
+                       ">>> SERVER DEVIATES (ground truth) <<<"))
+    for user_id, alarm in sorted(report.alarms.items()):
+        events.append((alarm.round, 3, f"!!! {user_id} ALARMS: {alarm.reason}"))
+
+    events.sort(key=lambda item: (item[0], item[1]))
+
+    if around_deviation is not None and report.first_deviation_round is not None:
+        lo = report.first_deviation_round - around_deviation
+        hi = report.first_deviation_round + around_deviation
+        events = [e for e in events if lo <= e[0] <= hi]
+
+    lines = [f"timeline: {len(events)} events over {report.rounds_executed} rounds"]
+    truncated = len(events) > max_events
+    for round_no, _rank, text in events[:max_events]:
+        lines.append(f"  r{round_no:05d}  {text}")
+    if truncated:
+        lines.append(f"  ... {len(events) - max_events} more events truncated")
+    summary = "detected" if report.detected else "no alarm"
+    if report.first_deviation_round is None:
+        summary += ", no deviation"
+    lines.append(f"outcome: {summary}")
+    return "\n".join(lines)

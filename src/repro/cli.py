@@ -1,0 +1,438 @@
+"""A command-line Trusted CVS client over a file-backed repository.
+
+Usage (also via ``python -m repro``)::
+
+    repro init REPO                                create a repository
+    repro -R REPO commit PATH -m MSG [-a AUTHOR]   commit stdin/--file
+    repro -R REPO checkout PATH [-r REV] [--expand] print a revision
+    repro -R REPO log PATH                         revision history
+    repro -R REPO diff PATH -r REV [--to REV2]     unified diff
+    repro -R REPO annotate PATH [-r REV]           per-line blame
+    repro -R REPO ls [PREFIX]                      list live files
+    repro -R REPO remove PATH [-m MSG]             cvs remove
+    repro -R REPO branch PATH [-r REV | --list]    create/list branches
+    repro -R REPO bcommit PATH -b BRANCH            commit onto a branch
+    repro -R REPO merge PATH -b BRANCH              merge a branch to trunk
+    repro -R REPO update PATH -r BASE --file F      merge head into a working file
+    repro -R REPO trust                            show the trust anchor
+    repro -R REPO serve [-p PORT]                  host the repository over TCP
+    repro --remote HOST:PORT ...                   run any command against a server
+
+Layout of a repository directory::
+
+    REPO/db.snapshot         the server's Merkle tree (exact shape)
+    REPO/trust/AUTHOR.digest each author's verified root digest
+
+The trust anchor is the whole point: every command verifies the
+server's answers against the author's *persisted* digest and advances
+it only through verified updates.  Tamper with ``db.snapshot`` offline
+and the next command fails with an integrity error instead of showing
+you corrupted data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.core.facade import CvsClient, CvsServer
+from repro.crypto.hashing import Digest
+from repro.mtree.persistence import dump_database, load_database
+from repro.mtree.proofs import ProofError
+
+DB_FILE = "db.snapshot"
+TRUST_DIR = "trust"
+
+
+class CliError(Exception):
+    """User-facing command failure (bad args, unknown repo, ...)."""
+
+
+class RemoteServerAdapter:
+    """Adapts a TCP connection to the ``CvsServer`` surface the facade
+    client expects (``execute``, ``order``, ``root_digest``).
+
+    The facade's :class:`~repro.mtree.database.ClientVerifier` does all
+    the checking; this adapter just moves frames.  ``root_digest`` (used
+    only for trust-on-first-use) derives the current root from a probe
+    read's verification object rather than trusting any claim.
+    """
+
+    def __init__(self, host: str, port: int, order: int = 8) -> None:
+        import socket as _socket
+
+        from repro.net.framing import recv_message, send_message
+        from repro.protocols.base import Request, Response
+
+        self._send, self._recv = send_message, recv_message
+        self._request_cls, self._response_cls = Request, Response
+        self.order = order
+        try:
+            self._sock = _socket.create_connection((host, port), timeout=10)
+        except OSError as exc:
+            raise CliError(f"cannot reach remote server {host}:{port}: {exc}") from exc
+
+    def execute(self, query):
+        self._send(self._sock, self._request_cls(query=query, extras={"user": "cli"}))
+        response = self._recv(self._sock)
+        if not isinstance(response, self._response_cls):
+            raise CliError("remote server closed the connection")
+        return response.result
+
+    def root_digest(self) -> Digest:
+        from repro.mtree.database import ReadQuery
+        from repro.mtree.proofs import implied_root_for_read
+
+        result = self.execute(ReadQuery(b"\x00__root_probe__"))
+        return implied_root_for_read(result.proof, b"\x00__root_probe__")
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class Workspace:
+    """A repository (local directory or remote server) plus one author's
+    trust anchor."""
+
+    def __init__(self, repo_dir: str, author: str, remote: str | None = None) -> None:
+        self.repo_dir = repo_dir
+        self.author = author
+        self.remote = remote
+        if remote:
+            host, _, port_text = remote.rpartition(":")
+            if not host or not port_text.isdigit():
+                raise CliError(f"--remote expects HOST:PORT, got {remote!r}")
+            os.makedirs(os.path.join(repo_dir, TRUST_DIR), exist_ok=True)
+            self.server = RemoteServerAdapter(host, int(port_text))
+        else:
+            db_path = os.path.join(repo_dir, DB_FILE)
+            if not os.path.isfile(db_path):
+                raise CliError(f"{repo_dir!r} is not a repository (run 'repro init' first)")
+            with open(db_path, "rb") as handle:
+                database = load_database(handle.read())
+            self.server = CvsServer(order=database.order)
+            self.server._database = database
+        anchor = self._load_anchor()
+        if anchor is None:
+            # Trust on first use for this author.
+            anchor = self.server.root_digest()
+        self.client = CvsClient(self.server, author=author, trusted_root=anchor)
+
+    # -- anchor persistence --------------------------------------------------
+
+    def _anchor_path(self) -> str:
+        suffix = f"@{self.remote.replace(':', '_')}" if self.remote else ""
+        return os.path.join(self.repo_dir, TRUST_DIR, f"{self.author}{suffix}.digest")
+
+    def _load_anchor(self) -> Digest | None:
+        path = self._anchor_path()
+        if not os.path.isfile(path):
+            return None
+        with open(path, "r", encoding="ascii") as handle:
+            return Digest.from_hex(handle.read().strip())
+
+    def save(self) -> None:
+        """Persist the database snapshot (local mode) and the advanced
+        trust anchor."""
+        if not self.remote:
+            with open(os.path.join(self.repo_dir, DB_FILE), "wb") as handle:
+                handle.write(dump_database(self.server._database))
+        os.makedirs(os.path.join(self.repo_dir, TRUST_DIR), exist_ok=True)
+        with open(self._anchor_path(), "w", encoding="ascii") as handle:
+            handle.write(self.client.root_digest.hex() + "\n")
+
+
+# -- commands -------------------------------------------------------------
+
+
+def cmd_init(args, out) -> int:
+    os.makedirs(args.repo, exist_ok=True)
+    db_path = os.path.join(args.repo, DB_FILE)
+    if os.path.exists(db_path):
+        raise CliError(f"repository already exists at {args.repo!r}")
+    server = CvsServer()
+    with open(db_path, "wb") as handle:
+        handle.write(dump_database(server._database))
+    os.makedirs(os.path.join(args.repo, TRUST_DIR), exist_ok=True)
+    print(f"initialised empty trusted repository in {args.repo}", file=out)
+    print(f"root digest: {server.root_digest().hex()}", file=out)
+    return 0
+
+
+def cmd_commit(args, out) -> int:
+    workspace = Workspace(args.repo, args.author, remote=args.remote)
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+    revision = workspace.client.commit(args.path, lines, args.message)
+    workspace.save()
+    print(f"committed {args.path} {revision.number}", file=out)
+    return 0
+
+
+def cmd_checkout(args, out) -> int:
+    workspace = Workspace(args.repo, args.author, remote=args.remote)
+    lines = workspace.client.checkout(args.path, args.revision,
+                                      expand=args.expand)
+    workspace.save()
+    for line in lines:
+        print(line, file=out)
+    return 0
+
+
+def cmd_log(args, out) -> int:
+    workspace = Workspace(args.repo, args.author, remote=args.remote)
+    for revision in workspace.client.log(args.path):
+        flags = " (dead)" if revision.dead else ""
+        print(f"{revision.number}  {revision.author:12s} {revision.log_message}{flags}", file=out)
+    workspace.save()
+    return 0
+
+
+def cmd_diff(args, out) -> int:
+    workspace = Workspace(args.repo, args.author, remote=args.remote)
+    text = workspace.client.diff(args.path, args.revision, args.to)
+    workspace.save()
+    print(text, end="", file=out)
+    return 0
+
+
+def cmd_ls(args, out) -> int:
+    workspace = Workspace(args.repo, args.author, remote=args.remote)
+    for path in workspace.client.paths(args.prefix):
+        print(path, file=out)
+    workspace.save()
+    return 0
+
+
+def cmd_remove(args, out) -> int:
+    workspace = Workspace(args.repo, args.author, remote=args.remote)
+    revision = workspace.client.remove(args.path, args.message)
+    workspace.save()
+    print(f"removed {args.path} ({revision.number})", file=out)
+    return 0
+
+
+def cmd_branch(args, out) -> int:
+    workspace = Workspace(args.repo, args.author, remote=args.remote)
+    if args.list:
+        for branch_id in workspace.client.branches(args.path):
+            print(branch_id, file=out)
+        workspace.save()
+        return 0
+    branch_id = workspace.client.branch(args.path, args.revision)
+    workspace.save()
+    print(f"created branch {branch_id} on {args.path}", file=out)
+    return 0
+
+
+def cmd_bcommit(args, out) -> int:
+    workspace = Workspace(args.repo, args.author, remote=args.remote)
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+    revision = workspace.client.commit_on_branch(args.path, args.branch, lines, args.message)
+    workspace.save()
+    print(f"committed {args.path} {revision.number}", file=out)
+    return 0
+
+
+def cmd_merge(args, out) -> int:
+    from repro.storage.merge import render_with_markers
+
+    workspace = Workspace(args.repo, args.author, remote=args.remote)
+    result = workspace.client.merge_branch(args.path, args.branch, args.message)
+    if result.has_conflicts:
+        print(f"CONFLICTS merging {args.branch} into trunk of {args.path}:", file=out)
+        for line in render_with_markers(result, "trunk", args.branch):
+            print(line, file=out)
+        workspace.save()
+        return 1
+    workspace.save()
+    print(f"merged {args.branch} into trunk of {args.path}", file=out)
+    return 0
+
+
+def cmd_update(args, out) -> int:
+    from repro.storage.merge import render_with_markers
+
+    workspace = Workspace(args.repo, args.author, remote=args.remote)
+    with open(args.file, "r", encoding="utf-8") as handle:
+        working = handle.read().splitlines()
+    result = workspace.client.update(args.path, working, args.revision)
+    merged = (render_with_markers(result, "working copy", "repository")
+              if result.has_conflicts else result.lines())
+    with open(args.file, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(merged) + ("\n" if merged else ""))
+    workspace.save()
+    if result.has_conflicts:
+        print(f"U {args.file}: {len(result.conflicts())} conflict(s) -- markers written", file=out)
+        return 1
+    print(f"U {args.file}: merged cleanly", file=out)
+    return 0
+
+
+def cmd_serve(args, out) -> int:
+    """Host a local repository over TCP (Ctrl-C to stop and persist)."""
+    from repro.mtree.persistence import load_database as _load
+    from repro.net.server import serve_in_thread
+
+    db_path = os.path.join(args.repo, DB_FILE)
+    if not os.path.isfile(db_path):
+        raise CliError(f"{args.repo!r} is not a repository (run 'repro init' first)")
+    with open(db_path, "rb") as handle:
+        database = _load(handle.read())
+    server = serve_in_thread(database=database, port=args.port)
+    host, port = server.address
+    print(f"serving {args.repo} on {host}:{port} (Ctrl-C to stop)", file=out)
+    try:
+        import threading
+
+        threading.Event().wait()  # sleep until interrupted
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        with server.state_lock:
+            snapshot = dump_database(server.state.database)
+        with open(db_path, "wb") as handle:
+            handle.write(snapshot)
+        print("persisted and stopped", file=out)
+    return 0
+
+
+def cmd_annotate(args, out) -> int:
+    from repro.storage.annotate import format_annotations
+
+    workspace = Workspace(args.repo, args.author, remote=args.remote)
+    lines = workspace.client.annotate(args.path, args.revision)
+    workspace.save()
+    for rendered in format_annotations(lines):
+        print(rendered, file=out)
+    return 0
+
+
+def cmd_trust(args, out) -> int:
+    workspace = Workspace(args.repo, args.author, remote=args.remote)
+    print(f"author      : {args.author}", file=out)
+    print(f"trust anchor: {workspace.client.root_digest.hex()}", file=out)
+    print(f"server root : {workspace.server.root_digest().hex()}", file=out)
+    match = workspace.client.root_digest == workspace.server.root_digest()
+    print(f"in sync     : {'yes' if match else 'NO - verify before trusting new data'}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("-R", "--repo", default=".", help="repository directory")
+    parser.add_argument("-a", "--author", default=os.environ.get("USER", "anon"),
+                        help="author identity (owns a trust anchor)")
+    parser.add_argument("--remote", default=None, metavar="HOST:PORT",
+                        help="operate against a TCP server instead of the local snapshot")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    init = commands.add_parser("init", help="create a repository")
+    init.add_argument("repo_positional", nargs="?", default=None)
+    init.set_defaults(handler=cmd_init)
+
+    commit = commands.add_parser("commit", help="commit a file")
+    commit.add_argument("path")
+    commit.add_argument("-m", "--message", default="")
+    commit.add_argument("--file", help="read content from a file instead of stdin")
+    commit.set_defaults(handler=cmd_commit)
+
+    checkout = commands.add_parser("checkout", help="print a revision")
+    checkout.add_argument("path")
+    checkout.add_argument("-r", "--revision", default=None)
+    checkout.add_argument("--expand", action="store_true",
+                          help="expand RCS keywords ($Id$, $Revision$, ...)")
+    checkout.set_defaults(handler=cmd_checkout)
+
+    log = commands.add_parser("log", help="revision history")
+    log.add_argument("path")
+    log.set_defaults(handler=cmd_log)
+
+    diff = commands.add_parser("diff", help="diff two revisions")
+    diff.add_argument("path")
+    diff.add_argument("-r", "--revision", required=True)
+    diff.add_argument("--to", default=None)
+    diff.set_defaults(handler=cmd_diff)
+
+    ls = commands.add_parser("ls", help="list live files")
+    ls.add_argument("prefix", nargs="?", default="")
+    ls.set_defaults(handler=cmd_ls)
+
+    remove = commands.add_parser("remove", help="cvs remove")
+    remove.add_argument("path")
+    remove.add_argument("-m", "--message", default="")
+    remove.set_defaults(handler=cmd_remove)
+
+    branch = commands.add_parser("branch", help="create or list branches")
+    branch.add_argument("path")
+    branch.add_argument("-r", "--revision", default=None, help="branch point (default head)")
+    branch.add_argument("-l", "--list", action="store_true")
+    branch.set_defaults(handler=cmd_branch)
+
+    bcommit = commands.add_parser("bcommit", help="commit onto a branch")
+    bcommit.add_argument("path")
+    bcommit.add_argument("-b", "--branch", required=True)
+    bcommit.add_argument("-m", "--message", default="")
+    bcommit.add_argument("--file", help="read content from a file instead of stdin")
+    bcommit.set_defaults(handler=cmd_bcommit)
+
+    merge = commands.add_parser("merge", help="merge a branch into the trunk")
+    merge.add_argument("path")
+    merge.add_argument("-b", "--branch", required=True)
+    merge.add_argument("-m", "--message", default="")
+    merge.set_defaults(handler=cmd_merge)
+
+    update = commands.add_parser("update", help="merge the repository head into a working file")
+    update.add_argument("path")
+    update.add_argument("-r", "--revision", required=True,
+                        help="the revision the working file was based on")
+    update.add_argument("--file", required=True, help="the working file (rewritten in place)")
+    update.set_defaults(handler=cmd_update)
+
+    trust = commands.add_parser("trust", help="show the trust anchor")
+    trust.set_defaults(handler=cmd_trust)
+
+    annotate = commands.add_parser("annotate", help="per-line blame")
+    annotate.add_argument("path")
+    annotate.add_argument("-r", "--revision", default=None)
+    annotate.set_defaults(handler=cmd_annotate)
+
+    serve = commands.add_parser("serve", help="host the repository over TCP")
+    serve.add_argument("-p", "--port", type=int, default=7117)
+    serve.set_defaults(handler=cmd_serve)
+    return parser
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "init" and getattr(args, "repo_positional", None):
+        args.repo = args.repo_positional
+    try:
+        return args.handler(args, out)
+    except CliError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    except ProofError as exc:
+        print("INTEGRITY VIOLATION: the repository does not verify against "
+              f"your trust anchor: {exc}", file=out)
+        return 3
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

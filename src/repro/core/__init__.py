@@ -1,0 +1,29 @@
+"""The top-level Trusted CVS API.
+
+* :class:`~repro.core.facade.CvsServer` /
+  :class:`~repro.core.facade.CvsClient` -- the direct, in-process
+  verified CVS (single-user verification loop of Section 4.1).
+* :func:`~repro.core.scenarios.build_simulation` -- multi-user
+  simulations with Protocols I/II/III, baselines, and attacks.
+"""
+
+from repro.core.facade import CvsClient, CvsServer
+from repro.core.scenarios import (
+    PROTOCOLS,
+    SIM_KEY_BITS,
+    ScenarioKeys,
+    build_simulation,
+    make_keys,
+    populate_database,
+)
+
+__all__ = [
+    "CvsClient",
+    "CvsServer",
+    "PROTOCOLS",
+    "SIM_KEY_BITS",
+    "ScenarioKeys",
+    "build_simulation",
+    "make_keys",
+    "populate_database",
+]

@@ -1,0 +1,70 @@
+"""Cryptographic substrate: hashing, RSA signatures, and a minimal PKI.
+
+Public surface:
+
+* :class:`~repro.crypto.hashing.Digest` and the ``hash_*`` functions --
+  domain-separated SHA-256 with an XOR algebra for Protocol II.
+* :class:`~repro.crypto.signatures.Signer` /
+  :class:`~repro.crypto.signatures.Verifier` -- the paper's
+  ``sign_i(x)`` notation.
+* :class:`~repro.crypto.pki.CertificateAuthority` -- RFC 2459-style key
+  distribution for Protocol I.
+"""
+
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    Digest,
+    hash_bytes,
+    hash_epoch_snapshot,
+    hash_internal_node,
+    hash_leaf,
+    hash_leaf_node,
+    hash_node,
+    hash_state,
+    hash_tagged_state,
+    xor_all,
+)
+from repro.crypto.pki import (
+    Certificate,
+    CertificateAuthority,
+    CertificateError,
+    build_verifier,
+    verify_certificate,
+)
+from repro.crypto.rsa import (
+    PrivateKey,
+    PublicKey,
+    SignatureError,
+    generate_keypair,
+    sign_digest,
+    verify_digest,
+)
+from repro.crypto.signatures import Signature, Signer, Verifier
+
+__all__ = [
+    "DIGEST_SIZE",
+    "Digest",
+    "hash_bytes",
+    "hash_epoch_snapshot",
+    "hash_internal_node",
+    "hash_leaf",
+    "hash_leaf_node",
+    "hash_node",
+    "hash_state",
+    "hash_tagged_state",
+    "xor_all",
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateError",
+    "build_verifier",
+    "verify_certificate",
+    "PrivateKey",
+    "PublicKey",
+    "SignatureError",
+    "generate_keypair",
+    "sign_digest",
+    "verify_digest",
+    "Signature",
+    "Signer",
+    "Verifier",
+]

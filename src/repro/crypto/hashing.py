@@ -1,0 +1,216 @@
+"""Collision-intractable hashing with domain separation.
+
+The paper (Section 4.1) assumes a collision intractable hash function
+``h`` used in three distinct roles:
+
+* hashing data values stored in Merkle-tree leaves,
+* hashing the concatenation of child digests in internal nodes,
+* hashing database *states* ``h(M(D) || ctr)`` and *tagged states*
+  ``h(M(D) || ctr || user)`` in Protocols I--III.
+
+We instantiate ``h`` with SHA-256 and prefix every invocation with a
+domain tag so that a digest produced in one role can never collide with
+a digest produced in another role.  Digests are wrapped in a small
+value type, :class:`Digest`, that supports the XOR algebra Protocol II
+builds its synchronisation check on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+DIGEST_SIZE = 32
+
+# Domain-separation tags.  Each role gets a unique single-byte prefix.
+_DOMAIN_LEAF = b"\x00leaf"
+_DOMAIN_NODE = b"\x01node"
+_DOMAIN_STATE = b"\x02state"
+_DOMAIN_TAGGED_STATE = b"\x03tagged-state"
+_DOMAIN_RAW = b"\x04raw"
+_DOMAIN_EPOCH = b"\x05epoch"
+_DOMAIN_LEAF_NODE = b"\x06leaf-node"
+_DOMAIN_EMPTY_LEAF = b"\x07empty-leaf"
+_DOMAIN_INTERNAL_NODE = b"\x08internal-node"
+
+# Field separator used when hashing a concatenation ``x || y || z``.
+# A length-prefixed encoding makes the concatenation injective, so the
+# classic ambiguity (``"ab" || "c"`` vs ``"a" || "bc"``) cannot be used
+# to forge colliding pre-images.
+_SEPARATOR = b"\xff"
+
+
+class Digest:
+    """An immutable 32-byte digest supporting XOR.
+
+    Protocol II maintains per-user registers that accumulate the XOR of
+    all database states a user has seen.  ``Digest`` therefore forms an
+    abelian group under ``^`` with :meth:`zero` as the identity and
+    every element being its own inverse.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: bytes) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError(f"digest value must be bytes, got {type(value).__name__}")
+        if len(value) != DIGEST_SIZE:
+            raise ValueError(f"digest must be {DIGEST_SIZE} bytes, got {len(value)}")
+        self._value = bytes(value)
+
+    @classmethod
+    def zero(cls) -> "Digest":
+        """The XOR identity: the all-zero digest."""
+        return cls(bytes(DIGEST_SIZE))
+
+    @property
+    def value(self) -> bytes:
+        """The raw 32 bytes of the digest."""
+        return self._value
+
+    def __xor__(self, other: "Digest") -> "Digest":
+        if not isinstance(other, Digest):
+            return NotImplemented
+        return Digest(bytes(a ^ b for a, b in zip(self._value, other._value)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Digest):
+            return NotImplemented
+        return self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __bool__(self) -> bool:
+        """A digest is falsy only when it is the zero digest."""
+        return self._value != bytes(DIGEST_SIZE)
+
+    def hex(self) -> str:
+        """Hex encoding of the digest, for display and logs."""
+        return self._value.hex()
+
+    def short(self) -> str:
+        """First 8 hex characters, convenient for compact traces."""
+        return self._value.hex()[:8]
+
+    def __repr__(self) -> str:
+        return f"Digest({self.short()}…)"
+
+    def to_bytes(self) -> bytes:
+        return self._value
+
+    @classmethod
+    def from_hex(cls, text: str) -> "Digest":
+        """Parse a digest from its :meth:`hex` encoding."""
+        return cls(bytes.fromhex(text))
+
+
+def _encode_fields(fields: tuple[bytes, ...]) -> bytes:
+    """Length-prefixed, injective encoding of a field tuple."""
+    parts = []
+    for field in fields:
+        parts.append(len(field).to_bytes(8, "big"))
+        parts.append(_SEPARATOR)
+        parts.append(field)
+    return b"".join(parts)
+
+
+def _hash(domain: bytes, *fields: bytes) -> Digest:
+    hasher = hashlib.sha256()
+    hasher.update(domain)
+    hasher.update(_encode_fields(fields))
+    return Digest(hasher.digest())
+
+
+def hash_bytes(data: bytes) -> Digest:
+    """Hash raw application data (no structural role)."""
+    return _hash(_DOMAIN_RAW, data)
+
+
+def hash_leaf(key: bytes, value: bytes) -> Digest:
+    """Digest of a Merkle-tree leaf entry for ``key`` holding ``value``."""
+    return _hash(_DOMAIN_LEAF, key, value)
+
+
+def hash_node(child_digests: list[Digest]) -> Digest:
+    """Digest of an internal Merkle node from its children's digests.
+
+    This is the paper's ``h(d_1 || d_2 || ... || d_m)`` with an injective
+    encoding, so the same multiset of children in a different arity
+    cannot collide.
+    """
+    if not child_digests:
+        raise ValueError("internal node must have at least one child")
+    return _hash(_DOMAIN_NODE, *[d.value for d in child_digests])
+
+
+def hash_leaf_node(entry_digests: list[Digest]) -> Digest:
+    """Digest of a Merkle B+-tree *leaf node* from its entry digests.
+
+    An empty leaf (the root of an empty tree) gets a fixed
+    domain-separated digest so that "empty database" is itself a
+    committed state.
+    """
+    if not entry_digests:
+        return _hash(_DOMAIN_EMPTY_LEAF)
+    return _hash(_DOMAIN_LEAF_NODE, *[d.value for d in entry_digests])
+
+
+def hash_internal_node(separator_keys: list[bytes], child_digests: list[Digest]) -> Digest:
+    """Digest of an internal Merkle B+-tree node.
+
+    Commits to both the separator keys and the child digests; the keys
+    must be committed so that update proofs can check search-order
+    invariants against material the root digest vouches for.
+    """
+    if not child_digests:
+        raise ValueError("internal node must have at least one child")
+    if len(separator_keys) != len(child_digests) - 1:
+        raise ValueError("internal node must have exactly (children - 1) separator keys")
+    key_count = len(separator_keys).to_bytes(8, "big")
+    fields = [key_count, *separator_keys, *[d.value for d in child_digests]]
+    return _hash(_DOMAIN_INTERNAL_NODE, *fields)
+
+
+def hash_state(root_digest: Digest, ctr: int) -> Digest:
+    """The paper's state identifier ``h(M(D) || ctr)`` (Protocol I)."""
+    if ctr < 0:
+        raise ValueError("counter must be non-negative")
+    return _hash(_DOMAIN_STATE, root_digest.value, ctr.to_bytes(8, "big"))
+
+
+def hash_tagged_state(root_digest: Digest, ctr: int, user_id: str) -> Digest:
+    """Protocol II's tagged state ``h(M(D) || ctr || user)``.
+
+    Tagging the state with the user that validated the transition into
+    it is what forces in-degree <= 1 in the seen-state graph
+    (Lemma 4.1 / property P2), defeating the Figure 3 replay.
+    """
+    if ctr < 0:
+        raise ValueError("counter must be non-negative")
+    return _hash(
+        _DOMAIN_TAGGED_STATE,
+        root_digest.value,
+        ctr.to_bytes(8, "big"),
+        user_id.encode("utf-8"),
+    )
+
+
+def hash_epoch_snapshot(sigma: Digest, last: Digest, epoch: int, user_id: str) -> Digest:
+    """Digest of a user's (sigma, last) snapshot deposited in Protocol III."""
+    if epoch < 0:
+        raise ValueError("epoch must be non-negative")
+    return _hash(
+        _DOMAIN_EPOCH,
+        sigma.value,
+        last.value,
+        epoch.to_bytes(8, "big"),
+        user_id.encode("utf-8"),
+    )
+
+
+def xor_all(digests) -> Digest:
+    """XOR-fold an iterable of digests (identity: :meth:`Digest.zero`)."""
+    total = Digest.zero()
+    for digest in digests:
+        total = total ^ digest
+    return total

@@ -1,0 +1,127 @@
+"""A minimal public key infrastructure (certificates + revocation).
+
+The paper points at RFC 2459 for its PKI assumption.  We provide the
+slice the protocols need: a certificate authority that binds user
+identities to public keys with its own signature, certificate
+verification, and a revocation list.  Protocol I clients bootstrap
+their :class:`~repro.crypto.signatures.Verifier` directory from
+certificates rather than trusting the server to hand out keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import rsa
+from repro.crypto.hashing import Digest, hash_bytes
+from repro.crypto.signatures import Signature, Signer, Verifier
+
+
+class CertificateError(Exception):
+    """Raised when a certificate is invalid, unknown, or revoked."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A CA-signed binding of ``subject_id`` to a public key."""
+
+    subject_id: str
+    public_key: rsa.PublicKey
+    serial: int
+    issuer_id: str
+    signature: Signature
+
+    def tbs_digest(self) -> Digest:
+        """Digest of the to-be-signed portion of the certificate."""
+        return _tbs_digest(self.subject_id, self.public_key, self.serial, self.issuer_id)
+
+
+def _tbs_digest(subject_id: str, public_key: rsa.PublicKey, serial: int, issuer_id: str) -> Digest:
+    encoded = b"|".join(
+        [
+            subject_id.encode("utf-8"),
+            public_key.modulus.to_bytes(public_key.byte_length, "big"),
+            public_key.exponent.to_bytes(8, "big"),
+            serial.to_bytes(8, "big"),
+            issuer_id.encode("utf-8"),
+        ]
+    )
+    return hash_bytes(encoded)
+
+
+class CertificateAuthority:
+    """Issues and revokes certificates; the root of trust for Protocol I."""
+
+    def __init__(self, ca_id: str = "ca", bits: int = rsa.DEFAULT_KEY_BITS, seed: int | None = None) -> None:
+        self._signer = Signer.generate(ca_id, bits=bits, seed=seed)
+        self._next_serial = 1
+        self._issued: dict[int, Certificate] = {}
+        self._revoked: set[int] = set()
+
+    @property
+    def ca_id(self) -> str:
+        return self._signer.signer_id
+
+    @property
+    def public_key(self) -> rsa.PublicKey:
+        return self._signer.public_key
+
+    def issue(self, subject_id: str, public_key: rsa.PublicKey) -> Certificate:
+        """Issue a certificate binding ``subject_id`` to ``public_key``."""
+        serial = self._next_serial
+        self._next_serial += 1
+        digest = _tbs_digest(subject_id, public_key, serial, self.ca_id)
+        certificate = Certificate(
+            subject_id=subject_id,
+            public_key=public_key,
+            serial=serial,
+            issuer_id=self.ca_id,
+            signature=self._signer.sign(digest),
+        )
+        self._issued[serial] = certificate
+        return certificate
+
+    def revoke(self, serial: int) -> None:
+        """Add a certificate to the revocation list."""
+        if serial not in self._issued:
+            raise CertificateError(f"unknown certificate serial {serial}")
+        self._revoked.add(serial)
+
+    def revocation_list(self) -> frozenset[int]:
+        """The current set of revoked serial numbers."""
+        return frozenset(self._revoked)
+
+
+def verify_certificate(
+    certificate: Certificate,
+    ca_public_key: rsa.PublicKey,
+    revoked: frozenset[int] = frozenset(),
+) -> None:
+    """Validate a certificate chain of depth one.
+
+    Raises :class:`CertificateError` if the CA signature does not check
+    out or the certificate has been revoked.
+    """
+    if certificate.serial in revoked:
+        raise CertificateError(f"certificate {certificate.serial} for {certificate.subject_id!r} is revoked")
+    verifier = Verifier({certificate.issuer_id: ca_public_key})
+    if not verifier.verify(certificate.signature, certificate.tbs_digest()):
+        raise CertificateError(f"certificate {certificate.serial} for {certificate.subject_id!r} has a bad CA signature")
+
+
+def build_verifier(
+    certificates: list[Certificate],
+    ca_public_key: rsa.PublicKey,
+    revoked: frozenset[int] = frozenset(),
+) -> Verifier:
+    """Build a :class:`Verifier` directory from validated certificates.
+
+    This is how Protocol I clients learn each other's keys without
+    trusting the server: every certificate is checked against the CA
+    before its key enters the directory.
+    """
+    verifier = Verifier()
+    for certificate in certificates:
+        verify_certificate(certificate, ca_public_key, revoked)
+        verifier.register(certificate.subject_id, certificate.public_key)
+    return verifier

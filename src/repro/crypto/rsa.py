@@ -1,0 +1,186 @@
+"""Textbook RSA, implemented from scratch for the Protocol I PKI.
+
+The paper assumes "a public key infrastructure, for example as in
+[RFC 2459]; it is used to verify digital signatures".  We build the
+signature primitive from first principles: Miller--Rabin primality
+testing, deterministic seeded key generation, and hash-then-sign with a
+fixed-pattern padding (a simplified PKCS#1 v1.5).
+
+This module is *not* hardened cryptography -- no constant-time
+arithmetic, no blinding -- but it is a real trapdoor-permutation
+signature scheme: signatures are unforgeable to the simulated untrusted
+server, which is exactly the property Protocol I's proof (Theorem 4.1)
+relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.hashing import Digest
+
+DEFAULT_KEY_BITS = 1024
+
+# Witness rounds for Miller--Rabin.  40 rounds bound the error
+# probability by 2^-80, far below any chance event in our simulations.
+_MILLER_RABIN_ROUNDS = 40
+
+# Small primes used to cheaply reject most composite candidates before
+# running Miller--Rabin.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+_PUBLIC_EXPONENT = 65537
+
+
+class SignatureError(Exception):
+    """Raised when a signature fails verification."""
+
+
+def is_probable_prime(n: int, rng: random.Random) -> bool:
+    """Miller--Rabin primality test with a trial-division pre-filter."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(_MILLER_RABIN_ROUNDS):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("prime size must be at least 8 bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force top bit and oddness
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+def _modular_inverse(a: int, m: int) -> int:
+    """Inverse of ``a`` modulo ``m`` via the extended Euclidean algorithm."""
+    g, x = _extended_gcd(a, m)
+    if g != 1:
+        raise ValueError("modular inverse does not exist")
+    return x % m
+
+
+def _extended_gcd(a: int, b: int) -> tuple[int, int]:
+    """Return ``(gcd(a, b), x)`` with ``a*x === gcd(a, b) (mod b)``."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    while r != 0:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_x, x = x, old_x - quotient * x
+    return old_r, old_x
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """An RSA public key ``(n, e)``."""
+
+    modulus: int
+    exponent: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.modulus.bit_length() + 7) // 8
+
+    def fingerprint(self) -> str:
+        """Short stable identifier for the key, for directories and logs."""
+        from repro.crypto.hashing import hash_bytes
+
+        encoded = self.modulus.to_bytes(self.byte_length, "big")
+        return hash_bytes(encoded).short()
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """An RSA private key; carries the matching public half."""
+
+    public: PublicKey
+    exponent: int
+
+
+def generate_keypair(bits: int = DEFAULT_KEY_BITS, seed: int | None = None) -> PrivateKey:
+    """Generate an RSA keypair.
+
+    ``seed`` makes generation deterministic, which keeps simulations
+    reproducible; omit it for an OS-entropy-seeded key.
+    """
+    if bits < 512:
+        raise ValueError("RSA modulus must be at least 512 bits")
+    rng = random.Random(seed) if seed is not None else random.SystemRandom()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % _PUBLIC_EXPONENT == 0:
+            continue
+        d = _modular_inverse(_PUBLIC_EXPONENT, phi)
+        return PrivateKey(public=PublicKey(modulus=n, exponent=_PUBLIC_EXPONENT), exponent=d)
+
+
+def _pad_digest(digest: Digest, byte_length: int) -> int:
+    """Simplified PKCS#1 v1.5 padding: 0x00 0x01 FF..FF 0x00 digest."""
+    if byte_length < len(digest.value) + 11:
+        raise ValueError("modulus too small for digest padding")
+    padding_len = byte_length - len(digest.value) - 3
+    padded = b"\x00\x01" + b"\xff" * padding_len + b"\x00" + digest.value
+    return int.from_bytes(padded, "big")
+
+
+def sign_digest(key: PrivateKey, digest: Digest) -> bytes:
+    """Sign a digest: ``pad(digest)^d mod n``, encoded big-endian."""
+    byte_length = key.public.byte_length
+    message = _pad_digest(digest, byte_length)
+    signature = pow(message, key.exponent, key.public.modulus)
+    return signature.to_bytes(byte_length, "big")
+
+
+def verify_digest(key: PublicKey, digest: Digest, signature: bytes) -> bool:
+    """Check a signature produced by :func:`sign_digest`.
+
+    Returns ``True`` on success; never raises for malformed input, so a
+    malicious server handing back garbage is simply "not legitimate".
+    """
+    if len(signature) != key.byte_length:
+        return False
+    value = int.from_bytes(signature, "big")
+    if value >= key.modulus:
+        return False
+    recovered = pow(value, key.exponent, key.modulus)
+    try:
+        expected = _pad_digest(digest, key.byte_length)
+    except ValueError:
+        return False
+    return recovered == expected

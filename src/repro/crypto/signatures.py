@@ -1,0 +1,82 @@
+"""High-level signing API used by the protocols.
+
+The protocols write ``sign_i(x)`` for "user *i* signs message *x*".
+This module provides that notation: a :class:`Signer` owns a private
+key; a :class:`Signature` is a self-describing value carrying the
+signer's identity, which a verifier checks against a key directory
+(see :mod:`repro.crypto.pki`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import rsa
+from repro.crypto.hashing import Digest
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A digest signed by a named principal."""
+
+    signer_id: str
+    digest: Digest
+    raw: bytes
+
+    def __repr__(self) -> str:
+        return f"Signature(by={self.signer_id!r}, digest={self.digest.short()}…)"
+
+
+class Signer:
+    """A signing principal: wraps a private key with an identity."""
+
+    def __init__(self, signer_id: str, private_key: rsa.PrivateKey) -> None:
+        self._signer_id = signer_id
+        self._private_key = private_key
+
+    @classmethod
+    def generate(cls, signer_id: str, bits: int = rsa.DEFAULT_KEY_BITS, seed: int | None = None) -> "Signer":
+        """Create a signer with a freshly generated keypair."""
+        return cls(signer_id, rsa.generate_keypair(bits=bits, seed=seed))
+
+    @property
+    def signer_id(self) -> str:
+        return self._signer_id
+
+    @property
+    def public_key(self) -> rsa.PublicKey:
+        return self._private_key.public
+
+    def sign(self, digest: Digest) -> Signature:
+        """Produce ``sign_i(digest)``."""
+        raw = rsa.sign_digest(self._private_key, digest)
+        return Signature(signer_id=self._signer_id, digest=digest, raw=raw)
+
+
+class Verifier:
+    """Checks signatures against a directory of public keys."""
+
+    def __init__(self, directory: dict[str, rsa.PublicKey] | None = None) -> None:
+        self._directory: dict[str, rsa.PublicKey] = dict(directory or {})
+
+    def register(self, signer_id: str, key: rsa.PublicKey) -> None:
+        """Add (or replace) a principal's public key."""
+        self._directory[signer_id] = key
+
+    def knows(self, signer_id: str) -> bool:
+        return signer_id in self._directory
+
+    def verify(self, signature: Signature, expected_digest: Digest) -> bool:
+        """True iff ``signature`` is a valid signature of ``expected_digest``
+        by the principal it claims to come from.
+
+        A signature over a *different* digest -- e.g. a stale root hash
+        replayed by the server -- fails here because the digest the
+        client independently recomputed does not match.
+        """
+        key = self._directory.get(signature.signer_id)
+        if key is None:
+            return False
+        if signature.digest != expected_digest:
+            return False
+        return rsa.verify_digest(key, expected_digest, signature.raw)

@@ -1,0 +1,63 @@
+"""Merkle B+-tree substrate (paper Section 4.1).
+
+Layers, bottom up:
+
+* :mod:`repro.mtree.bplus` -- the plain B+-tree.
+* :mod:`repro.mtree.merkle` -- per-node digests with lazy O(log n)
+  recomputation; the root digest ``M(D)``.
+* :mod:`repro.mtree.proofs` -- verification objects ``v(Q, D)`` for
+  point reads, range reads, and updates, with pure client-side
+  verification (update verification replays splits/borrows/merges on a
+  shadow tree and derives the new root digest independently).
+* :mod:`repro.mtree.database` -- :class:`VerifiedDatabase` (server) and
+  :class:`ClientVerifier` (client) tying queries to proofs.
+"""
+
+from repro.mtree.bplus import DEFAULT_ORDER, BPlusTree
+from repro.mtree.database import (
+    ClientVerifier,
+    DeleteQuery,
+    Query,
+    QueryResult,
+    RangeQuery,
+    ReadQuery,
+    VerifiedDatabase,
+    WriteQuery,
+)
+from repro.mtree.merkle import MerkleBPlusTree
+from repro.mtree.proofs import (
+    ProofError,
+    RangeProof,
+    ReadProof,
+    UpdateProof,
+    build_range_proof,
+    build_read_proof,
+    build_update_proof,
+    verify_range,
+    verify_read,
+    verify_update,
+)
+
+__all__ = [
+    "DEFAULT_ORDER",
+    "BPlusTree",
+    "ClientVerifier",
+    "DeleteQuery",
+    "Query",
+    "QueryResult",
+    "RangeQuery",
+    "ReadQuery",
+    "VerifiedDatabase",
+    "WriteQuery",
+    "MerkleBPlusTree",
+    "ProofError",
+    "RangeProof",
+    "ReadProof",
+    "UpdateProof",
+    "build_range_proof",
+    "build_read_proof",
+    "build_update_proof",
+    "verify_range",
+    "verify_read",
+    "verify_update",
+]

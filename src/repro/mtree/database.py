@@ -1,0 +1,208 @@
+"""A verified key-value database: queries, answers, verification objects.
+
+The paper models the CVS server as "a database of data items" where
+checkout is a read request and commit is an update request.  This
+module provides both halves of that picture:
+
+* :class:`VerifiedDatabase` -- the *server-side* store.  Every query is
+  answered together with a verification object ``v(Q, D)`` built from
+  the Merkle B+-tree.
+* :class:`ClientVerifier` -- the *client-side* state of Section 4.1: a
+  single tracked root digest ``M``.  ``apply`` verifies a response,
+  returns the (now trustworthy) answer, and advances ``M`` for updates.
+
+The multi-user protocols (:mod:`repro.protocols`) are layered on top:
+they add counters, signatures, and XOR registers around exactly this
+verify-and-advance loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import Digest
+from repro.mtree.merkle import MerkleBPlusTree
+from repro.mtree.proofs import (
+    ProofError,
+    RangeProof,
+    ReadProof,
+    UpdateProof,
+    build_range_proof,
+    build_read_proof,
+    build_update_proof,
+    verify_range,
+    verify_read,
+    verify_update,
+)
+
+# -- queries -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReadQuery:
+    """Point read: the paper's checkout of a single item."""
+
+    key: bytes
+
+    @property
+    def is_update(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """Range read over ``low <= key <= high`` (checkout of a directory)."""
+
+    low: bytes
+    high: bytes
+
+    @property
+    def is_update(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class WriteQuery:
+    """Insert-or-overwrite: the paper's commit of a single item."""
+
+    key: bytes
+    value: bytes
+
+    @property
+    def is_update(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class DeleteQuery:
+    """Removal of an item (e.g. ``cvs remove``)."""
+
+    key: bytes
+
+    @property
+    def is_update(self) -> bool:
+        return True
+
+
+Query = ReadQuery | RangeQuery | WriteQuery | DeleteQuery
+Proof = ReadProof | RangeProof | UpdateProof
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A server response: the answer ``Q(D)`` plus the VO ``v(Q, D)``.
+
+    ``proof`` is ``None`` only for protocol-internal responses that
+    carry no data query (e.g. Protocol III audit fetches).
+    """
+
+    answer: object
+    proof: Proof | None
+
+
+class VerifiedDatabase:
+    """Server-side Merkle-tree-backed store answering queries with VOs."""
+
+    def __init__(self, order: int = 8) -> None:
+        self._mtree = MerkleBPlusTree(order=order)
+
+    @property
+    def order(self) -> int:
+        return self._mtree.order
+
+    @property
+    def mtree(self) -> MerkleBPlusTree:
+        return self._mtree
+
+    def __len__(self) -> int:
+        return len(self._mtree)
+
+    def root_digest(self) -> Digest:
+        return self._mtree.root_digest()
+
+    def get(self, key: bytes) -> bytes | None:
+        """Unverified convenience read (server-internal use)."""
+        return self._mtree.get(key)
+
+    def execute(self, query: Query) -> QueryResult:
+        """Execute ``query`` and return the answer with its VO.
+
+        Update proofs snapshot the search path *before* mutating, per
+        Section 4.1 ("recompute the root digest ... before and after
+        the operation").
+        """
+        if isinstance(query, ReadQuery):
+            proof = build_read_proof(self._mtree, query.key)
+            return QueryResult(answer=proof.value, proof=proof)
+        if isinstance(query, RangeQuery):
+            proof = build_range_proof(self._mtree, query.low, query.high)
+            return QueryResult(answer=proof.entries, proof=proof)
+        if isinstance(query, WriteQuery):
+            proof = build_update_proof(self._mtree, "insert", query.key)
+            self._mtree.insert(query.key, query.value)
+            return QueryResult(answer=None, proof=proof)
+        if isinstance(query, DeleteQuery):
+            if query.key not in self._mtree:
+                raise KeyError(f"cannot delete absent key {query.key!r}")
+            proof = build_update_proof(self._mtree, "delete", query.key)
+            self._mtree.delete(query.key)
+            return QueryResult(answer=None, proof=proof)
+        raise TypeError(f"unknown query type {type(query).__name__}")
+
+
+class ClientVerifier:
+    """Client-side verification state: the tracked root digest ``M``.
+
+    This is the single-user scheme from Section 4.1.  ``apply`` raises
+    :class:`~repro.mtree.proofs.ProofError` on any integrity violation;
+    on success it returns the verified answer and, for updates, moves
+    ``M`` to the new root digest the client *itself* derived.
+    """
+
+    def __init__(self, root_digest: Digest, order: int = 8) -> None:
+        self._root_digest = root_digest
+        self._order = order
+
+    @property
+    def root_digest(self) -> Digest:
+        return self._root_digest
+
+    def expected_new_root(self, query: Query, proof: Proof) -> Digest:
+        """The root digest an honest server must have after ``query``.
+
+        Reads leave the root unchanged; updates are replayed from the
+        VO.  Does not advance the tracked state.
+        """
+        if isinstance(query, (ReadQuery, RangeQuery)):
+            return self._root_digest
+        if isinstance(query, WriteQuery):
+            if not isinstance(proof, UpdateProof) or proof.operation != "insert":
+                raise ProofError("write query answered with a non-insert proof")
+            return verify_update(self._root_digest, proof, self._order, query.key, query.value)
+        if isinstance(query, DeleteQuery):
+            if not isinstance(proof, UpdateProof) or proof.operation != "delete":
+                raise ProofError("delete query answered with a non-delete proof")
+            return verify_update(self._root_digest, proof, self._order, query.key)
+        raise TypeError(f"unknown query type {type(query).__name__}")
+
+    def apply(self, query: Query, result: QueryResult) -> object:
+        """Verify a response and advance the tracked root digest."""
+        if isinstance(query, ReadQuery):
+            if not isinstance(result.proof, ReadProof):
+                raise ProofError("read query answered with a non-read proof")
+            value = verify_read(self._root_digest, result.proof, query.key)
+            if value != result.answer:
+                raise ProofError("server answer disagrees with its own proof")
+            return value
+        if isinstance(query, RangeQuery):
+            if not isinstance(result.proof, RangeProof):
+                raise ProofError("range query answered with a non-range proof")
+            if (result.proof.low, result.proof.high) != (query.low, query.high):
+                raise ProofError("range proof covers a different range")
+            entries = verify_range(self._root_digest, result.proof)
+            if entries != result.answer:
+                raise ProofError("server answer disagrees with its own proof")
+            return entries
+        new_root = self.expected_new_root(query, result.proof)
+        self._root_digest = new_root
+        return None

@@ -1,0 +1,91 @@
+"""The Merkle layer: digests over the B+-tree (paper Section 4.1).
+
+"In a Merkle Tree, each node also stores a digest.  The digest stored
+in a leaf node is the hash of the data stored at that node.  The digest
+stored in an internal node is a hash of the concatenation of the
+digests of the node's children."
+
+We cache each node's digest on the node and invalidate lazily: every
+mutating B+-tree operation clears the cached digest along the path it
+touched, so recomputing the root digest after an update re-hashes only
+O(log n) nodes.  ``digest_recomputations`` counts actual re-hashes,
+which benchmark E2 uses to demonstrate the O(log n) claim.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import Digest, hash_internal_node, hash_leaf, hash_leaf_node
+from repro.mtree.bplus import DEFAULT_ORDER, BPlusTree, InternalNode, LeafNode
+
+
+class MerkleBPlusTree:
+    """A B+-tree whose every node carries a collision-intractable digest.
+
+    The root digest ``M(D)`` commits to the full tree: all entries, all
+    separator keys, and the tree shape.
+    """
+
+    def __init__(self, order: int = DEFAULT_ORDER) -> None:
+        self._tree = BPlusTree(order=order)
+        self.digest_recomputations = 0
+
+    # -- delegated plain-tree API -----------------------------------------
+
+    @property
+    def order(self) -> int:
+        return self._tree.order
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._tree
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._tree.get(key)
+
+    def items(self):
+        return self._tree.items()
+
+    def range(self, low: bytes, high: bytes):
+        return self._tree.range(low, high)
+
+    def height(self) -> int:
+        return self._tree.height()
+
+    def check_invariants(self) -> None:
+        self._tree.check_invariants()
+
+    @property
+    def tree(self) -> BPlusTree:
+        """The underlying plain B+-tree (read-only use by the proof layer)."""
+        return self._tree
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, key: bytes, value: bytes) -> bool:
+        """Insert or overwrite; invalidates digests along the touched path."""
+        return self._tree.insert(key, value)
+
+    def delete(self, key: bytes) -> bool:
+        """Delete ``key`` if present; invalidates digests along the path."""
+        return self._tree.delete(key)
+
+    # -- digests -------------------------------------------------------------
+
+    def root_digest(self) -> Digest:
+        """The root digest ``M(D)``, recomputing only dirty nodes."""
+        return self.node_digest(self._tree.root)
+
+    def node_digest(self, node: LeafNode | InternalNode) -> Digest:
+        """Digest of ``node``, from cache when clean."""
+        if node.digest is not None:
+            return node.digest
+        self.digest_recomputations += 1
+        if node.is_leaf:
+            entry_digests = [hash_leaf(k, v) for k, v in zip(node.keys, node.values)]
+            node.digest = hash_leaf_node(entry_digests)
+        else:
+            child_digests = [self.node_digest(child) for child in node.children]
+            node.digest = hash_internal_node(list(node.keys), child_digests)
+        return node.digest

@@ -1,0 +1,150 @@
+"""Exact-shape persistence for the Merkle B+-tree.
+
+Root digests commit to the *tree shape*, not just the entry set: two
+trees holding the same entries but built in different orders hash
+differently.  A client's persisted trust anchor (its root digest) must
+therefore survive a server restart bit-for-bit, which means persistence
+has to serialise the structure, not rebuild from entries.
+
+The format is line-oriented with length prefixes (same conventions as
+the RCS store serialisation): a preorder walk writing, per node, its
+kind, key count, and for leaves the base64 values.  Keys and values are
+binary-safe via urlsafe base64.
+"""
+
+from __future__ import annotations
+
+import base64
+
+from repro.mtree.bplus import BPlusTree, InternalNode, LeafNode
+from repro.mtree.database import VerifiedDatabase
+from repro.mtree.merkle import MerkleBPlusTree
+
+
+class PersistenceError(Exception):
+    """Raised on malformed snapshots."""
+
+
+def dump_tree(tree: BPlusTree) -> bytes:
+    """Serialise a B+-tree preserving its exact shape."""
+    out: list[str] = [f"bplus-snapshot 1 {tree.order} {len(tree)}"]
+
+    def walk(node) -> None:
+        if node.is_leaf:
+            out.append(f"leaf {len(node.keys)}")
+            for key, value in zip(node.keys, node.values):
+                out.append(f"{_b64(key)} {_b64(value)}")
+        else:
+            out.append(f"internal {len(node.keys)}")
+            out.append(" ".join(_b64(key) for key in node.keys) if node.keys else "")
+            for child in node.children:
+                walk(child)
+
+    walk(tree.root)
+    return ("\n".join(out) + "\n").encode("ascii")
+
+
+def load_tree(blob: bytes) -> BPlusTree:
+    """Reconstruct a tree serialised by :func:`dump_tree`."""
+    lines = blob.decode("ascii").split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    position = 0
+
+    def next_line() -> str:
+        nonlocal position
+        if position >= len(lines):
+            raise PersistenceError("unexpected end of snapshot")
+        line = lines[position]
+        position += 1
+        return line
+
+    header = next_line().split(" ")
+    if len(header) != 4 or header[0] != "bplus-snapshot" or header[1] != "1":
+        raise PersistenceError("bad snapshot header")
+    order, size = int(header[2]), int(header[3])
+    tree = BPlusTree(order=order)
+
+    def read_node():
+        parts = next_line().split(" ")
+        if parts[0] == "leaf":
+            node = LeafNode()
+            for _ in range(int(parts[1])):
+                key_text, _, value_text = next_line().partition(" ")
+                node.keys.append(_unb64(key_text))
+                node.values.append(_unb64(value_text))
+            return node
+        if parts[0] == "internal":
+            node = InternalNode()
+            key_count = int(parts[1])
+            key_line = next_line()
+            if key_count:
+                encoded = key_line.split(" ")
+                if len(encoded) != key_count:
+                    raise PersistenceError("internal key count mismatch")
+                node.keys = [_unb64(text) for text in encoded]
+            elif key_line:
+                raise PersistenceError("expected empty key line")
+            for _ in range(key_count + 1):
+                node.children.append(read_node())
+            return node
+        raise PersistenceError(f"unknown node kind {parts[0]!r}")
+
+    try:
+        root = read_node()
+    except (IndexError, ValueError) as exc:
+        raise PersistenceError(f"malformed snapshot: {exc}") from exc
+    if position != len(lines):
+        raise PersistenceError("trailing data in snapshot")
+    tree._root = root
+    tree._size = size
+    _relink_leaves(tree)
+    try:
+        tree.check_invariants()
+    except AssertionError as exc:
+        raise PersistenceError(f"snapshot violates tree invariants: {exc}") from exc
+    return tree
+
+
+def _relink_leaves(tree: BPlusTree) -> None:
+    """Rebuild the leaf chain (next_leaf pointers) after a load."""
+    leaves: list[LeafNode] = []
+
+    def collect(node) -> None:
+        if node.is_leaf:
+            leaves.append(node)
+        else:
+            for child in node.children:
+                collect(child)
+
+    collect(tree.root)
+    for left, right in zip(leaves, leaves[1:]):
+        left.next_leaf = right
+    if leaves:
+        leaves[-1].next_leaf = None
+
+
+def dump_database(database: VerifiedDatabase) -> bytes:
+    """Snapshot a verified database (its Merkle tree, shape included)."""
+    return dump_tree(database.mtree.tree)
+
+
+def load_database(blob: bytes) -> VerifiedDatabase:
+    """Restore a database; the root digest matches the one dumped."""
+    tree = load_tree(blob)
+    database = VerifiedDatabase(order=tree.order)
+    mtree = MerkleBPlusTree(order=tree.order)
+    mtree._tree = tree
+    database._mtree = mtree
+    return database
+
+
+def _b64(data: bytes) -> str:
+    return base64.urlsafe_b64encode(data).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    try:
+        return base64.urlsafe_b64decode(text.encode("ascii"))
+    except Exception as exc:  # noqa: BLE001
+        raise PersistenceError("bad base64 field") from exc

@@ -1,0 +1,25 @@
+"""Socket deployment: the Trusted CVS server and verifying client over
+TCP, speaking the binary wire format of :mod:`repro.wire`."""
+
+from repro.net.client import (
+    IntegrityError,
+    RemoteClient,
+    RemoteClientP1,
+    count_sync_check,
+    sync_check,
+)
+from repro.net.framing import FramingError, recv_message, send_message
+from repro.net.server import TrustedCvsTcpServer, serve_in_thread
+
+__all__ = [
+    "IntegrityError",
+    "RemoteClient",
+    "RemoteClientP1",
+    "count_sync_check",
+    "sync_check",
+    "FramingError",
+    "recv_message",
+    "send_message",
+    "TrustedCvsTcpServer",
+    "serve_in_thread",
+]

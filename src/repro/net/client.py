@@ -1,0 +1,196 @@
+"""A verifying TCP client with Protocol II registers.
+
+Connects to a :class:`~repro.net.server.TrustedCvsTcpServer`, sends
+queries over the wire format, and verifies every response exactly as
+the simulated Protocol II client does: derive the old/new roots from
+the VO, check the counter, accumulate the tagged-state XOR registers.
+
+Several clients sharing a server can check their collective view with
+:func:`sync_check` -- the Protocol II synchronisation predicate over
+registers exchanged out-of-band (users trust each other; how they meet
+is outside the server's control, which is the whole point).
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.crypto.hashing import Digest, hash_tagged_state, xor_all
+from repro.mtree.database import DeleteQuery, Query, RangeQuery, ReadQuery, WriteQuery
+from repro.mtree.proofs import ProofError
+from repro.net.framing import recv_message, send_message
+from repro.protocols.base import Request, Response
+from repro.protocols.protocol2 import INITIAL_OWNER, initial_state_tag
+from repro.protocols.verify import derive_outcome
+
+
+class IntegrityError(Exception):
+    """The server's response is inconsistent with every honest history."""
+
+
+class RemoteClient:
+    """One user's verified session against a TCP server."""
+
+    def __init__(self, host: str, port: int, user_id: str,
+                 initial_root: Digest, order: int = 8) -> None:
+        self.user_id = user_id
+        self._order = order
+        self._initial_tag = initial_state_tag(initial_root)
+        self.sigma = Digest.zero()
+        self.last = Digest.zero()
+        self.gctr = 0
+        self.operations = 0
+        self._sock = socket.create_connection((host, port))
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "RemoteClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- operations ---------------------------------------------------------
+
+    def execute(self, query: Query) -> object:
+        """Send a query; verify the response; return the trusted answer."""
+        send_message(self._sock, Request(query=query, extras={"user": self.user_id}))
+        response = recv_message(self._sock)
+        if not isinstance(response, Response):
+            raise IntegrityError("server closed the connection or spoke garbage")
+        try:
+            ctr = int(response.extras["ctr"])
+            last_user = response.extras["last_user"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IntegrityError("malformed response") from exc
+        if ctr < self.gctr:
+            raise IntegrityError(
+                f"operation counter regressed: {ctr} after {self.gctr}")
+        if ctr == 0 and last_user != INITIAL_OWNER:
+            raise IntegrityError("initial state attributed to a user")
+        try:
+            outcome = derive_outcome(query, response.result, self._order)
+        except ProofError as exc:
+            raise IntegrityError(f"verification object rejected: {exc}") from exc
+        old_tag = hash_tagged_state(outcome.old_root, ctr, last_user)
+        new_tag = hash_tagged_state(outcome.new_root, ctr + 1, self.user_id)
+        self.sigma = self.sigma ^ old_tag ^ new_tag
+        self.last = new_tag
+        self.gctr = ctr + 1
+        self.operations += 1
+        return outcome.answer
+
+    # convenience verbs
+    def get(self, key: bytes) -> bytes | None:
+        return self.execute(ReadQuery(key))
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.execute(WriteQuery(key, value))
+
+    def delete(self, key: bytes) -> None:
+        self.execute(DeleteQuery(key))
+
+    def scan(self, low: bytes, high: bytes):
+        return self.execute(RangeQuery(low, high))
+
+    def registers(self) -> dict:
+        """This user's contribution to a sync check."""
+        return {"sigma": self.sigma, "last": self.last}
+
+
+class RemoteClientP1:
+    """A Protocol I session over TCP: signed roots, blocking follow-up.
+
+    Needs a signer (this user's key) and a verifier holding every
+    user's public key (from the PKI); after each verified operation the
+    client sends back ``sign_i(h(new_root || ctr + 1))``, unblocking
+    the server for the next query.
+    """
+
+    def __init__(self, host: str, port: int, user_id: str,
+                 signer, verifier, order: int = 8) -> None:
+        from repro.crypto.hashing import hash_state
+
+        self._hash_state = hash_state
+        self.user_id = user_id
+        self._order = order
+        self._signer = signer
+        self._verifier = verifier
+        self.lctr = 0
+        self.gctr = 0
+        self._sock = socket.create_connection((host, port))
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "RemoteClientP1":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def execute(self, query: Query) -> object:
+        from repro.crypto.signatures import Signature
+        from repro.protocols.base import Followup
+
+        send_message(self._sock, Request(query=query, extras={"user": self.user_id}))
+        response = recv_message(self._sock)
+        if not isinstance(response, Response):
+            raise IntegrityError("server closed the connection or spoke garbage")
+        try:
+            ctr = int(response.extras["ctr"])
+            last_user = response.extras["last_user"]
+            signature = response.extras["sig"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IntegrityError("malformed response") from exc
+        if ctr < self.gctr:
+            raise IntegrityError(f"operation counter regressed: {ctr} after {self.gctr}")
+        try:
+            outcome = derive_outcome(query, response.result, self._order)
+        except ProofError as exc:
+            raise IntegrityError(f"verification object rejected: {exc}") from exc
+        expected = self._hash_state(outcome.old_root, ctr)
+        if not isinstance(signature, Signature) or signature.signer_id != last_user \
+                or not self._verifier.verify(signature, expected):
+            raise IntegrityError("illegitimate state signature")
+        self.lctr += 1
+        self.gctr = ctr + 1
+        new_sig = self._signer.sign(self._hash_state(outcome.new_root, ctr + 1))
+        send_message(self._sock, Followup(extras={"sig": new_sig, "user": self.user_id}))
+        return outcome.answer
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.execute(ReadQuery(key))
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.execute(WriteQuery(key, value))
+
+    def counts(self) -> dict:
+        """This user's contribution to the Protocol I count sync."""
+        return {"lctr": self.lctr, "gctr": self.gctr}
+
+
+def count_sync_check(counts: dict[str, dict]) -> bool:
+    """Protocol I's predicate over exchanged counts: some user's gctr
+    must equal the total of everyone's lctr."""
+    total = sum(entry["lctr"] for entry in counts.values())
+    operated = [entry for entry in counts.values() if entry["lctr"] > 0]
+    if not operated:
+        return total == 0
+    return any(entry["gctr"] == total for entry in operated)
+
+
+def sync_check(initial_root: Digest, registers: dict[str, dict]) -> bool:
+    """The Protocol II predicate over all users' exchanged registers.
+
+    True iff the server's behaviour is consistent with one serial
+    history (Theorem 4.2); exchange the registers over any channel the
+    server does not control.
+    """
+    initial_tag = initial_state_tag(initial_root)
+    total = xor_all(entry["sigma"] for entry in registers.values())
+    lasts = [entry["last"] for entry in registers.values() if entry["last"]]
+    if not lasts:
+        return total == Digest.zero()
+    return any((initial_tag ^ last) == total for last in lasts)

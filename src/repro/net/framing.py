@@ -1,0 +1,48 @@
+"""Message framing for socket transport: 4-byte length + wire bytes."""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+from repro.wire import decode, encode
+
+MAX_FRAME = 64 * 1024 * 1024  # sanity bound, far above any real VO
+
+
+class FramingError(Exception):
+    """Raised on oversized or truncated frames."""
+
+
+def send_message(sock: socket.socket, message: object) -> None:
+    """Encode and send one message."""
+    payload = encode(message)
+    if len(payload) > MAX_FRAME:
+        raise FramingError(f"frame of {len(payload)} bytes exceeds the maximum")
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+
+
+def recv_message(sock: socket.socket) -> object | None:
+    """Receive one message; None on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, 4, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_FRAME:
+        raise FramingError(f"peer announced a {length}-byte frame")
+    payload = _recv_exact(sock, length, allow_eof=False)
+    return decode(payload)
+
+
+def _recv_exact(sock: socket.socket, n: int, allow_eof: bool) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == n:
+                return None
+            raise FramingError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,131 @@
+"""A TCP Trusted-CVS server: the untrusted party, over real sockets.
+
+Runs a :class:`~repro.mtree.database.VerifiedDatabase` behind a server
+protocol -- Protocol II by default (counter + last-user attribution,
+never blocks), or Protocol I (signed roots: the server may not answer
+the next query until the operating client returns its signature over
+the new root, which the handler enforces with a condition variable).
+
+Speaks the binary wire format, one length-prefixed frame per message.
+Requests from all connections serialise through one lock -- the paper's
+serial execution model.
+
+The server needs no keys and is trusted with nothing: every response
+carries the verification object clients check.  Use
+:class:`~repro.net.client.RemoteClient` (Protocol II) or
+:class:`~repro.net.client.RemoteClientP1` (Protocol I) to talk to it.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+
+from repro.mtree.database import VerifiedDatabase
+from repro.protocols.base import Followup, Request, ServerProtocol, ServerState
+from repro.protocols.protocol2 import Protocol2Server
+from repro.net.framing import FramingError, recv_message, send_message
+from repro.wire import WireError
+
+#: how long a handler waits for another client's follow-up signature
+#: before giving up on the request (Protocol I only)
+BLOCK_TIMEOUT_SECONDS = 30.0
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        server: TrustedCvsTcpServer = self.server  # type: ignore[assignment]
+        while True:
+            try:
+                message = recv_message(self.request)
+            except (FramingError, WireError, OSError):
+                return
+            if message is None:
+                return
+            if isinstance(message, Followup):
+                user_id = message.extras.get("user", "anonymous")
+                with server.state_cond:
+                    server.protocol.handle_followup(
+                        user_id, message, server.state, round_no=server.tick())
+                    server.state_cond.notify_all()
+                continue
+            if not isinstance(message, Request):
+                return  # protocol violation: drop the connection
+            user_id = message.extras.get("user", "anonymous")
+            with server.state_cond:
+                # Protocol I blocking: wait for the previous operator's
+                # signature before serving the next query.
+                if not server.state_cond.wait_for(
+                        lambda: not server.protocol.blocked(server.state),
+                        timeout=BLOCK_TIMEOUT_SECONDS):
+                    return
+                response = server.protocol.handle_request(
+                    user_id, message, server.state, round_no=server.tick())
+            try:
+                send_message(self.request, response)
+            except OSError:
+                return
+
+
+class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server; requests serialise through ``state_cond``."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        order: int = 8,
+        database: VerifiedDatabase | None = None,
+        protocol: ServerProtocol | None = None,
+        state: ServerState | None = None,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        if state is not None:
+            self.state = state
+        else:
+            self.state = ServerState(database=database or VerifiedDatabase(order=order))
+        self.protocol = protocol or Protocol2Server()
+        self.protocol.initialize(self.state)
+        self.state_cond = threading.Condition()
+        self._round = 0
+
+    @property
+    def state_lock(self):
+        """The lock guarding server state (the condition's lock)."""
+        return self.state_cond
+
+    def tick(self) -> int:
+        self._round += 1
+        return self._round
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    def initial_root_digest(self):
+        """The *current* root digest -- call it before serving any
+        operations to capture the common-knowledge genesis anchor that
+        :func:`~repro.net.client.sync_check` is anchored at."""
+        with self.state_cond:
+            return self.state.database.root_digest()
+
+
+def serve_in_thread(
+    order: int = 8,
+    database: VerifiedDatabase | None = None,
+    port: int = 0,
+    protocol: ServerProtocol | None = None,
+    state: ServerState | None = None,
+) -> TrustedCvsTcpServer:
+    """Start a server on an ephemeral port; returns the running server.
+
+    Call ``server.shutdown(); server.server_close()`` when done.
+    """
+    server = TrustedCvsTcpServer(order=order, database=database, port=port,
+                                 protocol=protocol, state=state)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server

@@ -1,0 +1,75 @@
+"""The paper's protocols (Section 4) and the baselines they improve on.
+
+* :mod:`repro.protocols.protocol1` -- signed roots + counter sync
+  (needs a PKI, one extra blocking message per operation).
+* :mod:`repro.protocols.protocol2` -- tagged-state XOR registers
+  (no signatures, no blocking message).
+* :mod:`repro.protocols.protocol3` -- epoch deposits audited through
+  the server (no broadcast channel; restricted workload).
+* :mod:`repro.protocols.tokenpass` -- the Section 2.2.3 strawman that
+  fails bounded workload preservation.
+* :mod:`repro.protocols.naive` -- today's trusting CVS client.
+* :mod:`repro.protocols.graph` -- the Lemma 4.1 seen-state graph.
+"""
+
+from repro.protocols.aggregation import AggregatedProtocol2Client
+from repro.protocols.base import (
+    ClientContext,
+    DeviationDetected,
+    Followup,
+    ProtocolClient,
+    Request,
+    Response,
+    ServerProtocol,
+    ServerState,
+)
+from repro.protocols.localization import (
+    Checkpoint,
+    CheckpointRing,
+    FaultLocalization,
+    localize_fault,
+    prefix_consistent,
+)
+from repro.protocols.graph import StateGraph, Transition, lemma41_path_theorem
+from repro.protocols.naive import NaiveClient, NaiveServer
+from repro.protocols.protocol1 import Protocol1Client, Protocol1Server
+from repro.protocols.protocol2 import Protocol2Client, Protocol2Server, initial_state_tag
+from repro.protocols.protocol3 import EpochDeposit, Protocol3Client, Protocol3Server
+from repro.protocols.syncbase import SyncingClient
+from repro.protocols.tokenpass import TokenPassClient, TokenPassServer
+from repro.protocols.verify import VerifiedOutcome, derive_outcome
+
+__all__ = [
+    "AggregatedProtocol2Client",
+    "Checkpoint",
+    "CheckpointRing",
+    "FaultLocalization",
+    "localize_fault",
+    "prefix_consistent",
+    "ClientContext",
+    "DeviationDetected",
+    "Followup",
+    "ProtocolClient",
+    "Request",
+    "Response",
+    "ServerProtocol",
+    "ServerState",
+    "StateGraph",
+    "Transition",
+    "lemma41_path_theorem",
+    "NaiveClient",
+    "NaiveServer",
+    "Protocol1Client",
+    "Protocol1Server",
+    "Protocol2Client",
+    "Protocol2Server",
+    "initial_state_tag",
+    "EpochDeposit",
+    "Protocol3Client",
+    "Protocol3Server",
+    "SyncingClient",
+    "TokenPassClient",
+    "TokenPassServer",
+    "VerifiedOutcome",
+    "derive_outcome",
+]

@@ -1,0 +1,186 @@
+"""Protocol framework: the client/server interfaces all three protocols
+(and the baselines) implement, plus the shared message vocabulary.
+
+A protocol has two halves:
+
+* a :class:`ProtocolClient` per user -- wraps each database query with
+  verification state (root digests, counters, XOR registers,
+  signatures) and raises :class:`DeviationDetected` the moment the
+  server's behaviour is inconsistent with *every* trusted run;
+* a :class:`ServerProtocol` -- the per-request server-side logic
+  (what to return alongside ``Q(D)`` and ``v(Q, D)``), operating on a
+  :class:`ServerState` that attacks may clone and swap underneath it.
+
+The simulator (:mod:`repro.simulation.runner`) is protocol-agnostic: it
+moves envelopes between agents and lets these objects do the thinking.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Protocol as TypingProtocol
+
+from repro.mtree.database import Query, QueryResult, VerifiedDatabase
+
+
+class DeviationDetected(Exception):
+    """Raised by a client the moment it can prove the server deviated.
+
+    Carries the detecting user, the round (filled by the agent), and a
+    human-readable reason used in reports and tests.
+    """
+
+    def __init__(self, user_id: str, reason: str) -> None:
+        super().__init__(f"user {user_id}: {reason}")
+        self.user_id = user_id
+        self.reason = reason
+
+
+@dataclass
+class ServerState:
+    """Everything the server knows: the database plus protocol metadata.
+
+    ``meta`` is a per-protocol scratch space (last signature, operation
+    counter, deposited epoch snapshots, ...).  Attacks fork a server by
+    deep-copying this object, which is exactly the power an untrusted
+    server has: presenting different histories to different users.
+    """
+
+    database: VerifiedDatabase
+    ctr: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def clone(self) -> "ServerState":
+        return copy.deepcopy(self)
+
+
+@dataclass(frozen=True)
+class Request:
+    """A client->server message carrying one query plus protocol extras."""
+
+    query: Query
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Response:
+    """A server->client message: the answer, the VO, protocol extras."""
+
+    result: QueryResult
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Followup:
+    """A client->server message sent *after* verifying a response
+    (Protocol I's signed new root digest; Protocol III's deposited
+    epoch snapshot piggybacks similarly)."""
+
+    extras: dict = field(default_factory=dict)
+
+
+class ClientContext(TypingProtocol):
+    """What a protocol client may do while handling an event.
+
+    Implemented by the simulator's user agent; a thin fake suffices in
+    unit tests.
+    """
+
+    @property
+    def round(self) -> int: ...
+
+    def send_to_server(self, message: Followup) -> None: ...
+
+    def broadcast(self, payload: dict) -> None: ...
+
+    def send_to_user(self, user_id: str, payload: dict) -> None: ...
+
+
+class ProtocolClient:
+    """Base class for per-user protocol state machines.
+
+    Subclasses override the hooks they need; the defaults implement a
+    protocol with no verification at all (the naive baseline).
+    """
+
+    def __init__(self, user_id: str) -> None:
+        self.user_id = user_id
+        self.completed_transactions = 0
+
+    # -- transaction lifecycle -------------------------------------------
+
+    def make_request(self, query: Query) -> Request:
+        """Wrap a query into the protocol's request message."""
+        return Request(query=query)
+
+    def on_issue(self, ctx: ClientContext) -> None:
+        """Called by the agent right after a workload query was sent."""
+
+    def handle_response(self, query: Query, response: Response, ctx: ClientContext) -> object:
+        """Verify a response; return the (trustworthy) answer.
+
+        Raises :class:`DeviationDetected` on any inconsistency.  May
+        send a follow-up message or a broadcast through ``ctx``.
+        """
+        self.completed_transactions += 1
+        return response.result.answer
+
+    # -- synchronisation --------------------------------------------------
+
+    def wants_sync(self) -> bool:
+        """Whether this client should announce a sync-up now (checked
+        after each completed transaction)."""
+        return False
+
+    def announce_sync(self, ctx: ClientContext) -> None:
+        """Kick off a synchronisation (Protocol I/II sync-up message)."""
+
+    def may_start_transaction(self, ctx: ClientContext) -> bool:
+        """Whether the user may issue a new operation now.
+
+        Protocols return ``False`` mid-sync ("users do not start a new
+        transaction between the sync-up message and broadcast") or,
+        for the token-passing baseline, while it is not their turn.
+        """
+        return True
+
+    def handle_broadcast(self, sender: str, payload: dict, ctx: ClientContext) -> None:
+        """Process a broadcast-channel message from another user."""
+
+    def on_round(self, ctx: ClientContext) -> None:
+        """Called once per simulation round (epoch bookkeeping etc.)."""
+
+    # -- introspection ------------------------------------------------------
+
+    def state_size(self) -> int:
+        """Approximate local state footprint in *items* (digests,
+        counters), used to check the bounded-local-state desideratum."""
+        return 0
+
+
+class ServerProtocol:
+    """Base class for the server half of a protocol."""
+
+    #: Whether responses commit to the database state (root digests,
+    #: counters).  Used by the simulator's ground-truth oracle: for
+    #: committing protocols, serving from a diverged state is itself a
+    #: differing response action per Definition 2.1.
+    responses_commit_state = True
+
+    def initialize(self, state: ServerState) -> None:
+        """One-time setup of protocol metadata in ``state.meta``."""
+
+    def blocked(self, state: ServerState) -> bool:
+        """Whether the server must wait before answering the next query
+        on this state (Protocol I waits for the client's signature)."""
+        return False
+
+    def handle_request(self, user_id: str, request: Request, state: ServerState, round_no: int) -> Response:
+        """Execute the query on ``state`` and build the response."""
+        result = state.database.execute(request.query)
+        state.ctr += 1
+        return Response(result=result)
+
+    def handle_followup(self, user_id: str, followup: Followup, state: ServerState, round_no: int) -> None:
+        """Absorb a client follow-up message into server state."""

@@ -1,0 +1,41 @@
+"""The no-verification baseline: today's CVS, fully trusting the server.
+
+Clients accept every answer at face value.  Used as the control in the
+attack-gallery experiments: every attack succeeds silently against it,
+which is the status quo the paper sets out to fix.
+"""
+
+from __future__ import annotations
+
+from repro.mtree.database import Query
+from repro.protocols.base import (
+    ClientContext,
+    ProtocolClient,
+    Request,
+    Response,
+    ServerProtocol,
+    ServerState,
+)
+
+
+class NaiveServer(ServerProtocol):
+    """Executes queries and returns bare answers (VO included but unused)."""
+
+    # Responses carry no state commitment the client checks, so only
+    # answer-content divergence counts as a differing response action.
+    responses_commit_state = False
+
+    def handle_request(self, user_id: str, request: Request, state: ServerState, round_no: int) -> Response:
+        if request.query is None:
+            raise ValueError("naive protocol has no internal requests")
+        result = state.database.execute(request.query)
+        state.ctr += 1
+        return Response(result=result)
+
+
+class NaiveClient(ProtocolClient):
+    """Believes everything; never detects anything."""
+
+    def handle_response(self, query: Query, response: Response, ctx: ClientContext) -> object:
+        self.completed_transactions += 1
+        return response.result.answer

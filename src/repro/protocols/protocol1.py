@@ -1,0 +1,163 @@
+"""Protocol I (paper Section 4.2): signed root digests + counter sync.
+
+Per operation, the server returns ``(Q(D), v(Q, D), ctr, j, sig)``
+where ``sig = sign_j(h(M(D) || ctr))`` was produced by the last user
+to operate.  The client
+
+1. derives ``M(D)`` from the VO and checks ``sig`` is a legitimate
+   signature of ``h(M(D) || ctr)`` by ``j`` (unforgeable by the
+   server);
+2. derives the post-operation root ``M(D')`` itself and returns
+   ``sign_i(h(M(D') || ctr + 1))`` to the server -- the extra,
+   *blocking* message: the server may not answer the next query until
+   it holds this signature.
+
+Every k operations the users sync over the broadcast channel: each
+broadcasts its total operation count ``lctr_i``, and the check
+succeeds iff some user's ``gctr_i`` equals ``sum_k lctr_k``
+(Theorem 4.1).
+
+Notes on the paper text: the paper maintains ``gctr_i = ctr + 1`` but
+never states the per-response regression check explicitly; we apply
+``ctr >= gctr_i`` (reject a counter older than one we have already
+seen), which Protocols II/III state outright ("reports error if
+ctr <= gctr_i" is a typo -- with ``gctr_i = ctr + 1`` a user's own
+back-to-back operations would trip it; the intended check is a strict
+regression test).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import hash_state
+from repro.crypto.signatures import Signature, Signer, Verifier
+from repro.mtree.database import Query
+from repro.mtree.proofs import ProofError
+from repro.protocols.base import (
+    ClientContext,
+    DeviationDetected,
+    Followup,
+    Request,
+    Response,
+    ServerProtocol,
+    ServerState,
+)
+from repro.protocols.syncbase import SyncingClient
+from repro.protocols.verify import derive_outcome
+
+META_SIG = "p1.sig"
+META_LAST_USER = "p1.last_user"
+META_AWAITING = "p1.awaiting_sig"
+
+
+def bootstrap_server_state(state: ServerState, elected: Signer) -> None:
+    """Initialisation step: the elected user signs ``h(M(D0) || 0)`` and
+    deposits it with the server."""
+    initial = hash_state(state.database.root_digest(), 0)
+    state.meta[META_SIG] = elected.sign(initial)
+    state.meta[META_LAST_USER] = elected.signer_id
+    state.meta[META_AWAITING] = False
+    state.ctr = 0
+
+
+class Protocol1Server(ServerProtocol):
+    """Server half: attach counter + last signature, then block until the
+    operating user returns a signature over the new state."""
+
+    responses_commit_state = True
+
+    def blocked(self, state: ServerState) -> bool:
+        return bool(state.meta.get(META_AWAITING))
+
+    def handle_request(self, user_id: str, request: Request, state: ServerState, round_no: int) -> Response:
+        if request.query is None:
+            raise ValueError("Protocol I has no internal requests")
+        result = state.database.execute(request.query)
+        response = Response(
+            result=result,
+            extras={
+                "ctr": state.ctr,
+                "last_user": state.meta[META_LAST_USER],
+                "sig": state.meta[META_SIG],
+            },
+        )
+        state.ctr += 1
+        state.meta[META_AWAITING] = True
+        return response
+
+    def handle_followup(self, user_id: str, followup: Followup, state: ServerState, round_no: int) -> None:
+        signature = followup.extras.get("sig")
+        if isinstance(signature, Signature):
+            state.meta[META_SIG] = signature
+            state.meta[META_LAST_USER] = user_id
+        state.meta[META_AWAITING] = False
+
+
+class Protocol1Client(SyncingClient):
+    """Client half: verify the chain of signed states; sync on counts."""
+
+    def __init__(
+        self,
+        user_id: str,
+        user_ids: list[str],
+        k: int,
+        signer: Signer,
+        verifier: Verifier,
+        order: int = 8,
+    ) -> None:
+        super().__init__(user_id, user_ids, k)
+        if signer.signer_id != user_id:
+            raise ValueError("signer identity must match the user id")
+        self._signer = signer
+        self._verifier = verifier
+        self._order = order
+        self.lctr = 0  # total operations performed by this user
+        self.gctr = 0  # ctr value the *next* response must meet or exceed
+
+    def _verify_response(self, query: Query, response: Response, ctx: ClientContext) -> object:
+        try:
+            ctr = int(response.extras["ctr"])
+            last_user = response.extras["last_user"]
+            signature = response.extras["sig"]
+        except (KeyError, TypeError, ValueError):
+            raise DeviationDetected(self.user_id, "malformed Protocol I response") from None
+
+        if ctr < self.gctr:
+            raise DeviationDetected(
+                self.user_id,
+                f"operation counter regressed: server presented ctr={ctr} "
+                f"after this user already advanced it to {self.gctr}",
+            )
+
+        try:
+            outcome = derive_outcome(query, response.result, self._order)
+        except ProofError as exc:
+            raise DeviationDetected(self.user_id, f"verification object rejected: {exc}") from exc
+
+        expected_state = hash_state(outcome.old_root, ctr)
+        if not isinstance(signature, Signature) or signature.signer_id != last_user:
+            raise DeviationDetected(self.user_id, "state signature does not name the claimed last user")
+        if not self._verifier.verify(signature, expected_state):
+            raise DeviationDetected(
+                self.user_id,
+                "illegitimate state signature: the presented root digest and "
+                "counter were never signed by the claimed user",
+            )
+
+        self.lctr += 1
+        self.gctr = ctr + 1
+        new_state = hash_state(outcome.new_root, ctr + 1)
+        ctx.send_to_server(Followup(extras={"sig": self._signer.sign(new_state)}))
+        return outcome.answer
+
+    # -- sync ------------------------------------------------------------------
+
+    def _sync_payload(self) -> dict:
+        return {"lctr": self.lctr}
+
+    def _evaluate_sync(self, data: dict[str, dict]) -> bool:
+        total = sum(entry["lctr"] for entry in data.values())
+        return self.gctr == total
+
+    def state_size(self) -> int:
+        # lctr, gctr, signer key, sync counters: constant.
+        return super().state_size() + 2

@@ -1,0 +1,190 @@
+"""Protocol II (paper Section 4.3): XOR state registers, no signatures.
+
+The server returns ``(Q(D), v(Q, D), ctr, j)`` -- no signature, no
+blocking follow-up message.  Each client keeps two registers:
+
+* ``sigma_i`` -- the XOR of the *tagged* states it has seen, where a
+  state is ``h(M(D) || ctr || j)`` and ``j`` is the user that validated
+  the transition *into* that state;
+* ``last_i`` -- the tagged state its own latest operation produced.
+
+Tagging states with the validating user is the crucial refinement over
+a plain XOR of ``h(M(D) || ctr)`` values: it forces in-degree <= 1 in
+the seen-state graph, which together with the per-user counter
+regression check makes Lemma 4.1 applicable -- at a successful sync the
+graph must be one directed path, so the server executed a single serial
+history (Theorem 4.2).  Without the tag, the Figure 3 replay makes all
+intermediate states cancel and the XOR check passes despite a fork; see
+:mod:`repro.protocols.graph` and benchmark E3.
+
+At sync, users broadcast ``sigma_i`` and the check succeeds iff for
+some user ``i``: ``S0 XOR last_i == XOR_k sigma_k`` where ``S0`` is the
+tagged initial state.
+
+Indexing convention (the paper is loose here): ``ctr`` counts completed
+operations; the state after n operations carries counter field n and
+owner = the user whose operation produced it, with the initial state
+owned by the empty user id.  The server returns the pre-operation
+counter ``ctr = n`` and ``j`` = owner of the current state.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import Digest, hash_tagged_state, xor_all
+from repro.mtree.database import Query
+from repro.mtree.proofs import ProofError
+from repro.protocols.base import (
+    ClientContext,
+    DeviationDetected,
+    Request,
+    Response,
+    ServerProtocol,
+    ServerState,
+)
+from repro.protocols.localization import CheckpointRing
+from repro.protocols.syncbase import SyncingClient
+from repro.protocols.verify import derive_outcome
+
+META_LAST_USER = "p2.last_user"
+INITIAL_OWNER = ""
+
+
+def initial_state_tag(initial_root: Digest) -> Digest:
+    """The tagged initial state S0 (common knowledge among users)."""
+    return hash_tagged_state(initial_root, 0, INITIAL_OWNER)
+
+
+class Protocol2Server(ServerProtocol):
+    """Server half: return (answer, VO, ctr, last user); no blocking."""
+
+    responses_commit_state = True
+
+    def initialize(self, state: ServerState) -> None:
+        state.meta.setdefault(META_LAST_USER, INITIAL_OWNER)
+        state.ctr = 0
+
+    def handle_request(self, user_id: str, request: Request, state: ServerState, round_no: int) -> Response:
+        if request.query is None:
+            raise ValueError("Protocol II has no internal requests")
+        result = state.database.execute(request.query)
+        response = Response(
+            result=result,
+            extras={"ctr": state.ctr, "last_user": state.meta[META_LAST_USER]},
+        )
+        state.ctr += 1
+        state.meta[META_LAST_USER] = user_id
+        return response
+
+
+class Protocol2Client(SyncingClient):
+    """Client half: accumulate tagged states; sync via XOR telescoping."""
+
+    def __init__(
+        self,
+        user_id: str,
+        user_ids: list[str],
+        k: int,
+        initial_root: Digest,
+        order: int = 8,
+        keep_checkpoints: bool = False,
+        checkpoint_capacity: int = 64,
+        enforce_counter_check: bool = True,
+    ) -> None:
+        super().__init__(user_id, user_ids, k)
+        # Ablation switch (benchmarks only): disabling the step-4
+        # regression check re-opens the same-user double-counter hole
+        # in Lemma 4.1's in-degree argument.
+        self._enforce_counter_check = enforce_counter_check
+        self._order = order
+        self._initial_tag = initial_state_tag(initial_root)
+        self.sigma = Digest.zero()
+        self.last = Digest.zero()  # zero means "no operation yet"
+        self.gctr = 0
+        # Optional fault-localisation support (future-work item (1)):
+        # snapshot the registers after every operation into a bounded
+        # ring; see repro.protocols.localization.  The capacity bounds
+        # both memory and how far back a fault can be localised.
+        self.checkpoints = CheckpointRing(checkpoint_capacity) if keep_checkpoints else None
+
+    def _verify_response(self, query: Query, response: Response, ctx: ClientContext) -> object:
+        try:
+            ctr = int(response.extras["ctr"])
+            last_user = response.extras["last_user"]
+        except (KeyError, TypeError, ValueError):
+            raise DeviationDetected(self.user_id, "malformed Protocol II response") from None
+
+        # Step 4: the per-user counter regression check.  Without it two
+        # transitions out of the same (state, ctr) could be validated by
+        # the *same* user, breaking the in-degree argument of Lemma 4.1.
+        if self._enforce_counter_check and ctr < self.gctr:
+            raise DeviationDetected(
+                self.user_id,
+                f"operation counter regressed: ctr={ctr} after this user "
+                f"already advanced it to {self.gctr}",
+            )
+        if ctr == 0 and last_user != INITIAL_OWNER:
+            raise DeviationDetected(self.user_id, "initial state attributed to a user")
+
+        try:
+            outcome = derive_outcome(query, response.result, self._order)
+        except ProofError as exc:
+            raise DeviationDetected(self.user_id, f"verification object rejected: {exc}") from exc
+
+        old_tag = hash_tagged_state(outcome.old_root, ctr, last_user)
+        new_tag = hash_tagged_state(outcome.new_root, ctr + 1, self.user_id)
+        self.sigma = self.sigma ^ old_tag ^ new_tag
+        self.last = new_tag
+        self.gctr = ctr + 1
+        if self.checkpoints is not None:
+            self.checkpoints.record(self.gctr, self.sigma, self.last)
+        return outcome.answer
+
+    # -- sync ------------------------------------------------------------------
+
+    def _sync_payload(self) -> dict:
+        return {"sigma": self.sigma, "last": self.last}
+
+    def _evaluate_sync(self, data: dict[str, dict]) -> bool:
+        total = xor_all(entry["sigma"] for entry in data.values())
+        if not self.last:
+            # A user that never operated succeeds only on the pristine
+            # system (nobody operated, total XOR is zero).
+            return total == Digest.zero()
+        return (self._initial_tag ^ self.last) == total
+
+    def state_size(self) -> int:
+        # sigma, last, gctr: constant regardless of history length.
+        return super().state_size() + 3
+
+
+class Protocol2StrongClient(Protocol2Client):
+    """The *stronger* bound the paper mentions but does not construct
+    (Section 2.2.1): "the protocol should enable deviation detection
+    before any k further operations are performed on the data, and not
+    k operations per user".
+
+    Observation: the server's counter is global, and every response
+    reveals it.  A client therefore knows the total operation count
+    whenever it completes an operation -- so instead of counting its
+    *own* operations since the last sync, it announces a sync as soon
+    as the *global* counter has advanced k past the last synchronised
+    point.  Any active user notices the threshold crossing, whichever
+    users performed the operations, so at most k total operations (plus
+    the in-flight slack of concurrently issued ones) separate a
+    deviation from the next sync.
+
+    The residual caveat is inherent: if *no* user operates, nothing is
+    learned -- but then no operations are lost either.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._last_sync_gctr = 0
+
+    def wants_sync(self) -> bool:
+        return (self.gctr - self._last_sync_gctr) >= self.k and not self._sync_data
+
+    def _receive_sync_verdict(self, tag, sender, success, ctx) -> None:
+        super()._receive_sync_verdict(tag, sender, success, ctx)
+        if tag not in self._sync_verdicts:  # the sync just completed
+            self._last_sync_gctr = max(self._last_sync_gctr, self.gctr)

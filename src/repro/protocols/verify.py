@@ -1,0 +1,83 @@
+"""Shared response-verification logic used by all protocol clients.
+
+Every protocol's query step boils down to: take the server's answer and
+verification object, derive the (old, new) root digests that the VO
+vouches for, and authenticate the old root through protocol state
+(Protocol I: the previous user's signature; Protocols II/III: the XOR
+register algebra).  This module implements the first half -- deriving
+roots and the trustworthy answer from ``v(Q, D)`` -- once, so the
+protocols only differ in how they authenticate roots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import Digest
+from repro.mtree.database import (
+    DeleteQuery,
+    Query,
+    QueryResult,
+    RangeQuery,
+    ReadQuery,
+    WriteQuery,
+)
+from repro.mtree.proofs import (
+    ProofError,
+    RangeProof,
+    ReadProof,
+    UpdateProof,
+    derive_update_roots,
+    implied_root_for_range,
+    implied_root_for_read,
+)
+
+
+@dataclass(frozen=True)
+class VerifiedOutcome:
+    """What a VO plus answer, checked for internal consistency, yields."""
+
+    old_root: Digest
+    new_root: Digest
+    answer: object
+
+    @property
+    def is_update(self) -> bool:
+        return self.old_root != self.new_root
+
+
+def derive_outcome(query: Query, result: QueryResult, order: int) -> VerifiedOutcome:
+    """Derive roots and answer from a response, or raise ProofError.
+
+    For reads the old and new roots coincide; for updates the new root
+    is *recomputed by the client* from the pre-update VO, never taken
+    from the server.
+    """
+    proof = result.proof
+    if isinstance(query, ReadQuery):
+        if not isinstance(proof, ReadProof):
+            raise ProofError("read query answered with a non-read proof")
+        root = implied_root_for_read(proof, query.key)
+        if result.answer != proof.value:
+            raise ProofError("server answer disagrees with its own proof")
+        return VerifiedOutcome(old_root=root, new_root=root, answer=proof.value)
+    if isinstance(query, RangeQuery):
+        if not isinstance(proof, RangeProof):
+            raise ProofError("range query answered with a non-range proof")
+        if (proof.low, proof.high) != (query.low, query.high):
+            raise ProofError("range proof covers a different range")
+        root = implied_root_for_range(proof)
+        if tuple(result.answer) != proof.entries:
+            raise ProofError("server answer disagrees with its own proof")
+        return VerifiedOutcome(old_root=root, new_root=root, answer=proof.entries)
+    if isinstance(query, WriteQuery):
+        if not isinstance(proof, UpdateProof) or proof.operation != "insert":
+            raise ProofError("write query answered with a non-insert proof")
+        old_root, new_root = derive_update_roots(proof, order, query.key, query.value)
+        return VerifiedOutcome(old_root=old_root, new_root=new_root, answer=None)
+    if isinstance(query, DeleteQuery):
+        if not isinstance(proof, UpdateProof) or proof.operation != "delete":
+            raise ProofError("delete query answered with a non-delete proof")
+        old_root, new_root = derive_update_roots(proof, order, query.key)
+        return VerifiedOutcome(old_root=old_root, new_root=new_root, answer=None)
+    raise ProofError(f"unknown query type {type(query).__name__}")

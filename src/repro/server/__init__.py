@@ -1,0 +1,32 @@
+"""Server-side machinery: the agent lives in
+:mod:`repro.simulation.agents`; this package contributes the attack
+strategies a compromised server can mount.
+"""
+
+from repro.server.attacks import (
+    ALL_ATTACKS,
+    Attack,
+    CompositeAttack,
+    CounterReplayAttack,
+    DropCommitAttack,
+    ForkAttack,
+    HonestBehavior,
+    RandomizedAttackSchedule,
+    SignatureForgeAttack,
+    StaleRootReplayAttack,
+    TamperValueAttack,
+)
+
+__all__ = [
+    "ALL_ATTACKS",
+    "Attack",
+    "CompositeAttack",
+    "CounterReplayAttack",
+    "DropCommitAttack",
+    "ForkAttack",
+    "HonestBehavior",
+    "RandomizedAttackSchedule",
+    "SignatureForgeAttack",
+    "StaleRootReplayAttack",
+    "TamperValueAttack",
+]

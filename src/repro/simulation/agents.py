@@ -1,0 +1,344 @@
+"""User and server agents: the active parties of the multi-agent system.
+
+A :class:`UserAgent` owns a protocol client and a workload schedule; a
+:class:`ServerAgent` owns the server half of the protocol, its state,
+and (optionally) an attack strategy.  Agents communicate exclusively
+through the :class:`~repro.simulation.channels.Network` -- the runner
+never lets them touch each other's state, mirroring the paper's
+"no external communication except the broadcast channel" discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.base import (
+    DeviationDetected,
+    Followup,
+    ProtocolClient,
+    Request,
+    Response,
+    ServerProtocol,
+    ServerState,
+)
+from repro.simulation.channels import SERVER_ID, Network
+from repro.simulation.events import Action, Run, describe_query
+from repro.simulation.workload import Intent
+
+
+@dataclass
+class Alarm:
+    """A user's detection record: when and why it cried foul."""
+
+    round: int
+    reason: str
+
+
+@dataclass
+class _PendingTransaction:
+    txn_id: int
+    query: object
+    issued_round: int
+
+
+def _fingerprint(payload: object) -> str:
+    """A stable content fingerprint of a message payload.
+
+    ``repr`` of our message dataclasses is deterministic and covers
+    digests, counters, signatures, and answers -- everything a client
+    could condition its behaviour on.
+    """
+    import hashlib
+
+    return hashlib.sha256(repr(payload).encode("utf-8", "replace")).hexdigest()[:16]
+
+
+class UserAgent:
+    """Drives one user's workload through its protocol client.
+
+    ``transaction_timeout`` implements the b*-bounded transaction time
+    assumption: a response outstanding for longer than the bound is
+    itself proof of deviation (the trusted server always answers within
+    b* rounds), so the agent raises an alarm.
+    """
+
+    def __init__(
+        self,
+        user_id: str,
+        client: ProtocolClient,
+        intents: list[Intent],
+        transaction_timeout: int = 30,
+        offline_rounds: set[int] | None = None,
+    ) -> None:
+        self.user_id = user_id
+        self.client = client
+        self.transaction_timeout = transaction_timeout
+        # Crash-recovery modelling: while offline the agent processes
+        # nothing (its inbox queues up); protocol state is durable.
+        self.offline_rounds = offline_rounds or set()
+        self.intents = list(intents)
+        self.intent_index = 0
+        self.inbox: list[object] = []
+        self.pending: _PendingTransaction | None = None
+        self.alarm: Alarm | None = None
+        self.completion_rounds: list[int] = []
+        self.issue_rounds: list[int] = []
+        # Fingerprints of every message this user received, in order --
+        # the user's *view*.  Two runs with identical views are
+        # indistinguishable to any deterministic client (the engine of
+        # the Theorem 3.1 demonstration).
+        self.view_transcript: list[tuple[int, str, str]] = []
+        # Wired by the runner each round:
+        self._network: Network | None = None
+        self._run: Run | None = None
+        self._round = 0
+        self._txn_counter = None  # shared mutable [int]
+
+    # -- ClientContext interface ------------------------------------------
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def send_to_server(self, message: Followup | Request) -> None:
+        self._network.send(self.user_id, SERVER_ID, message, self._round)
+
+    def broadcast(self, payload: dict) -> None:
+        self._network.broadcast(self.user_id, payload, self._round)
+
+    def send_to_user(self, user_id: str, payload: dict) -> None:
+        """Point-to-point message on the external (user) channel."""
+        self._network.send(self.user_id, user_id, payload, self._round)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def done(self) -> bool:
+        """No intents left, nothing in flight, not mid-protocol-chatter."""
+        return (
+            self.alarm is not None
+            or (self.intent_index >= len(self.intents) and self.pending is None)
+        )
+
+    def step(self, round_no: int, network: Network, run: Run, txn_counter: list) -> None:
+        """One round: absorb deliveries, then maybe issue the next intent."""
+        if round_no in self.offline_rounds:
+            return  # crashed: messages keep queueing in the inbox
+        self._network = network
+        self._run = run
+        self._round = round_no
+        self._txn_counter = txn_counter
+
+        inbox, self.inbox = self.inbox, []
+        for envelope in inbox:
+            if self.alarm is not None:
+                break
+            self.view_transcript.append(
+                (round_no, envelope.sender, _fingerprint(envelope.payload))
+            )
+            try:
+                if envelope.sender == SERVER_ID:
+                    self._handle_server_message(envelope.payload)
+                else:
+                    self.client.handle_broadcast(envelope.sender, envelope.payload, self)
+            except DeviationDetected as exc:
+                self._raise_alarm(exc)
+
+        if self.alarm is not None:
+            return
+        if (
+            self.pending is not None
+            and round_no - self.pending.issued_round > self.transaction_timeout
+        ):
+            self._raise_alarm(
+                DeviationDetected(
+                    self.user_id,
+                    "transaction exceeded the bounded transaction time b*: "
+                    "the server withheld a response",
+                )
+            )
+            return
+        try:
+            self.client.on_round(self)
+        except DeviationDetected as exc:
+            self._raise_alarm(exc)
+            return
+
+        self._maybe_issue(round_no, run)
+
+    def _handle_server_message(self, payload: object) -> None:
+        if not isinstance(payload, Response):
+            raise TypeError(f"unexpected server payload {type(payload).__name__}")
+        pending, self.pending = self.pending, None
+        if pending is None:
+            raise DeviationDetected(self.user_id, "unsolicited response from server")
+        answer = self.client.handle_response(pending.query, payload, self)
+        if pending.query is not None:
+            self.completion_rounds.append(self._round)
+            self._run.record(
+                Action(
+                    kind="response",
+                    user_id=self.user_id,
+                    txn_id=pending.txn_id,
+                    description=describe_query(pending.query),
+                    answer_digest=repr(answer)[:64],
+                ),
+                self._round,
+            )
+            if self.client.wants_sync():
+                self.client.announce_sync(self)
+
+    def _maybe_issue(self, round_no: int, run: Run) -> None:
+        if self.pending is not None or self.intent_index >= len(self.intents):
+            return
+        intent = self.intents[self.intent_index]
+        if intent.round > round_no:
+            return
+        if not self.client.may_start_transaction(self):
+            return
+        self.intent_index += 1
+        self._txn_counter[0] += 1
+        txn_id = self._txn_counter[0]
+        self.pending = _PendingTransaction(txn_id=txn_id, query=intent.query, issued_round=round_no)
+        self.issue_rounds.append(round_no)
+        request = self.client.make_request(intent.query)
+        self.send_to_server(request)
+        self.client.on_issue(self)
+        run.record(
+            Action(
+                kind="query",
+                user_id=self.user_id,
+                txn_id=txn_id,
+                description=describe_query(intent.query),
+            ),
+            round_no,
+        )
+
+    def issue_internal(self, request: Request) -> None:
+        """Send a protocol-internal (verification) request -- e.g. the
+        Protocol III auditor fetching deposited snapshots.  Not recorded
+        as a workload transaction."""
+        if self.pending is not None:
+            return
+        self.pending = _PendingTransaction(txn_id=-1, query=request.query, issued_round=self._round)
+        self.send_to_server(request)
+
+    def has_pending(self) -> bool:
+        return self.pending is not None
+
+    def _raise_alarm(self, exc: DeviationDetected) -> None:
+        if self.alarm is None:
+            self.alarm = Alarm(round=self._round, reason=exc.reason)
+        self.pending = None
+
+
+class ServerAgent:
+    """The CVS server: executes requests in arrival order, possibly under
+    the influence of an attack strategy.
+
+    For ground truth, the agent also runs an *oracle*: an honest copy
+    of the database executing the same workload queries in the same
+    arrival order.  The first served response that disagrees with the
+    oracle -- in answer content, or (for protocols whose responses
+    commit to the database state) in post-operation root digest --
+    marks the onset of deviation per Definition 2.1, since the actual
+    arrival order is itself a trusted-system run.
+    """
+
+    def __init__(
+        self,
+        protocol: ServerProtocol,
+        state: ServerState,
+        attack=None,
+        service_rate: int | None = None,
+    ) -> None:
+        self.protocol = protocol
+        self.states: dict[str, ServerState] = {"main": state}
+        self.attack = attack
+        self.service_rate = service_rate
+        self.inbox: list[object] = []
+        self.request_queue: list[tuple[str, Request]] = []
+        self.operations_served = 0
+        self.observed_deviation_round: int | None = None
+        # Global operation ordinal (arrival order) at deviation onset --
+        # ground truth for fault-localisation experiments.
+        self.observed_deviation_ctr: int | None = None
+        protocol.initialize(state)
+        # The oracle only tracks the database, never protocol metadata.
+        self._oracle = state.clone()
+
+    def busy(self) -> bool:
+        return bool(self.request_queue) or bool(self.inbox)
+
+    @property
+    def first_deviation_round(self) -> int | None:
+        """Earliest known deviation onset: oracle-observed or
+        attack-self-reported, whichever came first."""
+        candidates = [self.observed_deviation_round]
+        if self.attack is not None:
+            candidates.append(self.attack.first_deviation_round)
+        rounds = [r for r in candidates if r is not None]
+        return min(rounds) if rounds else None
+
+    def step(self, round_no: int, network: Network) -> None:
+        if self.attack is not None:
+            self.attack.on_round(self, round_no)
+        inbox, self.inbox = self.inbox, []
+        for envelope in inbox:
+            payload = envelope.payload
+            if isinstance(payload, Followup):
+                state = self._state_for(envelope.sender, round_no)
+                self.protocol.handle_followup(envelope.sender, payload, state, round_no)
+            elif isinstance(payload, Request):
+                self.request_queue.append((envelope.sender, payload))
+            else:
+                raise TypeError(f"unexpected payload at server: {type(payload).__name__}")
+
+        served = 0
+        while self.request_queue:
+            if self.service_rate is not None and served >= self.service_rate:
+                break
+            user_id, request = self.request_queue[0]
+            state = self._state_for(user_id, round_no)
+            if self.protocol.blocked(state):
+                break
+            self.request_queue.pop(0)
+            response = self.protocol.handle_request(user_id, request, state, round_no)
+            if self.attack is not None:
+                response = self.attack.mutate_response(user_id, request, response, state, round_no)
+            self.operations_served += 1
+            served += 1
+            self._check_against_oracle(request, response, state, round_no)
+            network.send(SERVER_ID, user_id, response, round_no)
+
+    def _state_for(self, user_id: str, round_no: int) -> ServerState:
+        if self.attack is None:
+            return self.states["main"]
+        return self.attack.select_state(user_id, round_no, self)
+
+    def _check_against_oracle(self, request: Request, response: Response, state: ServerState, round_no: int) -> None:
+        if request.query is None:
+            return
+        oracle_result = self._oracle.database.execute(request.query)
+        oracle_ctr_before = self._oracle.ctr
+        self._oracle.ctr += 1
+        if self.observed_deviation_round is not None:
+            return
+
+        def flag() -> None:
+            self.observed_deviation_round = round_no
+            self.observed_deviation_ctr = oracle_ctr_before
+
+        if oracle_result.answer != response.result.answer:
+            flag()
+            return
+        if self.protocol.responses_commit_state:
+            if state.database.root_digest() != self._oracle.database.root_digest():
+                flag()
+                return
+            # A committed operation counter that disagrees with the
+            # arrival-order count is itself a differing response action
+            # (a forked branch betrays itself through ctr before its
+            # data diverges).
+            served_ctr = response.extras.get("ctr")
+            if isinstance(served_ctr, int) and served_ctr != oracle_ctr_before:
+                flag()

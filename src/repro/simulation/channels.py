@@ -1,0 +1,98 @@
+"""Message transport: point-to-point queues and the broadcast channel.
+
+The paper assumes messages "are not lost and are delivered in bounded
+time"; without loss of generality it considers delivery in a single
+round.  :class:`Network` implements exactly that, with a configurable
+fixed delay so experiments can stretch b*.
+
+Protocols I and II additionally assume a reliable broadcast channel
+among the users (the external communication Theorem 3.1 proves
+necessary).  :class:`Network.broadcast` delivers one payload to every
+user except the sender; the server never sees broadcast traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+SERVER_ID = "server"
+BROADCAST = "*"
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One in-flight message."""
+
+    sender: str
+    recipient: str
+    payload: object
+    send_round: int
+    deliver_round: int
+
+
+@dataclass
+class Network:
+    """Reliable, in-order, bounded-delay message delivery.
+
+    Messages sent in round m are delivered at round m + delay.  Within
+    a (recipient, round) bucket, envelopes keep send order -- FIFO per
+    link -- matching the paper's in-order message queues.
+    """
+
+    user_ids: list[str]
+    delay: int = 1
+    #: opt-in bandwidth accounting: encode every payload with the wire
+    #: codec and accumulate ``bytes_sent`` (costs CPU; off by default).
+    account_bytes: bool = False
+    _pending: dict[int, list[Envelope]] = field(default_factory=dict)
+    messages_sent: int = 0
+    broadcasts_sent: int = 0
+    bytes_sent: int = 0
+
+    def _account(self, payload: object) -> None:
+        if not self.account_bytes:
+            return
+        from repro.wire import WireError, wire_size
+
+        try:
+            self.bytes_sent += wire_size(payload)
+        except WireError:
+            # broadcast payloads are plain dicts of encodable values;
+            # anything else is simulation-internal and not billed
+            pass
+
+    def send(self, sender: str, recipient: str, payload: object, round_no: int) -> None:
+        """Queue a point-to-point message."""
+        envelope = Envelope(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            send_round=round_no,
+            deliver_round=round_no + self.delay,
+        )
+        self._pending.setdefault(envelope.deliver_round, []).append(envelope)
+        self.messages_sent += 1
+        self._account(payload)
+
+    def broadcast(self, sender: str, payload: object, round_no: int) -> None:
+        """Queue a broadcast to every *other* user (external channel)."""
+        self.broadcasts_sent += 1
+        for user_id in self.user_ids:
+            if user_id == sender:
+                continue
+            envelope = Envelope(
+                sender=sender,
+                recipient=user_id,
+                payload=payload,
+                send_round=round_no,
+                deliver_round=round_no + self.delay,
+            )
+            self._pending.setdefault(envelope.deliver_round, []).append(envelope)
+
+    def deliveries(self, round_no: int) -> Iterable[Envelope]:
+        """Pop every envelope due for delivery this round."""
+        return self._pending.pop(round_no, [])
+
+    def in_flight(self) -> int:
+        return sum(len(batch) for batch in self._pending.values())

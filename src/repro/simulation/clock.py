@@ -1,0 +1,62 @@
+"""Clocks and partial synchrony (paper Section 2.1).
+
+"An agent's local clock is said to 'tick' every time its local state
+changes ... We assume p-partial synchrony where every user's local
+state changes at least once every p rounds."
+
+:class:`LocalClock` models a user's drifting clock: on each global
+round it ticks with some probability, but never goes longer than ``p``
+rounds without ticking.  From its tick count a user can bound the true
+global time -- ``local <= global <= p * local`` -- which is what the
+Protocol III client uses to sanity-check the server's epoch
+announcements without any access to the global clock.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class LocalClock:
+    """A p-partially-synchronous local clock."""
+
+    def __init__(self, p: int = 1, tick_probability: float = 1.0, seed: int = 0) -> None:
+        if p < 1:
+            raise ValueError("p must be at least 1")
+        if not 0.0 <= tick_probability <= 1.0:
+            raise ValueError("tick probability must be in [0, 1]")
+        self.p = p
+        self._tick_probability = tick_probability
+        self._rng = random.Random(seed)
+        self._local_time = 0
+        self._rounds_since_tick = 0
+
+    @property
+    def time(self) -> int:
+        """Ticks observed so far (the user's only notion of time)."""
+        return self._local_time
+
+    def advance(self) -> bool:
+        """One global round passes; returns whether the clock ticked."""
+        self._rounds_since_tick += 1
+        should_tick = (
+            self._rounds_since_tick >= self.p
+            or self._rng.random() < self._tick_probability
+        )
+        if should_tick:
+            self._local_time += 1
+            self._rounds_since_tick = 0
+        return should_tick
+
+    def global_time_bounds(self) -> tuple[int, int]:
+        """The interval the true global round must lie in.
+
+        The clock ticks at most once per round (lower bound) and at
+        least once every p rounds (upper bound).
+        """
+        return (self._local_time, self._local_time * self.p + self.p - 1)
+
+    def plausible_epochs(self, epoch_length: int) -> tuple[int, int]:
+        """Range of epoch numbers consistent with this clock."""
+        lo, hi = self.global_time_bounds()
+        return (lo // epoch_length, hi // epoch_length)

@@ -1,0 +1,100 @@
+"""Failure injection -- the paper's future-work item (3).
+
+"In closing ... we exclude all types of failures -- for example,
+unreliable message delivery or crashes of the users or the server.
+Failures are outside the scope of this paper, and we leave extensions
+of our protocols to this case to future work."
+
+This module supplies the two failure models the paper names, built so
+the *existing* protocols keep working unchanged:
+
+* :class:`LossyNetwork` -- message loss under an ARQ (retransmit-until-
+  acknowledged) link layer.  Rather than simulating every duplicate and
+  ack, we model the ARQ's *effect*: a lost message is retransmitted
+  after ``retransmit_timeout`` rounds, so its effective delivery delay
+  is ``delay + (attempts - 1) * retransmit_timeout`` with a geometric
+  number of attempts, capped at ``max_attempts`` (so delivery time
+  stays bounded and the b* assumption survives with a larger constant).
+  Deduplication makes retransmission invisible to the receiver, which
+  is why the payload-level protocols need no change.
+
+* :func:`crash_schedule` / UserAgent ``offline_rounds`` -- crash-recovery
+  users: while crashed, an agent processes nothing (messages queue);
+  on recovery it resumes with its durable protocol state (registers,
+  counters survive -- they are tiny, per Section 2.2.5, so persisting
+  them is trivial).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.simulation.channels import Envelope, Network
+
+
+@dataclass
+class LossyNetwork(Network):
+    """Bounded-delay delivery over a lossy link with ARQ semantics."""
+
+    loss_rate: float = 0.0
+    retransmit_timeout: int = 4
+    max_attempts: int = 8
+    seed: int = 0
+    _rng: random.Random = field(default_factory=random.Random, repr=False)
+    losses_injected: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if self.retransmit_timeout < 1 or self.max_attempts < 1:
+            raise ValueError("retransmission parameters must be positive")
+        self._rng = random.Random(self.seed)
+
+    def _attempts(self) -> int:
+        attempts = 1
+        while attempts < self.max_attempts and self._rng.random() < self.loss_rate:
+            attempts += 1
+            self.losses_injected += 1
+        return attempts
+
+    def send(self, sender: str, recipient: str, payload: object, round_no: int) -> None:
+        extra = (self._attempts() - 1) * self.retransmit_timeout
+        envelope = Envelope(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            send_round=round_no,
+            deliver_round=round_no + self.delay + extra,
+        )
+        self._pending.setdefault(envelope.deliver_round, []).append(envelope)
+        self.messages_sent += 1
+
+    def broadcast(self, sender: str, payload: object, round_no: int) -> None:
+        self.broadcasts_sent += 1
+        for user_id in self.user_ids:
+            if user_id == sender:
+                continue
+            extra = (self._attempts() - 1) * self.retransmit_timeout
+            envelope = Envelope(
+                sender=sender,
+                recipient=user_id,
+                payload=payload,
+                send_round=round_no,
+                deliver_round=round_no + self.delay + extra,
+            )
+            self._pending.setdefault(envelope.deliver_round, []).append(envelope)
+
+    def worst_case_delay(self) -> int:
+        """The bound ARQ restores: delay + (max_attempts-1)*timeout."""
+        return self.delay + (self.max_attempts - 1) * self.retransmit_timeout
+
+
+def crash_schedule(crashes: list[tuple[int, int]]) -> set[int]:
+    """Expand [(from_round, to_round), ...] into an offline-round set."""
+    offline: set[int] = set()
+    for start, end in crashes:
+        if start > end:
+            raise ValueError("crash interval must have start <= end")
+        offline.update(range(start, end + 1))
+    return offline

@@ -1,0 +1,368 @@
+"""Workload generators (paper Sections 2.2.2 and 3.1).
+
+A workload is, per user, a schedule of intended operations: the round
+at which the user would like to issue each query.  The paper cares
+about several qualitatively different shapes:
+
+* steady / bursty activity with offline gaps ("users sleep ... this
+  often seems to be the case with actual CVS users in real life");
+* *partitionable* workloads (Section 3.1) -- two groups that never
+  interleave after some round, with a causal dependency across the
+  groups; these enable the partition attack of Figure 1;
+* epoch-friendly workloads for Protocol III -- every user performs at
+  least two operations every ``t`` rounds.
+
+All generators are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.mtree.database import Query, RangeQuery, ReadQuery, WriteQuery
+
+
+@dataclass(frozen=True)
+class Intent:
+    """One planned operation: issue ``query`` no earlier than ``round``."""
+
+    round: int
+    query: Query
+
+
+@dataclass
+class Workload:
+    """Per-user operation schedules plus scenario metadata."""
+
+    name: str
+    schedules: dict[str, list[Intent]]
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def user_ids(self) -> list[str]:
+        return sorted(self.schedules)
+
+    def total_operations(self) -> int:
+        return sum(len(intents) for intents in self.schedules.values())
+
+    def horizon(self) -> int:
+        """The last scheduled round across all users."""
+        last = 0
+        for intents in self.schedules.values():
+            if intents:
+                last = max(last, intents[-1].round)
+        return last
+
+
+def _file_key(index: int) -> bytes:
+    return f"src/file{index:04d}.c".encode("utf-8")
+
+
+def _content(user: str, step: int) -> bytes:
+    return f"// {user} edit {step}\nint value = {step};\n".encode("utf-8")
+
+
+def _random_query(
+    rng: random.Random,
+    user: str,
+    step: int,
+    keyspace: int,
+    write_ratio: float,
+    scan_ratio: float = 0.0,
+) -> Query:
+    roll = rng.random()
+    if roll < write_ratio:
+        return WriteQuery(key=_file_key(rng.randrange(keyspace)),
+                          value=_content(user, step))
+    if roll < write_ratio + scan_ratio:
+        # a directory checkout: a verified range scan
+        lo = rng.randrange(keyspace)
+        hi = min(keyspace - 1, lo + rng.randrange(1, max(2, keyspace // 4)))
+        return RangeQuery(low=_file_key(lo), high=_file_key(hi))
+    return ReadQuery(key=_file_key(rng.randrange(keyspace)))
+
+
+def seed_queries(keyspace: int) -> list[Query]:
+    """Writes that populate every key once, used to pre-load the server."""
+    return [WriteQuery(key=_file_key(i), value=_content("seed", 0)) for i in range(keyspace)]
+
+
+def steady_workload(
+    n_users: int,
+    ops_per_user: int,
+    spacing: int = 4,
+    keyspace: int = 32,
+    write_ratio: float = 0.5,
+    scan_ratio: float = 0.0,
+    seed: int = 0,
+) -> Workload:
+    """Every user issues an op every ~``spacing`` rounds, jittered.
+
+    ``scan_ratio`` mixes in verified range reads (directory checkouts).
+    """
+    rng = random.Random(seed)
+    schedules: dict[str, list[Intent]] = {}
+    for u in range(n_users):
+        user = f"user{u}"
+        round_no = 1 + rng.randrange(spacing)
+        intents = []
+        for step in range(ops_per_user):
+            intents.append(Intent(round=round_no,
+                                  query=_random_query(rng, user, step, keyspace,
+                                                      write_ratio, scan_ratio)))
+            round_no += 1 + rng.randrange(spacing)
+        schedules[user] = intents
+    return Workload(name="steady", schedules=schedules,
+                    metadata={"keyspace": keyspace, "seed": seed})
+
+
+def bursty_workload(
+    n_users: int,
+    sessions: int = 3,
+    ops_per_session: int = 5,
+    session_gap: int = 60,
+    keyspace: int = 32,
+    write_ratio: float = 0.6,
+    seed: int = 0,
+) -> Workload:
+    """Work-session behaviour: bursts of edits separated by offline gaps."""
+    rng = random.Random(seed)
+    schedules: dict[str, list[Intent]] = {}
+    for u in range(n_users):
+        user = f"user{u}"
+        intents = []
+        round_no = 1 + rng.randrange(10)
+        step = 0
+        for _session in range(sessions):
+            for _ in range(ops_per_session):
+                intents.append(Intent(round=round_no, query=_random_query(rng, user, step, keyspace, write_ratio)))
+                round_no += 1 + rng.randrange(3)
+                step += 1
+            round_no += session_gap + rng.randrange(session_gap)
+        schedules[user] = intents
+    return Workload(name="bursty", schedules=schedules,
+                    metadata={"keyspace": keyspace, "seed": seed})
+
+
+def sleepy_workload(
+    n_users: int,
+    awake_ops: int = 4,
+    sleeper_fraction: float = 0.5,
+    keyspace: int = 32,
+    seed: int = 0,
+) -> Workload:
+    """Some users go offline indefinitely after a few early operations.
+
+    The paper requires detection to work even then (Section 2.2.2).
+    """
+    rng = random.Random(seed)
+    schedules: dict[str, list[Intent]] = {}
+    n_sleepers = int(n_users * sleeper_fraction)
+    for u in range(n_users):
+        user = f"user{u}"
+        is_sleeper = u < n_sleepers
+        ops = awake_ops if is_sleeper else awake_ops * 6
+        round_no = 1 + rng.randrange(4)
+        intents = []
+        for step in range(ops):
+            intents.append(Intent(round=round_no, query=_random_query(rng, user, step, keyspace, 0.7)))
+            round_no += 2 + rng.randrange(4)
+        schedules[user] = intents
+    return Workload(name="sleepy", schedules=schedules,
+                    metadata={"sleepers": [f"user{u}" for u in range(n_sleepers)], "seed": seed})
+
+
+def partitionable_workload(
+    group_a_size: int = 1,
+    group_b_size: int = 2,
+    k: int = 8,
+    shared_key: bytes = b"src/Common.h",
+    fork_round: int = 20,
+    spacing: int = 4,
+    keyspace: int = 16,
+    seed: int = 0,
+) -> Workload:
+    """The Figure 1 scenario: US programmer (group A) commits a shared
+    header and goes offline; the China team (group B) reads it, then
+    performs k+1 causally dependent operations while A is away.
+
+    Metadata records the groups and the causal transaction rounds so
+    benches can line detection up against the attack timeline.
+    """
+    rng = random.Random(seed)
+    schedules: dict[str, list[Intent]] = {}
+    group_a = [f"us{u}" for u in range(group_a_size)]
+    group_b = [f"cn{u}" for u in range(group_b_size)]
+
+    # Group A: a little warm-up, then the t1 commit to the shared key,
+    # then offline past the horizon.
+    t1_round = fork_round
+    for u, user in enumerate(group_a):
+        intents = []
+        round_no = 1 + rng.randrange(spacing)
+        step = 0
+        while round_no < fork_round - 2:
+            intents.append(Intent(round=round_no, query=_random_query(rng, user, step, keyspace, 0.5)))
+            round_no += 1 + rng.randrange(spacing)
+            step += 1
+        if u == 0:
+            intents.append(Intent(round=t1_round, query=WriteQuery(key=shared_key, value=_content(user, 999))))
+        schedules[user] = intents
+
+    # Group B: quiet before the fork, then t2 (a read of the shared key
+    # -- the causal dependency) followed by k+1 further operations by
+    # one user.
+    t2_round = t1_round + 4
+    for u, user in enumerate(group_b):
+        intents = []
+        round_no = 1 + rng.randrange(spacing)
+        step = 0
+        while round_no < fork_round - 2:
+            intents.append(Intent(round=round_no, query=_random_query(rng, user, step, keyspace, 0.5)))
+            round_no += 1 + rng.randrange(spacing)
+            step += 1
+        if u == 0:
+            intents.append(Intent(round=t2_round, query=ReadQuery(key=shared_key)))
+            round_no = t2_round + 2
+            for extra in range(k + 1):
+                intents.append(Intent(round=round_no, query=_random_query(rng, user, 1000 + extra, keyspace, 0.8)))
+                round_no += 1 + rng.randrange(2)
+        schedules[user] = intents
+
+    return Workload(
+        name="partitionable",
+        schedules=schedules,
+        metadata={
+            "group_a": group_a,
+            "group_b": group_b,
+            "k": k,
+            "fork_round": fork_round,
+            "t1_round": t1_round,
+            "t2_round": t2_round,
+            "shared_key": shared_key,
+            "seed": seed,
+        },
+    )
+
+
+def epoch_workload(
+    n_users: int,
+    epoch_length: int,
+    epochs: int,
+    ops_per_epoch: int = 2,
+    keyspace: int = 32,
+    write_ratio: float = 0.6,
+    seed: int = 0,
+) -> Workload:
+    """Protocol III's permitted workload: every user performs at least
+    ``ops_per_epoch`` (>= 2) operations in every epoch of ``epoch_length``
+    rounds."""
+    if ops_per_epoch < 2:
+        raise ValueError("Protocol III requires at least two operations per epoch")
+    rng = random.Random(seed)
+    schedules: dict[str, list[Intent]] = {}
+    for u in range(n_users):
+        user = f"user{u}"
+        intents = []
+        step = 0
+        for epoch in range(epochs):
+            base = epoch * epoch_length
+            # Pick distinct offsets, early enough that the transactions
+            # complete inside the epoch despite messaging latency.
+            usable = max(ops_per_epoch, epoch_length - 6)
+            offsets = sorted(rng.sample(range(1, usable + 1), ops_per_epoch))
+            for offset in offsets:
+                intents.append(Intent(round=base + offset, query=_random_query(rng, user, step, keyspace, write_ratio)))
+                step += 1
+        schedules[user] = intents
+    return Workload(
+        name="epoch",
+        schedules=schedules,
+        metadata={"epoch_length": epoch_length, "epochs": epochs, "seed": seed},
+    )
+
+
+def timezone_workload(
+    teams: dict[str, int],
+    day_length: int = 100,
+    days: int = 3,
+    ops_per_day: int = 5,
+    keyspace: int = 24,
+    shared_fraction: float = 0.2,
+    write_ratio: float = 0.6,
+    seed: int = 0,
+) -> Workload:
+    """The paper's US/China motivation as a trace model: geographically
+    split teams working in *offset day/night cycles*, mostly on their
+    own files plus a shared slice (the ``Common.h`` coupling).
+
+    ``teams`` maps a team name to its user count; team i's working
+    window is offset by ``i * day_length / len(teams)`` rounds.  Shared
+    keys are the first ``shared_fraction`` of the keyspace; the rest is
+    partitioned per team.
+    """
+    if not teams:
+        raise ValueError("need at least one team")
+    rng = random.Random(seed)
+    team_names = sorted(teams)
+    shared_keys = max(1, int(keyspace * shared_fraction))
+    per_team = (keyspace - shared_keys) // max(1, len(team_names))
+    schedules: dict[str, list[Intent]] = {}
+
+    for team_index, team in enumerate(team_names):
+        offset = team_index * day_length // len(team_names)
+        lo = shared_keys + team_index * per_team
+        hi = lo + max(1, per_team)
+        for member in range(teams[team]):
+            user = f"{team}{member}"
+            intents: list[Intent] = []
+            step = 0
+            for day in range(days):
+                base = day * day_length + offset
+                # work only during the first half of the (offset) day
+                window = day_length // 2 - 4
+                offsets = sorted(rng.sample(range(1, max(ops_per_day + 1, window)),
+                                            ops_per_day))
+                for slot in offsets:
+                    if rng.random() < shared_fraction:
+                        key = _file_key(rng.randrange(shared_keys))
+                    else:
+                        key = _file_key(rng.randrange(lo, hi))
+                    if rng.random() < write_ratio:
+                        query = WriteQuery(key=key, value=_content(user, step))
+                    else:
+                        query = ReadQuery(key=key)
+                    intents.append(Intent(round=base + slot, query=query))
+                    step += 1
+            schedules[user] = intents
+
+    return Workload(
+        name="timezone",
+        schedules=schedules,
+        metadata={"teams": dict(teams), "day_length": day_length,
+                  "shared_keys": shared_keys, "seed": seed},
+    )
+
+
+def back_to_back_workload(
+    n_users: int,
+    ops_per_user: int = 4,
+    keyspace: int = 8,
+    seed: int = 0,
+) -> Workload:
+    """One user fires operations back-to-back while others idle --
+    the workload-preservation stress case of Section 2.2.3 (the
+    token-passing strawman forces the busy user to wait a full cycle
+    of null records between its operations)."""
+    rng = random.Random(seed)
+    schedules: dict[str, list[Intent]] = {}
+    busy = "user0"
+    intents = []
+    for step in range(ops_per_user):
+        intents.append(Intent(round=1, query=_random_query(rng, busy, step, keyspace, 1.0)))
+    schedules[busy] = intents
+    for u in range(1, n_users):
+        schedules[f"user{u}"] = []
+    return Workload(name="back-to-back", schedules=schedules,
+                    metadata={"busy_user": busy, "seed": seed})

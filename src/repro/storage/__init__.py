@@ -1,0 +1,56 @@
+"""CVS storage substrate: diff engine, RCS revision chains, repository.
+
+* :mod:`repro.storage.diff` -- Myers O(ND) line diff, delta apply and
+  inversion, unified-diff rendering.
+* :mod:`repro.storage.rcs` -- reverse-delta revision stores with a
+  deterministic serialisation (so Merkle digests commit to history).
+* :mod:`repro.storage.repository` -- the multi-file repository with
+  checkout/commit/log/status/tags.
+"""
+
+from repro.storage.diff import (
+    Delta,
+    Hunk,
+    PatchError,
+    apply_delta,
+    delta_size,
+    diff,
+    invert_delta,
+    unified_diff,
+)
+from repro.storage.annotate import AnnotatedLine, annotate, format_annotations
+from repro.storage.keywords import (
+    collapse_keywords,
+    contains_keywords,
+    expand_keywords,
+)
+from repro.storage.merge import Conflict, MergeResult, merge3, render_with_markers
+from repro.storage.rcs import RcsError, Revision, RevisionStore
+from repro.storage.repository import CommitRecord, Repository, RepositoryError
+
+__all__ = [
+    "Delta",
+    "Hunk",
+    "PatchError",
+    "apply_delta",
+    "delta_size",
+    "diff",
+    "invert_delta",
+    "unified_diff",
+    "AnnotatedLine",
+    "annotate",
+    "format_annotations",
+    "collapse_keywords",
+    "contains_keywords",
+    "expand_keywords",
+    "Conflict",
+    "MergeResult",
+    "merge3",
+    "render_with_markers",
+    "RcsError",
+    "Revision",
+    "RevisionStore",
+    "CommitRecord",
+    "Repository",
+    "RepositoryError",
+]

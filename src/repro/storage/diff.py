@@ -1,0 +1,248 @@
+"""A line-oriented diff engine (Myers O(ND)) with RCS-style deltas.
+
+CVS stores every revision of a file as a chain of line deltas, so the
+versioned store (:mod:`repro.storage.rcs`) needs these primitives:
+
+* :func:`diff` -- the shortest edit script between two line sequences,
+  via Myers' greedy O(ND) algorithm;
+* :func:`apply_delta` -- replay a delta onto a base sequence (with
+  context checking, so a corrupted delta raises :class:`PatchError`);
+* :func:`invert_delta` -- the exact inverse delta, used to build
+  reverse-delta revision chains;
+* :func:`unified_diff` -- human-readable rendering for logs/examples.
+
+A delta is a tuple of :class:`Hunk` objects addressed in *original*
+coordinates (0-based), sorted and non-overlapping -- mirroring RCS
+``d``/``a`` commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class PatchError(Exception):
+    """Raised when a delta cannot be applied to the given base."""
+
+
+@dataclass(frozen=True)
+class Hunk:
+    """One edit: at line ``start`` of the original, remove the lines
+    ``deleted`` and splice in ``inserted``.
+
+    A pure insertion has ``deleted == ()``; a pure deletion has
+    ``inserted == ()``.
+    """
+
+    start: int
+    deleted: tuple[str, ...]
+    inserted: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("hunk start must be non-negative")
+        if not self.deleted and not self.inserted:
+            raise ValueError("empty hunk")
+
+
+Delta = tuple[Hunk, ...]
+
+
+def diff(a: list[str], b: list[str]) -> Delta:
+    """The shortest edit script turning ``a`` into ``b``."""
+    if a == b:
+        return ()
+    trace = _myers_trace(a, b)
+    ops = _backtrack(a, b, trace)
+    return _coalesce(a, b, ops)
+
+
+def _myers_trace(a: list[str], b: list[str]) -> list[dict[int, int]]:
+    """Run Myers' forward search; returns the V-map snapshot per step d."""
+    n, m = len(a), len(b)
+    v: dict[int, int] = {1: 0}
+    trace: list[dict[int, int]] = []
+    for d in range(n + m + 1):
+        trace.append(dict(v))
+        for k in range(-d, d + 1, 2):
+            if k == -d or (k != d and v.get(k - 1, -1) < v.get(k + 1, -1)):
+                x = v.get(k + 1, 0)
+            else:
+                x = v.get(k - 1, 0) + 1
+            y = x - k
+            while x < n and y < m and a[x] == b[y]:
+                x += 1
+                y += 1
+            v[k] = x
+            if x >= n and y >= m:
+                return trace
+    raise AssertionError("Myers search failed to terminate")  # pragma: no cover
+
+
+def _backtrack(a: list[str], b: list[str], trace: list[dict[int, int]]) -> list[tuple[str, int, int]]:
+    """Recover the edit script from the Myers trace.
+
+    Returns forward-ordered primitive ops: ``("del", x, -1)`` removes
+    ``a[x]``; ``("ins", x, y)`` inserts ``b[y]`` before position ``x``
+    of the original.  Within the script, ``x`` positions are
+    non-decreasing and insertion sources ``y`` are increasing.
+    """
+    ops: list[tuple[str, int, int]] = []
+    x, y = len(a), len(b)
+    for d in range(len(trace) - 1, 0, -1):
+        # trace[d] is the V-map as it stood entering level d, i.e. the
+        # state after level d-1 -- exactly what the step back from
+        # level d needs.
+        v = trace[d]
+        k = x - y
+        if k == -d or (k != d and v.get(k - 1, -1) < v.get(k + 1, -1)):
+            prev_k = k + 1
+        else:
+            prev_k = k - 1
+        prev_x = v.get(prev_k, 0)
+        prev_y = prev_x - prev_k
+        # Undo the trailing snake (diagonal / matching lines).
+        while x > prev_x and y > prev_y:
+            x -= 1
+            y -= 1
+        if x == prev_x:
+            y -= 1
+            ops.append(("ins", x, y))
+        else:
+            x -= 1
+            ops.append(("del", x, -1))
+    ops.reverse()
+    return ops
+
+
+def _coalesce(a: list[str], b: list[str], ops: list[tuple[str, int, int]]) -> Delta:
+    """Group adjacent primitive ops into hunks.
+
+    An op belongs to the current hunk when it touches the hunk's
+    moving front (``start + deletions so far``); replacing a contiguous
+    block deletes and inserts at the same front, so interleaved
+    del/ins runs coalesce into a single replace hunk.
+    """
+    hunks: list[Hunk] = []
+    start = -1
+    deleted: list[str] = []
+    inserted: list[str] = []
+
+    def flush() -> None:
+        if start >= 0 and (deleted or inserted):
+            hunks.append(Hunk(start=start, deleted=tuple(deleted), inserted=tuple(inserted)))
+
+    for kind, x, y in ops:
+        front = start + len(deleted)
+        if start < 0 or x != front:
+            flush()
+            start = x
+            deleted = []
+            inserted = []
+        if kind == "del":
+            deleted.append(a[x])
+        else:
+            inserted.append(b[y])
+    flush()
+    return tuple(hunks)
+
+
+def apply_delta(base: list[str], delta: Delta) -> list[str]:
+    """Apply ``delta`` to ``base``, verifying deleted-line context."""
+    out: list[str] = []
+    position = 0
+    for hunk in delta:
+        if hunk.start < position:
+            raise PatchError(f"overlapping or unsorted hunk at line {hunk.start}")
+        if hunk.start + len(hunk.deleted) > len(base):
+            raise PatchError(f"hunk at line {hunk.start} extends past end of base")
+        out.extend(base[position:hunk.start])
+        actual = base[hunk.start:hunk.start + len(hunk.deleted)]
+        if actual != list(hunk.deleted):
+            raise PatchError(f"context mismatch at line {hunk.start}: delta expects {hunk.deleted!r}, base has {tuple(actual)!r}")
+        out.extend(hunk.inserted)
+        position = hunk.start + len(hunk.deleted)
+    out.extend(base[position:])
+    return out
+
+
+def invert_delta(delta: Delta) -> Delta:
+    """The delta that exactly undoes ``delta``.
+
+    Each hunk swaps its deleted/inserted lines; starts are re-based
+    into post-application coordinates by tracking the running length
+    drift of the preceding hunks.
+    """
+    inverted: list[Hunk] = []
+    drift = 0
+    for hunk in delta:
+        inverted.append(
+            Hunk(start=hunk.start + drift, deleted=hunk.inserted, inserted=hunk.deleted)
+        )
+        drift += len(hunk.inserted) - len(hunk.deleted)
+    return tuple(inverted)
+
+
+def delta_size(delta: Delta) -> int:
+    """Total number of changed lines a delta carries (storage cost)."""
+    return sum(len(h.deleted) + len(h.inserted) for h in delta)
+
+
+def unified_diff(
+    a: list[str],
+    b: list[str],
+    from_label: str = "a",
+    to_label: str = "b",
+    context: int = 3,
+) -> str:
+    """Render a unified diff, for logs and examples."""
+    delta = diff(a, b)
+    if not delta:
+        return ""
+    lines = [f"--- {from_label}", f"+++ {to_label}"]
+    groups = _group_hunks(delta, context, len(a))
+    drift = 0
+    for group in groups:
+        lines.extend(_render_group(a, group, context, drift))
+        drift += sum(len(h.inserted) - len(h.deleted) for h in group)
+    return "\n".join(lines) + "\n"
+
+
+def _group_hunks(delta: Delta, context: int, a_len: int) -> list[list[Hunk]]:
+    """Split hunks into groups whose context windows would overlap."""
+    groups: list[list[Hunk]] = []
+    current: list[Hunk] = []
+    for hunk in delta:
+        if current:
+            previous = current[-1]
+            gap_start = previous.start + len(previous.deleted)
+            if hunk.start - gap_start <= 2 * context:
+                current.append(hunk)
+                continue
+            groups.append(current)
+        current = [hunk]
+    if current:
+        groups.append(current)
+    return groups
+
+
+def _render_group(a: list[str], group: list[Hunk], context: int, drift: int) -> list[str]:
+    first, last = group[0], group[-1]
+    lo = max(0, first.start - context)
+    hi = min(len(a), last.start + len(last.deleted) + context)
+    a_count = hi - lo
+    b_count = a_count + sum(len(h.inserted) - len(h.deleted) for h in group)
+    b_lo = lo + drift  # drift of all earlier groups
+    out = [f"@@ -{lo + 1},{a_count} +{b_lo + 1},{b_count} @@"]
+    position = lo
+    for hunk in group:
+        for line in a[position:hunk.start]:
+            out.append(" " + line)
+        for line in hunk.deleted:
+            out.append("-" + line)
+        for line in hunk.inserted:
+            out.append("+" + line)
+        position = hunk.start + len(hunk.deleted)
+    for line in a[position:hi]:
+        out.append(" " + line)
+    return out

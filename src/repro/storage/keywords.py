@@ -1,0 +1,71 @@
+"""RCS keyword expansion: ``$Id$``, ``$Revision$``, ``$Author$``, ...
+
+CVS expands keyword markers in checked-out text so files self-describe
+their provenance.  We implement the common subset on top of revision
+metadata:
+
+* ``$Id$``       -> ``$Id: path rev timestamp author $``
+* ``$Revision$`` -> ``$Revision: rev $``
+* ``$Author$``   -> ``$Author: author $``
+* ``$Date$``     -> ``$Date: timestamp $``
+* ``$Source$``   -> ``$Source: path $``
+
+Expansion is idempotent: an already expanded keyword (``$Id: ... $``)
+is collapsed back to its bare form before re-expansion, so round-trips
+through commit/checkout never stack values.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.storage.rcs import Revision
+
+KEYWORDS = ("Id", "Revision", "Author", "Date", "Source")
+
+# `$Keyword$` or `$Keyword: anything $` (no newlines, non-greedy).
+_PATTERN = re.compile(
+    r"\$(?P<name>" + "|".join(KEYWORDS) + r")(?::[^$\n]*)?\$"
+)
+
+
+def _expansion(name: str, path: str, revision: Revision) -> str:
+    if name == "Id":
+        body = f"{path} {revision.number} t{revision.timestamp} {revision.author}"
+    elif name == "Revision":
+        body = revision.number
+    elif name == "Author":
+        body = revision.author
+    elif name == "Date":
+        body = f"t{revision.timestamp}"
+    elif name == "Source":
+        body = path
+    else:  # pragma: no cover - the regex constrains names
+        raise ValueError(f"unknown keyword {name!r}")
+    return f"${name}: {body} $"
+
+
+def expand_keywords(lines: list[str], path: str, revision: Revision) -> list[str]:
+    """Expand (or re-expand) all keyword markers in a document."""
+
+    def replace(match: re.Match) -> str:
+        return _expansion(match.group("name"), path, revision)
+
+    return [_PATTERN.sub(replace, line) for line in lines]
+
+
+def collapse_keywords(lines: list[str]) -> list[str]:
+    """Collapse expanded keywords back to bare ``$Keyword$`` form.
+
+    Run before diffing/committing so keyword churn never pollutes
+    deltas or spuriously conflicts in merges.
+    """
+
+    def replace(match: re.Match) -> str:
+        return f"${match.group('name')}$"
+
+    return [_PATTERN.sub(replace, line) for line in lines]
+
+
+def contains_keywords(lines: list[str]) -> bool:
+    return any(_PATTERN.search(line) for line in lines)

@@ -1,0 +1,192 @@
+"""Three-way merge (diff3) -- the `cvs update` half of CVS.
+
+CVS is a *concurrent* versions system: two users may modify the same
+file from a common base revision, and the second committer must first
+merge the other's changes into their working copy.  This module
+implements the classic diff3 algorithm over our Myers diff engine:
+
+* :func:`merge3` -- merge ``ours`` and ``theirs`` against ``base``;
+  non-conflicting edits combine silently, overlapping edits produce a
+  :class:`Conflict` region carrying both sides.
+* :func:`render_with_markers` -- the familiar ``<<<<<<<``/``=======``/
+  ``>>>>>>>`` textual rendering.
+
+The algorithm aligns both edit scripts in base coordinates, walks the
+union of their changed regions, and classifies each region: taken from
+one side if only that side touched it (or both made the identical
+change), conflicting otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.diff import diff
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """An overlapping edit: both sides changed the same base region."""
+
+    base: tuple[str, ...]
+    ours: tuple[str, ...]
+    theirs: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Outcome of a three-way merge.
+
+    ``segments`` interleaves plain line-lists (clean text) and
+    :class:`Conflict` objects, in document order.
+    """
+
+    segments: tuple[object, ...]
+
+    @property
+    def has_conflicts(self) -> bool:
+        return any(isinstance(segment, Conflict) for segment in self.segments)
+
+    def conflicts(self) -> list[Conflict]:
+        return [segment for segment in self.segments if isinstance(segment, Conflict)]
+
+    def lines(self) -> list[str]:
+        """The merged document; raises if conflicts remain."""
+        if self.has_conflicts:
+            raise ValueError("cannot flatten a merge with unresolved conflicts")
+        out: list[str] = []
+        for segment in self.segments:
+            out.extend(segment)
+        return out
+
+
+def _regions(base: list[str], derived: list[str]) -> list[tuple[int, int, tuple[str, ...]]]:
+    """Changed regions of ``derived`` vs ``base``, in base coordinates:
+    (base_start, base_end, replacement_lines)."""
+    return [
+        (hunk.start, hunk.start + len(hunk.deleted), hunk.inserted)
+        for hunk in diff(base, derived)
+    ]
+
+
+def merge3(base: list[str], ours: list[str], theirs: list[str]) -> MergeResult:
+    """Merge two descendants of ``base``.
+
+    The classic region walk: collect both sides' changed base regions,
+    coalesce overlapping ones into chunks, and emit each chunk from
+    whichever side changed it (conflict if both did, differently).
+    """
+    ours_regions = _regions(base, ours)
+    theirs_regions = _regions(base, theirs)
+
+    segments: list[object] = []
+    text: list[str] = []
+    cursor = 0  # position in base
+    i = j = 0
+
+    def flush_text() -> None:
+        nonlocal text
+        if text:
+            segments.append(tuple(text))
+            text = []
+
+    while i < len(ours_regions) or j < len(theirs_regions):
+        ours_next = ours_regions[i] if i < len(ours_regions) else None
+        theirs_next = theirs_regions[j] if j < len(theirs_regions) else None
+
+        # Next chunk starts at the earliest changed region.
+        if theirs_next is None or (ours_next is not None and ours_next[0] <= theirs_next[0]):
+            chunk_start, chunk_end = ours_next[0], ours_next[1]
+        else:
+            chunk_start, chunk_end = theirs_next[0], theirs_next[1]
+
+        # Grow the chunk until no region from either side overlaps it.
+        ours_in: list[tuple[int, int, tuple[str, ...]]] = []
+        theirs_in: list[tuple[int, int, tuple[str, ...]]] = []
+        grew = True
+        while grew:
+            grew = False
+            while i < len(ours_regions) and _overlaps(ours_regions[i], chunk_start, chunk_end):
+                region = ours_regions[i]
+                ours_in.append(region)
+                chunk_start = min(chunk_start, region[0])
+                chunk_end = max(chunk_end, region[1])
+                i += 1
+                grew = True
+            while j < len(theirs_regions) and _overlaps(theirs_regions[j], chunk_start, chunk_end):
+                region = theirs_regions[j]
+                theirs_in.append(region)
+                chunk_start = min(chunk_start, region[0])
+                chunk_end = max(chunk_end, region[1])
+                j += 1
+                grew = True
+
+        text.extend(base[cursor:chunk_start])
+        chunk_base = base[chunk_start:chunk_end]
+        ours_version = _apply_regions(base, chunk_start, chunk_end, ours_in)
+        theirs_version = _apply_regions(base, chunk_start, chunk_end, theirs_in)
+
+        if not theirs_in or ours_version == theirs_version:
+            text.extend(ours_version)
+        elif not ours_in:
+            text.extend(theirs_version)
+        else:
+            flush_text()
+            segments.append(Conflict(
+                base=tuple(chunk_base),
+                ours=tuple(ours_version),
+                theirs=tuple(theirs_version),
+            ))
+        cursor = chunk_end
+
+    text.extend(base[cursor:])
+    flush_text()
+    return MergeResult(segments=tuple(segments))
+
+
+def _overlaps(region: tuple[int, int, tuple[str, ...]], start: int, end: int) -> bool:
+    """Whether a changed region collides with the chunk [start, end).
+
+    A pure insertion (empty base span) at the *boundary* of a non-empty
+    chunk is composable -- it deterministically lands before (at
+    ``start``) or after (at ``end``) the chunk's replacement text -- so
+    only interior insertions collide.  Two insertions at the very same
+    point (an empty chunk) are genuinely ambiguous and must conflict.
+    """
+    r_start, r_end, _ = region
+    if r_start == r_end:  # insertion point
+        if start == end:  # chunk is itself a pure insertion point
+            return r_start == start
+        return start < r_start < end
+    return r_start < end and start < r_end
+
+
+def _apply_regions(base, chunk_start, chunk_end, regions) -> list[str]:
+    """This side's version of the chunk: base text with its regions applied."""
+    out: list[str] = []
+    position = chunk_start
+    for r_start, r_end, inserted in sorted(regions):
+        out.extend(base[position:r_start])
+        out.extend(inserted)
+        position = r_end
+    out.extend(base[position:chunk_end])
+    return out
+
+
+def render_with_markers(
+    result: MergeResult,
+    ours_label: str = "ours",
+    theirs_label: str = "theirs",
+) -> list[str]:
+    """The conflict-marker rendering CVS writes into the working copy."""
+    out: list[str] = []
+    for segment in result.segments:
+        if isinstance(segment, Conflict):
+            out.append(f"<<<<<<< {ours_label}")
+            out.extend(segment.ours)
+            out.append("=======")
+            out.extend(segment.theirs)
+            out.append(f">>>>>>> {theirs_label}")
+        else:
+            out.extend(segment)
+    return out

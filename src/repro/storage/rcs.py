@@ -1,0 +1,385 @@
+"""An RCS-style versioned file store: reverse-delta revision chains.
+
+CVS keeps, per file, the newest revision in full plus a chain of
+*reverse* deltas -- applying delta ``i`` to revision ``i+1`` yields
+revision ``i``.  Checking out the head is O(1); checking out an old
+revision applies the chain backwards.  This mirrors ``,v`` files
+closely enough to exercise the same commit/checkout code paths the
+paper models, while staying a deterministic in-memory structure we can
+serialise into the Merkle tree.
+
+Documents are lists of newline-free strings (lines).  The store also
+supports a *dead* state (``cvs remove``), recorded as a revision whose
+content is empty and whose ``dead`` flag is set.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+
+from repro.storage.diff import Delta, Hunk, PatchError, apply_delta, diff
+
+
+class RcsError(Exception):
+    """Raised on malformed revision numbers or serialised stores."""
+
+
+@dataclass(frozen=True)
+class Revision:
+    """Metadata for one committed revision of a file."""
+
+    number: str  # "1.1", "1.2", ...
+    author: str
+    log_message: str
+    timestamp: int  # simulation round (logical time)
+    dead: bool = False
+
+
+class _Branch:
+    """A side branch: forward deltas rooted at a trunk revision.
+
+    CVS numbers branches off revision ``1.N`` as ``1.N.2``, ``1.N.4``,
+    ... with branch revisions ``1.N.2.1``, ``1.N.2.2``, ...  Unlike the
+    trunk (reverse deltas from the head), branches store *forward*
+    deltas from the branch point -- mirroring real ``,v`` files.
+    """
+
+    __slots__ = ("base_number", "revisions", "forward_deltas")
+
+    def __init__(self, base_number: str) -> None:
+        self.base_number = base_number
+        self.revisions: list[Revision] = []
+        self.forward_deltas: list[Delta] = []
+
+
+class RevisionStore:
+    """All revisions of a single file, newest trunk revision in full."""
+
+    def __init__(self) -> None:
+        self._revisions: list[Revision] = []
+        self._head_lines: list[str] = []
+        # _reverse_deltas[i] transforms revision i+2's content into
+        # revision i+1's content (1-based revision indices).
+        self._reverse_deltas: list[Delta] = []
+        self._branches: dict[str, _Branch] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._revisions)
+
+    @property
+    def head_number(self) -> str | None:
+        """Revision number of the newest revision, or None if empty."""
+        if not self._revisions:
+            return None
+        return self._revisions[-1].number
+
+    @property
+    def is_dead(self) -> bool:
+        """Whether the newest revision marks the file as removed."""
+        return bool(self._revisions) and self._revisions[-1].dead
+
+    def log(self) -> list[Revision]:
+        """All revisions, oldest first."""
+        return list(self._revisions)
+
+    def revision(self, number: str) -> Revision:
+        index = self._index_of(number)
+        return self._revisions[index]
+
+    def checkout(self, number: str | None = None) -> list[str]:
+        """Content of a revision (default: trunk head).
+
+        Accepts trunk numbers (``1.4``) and branch numbers
+        (``1.4.2.3``): branch checkout walks back to the branch point,
+        then forward along the branch's delta chain.
+        """
+        if not self._revisions:
+            raise RcsError("empty revision store")
+        if number is None:
+            return list(self._head_lines)
+        if number.count(".") >= 3:
+            return self._checkout_branch_revision(number)
+        index = self._index_of(number)
+        lines = list(self._head_lines)
+        # Walk the reverse-delta chain from the head down to ``index``.
+        try:
+            for delta_index in range(len(self._reverse_deltas) - 1, index - 1, -1):
+                lines = apply_delta(lines, self._reverse_deltas[delta_index])
+        except PatchError as exc:
+            # A structurally parsable but content-corrupted store: the
+            # delta chain no longer applies to the stored head.
+            raise RcsError(f"corrupt delta chain: {exc}") from exc
+        return lines
+
+    def _checkout_branch_revision(self, number: str) -> list[str]:
+        branch_id, _, step_text = number.rpartition(".")
+        branch = self._branches.get(branch_id)
+        if branch is None:
+            raise RcsError(f"unknown branch {branch_id!r}")
+        try:
+            step = int(step_text)
+        except ValueError as exc:
+            raise RcsError(f"malformed revision number {number!r}") from exc
+        if not 1 <= step <= len(branch.revisions):
+            raise RcsError(f"unknown revision {number!r}")
+        lines = self.checkout(branch.base_number)
+        try:
+            for delta in branch.forward_deltas[:step]:
+                lines = apply_delta(lines, delta)
+        except PatchError as exc:
+            raise RcsError(f"corrupt branch delta chain: {exc}") from exc
+        return lines
+
+    def diff_between(self, old_number: str, new_number: str) -> Delta:
+        """The forward delta from one revision to another."""
+        return diff(self.checkout(old_number), self.checkout(new_number))
+
+    def _index_of(self, number: str) -> int:
+        for index, revision in enumerate(self._revisions):
+            if revision.number == number:
+                return index
+        raise RcsError(f"unknown revision {number!r}")
+
+    # -- mutation -----------------------------------------------------------
+
+    def commit(self, lines: list[str], author: str, log_message: str, timestamp: int) -> Revision:
+        """Commit new head content; returns the new revision."""
+        _check_lines(lines)
+        return self._append(lines, author, log_message, timestamp, dead=False)
+
+    def remove(self, author: str, log_message: str, timestamp: int) -> Revision:
+        """Commit a *dead* revision (``cvs remove``)."""
+        if self.is_dead:
+            raise RcsError("file is already dead")
+        return self._append([], author, log_message, timestamp, dead=True)
+
+    def resurrect(self, lines: list[str], author: str, log_message: str, timestamp: int) -> Revision:
+        """Re-add a removed file with fresh content."""
+        if not self.is_dead:
+            raise RcsError("file is not dead")
+        return self._append(lines, author, log_message, timestamp, dead=False)
+
+    # -- branches -------------------------------------------------------------
+
+    def create_branch(self, at_revision: str) -> str:
+        """Open a new branch rooted at a trunk revision; returns its id
+        (CVS style: even branch numbers, ``1.N.2``, ``1.N.4``, ...)."""
+        self._index_of(at_revision)  # validates the trunk revision
+        existing = sum(1 for b in self._branches.values() if b.base_number == at_revision)
+        branch_id = f"{at_revision}.{2 * (existing + 1)}"
+        self._branches[branch_id] = _Branch(base_number=at_revision)
+        return branch_id
+
+    def branches(self) -> list[str]:
+        """All branch ids, sorted."""
+        return sorted(self._branches)
+
+    def branch_base(self, branch_id: str) -> str:
+        """The trunk revision a branch was rooted at."""
+        return self._require_branch(branch_id).base_number
+
+    def branch_head(self, branch_id: str) -> str | None:
+        """Newest revision number on a branch, or None if empty."""
+        branch = self._require_branch(branch_id)
+        if not branch.revisions:
+            return None
+        return branch.revisions[-1].number
+
+    def branch_log(self, branch_id: str) -> list[Revision]:
+        return list(self._require_branch(branch_id).revisions)
+
+    def commit_on_branch(self, branch_id: str, lines: list[str], author: str,
+                         log_message: str, timestamp: int) -> Revision:
+        """Commit new content onto a branch (forward delta)."""
+        _check_lines(lines)
+        branch = self._require_branch(branch_id)
+        if branch.revisions and timestamp < branch.revisions[-1].timestamp:
+            raise RcsError("timestamps must be non-decreasing")
+        previous = self.checkout(branch.revisions[-1].number) if branch.revisions \
+            else self.checkout(branch.base_number)
+        branch.forward_deltas.append(diff(previous, lines))
+        number = f"{branch_id}.{len(branch.revisions) + 1}"
+        revision = Revision(number=number, author=author, log_message=log_message,
+                            timestamp=timestamp, dead=False)
+        branch.revisions.append(revision)
+        return revision
+
+    def _require_branch(self, branch_id: str) -> _Branch:
+        branch = self._branches.get(branch_id)
+        if branch is None:
+            raise RcsError(f"unknown branch {branch_id!r}")
+        return branch
+
+    def _append(self, lines: list[str], author: str, log_message: str, timestamp: int, dead: bool) -> Revision:
+        if self._revisions and timestamp < self._revisions[-1].timestamp:
+            raise RcsError("timestamps must be non-decreasing")
+        number = f"1.{len(self._revisions) + 1}"
+        if self._revisions:
+            # Reverse delta: from the new head back to the old head.
+            self._reverse_deltas.append(diff(lines, self._head_lines))
+        self._head_lines = list(lines)
+        revision = Revision(number=number, author=author, log_message=log_message,
+                            timestamp=timestamp, dead=dead)
+        self._revisions.append(revision)
+        return revision
+
+    # -- serialisation --------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Deterministic byte encoding, suitable as a Merkle-tree value.
+
+        Two stores with identical history serialise identically, so the
+        root digest commits to the full revision history of every file.
+        """
+        out: list[str] = ["rcs-store 2", f"revisions {len(self._revisions)}"]
+        for revision in self._revisions:
+            out.append(_revision_line(revision))
+        out.append(f"head {len(self._head_lines)}")
+        out.extend(self._head_lines)
+        out.append(f"deltas {len(self._reverse_deltas)}")
+        for delta in self._reverse_deltas:
+            _write_delta(out, delta)
+        out.append(f"branches {len(self._branches)}")
+        for branch_id in sorted(self._branches):
+            branch = self._branches[branch_id]
+            out.append(f"branch {branch_id} {branch.base_number} {len(branch.revisions)}")
+            for revision in branch.revisions:
+                out.append(_revision_line(revision))
+            for delta in branch.forward_deltas:
+                _write_delta(out, delta)
+        return ("\n".join(out) + "\n").encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "RevisionStore":
+        """Parse a store produced by :meth:`serialize`."""
+        lines = blob.decode("utf-8").split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        reader = _Reader(lines)
+        magic = reader.next()
+        if magic not in ("rcs-store 1", "rcs-store 2"):
+            raise RcsError("bad magic line")
+        store = cls()
+        revision_count = reader.expect_int("revisions")
+        for _ in range(revision_count):
+            store._revisions.append(_parse_revision_line(reader.next()))
+        head_count = reader.expect_int("head")
+        store._head_lines = [reader.next() for _ in range(head_count)]
+        delta_count = reader.expect_int("deltas")
+        for _ in range(delta_count):
+            store._reverse_deltas.append(_read_delta(reader))
+        if magic == "rcs-store 2":
+            branch_count = reader.expect_int("branches")
+            for _ in range(branch_count):
+                parts = reader.next().split(" ")
+                if len(parts) != 4 or parts[0] != "branch":
+                    raise RcsError("malformed branch header")
+                branch = _Branch(base_number=parts[2])
+                branch_revisions = int(parts[3])
+                for _ in range(branch_revisions):
+                    branch.revisions.append(_parse_revision_line(reader.next()))
+                for _ in range(branch_revisions):
+                    branch.forward_deltas.append(_read_delta(reader))
+                store._branches[parts[1]] = branch
+        if reader.remaining():
+            raise RcsError("trailing data in serialised store")
+        if len(store._reverse_deltas) != max(0, len(store._revisions) - 1):
+            raise RcsError("delta chain length disagrees with revision count")
+        return store
+
+
+class _Reader:
+    """Sequential line reader with header parsing helpers."""
+
+    def __init__(self, lines: list[str]) -> None:
+        self._lines = lines
+        self._position = 0
+
+    def next(self) -> str:
+        if self._position >= len(self._lines):
+            raise RcsError("unexpected end of serialised store")
+        line = self._lines[self._position]
+        self._position += 1
+        return line
+
+    def expect_int(self, keyword: str) -> int:
+        line = self.next()
+        prefix = keyword + " "
+        if not line.startswith(prefix):
+            raise RcsError(f"expected {keyword!r} header, got {line!r}")
+        try:
+            return int(line[len(prefix):])
+        except ValueError as exc:
+            raise RcsError(f"bad {keyword!r} count") from exc
+
+    def remaining(self) -> bool:
+        return self._position < len(self._lines)
+
+
+def _revision_line(revision: Revision) -> str:
+    return "rev {number} {author} {timestamp} {dead} {log}".format(
+        number=revision.number,
+        author=_b64(revision.author),
+        timestamp=revision.timestamp,
+        dead=int(revision.dead),
+        log=_b64(revision.log_message),
+    )
+
+
+def _parse_revision_line(line: str) -> Revision:
+    parts = line.split(" ")
+    if len(parts) != 6 or parts[0] != "rev":
+        raise RcsError("malformed revision line")
+    return Revision(
+        number=parts[1],
+        author=_unb64(parts[2]),
+        timestamp=int(parts[3]),
+        dead=bool(int(parts[4])),
+        log_message=_unb64(parts[5]),
+    )
+
+
+def _write_delta(out: list[str], delta: Delta) -> None:
+    out.append(f"delta {len(delta)}")
+    for hunk in delta:
+        out.append(f"hunk {hunk.start} {len(hunk.deleted)} {len(hunk.inserted)}")
+        out.extend(hunk.deleted)
+        out.extend(hunk.inserted)
+
+
+def _read_delta(reader: "_Reader") -> Delta:
+    hunk_count = reader.expect_int("delta")
+    hunks = []
+    for _ in range(hunk_count):
+        parts = reader.next().split(" ")
+        if len(parts) != 4 or parts[0] != "hunk":
+            raise RcsError("malformed hunk line")
+        start, n_deleted, n_inserted = int(parts[1]), int(parts[2]), int(parts[3])
+        deleted = tuple(reader.next() for _ in range(n_deleted))
+        inserted = tuple(reader.next() for _ in range(n_inserted))
+        hunks.append(Hunk(start=start, deleted=deleted, inserted=inserted))
+    return tuple(hunks)
+
+
+def _check_lines(lines: list[str]) -> None:
+    for line in lines:
+        if "\n" in line:
+            raise ValueError("document lines must not contain newlines")
+
+
+def _b64(text: str) -> str:
+    return base64.urlsafe_b64encode(text.encode("utf-8")).decode("ascii")
+
+
+def _unb64(text: str) -> str:
+    # validate=True: reject non-alphabet characters instead of silently
+    # discarding them (the default would turn garbage into "").
+    try:
+        return base64.b64decode(
+            text.replace("-", "+").replace("_", "/").encode("ascii"), validate=True
+        ).decode("utf-8")
+    except Exception as exc:  # noqa: BLE001 - normalise to RcsError
+        raise RcsError("bad base64 field") from exc

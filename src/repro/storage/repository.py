@@ -1,0 +1,161 @@
+"""A multi-file CVS repository built on revision stores.
+
+The paper treats the CVS server as a database of items where
+``checkout <file names>`` reads and ``commit <file names>`` updates.
+:class:`Repository` provides that surface over per-file
+:class:`~repro.storage.rcs.RevisionStore` chains, plus logs, status,
+and tags.  It is a pure data structure: the trusted/untrusted servers
+store its per-file serialisations as Merkle-tree values, so the root
+digest commits to the *entire history* of every file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.rcs import Revision, RevisionStore
+
+
+class RepositoryError(Exception):
+    """Raised for unknown paths and conflicting operations."""
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """What one ``commit`` call produced: path -> new revision."""
+
+    author: str
+    log_message: str
+    timestamp: int
+    revisions: dict[str, Revision] = field(default_factory=dict)
+
+
+class Repository:
+    """An in-memory CVS repository: path -> revision store."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, RevisionStore] = {}
+        self._tags: dict[str, dict[str, str]] = {}  # tag -> {path: revnum}
+        self._commits: list[CommitRecord] = []
+
+    # -- queries -----------------------------------------------------------
+
+    def paths(self, include_dead: bool = False) -> list[str]:
+        """All file paths, sorted; dead (removed) files excluded by default."""
+        return sorted(
+            path
+            for path, store in self._files.items()
+            if include_dead or not store.is_dead
+        )
+
+    def __contains__(self, path: str) -> bool:
+        store = self._files.get(path)
+        return store is not None and not store.is_dead
+
+    def checkout(self, path: str, revision: str | None = None) -> list[str]:
+        """Content of ``path`` at ``revision`` (default head)."""
+        store = self._store(path)
+        if revision is None and store.is_dead:
+            raise RepositoryError(f"{path!r} has been removed")
+        return store.checkout(revision)
+
+    def checkout_all(self) -> dict[str, list[str]]:
+        """A working copy: every live file at its head revision."""
+        return {path: self.checkout(path) for path in self.paths()}
+
+    def log(self, path: str) -> list[Revision]:
+        return self._store(path).log()
+
+    def history(self) -> list[CommitRecord]:
+        """All commit records, oldest first."""
+        return list(self._commits)
+
+    def head_revision(self, path: str) -> str:
+        number = self._store(path).head_number
+        if number is None:
+            raise RepositoryError(f"{path!r} has no revisions")
+        return number
+
+    def _store(self, path: str) -> RevisionStore:
+        store = self._files.get(path)
+        if store is None:
+            raise RepositoryError(f"unknown path {path!r}")
+        return store
+
+    # -- mutation -----------------------------------------------------------
+
+    def commit(
+        self,
+        author: str,
+        changes: dict[str, list[str] | None],
+        log_message: str = "",
+        timestamp: int = 0,
+    ) -> CommitRecord:
+        """Commit a set of changes; ``None`` content removes the file.
+
+        Returns the :class:`CommitRecord` with the new revision of each
+        changed path.
+        """
+        if not changes:
+            raise RepositoryError("empty commit")
+        record = CommitRecord(author=author, log_message=log_message, timestamp=timestamp)
+        for path, content in sorted(changes.items()):
+            store = self._files.get(path)
+            if content is None:
+                if store is None:
+                    raise RepositoryError(f"cannot remove unknown path {path!r}")
+                record.revisions[path] = store.remove(author, log_message, timestamp)
+                continue
+            if store is None:
+                store = RevisionStore()
+                self._files[path] = store
+                record.revisions[path] = store.commit(content, author, log_message, timestamp)
+            elif store.is_dead:
+                record.revisions[path] = store.resurrect(content, author, log_message, timestamp)
+            else:
+                record.revisions[path] = store.commit(content, author, log_message, timestamp)
+        self._commits.append(record)
+        return record
+
+    def tag(self, name: str, paths: list[str] | None = None) -> None:
+        """Snapshot the head revisions of ``paths`` (default: all) as a tag."""
+        if name in self._tags:
+            raise RepositoryError(f"tag {name!r} already exists")
+        selected = paths if paths is not None else self.paths()
+        self._tags[name] = {path: self.head_revision(path) for path in selected}
+
+    def checkout_tag(self, name: str) -> dict[str, list[str]]:
+        """Working copy pinned at a tag."""
+        pinned = self._tags.get(name)
+        if pinned is None:
+            raise RepositoryError(f"unknown tag {name!r}")
+        return {path: self.checkout(path, number) for path, number in pinned.items()}
+
+    # -- Merkle integration ----------------------------------------------------
+
+    def serialize_file(self, path: str) -> bytes:
+        """The Merkle-tree value for one path (its full history)."""
+        return self._store(path).serialize()
+
+    @staticmethod
+    def deserialize_file(blob: bytes) -> RevisionStore:
+        return RevisionStore.deserialize(blob)
+
+    def status(self, working_copy: dict[str, list[str]]) -> dict[str, str]:
+        """Compare a working copy to the repository heads.
+
+        Returns path -> one of 'up-to-date', 'modified', 'unknown',
+        'needs-checkout' -- the information ``cvs status`` reports.
+        """
+        report: dict[str, str] = {}
+        live = set(self.paths())
+        for path, content in sorted(working_copy.items()):
+            if path not in live:
+                report[path] = "unknown"
+            elif content == self.checkout(path):
+                report[path] = "up-to-date"
+            else:
+                report[path] = "modified"
+        for path in sorted(live - set(working_copy)):
+            report[path] = "needs-checkout"
+        return report

@@ -1,0 +1,16 @@
+"""Pytest configuration: make the shared helpers importable and expose
+common fixtures."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest
+
+from helpers import FakeContext
+
+
+@pytest.fixture
+def fake_ctx():
+    return FakeContext()

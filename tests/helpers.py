@@ -1,0 +1,47 @@
+"""Shared test helpers: a fake client context and scenario shortcuts."""
+
+from __future__ import annotations
+
+from repro.core.scenarios import build_simulation
+from repro.protocols.base import Followup, Request
+
+
+class FakeContext:
+    """Minimal ClientContext for protocol-client unit tests."""
+
+    def __init__(self, round_no: int = 1, pending: bool = False) -> None:
+        self._round = round_no
+        self._pending = pending
+        self.sent_to_server: list = []
+        self.broadcasts: list = []
+        self.internal_requests: list = []
+        self.user_messages: list = []
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def advance(self, rounds: int = 1) -> None:
+        self._round += rounds
+
+    def send_to_server(self, message) -> None:
+        assert isinstance(message, (Followup, Request))
+        self.sent_to_server.append(message)
+
+    def broadcast(self, payload: dict) -> None:
+        self.broadcasts.append(payload)
+
+    def send_to_user(self, user_id: str, payload: dict) -> None:
+        self.user_messages.append((user_id, payload))
+
+    def has_pending(self) -> bool:
+        return self._pending
+
+    def issue_internal(self, request: Request) -> None:
+        self.internal_requests.append(request)
+
+
+def run_scenario(protocol, workload, attack=None, max_rounds=4000, **kwargs):
+    """Build and execute a simulation; return the report."""
+    simulation = build_simulation(protocol, workload, attack=attack, **kwargs)
+    return simulation.execute(max_rounds=max_rounds)

@@ -1,0 +1,99 @@
+"""Tests for tree-aggregated synchronisation (future-work item 2)."""
+
+import pytest
+
+from helpers import run_scenario
+from repro.core.scenarios import build_simulation
+from repro.crypto.hashing import hash_bytes
+from repro.protocols.aggregation import AggregatedProtocol2Client
+from repro.server.attacks import ForkAttack
+from repro.simulation.workload import partitionable_workload, steady_workload
+
+
+def make_client(user_id: str, users: list[str]) -> AggregatedProtocol2Client:
+    return AggregatedProtocol2Client(user_id, users, k=4,
+                                     initial_root=hash_bytes(b"root"))
+
+
+class TestTreeTopology:
+    USERS = [f"u{i}" for i in range(7)]
+
+    def test_root_has_no_parent(self):
+        client = make_client("u0", self.USERS)
+        assert client._parent() is None
+        assert client._children() == ["u1", "u2"]
+
+    def test_internal_node(self):
+        client = make_client("u1", self.USERS)
+        assert client._parent() == "u0"
+        assert client._children() == ["u3", "u4"]
+
+    def test_leaf(self):
+        client = make_client("u5", self.USERS)
+        assert client._parent() == "u2"
+        assert client._children() == []
+
+    def test_two_users(self):
+        client = make_client("u1", ["u0", "u1"])
+        assert client._parent() == "u0"
+        assert client._children() == []
+
+    def test_single_user_is_root_leaf(self):
+        client = make_client("solo", ["solo"])
+        assert client._parent() is None
+        assert client._children() == []
+
+
+class TestHonestSimulations:
+    def test_honest_run_clean(self):
+        report = run_scenario("protocol2agg", steady_workload(5, 10, seed=1), k=4, seed=1)
+        assert not report.detected
+        assert sum(report.operations_completed.values()) == 50
+
+    @pytest.mark.parametrize("n_users", [1, 2, 3, 4, 7, 9])
+    def test_various_tree_sizes(self, n_users):
+        report = run_scenario("protocol2agg", steady_workload(n_users, 8, seed=2), k=3, seed=2)
+        assert not report.detected, (n_users, report.alarms)
+        assert sum(report.operations_completed.values()) == n_users * 8
+
+
+class TestDetection:
+    def test_partition_attack_detected(self):
+        for k in (2, 6):
+            workload = partitionable_workload(k=k, seed=3)
+            attack = ForkAttack(victims=workload.metadata["group_b"],
+                                fork_round=workload.metadata["fork_round"])
+            report = run_scenario("protocol2agg", workload, attack=attack, k=k, seed=3)
+            assert report.detected, k
+            assert not report.false_alarm
+            assert report.max_ops_after_deviation() <= k
+
+
+class TestConstantWork:
+    def test_per_user_sync_traffic_is_constant(self):
+        """The headline: per-sync messages a user handles must not grow
+        with n (flat Protocol II grows linearly)."""
+        received = {}
+        for n_users in (4, 16):
+            workload = steady_workload(n_users, 6, spacing=6, seed=4)
+            simulation = build_simulation("protocol2agg", workload, k=3, seed=4)
+            report = simulation.execute()
+            assert not report.detected
+            syncs = max(1, report.broadcasts_sent // 3)  # request/total/outcome
+            worst = max(u.client.sync_messages_received for u in simulation.users)
+            received[n_users] = worst / syncs
+        # 4x the users: per-sync per-user traffic stays within a small
+        # constant envelope (3 broadcasts + <= 2 child data + <= 2 verdicts).
+        assert received[16] <= received[4] + 4
+        assert received[16] <= 12
+
+    def test_flat_sync_traffic_grows_linearly(self):
+        received = {}
+        for n_users in (4, 16):
+            workload = steady_workload(n_users, 6, spacing=6, seed=4)
+            simulation = build_simulation("protocol2", workload, k=3, seed=4)
+            report = simulation.execute()
+            assert not report.detected
+            # each flat sync delivers ~2n broadcasts to every user
+            received[n_users] = report.broadcasts_sent
+        assert received[16] > received[4] * 3

@@ -1,0 +1,205 @@
+"""Tests for cvs annotate (blame) and RCS keyword expansion."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.facade import CvsClient, CvsServer
+from repro.storage.annotate import annotate, format_annotations
+from repro.storage.keywords import (
+    collapse_keywords,
+    contains_keywords,
+    expand_keywords,
+)
+from repro.storage.rcs import Revision, RevisionStore
+
+
+@pytest.fixture
+def store():
+    s = RevisionStore()
+    s.commit(["alpha", "beta"], "alice", "r1", 0)
+    s.commit(["alpha", "beta", "gamma"], "bob", "r2", 1)
+    s.commit(["ALPHA", "beta", "gamma"], "carol", "r3", 2)
+    return s
+
+
+class TestAnnotate:
+    def test_attributions(self, store):
+        lines = annotate(store)
+        assert [(l.text, l.revision, l.author) for l in lines] == [
+            ("ALPHA", "1.3", "carol"),
+            ("beta", "1.1", "alice"),
+            ("gamma", "1.2", "bob"),
+        ]
+
+    def test_old_revision(self, store):
+        lines = annotate(store, "1.2")
+        assert [(l.text, l.revision) for l in lines] == [
+            ("alpha", "1.1"), ("beta", "1.1"), ("gamma", "1.2"),
+        ]
+
+    def test_empty_store(self):
+        assert annotate(RevisionStore()) == []
+
+    def test_unknown_revision(self, store):
+        with pytest.raises(Exception):
+            annotate(store, "1.9")
+
+    def test_branch_annotation(self, store):
+        branch = store.create_branch("1.2")
+        store.commit_on_branch(branch, ["alpha", "beta", "gamma", "branchline"],
+                               "dave", "b1", 5)
+        lines = annotate(store, f"{branch}.1")
+        assert [(l.text, l.revision) for l in lines] == [
+            ("alpha", "1.1"), ("beta", "1.1"),
+            ("gamma", "1.2"), ("branchline", "1.2.2.1"),
+        ]
+
+    def test_line_moves_are_reattributed(self):
+        """A deleted-then-reintroduced line belongs to the reintroducer
+        (classic blame semantics)."""
+        s = RevisionStore()
+        s.commit(["keep", "original"], "alice", "", 0)
+        s.commit(["keep"], "bob", "", 1)
+        s.commit(["keep", "original"], "carol", "", 2)
+        lines = annotate(s)
+        assert lines[1].author == "carol"
+
+    def test_format(self, store):
+        rendered = format_annotations(annotate(store))
+        assert rendered[0].startswith("1.3 (carol")
+        assert rendered[0].endswith("ALPHA")
+        assert format_annotations([]) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=6),
+                    min_size=1, max_size=6))
+    def test_annotation_text_always_matches_checkout(self, revisions):
+        s = RevisionStore()
+        for t, content in enumerate(revisions):
+            s.commit(list(content), f"u{t}", "", t)
+        lines = annotate(s)
+        assert [l.text for l in lines] == s.checkout()
+        valid_revisions = {meta.number for meta in s.log()}
+        assert all(l.revision in valid_revisions for l in lines)
+
+
+class TestKeywords:
+    REV = Revision(number="1.4", author="alice", log_message="", timestamp=7)
+
+    def test_id_expansion(self):
+        out = expand_keywords(["// $Id$"], "src/a.c", self.REV)
+        assert out == ["// $Id: src/a.c 1.4 t7 alice $"]
+
+    def test_all_keywords(self):
+        doc = ["$Revision$ $Author$ $Date$ $Source$"]
+        out = expand_keywords(doc, "f.c", self.REV)
+        assert out == ["$Revision: 1.4 $ $Author: alice $ $Date: t7 $ $Source: f.c $"]
+
+    def test_expansion_idempotent(self):
+        doc = ["x $Id$ y"]
+        once = expand_keywords(doc, "f.c", self.REV)
+        twice = expand_keywords(once, "f.c", self.REV)
+        assert once == twice
+
+    def test_collapse(self):
+        expanded = expand_keywords(["$Id$", "$Revision$"], "f.c", self.REV)
+        assert collapse_keywords(expanded) == ["$Id$", "$Revision$"]
+
+    def test_collapse_idempotent_on_bare(self):
+        assert collapse_keywords(["$Id$"]) == ["$Id$"]
+
+    def test_non_keywords_untouched(self):
+        doc = ["$PATH$", "price is $5", "$Idx$", "plain"]
+        assert expand_keywords(doc, "f", self.REV) == doc
+        assert not contains_keywords(doc)
+
+    def test_contains(self):
+        assert contains_keywords(["hello $Revision$"])
+        assert contains_keywords(["$Id: stale value $"])
+
+
+class TestFacadeIntegration:
+    def test_checkout_with_expansion(self):
+        client = CvsClient(CvsServer(order=4), author="alice")
+        client.commit("f.c", ["/* $Id$ */", "int x;"], "add")
+        plain = client.checkout("f.c")
+        assert plain[0] == "/* $Id$ */"
+        expanded = client.checkout("f.c", expand=True)
+        assert expanded[0] == "/* $Id: f.c 1.1 t1 alice $ */"
+
+    def test_commit_collapses_expanded_keywords(self):
+        """Round-tripping an expanded checkout never pollutes deltas."""
+        client = CvsClient(CvsServer(order=4), author="alice")
+        client.commit("f.c", ["// $Id$", "v1"], "r1")
+        working = client.checkout("f.c", expand=True)
+        working[1] = "v2"
+        client.commit("f.c", working, "r2")
+        assert client.checkout("f.c") == ["// $Id$", "v2"]
+        assert client.checkout("f.c", expand=True)[0] == "// $Id: f.c 1.2 t2 alice $"
+
+    def test_facade_annotate(self):
+        client = CvsClient(CvsServer(order=4), author="alice")
+        client.commit("f.c", ["one"], "r1")
+        client.author = "bob"  # the session changes hands
+        client.commit("f.c", ["one", "two"], "r2")
+        lines = client.annotate("f.c")
+        assert [(l.text, l.author) for l in lines] == [("one", "alice"), ("two", "bob")]
+
+    def test_annotate_missing_file(self):
+        client = CvsClient(CvsServer(order=4), author="alice")
+        with pytest.raises(FileNotFoundError):
+            client.annotate("ghost")
+
+
+class TestCliAnnotate:
+    def test_annotate_command(self, tmp_path):
+        from repro.cli import main
+
+        def run(argv, expect=0):
+            out = io.StringIO()
+            assert main(argv, out=out) == expect, out.getvalue()
+            return out.getvalue()
+
+        import os
+        import tempfile
+
+        repo = str(tmp_path / "repo")
+        run(["init", repo])
+        for content, author in (("line one\n", "alice"), ("line one\nline two\n", "bob")):
+            with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as handle:
+                handle.write(content)
+                name = handle.name
+            try:
+                run(["-R", repo, "-a", author, "commit", "f.txt", "--file", name])
+            finally:
+                os.unlink(name)
+        text = run(["-R", repo, "annotate", "f.txt"])
+        assert "1.1 (alice" in text
+        assert "1.2 (bob" in text
+
+    def test_checkout_expand_flag(self, tmp_path):
+        from repro.cli import main
+
+        def run(argv, expect=0):
+            out = io.StringIO()
+            assert main(argv, out=out) == expect, out.getvalue()
+            return out.getvalue()
+
+        import os
+        import tempfile
+
+        repo = str(tmp_path / "repo")
+        run(["init", repo])
+        with tempfile.NamedTemporaryFile("w", suffix=".c", delete=False) as handle:
+            handle.write("/* $Revision$ */\n")
+            name = handle.name
+        try:
+            run(["-R", repo, "-a", "alice", "commit", "f.c", "--file", name])
+        finally:
+            os.unlink(name)
+        plain = run(["-R", repo, "checkout", "f.c"])
+        assert plain == "/* $Revision$ */\n"
+        expanded = run(["-R", repo, "checkout", "f.c", "--expand"])
+        assert expanded == "/* $Revision: 1.1 $ */\n"

@@ -1,0 +1,158 @@
+"""The detection matrix: every attack against every applicable protocol.
+
+The paper's soundness claims, empirically: Protocols I/II/III detect
+every attack class (with their respective bounds), the baselines show
+the expected gaps, and nobody ever raises a false alarm on an honest
+run."""
+
+import pytest
+
+from helpers import run_scenario
+from repro.server.attacks import (
+    CounterReplayAttack,
+    DropCommitAttack,
+    ForkAttack,
+    HonestBehavior,
+    SignatureForgeAttack,
+    StaleRootReplayAttack,
+    TamperValueAttack,
+)
+from repro.simulation.workload import epoch_workload, steady_workload
+
+EPOCH = 30
+
+
+def workload_for(protocol, seed):
+    if protocol == "protocol3":
+        return epoch_workload(n_users=3, epoch_length=EPOCH, epochs=8,
+                              keyspace=6, seed=seed)
+    if protocol == "protocol1":
+        # blocking handshake halves throughput; keep the server unsaturated
+        return steady_workload(3, 10, spacing=8, keyspace=6, write_ratio=0.6, seed=seed)
+    return steady_workload(3, 14, spacing=4, keyspace=6, write_ratio=0.6, seed=seed)
+
+
+def run(protocol, attack_factory, seed=7, trigger_fraction=0.5):
+    """attack_factory gets the attack-trigger round (mid-workload)."""
+    workload = workload_for(protocol, seed)
+    trigger = int(workload.horizon() * trigger_fraction)
+    attack = attack_factory(trigger) if callable(attack_factory) else attack_factory
+    return run_scenario(
+        protocol,
+        workload,
+        attack=attack,
+        k=5,
+        epoch_length=EPOCH,
+        seed=seed,
+    )
+
+
+VERIFYING_PROTOCOLS = ["protocol1", "protocol2", "protocol3"]
+
+
+class TestHonestRunsNeverAlarm:
+    @pytest.mark.parametrize("protocol", VERIFYING_PROTOCOLS + ["tokenpass", "naive"])
+    def test_no_false_alarms(self, protocol):
+        report = run(protocol, HonestBehavior())
+        assert not report.detected, report.alarms
+        assert report.first_deviation_round is None
+
+
+class TestForkDetection:
+    @pytest.mark.parametrize("protocol", VERIFYING_PROTOCOLS)
+    def test_fork_detected(self, protocol):
+        report = run(protocol, lambda r: ForkAttack(victims=["user1"], fork_round=r))
+        assert report.detected, protocol
+        assert not report.false_alarm
+
+
+class TestDropCommit:
+    @pytest.mark.parametrize("protocol", ["protocol2", "protocol3"])
+    def test_detected(self, protocol):
+        report = run(protocol, lambda r: DropCommitAttack(victim="user1", drop_round=r))
+        if report.first_deviation_round is None:
+            pytest.skip("victim issued no update after the trigger")
+        assert report.detected, protocol
+
+
+class TestStaleRootReplay:
+    @pytest.mark.parametrize("protocol", VERIFYING_PROTOCOLS)
+    def test_detected(self, protocol):
+        report = run(protocol, lambda r: StaleRootReplayAttack(victim="user2", freeze_round=r))
+        assert report.detected, protocol
+        assert not report.false_alarm
+
+
+class TestTamper:
+    @pytest.mark.parametrize("protocol", VERIFYING_PROTOCOLS)
+    @pytest.mark.parametrize("forge_proof", [False, True])
+    def test_detected(self, protocol, forge_proof):
+        # Early trigger: Protocol III's audit lags the fault by up to two
+        # epochs, so the fault must land well inside the workload.
+        report = run(
+            protocol,
+            lambda r: TamperValueAttack(victim="user0", tamper_round=r, forge_proof=forge_proof),
+            trigger_fraction=0.2,
+        )
+        if report.first_deviation_round is None:
+            pytest.skip("victim issued no read after the trigger")
+        assert report.detected, (protocol, forge_proof)
+
+    def test_unforged_tamper_is_detected_instantly(self):
+        report = run("protocol2", lambda r: TamperValueAttack(victim="user0", tamper_round=10, forge_proof=False))
+        assert report.detected
+        assert report.detection_delay_rounds() <= 3
+
+
+class TestCounterReplay:
+    @pytest.mark.parametrize("protocol", ["protocol2", "protocol3"])
+    def test_detected_by_regression_check(self, protocol):
+        report = run(protocol, lambda r: CounterReplayAttack(victim="user0", replay_round=r))
+        assert report.detected, protocol
+        assert "regressed" in next(iter(report.alarms.values())).reason
+
+
+class TestSignatureForge:
+    def test_protocol1_detects(self):
+        report = run("protocol1", lambda r: SignatureForgeAttack(forge_round=r))
+        assert report.detected
+        assert "signature" in next(iter(report.alarms.values())).reason
+
+
+class TestNaiveBaselineMissesEverything:
+    @pytest.mark.parametrize("attack_factory", [
+        lambda: ForkAttack(victims=["user1"], fork_round=20),
+        lambda: StaleRootReplayAttack(victim="user2", freeze_round=20),
+        lambda: TamperValueAttack(victim="user0", tamper_round=20),
+        lambda: DropCommitAttack(victim="user1", drop_round=20),
+    ])
+    def test_undetected(self, attack_factory):
+        workload = steady_workload(3, 16, spacing=3, keyspace=4, write_ratio=0.6, seed=9)
+        report = run_scenario("naive", workload, attack=attack_factory(), seed=9)
+        assert not report.detected
+
+
+class TestDetectionBounds:
+    def test_protocol2_k_bound_holds_across_seeds(self):
+        for seed in range(5):
+            workload = steady_workload(3, 16, spacing=4, keyspace=6,
+                                       write_ratio=0.6, seed=seed)
+            attack = ForkAttack(victims=["user1"], fork_round=30)
+            report = run_scenario("protocol2", workload, attack=attack, k=4, seed=seed)
+            if report.first_deviation_round is None:
+                continue
+            assert report.detected, seed
+            assert report.max_ops_after_deviation() <= 4, seed
+
+    def test_protocol3_two_epoch_bound_across_seeds(self):
+        for seed in range(3):
+            workload = epoch_workload(n_users=3, epoch_length=EPOCH, epochs=9,
+                                      keyspace=6, seed=seed)
+            attack = ForkAttack(victims=["user1"], fork_round=int(EPOCH * 2.4))
+            report = run_scenario("protocol3", workload, attack=attack,
+                                  epoch_length=EPOCH, seed=seed)
+            if report.first_deviation_round is None:
+                continue
+            assert report.detected, seed
+            delay = report.detection_round - report.first_deviation_round
+            assert delay <= 2 * EPOCH + EPOCH // 2, (seed, delay)

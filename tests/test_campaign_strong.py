@@ -1,0 +1,112 @@
+"""Tests for the campaign runner and the strong-bound Protocol II
+variant (total-k rather than per-user-k)."""
+
+import pytest
+
+from helpers import run_scenario
+from repro.analysis.campaign import CAMPAIGN_HEADERS, Campaign, campaign_table
+from repro.server.attacks import ForkAttack
+from repro.simulation.workload import partitionable_workload, steady_workload
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def results(self):
+        campaign = Campaign(
+            protocols=["naive", "protocol2"],
+            seeds=[1, 2],
+            workload_factory=lambda protocol, seed: steady_workload(
+                3, 12, spacing=4, keyspace=6, write_ratio=0.6, seed=seed),
+            attack_factories={
+                "honest": lambda wl, seed: None,
+                "fork": lambda wl, seed: ForkAttack(victims=["user1"],
+                                                    fork_round=wl.horizon() // 2),
+            },
+            build_kwargs={"k": 4},
+        )
+        return campaign.run()
+
+    def test_matrix_shape(self, results):
+        assert len(results) == 4  # 2 protocols x 2 attacks
+        assert {(c.protocol, c.attack_name) for c in results} == {
+            ("naive", "honest"), ("naive", "fork"),
+            ("protocol2", "honest"), ("protocol2", "fork"),
+        }
+
+    def test_honest_cells_clean(self, results):
+        for cell in results:
+            if cell.attack_name == "honest":
+                assert cell.deviated == 0
+                assert cell.false_alarms == 0
+                assert cell.detection_rate == 1.0  # vacuous
+
+    def test_fork_cells(self, results):
+        by_key = {(c.protocol, c.attack_name): c for c in results}
+        naive = by_key[("naive", "fork")]
+        p2 = by_key[("protocol2", "fork")]
+        if p2.deviated:
+            assert p2.detection_rate == 1.0
+            assert p2.mean_delay is not None
+            assert p2.delay_percentile(0.9) >= p2.delay_percentile(0.0)
+        if naive.deviated:
+            assert naive.detection_rate == 0.0
+
+    def test_table_rendering(self, results):
+        rows = campaign_table(results)
+        assert len(rows) == len(results)
+        assert len(rows[0]) == len(CAMPAIGN_HEADERS)
+
+
+class TestStrongBoundVariant:
+    def test_honest_run_clean(self):
+        report = run_scenario("protocol2strong", steady_workload(3, 10, seed=1),
+                              k=5, seed=1)
+        assert not report.detected
+        assert sum(report.operations_completed.values()) == 30
+
+    def test_syncs_more_often_than_per_user_variant(self):
+        """Total-k triggers on the global counter, so with n users it
+        syncs roughly n times as often as per-user-k."""
+        workload = steady_workload(4, 10, spacing=4, seed=2)
+        weak = run_scenario("protocol2", workload, k=6, seed=2)
+        strong = run_scenario("protocol2strong", workload, k=6, seed=2)
+        assert not weak.detected and not strong.detected
+        assert strong.broadcasts_sent > weak.broadcasts_sent * 2
+
+    def test_detects_fork_within_total_k(self):
+        """The stronger promise: at most ~k operations *in total* are
+        initiated after the deviation before some user knows."""
+        for k in (3, 6):
+            workload = partitionable_workload(k=k, seed=3)
+            attack = ForkAttack(victims=workload.metadata["group_b"],
+                                fork_round=workload.metadata["fork_round"])
+            report = run_scenario("protocol2strong", workload, attack=attack,
+                                  k=k, seed=3)
+            assert report.detected, k
+            assert not report.false_alarm
+            # total post-deviation initiations across ALL users
+            total_after = sum(
+                1
+                for user, issued in report.issue_rounds.items()
+                for r in issued
+                if r > report.first_deviation_round
+                and (report.detection_round is None or r <= report.detection_round)
+            )
+            # k total plus the handful in flight when the sync fires
+            assert total_after <= k + 3, (k, total_after)
+
+    def test_strong_variant_in_campaign(self):
+        campaign = Campaign(
+            protocols=["protocol2strong"],
+            seeds=[4],
+            workload_factory=lambda protocol, seed: steady_workload(
+                3, 12, spacing=4, keyspace=6, write_ratio=0.6, seed=seed),
+            attack_factories={
+                "fork": lambda wl, seed: ForkAttack(victims=["user1"],
+                                                    fork_round=wl.horizon() // 2),
+            },
+            build_kwargs={"k": 4},
+        )
+        (cell,) = campaign.run()
+        if cell.deviated:
+            assert cell.detection_rate == 1.0

@@ -1,0 +1,132 @@
+"""Tests for the command-line client (trust anchors on disk)."""
+
+import io
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def run(argv, expect=0):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    assert code == expect, out.getvalue()
+    return out.getvalue()
+
+
+@pytest.fixture
+def repo(tmp_path):
+    repo_dir = str(tmp_path / "repo")
+    run(["init", repo_dir])
+    return repo_dir
+
+
+def commit(repo, path, content, message="", author="alice", tmp_dir="/tmp"):
+    import tempfile
+
+    with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as handle:
+        handle.write(content)
+        name = handle.name
+    try:
+        return run(["-R", repo, "-a", author, "commit", path, "-m", message, "--file", name])
+    finally:
+        os.unlink(name)
+
+
+class TestInit:
+    def test_init_creates_repo(self, tmp_path):
+        repo_dir = str(tmp_path / "new")
+        text = run(["init", repo_dir])
+        assert "initialised" in text
+        assert os.path.isfile(os.path.join(repo_dir, "db.snapshot"))
+
+    def test_double_init_fails(self, repo):
+        text = run(["init", repo], expect=2)
+        assert "already exists" in text
+
+    def test_commands_need_a_repo(self, tmp_path):
+        text = run(["-R", str(tmp_path / "nowhere"), "ls"], expect=2)
+        assert "not a repository" in text
+
+
+class TestCommitCheckout:
+    def test_roundtrip(self, repo):
+        text = commit(repo, "src/main.c", "int main() {}\n", "first")
+        assert "committed src/main.c 1.1" in text
+        out = run(["-R", repo, "checkout", "src/main.c"])
+        assert out == "int main() {}\n"
+
+    def test_revisions(self, repo):
+        commit(repo, "f.txt", "v1\n")
+        commit(repo, "f.txt", "v1\nv2\n")
+        assert run(["-R", repo, "checkout", "f.txt", "-r", "1.1"]) == "v1\n"
+        assert run(["-R", repo, "checkout", "f.txt"]) == "v1\nv2\n"
+
+    def test_log(self, repo):
+        commit(repo, "f.txt", "a\n", "first", author="alice")
+        commit(repo, "f.txt", "b\n", "second", author="bob")
+        text = run(["-R", repo, "log", "f.txt"])
+        assert "1.1" in text and "first" in text and "alice" in text
+        assert "1.2" in text and "second" in text and "bob" in text
+
+    def test_diff(self, repo):
+        commit(repo, "f.txt", "old line\n")
+        commit(repo, "f.txt", "new line\n")
+        text = run(["-R", repo, "diff", "f.txt", "-r", "1.1"])
+        assert "-old line" in text
+        assert "+new line" in text
+
+    def test_ls_and_remove(self, repo):
+        commit(repo, "src/a.c", "x\n")
+        commit(repo, "src/b.c", "y\n")
+        commit(repo, "docs/r.md", "z\n")
+        assert run(["-R", repo, "ls"]).splitlines() == ["docs/r.md", "src/a.c", "src/b.c"]
+        assert run(["-R", repo, "ls", "src/"]).splitlines() == ["src/a.c", "src/b.c"]
+        run(["-R", repo, "remove", "src/a.c", "-m", "gone"])
+        assert run(["-R", repo, "ls", "src/"]).splitlines() == ["src/b.c"]
+
+    def test_checkout_missing(self, repo):
+        text = run(["-R", repo, "checkout", "ghost.c"], expect=2)
+        assert "error" in text
+
+
+class TestTrustAnchor:
+    def test_trust_reporting(self, repo):
+        commit(repo, "f.txt", "x\n")
+        text = run(["-R", repo, "trust"])
+        assert "in sync     : yes" in text
+
+    def test_anchor_survives_sessions(self, repo):
+        commit(repo, "f.txt", "session 1\n")
+        # a fresh process (new Workspace) keeps verifying
+        out = run(["-R", repo, "checkout", "f.txt"])
+        assert out == "session 1\n"
+        anchor = os.path.join(repo, "trust", "alice.digest")
+        assert os.path.isfile(anchor)
+
+    def test_offline_tampering_detected(self, repo):
+        """Rewrite the snapshot behind the client's back: the next
+        command must refuse with an integrity violation."""
+        commit(repo, "secret.txt", "the truth\n")
+        run(["-R", repo, "checkout", "secret.txt"])  # anchor now set
+
+        # the server operator swaps in a doctored repository
+        from repro.core.facade import CvsClient, CvsServer
+        from repro.mtree.persistence import dump_database
+
+        doctored = CvsServer()
+        evil_client = CvsClient(doctored, author="mallory")
+        evil_client.commit("secret.txt", ["the lie"], "tampered")
+        with open(os.path.join(repo, "db.snapshot"), "wb") as handle:
+            handle.write(dump_database(doctored._database))
+
+        text = run(["-R", repo, "checkout", "secret.txt"], expect=3)
+        assert "INTEGRITY VIOLATION" in text
+
+    def test_separate_authors_separate_anchors(self, repo):
+        commit(repo, "f.txt", "x\n", author="alice")
+        # bob joins later: trust-on-first-use at the current root
+        out = run(["-R", repo, "-a", "bob", "checkout", "f.txt"])
+        assert out == "x\n"
+        assert os.path.isfile(os.path.join(repo, "trust", "bob.digest"))

@@ -1,0 +1,139 @@
+"""Tests for the Myers diff engine and delta algebra."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.diff import (
+    Hunk,
+    PatchError,
+    apply_delta,
+    delta_size,
+    diff,
+    invert_delta,
+    unified_diff,
+)
+
+lines = st.lists(st.sampled_from([f"line-{i}" for i in range(12)]), max_size=30)
+
+
+class TestDiff:
+    def test_identical(self):
+        assert diff(["a", "b"], ["a", "b"]) == ()
+
+    def test_pure_insert(self):
+        delta = diff([], ["a", "b"])
+        assert len(delta) == 1
+        assert delta[0].inserted == ("a", "b")
+        assert delta[0].deleted == ()
+
+    def test_pure_delete(self):
+        delta = diff(["a", "b"], [])
+        assert len(delta) == 1
+        assert delta[0].deleted == ("a", "b")
+
+    def test_replace(self):
+        delta = diff(["a", "x", "c"], ["a", "y", "c"])
+        assert apply_delta(["a", "x", "c"], delta) == ["a", "y", "c"]
+        assert delta_size(delta) == 2
+
+    def test_shortest_script(self):
+        # One changed line in 100 should yield exactly one small hunk.
+        a = [f"l{i}" for i in range(100)]
+        b = list(a)
+        b[50] = "changed"
+        delta = diff(a, b)
+        assert len(delta) == 1
+        assert delta_size(delta) == 2
+
+    @settings(max_examples=200, deadline=None)
+    @given(lines, lines)
+    def test_roundtrip(self, a, b):
+        assert apply_delta(a, diff(a, b)) == b
+
+    @settings(max_examples=200, deadline=None)
+    @given(lines, lines)
+    def test_invert_roundtrip(self, a, b):
+        delta = diff(a, b)
+        assert apply_delta(b, invert_delta(delta)) == a
+
+    @settings(max_examples=100, deadline=None)
+    @given(lines, lines)
+    def test_hunks_sorted_nonoverlapping(self, a, b):
+        delta = diff(a, b)
+        position = 0
+        for hunk in delta:
+            assert hunk.start >= position
+            position = hunk.start + len(hunk.deleted)
+            assert position <= len(a)
+
+    @settings(max_examples=100, deadline=None)
+    @given(lines, lines, lines)
+    def test_composition(self, a, b, c):
+        ab, bc = diff(a, b), diff(b, c)
+        assert apply_delta(apply_delta(a, ab), bc) == c
+
+
+class TestHunk:
+    def test_empty_hunk_rejected(self):
+        with pytest.raises(ValueError):
+            Hunk(start=0, deleted=(), inserted=())
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Hunk(start=-1, deleted=("x",), inserted=())
+
+
+class TestApplyErrors:
+    def test_context_mismatch(self):
+        delta = diff(["a", "b"], ["a", "c"])
+        with pytest.raises(PatchError):
+            apply_delta(["x", "y"], delta)
+
+    def test_out_of_bounds(self):
+        delta = (Hunk(start=5, deleted=("x",), inserted=()),)
+        with pytest.raises(PatchError):
+            apply_delta(["a"], delta)
+
+    def test_overlap_rejected(self):
+        delta = (
+            Hunk(start=0, deleted=("a", "b"), inserted=()),
+            Hunk(start=1, deleted=("b",), inserted=()),
+        )
+        with pytest.raises(PatchError):
+            apply_delta(["a", "b", "c"], delta)
+
+
+class TestUnifiedDiff:
+    def test_empty_for_identical(self):
+        assert unified_diff(["a"], ["a"]) == ""
+
+    def test_headers(self):
+        text = unified_diff(["a"], ["b"], "old.txt", "new.txt")
+        assert text.startswith("--- old.txt\n+++ new.txt\n")
+
+    def test_markers(self):
+        text = unified_diff(["keep", "old"], ["keep", "new"])
+        assert " keep" in text
+        assert "-old" in text
+        assert "+new" in text
+
+    def test_context_limits_output(self):
+        a = [f"l{i}" for i in range(100)]
+        b = list(a)
+        b[50] = "changed"
+        text = unified_diff(a, b, context=2)
+        # 2 lines of context either side + the +/- pair + hunk header + file headers
+        assert len(text.strip().split("\n")) == 2 + 2 + 2 + 2 + 1
+
+    def test_distant_changes_get_separate_hunks(self):
+        a = [f"l{i}" for i in range(60)]
+        b = list(a)
+        b[5] = "x"
+        b[50] = "y"
+        text = unified_diff(a, b, context=3)
+        assert text.count("@@") == 4  # two hunk headers, each with two @@
+
+    @settings(max_examples=50, deadline=None)
+    @given(lines, lines)
+    def test_never_crashes(self, a, b):
+        unified_diff(a, b)

@@ -1,0 +1,44 @@
+"""Tests for DOT rendering of seen-state graphs."""
+
+from repro.analysis.dot import state_graph_to_dot
+from repro.crypto.hashing import hash_bytes
+from repro.protocols.graph import StateGraph
+
+
+def node(label):
+    return hash_bytes(label.encode())
+
+
+class TestDotRendering:
+    def test_path_graph(self):
+        graph = StateGraph()
+        graph.add(node("a"), node("b"))
+        graph.add(node("b"), node("c"))
+        text = state_graph_to_dot(graph)
+        assert text.startswith("digraph states {")
+        assert text.rstrip().endswith("}")
+        assert "directed path" in text
+        assert text.count("->") == 2
+
+    def test_labels_applied(self):
+        graph = StateGraph()
+        graph.add(node("a"), node("b"))
+        text = state_graph_to_dot(graph, labels={node("a"): "D0", node("b"): "D1"})
+        assert 'label="D0"' in text
+        assert 'label="D1"' in text
+
+    def test_violating_nodes_highlighted(self):
+        graph = StateGraph()
+        graph.add(node("a"), node("c"))
+        graph.add(node("b"), node("c"))  # in-degree 2
+        text = state_graph_to_dot(graph)
+        assert "NOT a path" in text
+        assert "fillcolor" in text
+        assert "P2=FAIL" in text
+
+    def test_property_captions(self):
+        graph = StateGraph()
+        graph.add(node("a"), node("b"))
+        text = state_graph_to_dot(graph)
+        for prop in ("P1", "P2", "P3", "P4"):
+            assert prop in text

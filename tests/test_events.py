@@ -1,0 +1,99 @@
+"""Tests for runs and Definition 2.1 deviation."""
+
+from repro.mtree.database import RangeQuery, ReadQuery, WriteQuery
+from repro.simulation.events import (
+    Action,
+    Run,
+    describe_query,
+    deviates_from_all,
+    prefix_deviates,
+)
+
+
+def make_run(spec, rounds=None):
+    """spec: list of (kind, user, txn) tuples."""
+    run = Run()
+    for index, (kind, user, txn) in enumerate(spec):
+        run.record(Action(kind=kind, user_id=user, txn_id=txn, description="op"),
+                   rounds[index] if rounds else index + 1)
+    return run
+
+
+BASE = [("query", "a", 1), ("response", "a", 1), ("query", "b", 2), ("response", "b", 2)]
+
+
+class TestPrefixDeviates:
+    def test_identical_runs_do_not_deviate(self):
+        assert not prefix_deviates(make_run(BASE), make_run(BASE))
+
+    def test_prefix_does_not_deviate(self):
+        assert not prefix_deviates(make_run(BASE[:2]), make_run(BASE))
+
+    def test_timing_only_difference_does_not_deviate(self):
+        """Definition 2.1: only the set and order of actions matter; the
+        rounds they occur at may differ."""
+        fast = make_run(BASE, rounds=[1, 2, 3, 4])
+        slow = make_run(BASE, rounds=[5, 9, 70, 200])
+        assert not prefix_deviates(fast, slow)
+        assert not prefix_deviates(slow, fast)
+
+    def test_different_order_deviates(self):
+        reordered = [BASE[0], BASE[2], BASE[1], BASE[3]]
+        assert prefix_deviates(make_run(reordered), make_run(BASE))
+
+    def test_missing_action_deviates(self):
+        dropped = [BASE[0], BASE[1], BASE[3]]  # b's query vanished
+        assert prefix_deviates(make_run(dropped), make_run(BASE))
+
+    def test_longer_run_deviates(self):
+        extended = BASE + [("query", "c", 3)]
+        assert prefix_deviates(make_run(extended), make_run(BASE))
+
+    def test_different_answer_content_deviates(self):
+        """The same transaction answered differently is a different
+        response action."""
+        honest = Run()
+        honest.record(Action(kind="response", user_id="a", txn_id=1,
+                             description="op", answer_digest="X"), 1)
+        lying = Run()
+        lying.record(Action(kind="response", user_id="a", txn_id=1,
+                            description="op", answer_digest="Y"), 1)
+        assert prefix_deviates(lying, honest)
+
+
+class TestDeviatesFromAll:
+    def test_matches_one_trusted_run(self):
+        trusted = [make_run(BASE), make_run(list(reversed(BASE)))]
+        assert not deviates_from_all(make_run(BASE[:3]), trusted)
+
+    def test_matches_none(self):
+        trusted = [make_run(BASE)]
+        rogue = make_run([("query", "z", 9)])
+        assert deviates_from_all(rogue, trusted)
+
+    def test_empty_run_never_deviates(self):
+        assert not deviates_from_all(Run(), [make_run(BASE)])
+
+
+class TestRun:
+    def test_prefix(self):
+        run = make_run(BASE)
+        assert len(run.prefix(2)) == 2
+        assert run.prefix(2).action_sequence() == run.action_sequence()[:2]
+
+    def test_len(self):
+        assert len(make_run(BASE)) == 4
+
+
+class TestDescribeQuery:
+    def test_read(self):
+        assert "ReadQuery" in describe_query(ReadQuery(b"src/a.c"))
+        assert "src/a.c" in describe_query(ReadQuery(b"src/a.c"))
+
+    def test_write_includes_size(self):
+        text = describe_query(WriteQuery(b"k", b"12345"))
+        assert "5B" in text
+
+    def test_range_includes_bounds(self):
+        text = describe_query(RangeQuery(b"a", b"z"))
+        assert "a" in text and "z" in text

@@ -1,0 +1,165 @@
+"""Tests for the CvsServer/CvsClient facade (the adoptable API)."""
+
+import pytest
+
+from repro.core.facade import CvsClient, CvsServer
+from repro.mtree.database import Query, QueryResult, ReadQuery
+from repro.mtree.proofs import ProofError
+
+
+@pytest.fixture
+def client():
+    server = CvsServer(order=4)
+    return CvsClient(server, author="alice")
+
+
+class TestCvsVerbs:
+    def test_commit_and_checkout(self, client):
+        revision = client.commit("src/main.c", ["int main() {}"], "initial")
+        assert revision.number == "1.1"
+        assert client.checkout("src/main.c") == ["int main() {}"]
+
+    def test_multiple_revisions(self, client):
+        client.commit("f.txt", ["v1"])
+        client.commit("f.txt", ["v1", "v2"])
+        client.commit("f.txt", ["v2"])
+        assert client.checkout("f.txt") == ["v2"]
+        assert client.checkout("f.txt", "1.1") == ["v1"]
+        assert client.checkout("f.txt", "1.2") == ["v1", "v2"]
+
+    def test_checkout_missing_file(self, client):
+        with pytest.raises(FileNotFoundError):
+            client.checkout("ghost.c")
+
+    def test_log(self, client):
+        client.commit("f.txt", ["a"], "first")
+        client.commit("f.txt", ["b"], "second")
+        log = client.log("f.txt")
+        assert [r.log_message for r in log] == ["first", "second"]
+        assert all(r.author == "alice" for r in log)
+
+    def test_diff(self, client):
+        client.commit("f.txt", ["a", "b"])
+        client.commit("f.txt", ["a", "c"])
+        text = client.diff("f.txt", "1.1")
+        assert "-b" in text and "+c" in text
+
+    def test_remove_keeps_history(self, client):
+        client.commit("f.txt", ["content"])
+        client.remove("f.txt", "cleanup")
+        # head of a dead file is empty; old revision still reachable
+        assert client.checkout("f.txt") == []
+        assert client.checkout("f.txt", "1.1") == ["content"]
+        assert client.paths() == []
+
+    def test_recommit_after_remove(self, client):
+        client.commit("f.txt", ["v1"])
+        client.remove("f.txt")
+        revision = client.commit("f.txt", ["v2"])
+        assert revision.number == "1.3"
+        assert client.checkout("f.txt") == ["v2"]
+
+    def test_remove_missing(self, client):
+        with pytest.raises(FileNotFoundError):
+            client.remove("ghost.c")
+
+    def test_paths_with_prefix(self, client):
+        client.commit("src/a.c", ["x"])
+        client.commit("src/b.c", ["y"])
+        client.commit("docs/readme", ["z"])
+        assert client.paths("src/") == ["src/a.c", "src/b.c"]
+        assert client.paths() == ["docs/readme", "src/a.c", "src/b.c"]
+
+    def test_purge_erases_history(self, client):
+        client.commit("f.txt", ["v"])
+        client.purge("f.txt")
+        with pytest.raises(FileNotFoundError):
+            client.checkout("f.txt")
+
+    def test_two_clients_sequential(self):
+        """Two clients can share a server as long as each verifies every
+        operation it performs (joint root tracking needs the paper's
+        protocols only when operations interleave *unseen*)."""
+        server = CvsServer(order=4)
+        alice = CvsClient(server, author="alice")
+        alice.commit("f.txt", ["from alice"])
+        bob = CvsClient(server, author="bob")  # joins at the current root
+        assert bob.checkout("f.txt") == ["from alice"]
+        bob.commit("f.txt", ["from bob"])
+        assert bob.checkout("f.txt") == ["from bob"]
+        # alice's tracked root is now stale: her next operation flags it
+        with pytest.raises(ProofError):
+            alice.checkout("f.txt")
+
+
+class TestUpdateMerge:
+    """``cvs update`` semantics: the working copy is based on an older
+    revision, the repository head has moved on (committed through the
+    same verified session -- concurrent *unseen* writers are exactly
+    what the multi-user protocols exist for)."""
+
+    def test_clean_update_combines_edits(self):
+        server = CvsServer(order=4)
+        dev = CvsClient(server, author="dev")
+        dev.commit("f.c", ["one", "two", "three", "four"], "base")        # 1.1
+        dev.commit("f.c", ["one", "two", "three", "FOUR"], "tail edit")   # 1.2
+
+        # the working copy edited the head line, starting from 1.1
+        working = ["ONE", "two", "three", "four"]
+        result = dev.update("f.c", working, base_revision="1.1")
+        assert not result.has_conflicts
+        assert result.lines() == ["ONE", "two", "three", "FOUR"]
+
+    def test_conflicting_update_reports_conflict(self):
+        server = CvsServer(order=4)
+        dev = CvsClient(server, author="dev")
+        dev.commit("f.c", ["shared"], "base")            # 1.1
+        dev.commit("f.c", ["committed version"], "edit")  # 1.2
+        result = dev.update("f.c", ["working version"], base_revision="1.1")
+        assert result.has_conflicts
+        conflict = result.conflicts()[0]
+        assert conflict.ours == ("working version",)
+        assert conflict.theirs == ("committed version",)
+
+    def test_update_unknown_file(self):
+        server = CvsServer(order=4)
+        dev = CvsClient(server, author="dev")
+        with pytest.raises(FileNotFoundError):
+            dev.update("ghost.c", ["x"], "1.1")
+
+
+class LyingServer(CvsServer):
+    """Returns a stale snapshot for every read after `freeze`."""
+
+    def __init__(self) -> None:
+        super().__init__(order=4)
+        self._frozen_results: dict[bytes, QueryResult] = {}
+        self.freeze = False
+
+    def execute(self, query: Query) -> QueryResult:
+        if isinstance(query, ReadQuery) and self.freeze and query.key in self._frozen_results:
+            return self._frozen_results[query.key]
+        result = super().execute(query)
+        if isinstance(query, ReadQuery):
+            self._frozen_results[query.key] = result
+        return result
+
+
+class TestMaliciousServer:
+    def test_stale_answer_detected(self):
+        server = LyingServer()
+        alice = CvsClient(server, author="alice")
+        alice.commit("f.txt", ["v1"])
+        alice.checkout("f.txt")  # cached by the lying server
+        alice.commit("f.txt", ["v2"])
+        server.freeze = True
+        with pytest.raises(ProofError):
+            alice.checkout("f.txt")
+
+    def test_root_digest_is_the_only_client_state(self):
+        server = CvsServer(order=4)
+        alice = CvsClient(server, author="alice")
+        for index in range(20):
+            alice.commit(f"file{index}.txt", [f"content {index}"])
+        # the trust state is one digest regardless of history size
+        assert len(alice.root_digest.value) == 32

@@ -1,0 +1,177 @@
+"""Tests for branch workflows through the facade and the CLI."""
+
+import io
+import os
+import tempfile
+
+import pytest
+
+from repro.cli import main
+from repro.core.facade import CvsClient, CvsServer
+
+
+@pytest.fixture
+def dev():
+    server = CvsServer(order=4)
+    return CvsClient(server, author="dev")
+
+
+class TestFacadeBranches:
+    def test_branch_at_head(self, dev):
+        dev.commit("f.c", ["v1"], "r1")
+        dev.commit("f.c", ["v2"], "r2")
+        branch_id = dev.branch("f.c")
+        assert branch_id == "1.2.2"
+        assert dev.branches("f.c") == ["1.2.2"]
+
+    def test_branch_at_old_revision(self, dev):
+        dev.commit("f.c", ["v1"], "r1")
+        dev.commit("f.c", ["v2"], "r2")
+        assert dev.branch("f.c", "1.1") == "1.1.2"
+
+    def test_branch_commit_and_checkout(self, dev):
+        dev.commit("f.c", ["trunk v1"])
+        branch = dev.branch("f.c")
+        revision = dev.commit_on_branch("f.c", branch, ["branch v1"], "fix")
+        assert revision.number == "1.1.2.1"
+        assert dev.checkout("f.c", "1.1.2.1") == ["branch v1"]
+        assert dev.checkout("f.c") == ["trunk v1"]  # trunk untouched
+
+    def test_branch_state_survives_verified_roundtrip(self, dev):
+        """Branches live inside the Merkle-committed store blob: the
+        root digest covers them too."""
+        dev.commit("f.c", ["x"])
+        before = dev.root_digest
+        dev.branch("f.c")
+        assert dev.root_digest != before  # branch creation is committed
+
+    def test_merge_branch_clean(self, dev):
+        dev.commit("f.c", ["line1", "line2", "line3"], "base")
+        branch = dev.branch("f.c")
+        dev.commit_on_branch("f.c", branch, ["line1", "line2", "line3", "hotfix"], "fix")
+        dev.commit("f.c", ["line0", "line1", "line2", "line3"], "feature")
+        result = dev.merge_branch("f.c", branch)
+        assert not result.has_conflicts
+        assert dev.checkout("f.c") == ["line0", "line1", "line2", "line3", "hotfix"]
+        assert dev.log("f.c")[-1].log_message.startswith("merge 1.1.2")
+
+    def test_merge_branch_conflict_commits_nothing(self, dev):
+        dev.commit("f.c", ["shared"], "base")
+        branch = dev.branch("f.c")
+        dev.commit_on_branch("f.c", branch, ["branch edit"])
+        dev.commit("f.c", ["trunk edit"])
+        head_before = dev.log("f.c")[-1].number
+        result = dev.merge_branch("f.c", branch)
+        assert result.has_conflicts
+        assert dev.log("f.c")[-1].number == head_before
+
+    def test_merge_empty_branch_rejected(self, dev):
+        dev.commit("f.c", ["x"])
+        branch = dev.branch("f.c")
+        with pytest.raises(ValueError):
+            dev.merge_branch("f.c", branch)
+
+    def test_unknown_path_errors(self, dev):
+        with pytest.raises(FileNotFoundError):
+            dev.branch("ghost.c")
+        with pytest.raises(FileNotFoundError):
+            dev.branches("ghost.c")
+        with pytest.raises(FileNotFoundError):
+            dev.commit_on_branch("ghost.c", "1.1.2", ["x"])
+        with pytest.raises(FileNotFoundError):
+            dev.merge_branch("ghost.c", "1.1.2")
+
+
+def run(argv, expect=0):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    assert code == expect, out.getvalue()
+    return out.getvalue()
+
+
+def write_temp(content: str) -> str:
+    handle = tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False)
+    handle.write(content)
+    handle.close()
+    return handle.name
+
+
+@pytest.fixture
+def repo(tmp_path):
+    repo_dir = str(tmp_path / "repo")
+    run(["init", repo_dir])
+    name = write_temp("line1\nline2\nline3\n")
+    try:
+        run(["-R", repo_dir, "commit", "f.c", "-m", "base", "--file", name])
+    finally:
+        os.unlink(name)
+    return repo_dir
+
+
+class TestCliBranches:
+    def test_branch_create_and_list(self, repo):
+        text = run(["-R", repo, "branch", "f.c"])
+        assert "created branch 1.1.2" in text
+        text = run(["-R", repo, "branch", "f.c", "--list"])
+        assert text.strip() == "1.1.2"
+
+    def test_branch_commit_and_merge(self, repo):
+        run(["-R", repo, "branch", "f.c"])
+        name = write_temp("line1\nline2\nline3\nhotfix\n")
+        try:
+            text = run(["-R", repo, "bcommit", "f.c", "-b", "1.1.2", "--file", name, "-m", "fix"])
+        finally:
+            os.unlink(name)
+        assert "1.1.2.1" in text
+        text = run(["-R", repo, "merge", "f.c", "-b", "1.1.2"])
+        assert "merged 1.1.2" in text
+        assert run(["-R", repo, "checkout", "f.c"]).splitlines()[-1] == "hotfix"
+
+    def test_merge_conflict_reports_markers(self, repo):
+        run(["-R", repo, "branch", "f.c"])
+        name = write_temp("branch version\n")
+        try:
+            run(["-R", repo, "bcommit", "f.c", "-b", "1.1.2", "--file", name])
+        finally:
+            os.unlink(name)
+        name = write_temp("trunk version\n")
+        try:
+            run(["-R", repo, "commit", "f.c", "--file", name])
+        finally:
+            os.unlink(name)
+        text = run(["-R", repo, "merge", "f.c", "-b", "1.1.2"], expect=1)
+        assert "CONFLICTS" in text
+        assert "<<<<<<<" in text
+
+    def test_update_command_clean(self, repo):
+        # repository head advances
+        name = write_temp("line1\nline2\nline3 EDITED\n")
+        try:
+            run(["-R", repo, "commit", "f.c", "--file", name])
+        finally:
+            os.unlink(name)
+        # working copy based on 1.1 with a head-line edit
+        working = write_temp("line1 LOCAL\nline2\nline3\n")
+        try:
+            text = run(["-R", repo, "update", "f.c", "-r", "1.1", "--file", working])
+            assert "merged cleanly" in text
+            with open(working) as handle:
+                assert handle.read() == "line1 LOCAL\nline2\nline3 EDITED\n"
+        finally:
+            os.unlink(working)
+
+    def test_update_command_conflict(self, repo):
+        name = write_temp("repo edit\nline2\nline3\n")
+        try:
+            run(["-R", repo, "commit", "f.c", "--file", name])
+        finally:
+            os.unlink(name)
+        working = write_temp("local edit\nline2\nline3\n")
+        try:
+            text = run(["-R", repo, "update", "f.c", "-r", "1.1", "--file", working], expect=1)
+            assert "conflict" in text
+            with open(working) as handle:
+                content = handle.read()
+            assert "<<<<<<<" in content and ">>>>>>>" in content
+        finally:
+            os.unlink(working)

@@ -1,0 +1,125 @@
+"""Tests for failure injection (future-work item 3): lossy links under
+ARQ and crash-recovery users."""
+
+import pytest
+
+from repro.core.scenarios import build_simulation
+from repro.server.attacks import ForkAttack
+from repro.simulation.channels import Network
+from repro.simulation.faults import LossyNetwork, crash_schedule
+from repro.simulation.workload import steady_workload
+
+
+class TestLossyNetwork:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LossyNetwork(user_ids=["a"], loss_rate=1.0)
+        with pytest.raises(ValueError):
+            LossyNetwork(user_ids=["a"], loss_rate=0.1, retransmit_timeout=0)
+
+    def test_zero_loss_behaves_like_reliable(self):
+        lossy = LossyNetwork(user_ids=["a"], loss_rate=0.0)
+        lossy.send("a", "server", "x", 1)
+        assert len(list(lossy.deliveries(1 + lossy.delay))) == 1
+        assert lossy.losses_injected == 0
+
+    def test_losses_delay_but_deliver(self):
+        lossy = LossyNetwork(user_ids=["a"], loss_rate=0.6, seed=3,
+                             retransmit_timeout=4, max_attempts=5)
+        for i in range(200):
+            lossy.send("a", "server", i, round_no=0)
+        delivered = []
+        for round_no in range(1, lossy.worst_case_delay() + 1):
+            delivered.extend(lossy.deliveries(round_no))
+        assert len(delivered) == 200          # nothing is ever lost for good
+        assert lossy.losses_injected > 0      # but losses did occur
+        late = [e for e in delivered if e.deliver_round > 1]
+        assert late                            # and they cost extra rounds
+
+    def test_delay_is_bounded(self):
+        lossy = LossyNetwork(user_ids=["a"], loss_rate=0.9, seed=1,
+                             retransmit_timeout=3, max_attempts=4)
+        for i in range(100):
+            lossy.send("a", "server", i, round_no=0)
+        assert lossy.in_flight() == 100
+        horizon = lossy.worst_case_delay()
+        total = sum(len(list(lossy.deliveries(r))) for r in range(1, horizon + 1))
+        assert total == 100
+
+    def test_broadcast_also_lossy(self):
+        lossy = LossyNetwork(user_ids=["a", "b", "c"], loss_rate=0.5, seed=2)
+        lossy.broadcast("a", {"x": 1}, 0)
+        assert lossy.in_flight() == 2
+
+
+class TestCrashSchedule:
+    def test_expansion(self):
+        offline = crash_schedule([(5, 7), (10, 10)])
+        assert offline == {5, 6, 7, 10}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crash_schedule([(7, 5)])
+
+
+class TestProtocolsUnderFailures:
+    def test_protocol2_honest_under_loss(self):
+        """Message loss (under ARQ) must cause no false alarms."""
+        workload = steady_workload(3, 8, spacing=12, seed=5)
+        lossy = LossyNetwork(user_ids=workload.user_ids, loss_rate=0.3,
+                             seed=5, retransmit_timeout=3, max_attempts=6)
+        simulation = build_simulation("protocol2", workload, k=4, seed=5,
+                                      network=lossy,
+                                      transaction_timeout=3 * lossy.worst_case_delay())
+        report = simulation.execute(max_rounds=4000)
+        assert not report.detected, report.alarms
+        assert sum(report.operations_completed.values()) == 24
+        assert lossy.losses_injected > 0
+
+    def test_protocol2_detects_fork_under_loss(self):
+        workload = steady_workload(3, 14, spacing=8, keyspace=6,
+                                   write_ratio=0.6, seed=6)
+        lossy = LossyNetwork(user_ids=workload.user_ids, loss_rate=0.2,
+                             seed=6, retransmit_timeout=3, max_attempts=6)
+        attack = ForkAttack(victims=["user1"], fork_round=workload.horizon() // 2)
+        simulation = build_simulation("protocol2", workload, attack=attack, k=4,
+                                      seed=6, network=lossy,
+                                      transaction_timeout=3 * lossy.worst_case_delay())
+        report = simulation.execute(max_rounds=4000)
+        if report.first_deviation_round is not None:
+            assert report.detected
+
+    def test_crashed_user_recovers_and_completes(self):
+        workload = steady_workload(3, 8, spacing=6, seed=7)
+        offline = {"user1": crash_schedule([(20, 60)])}
+        simulation = build_simulation("protocol2", workload, k=100, seed=7,
+                                      offline=offline)
+        report = simulation.execute(max_rounds=4000)
+        assert not report.detected, report.alarms
+        assert report.operations_completed["user1"] == 8
+        # the crash visibly delayed user1's completions
+        assert max(report.completion_rounds["user1"]) > 60
+
+    def test_sync_stalls_through_crash_then_completes(self):
+        """A user crashed across a sync-up: the sync waits (new
+        transactions freeze) and completes after recovery, with no
+        false alarm -- the flat protocols' known liveness cost."""
+        workload = steady_workload(3, 10, spacing=4, seed=8)
+        offline = {"user2": crash_schedule([(15, 40)])}
+        simulation = build_simulation("protocol2", workload, k=3, seed=8,
+                                      offline=offline,
+                                      transaction_timeout=100)
+        report = simulation.execute(max_rounds=4000)
+        assert not report.detected, report.alarms
+        assert sum(report.operations_completed.values()) == 30
+
+    def test_naive_network_equivalence(self):
+        """Sanity: with zero loss, LossyNetwork reproduces Network runs."""
+        workload = steady_workload(3, 6, seed=9)
+        plain = build_simulation("protocol2", workload, k=4, seed=9,
+                                 network=Network(user_ids=workload.user_ids)).execute()
+        lossless = build_simulation("protocol2", workload, k=4, seed=9,
+                                    network=LossyNetwork(user_ids=workload.user_ids,
+                                                         loss_rate=0.0)).execute()
+        assert plain.operations_completed == lossless.operations_completed
+        assert plain.rounds_executed == lossless.rounds_executed

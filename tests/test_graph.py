@@ -1,0 +1,202 @@
+"""Tests for the seen-state graph and Lemma 4.1, including the
+Figure 3 replay scenario that motivates state tagging."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import hash_bytes, hash_state, hash_tagged_state, xor_all
+from repro.protocols.graph import StateGraph, lemma41_path_theorem
+
+
+def node(label):
+    return hash_bytes(label.encode())
+
+
+def path_graph(length):
+    graph = StateGraph()
+    for i in range(length):
+        graph.add(node(f"s{i}"), node(f"s{i + 1}"))
+    return graph
+
+
+class TestProperties:
+    def test_path_satisfies_all(self):
+        graph = path_graph(5)
+        assert all(graph.lemma41_properties().values())
+        assert graph.is_directed_path()
+
+    def test_fork_violates_p4(self):
+        graph = path_graph(3)
+        graph.add(node("s1"), node("evil"))  # out-degree 2 at s1
+        assert not graph.p4_two_odd_vertices_one_source()
+        assert not graph.is_directed_path()
+
+    def test_join_violates_p2(self):
+        graph = path_graph(3)
+        graph.add(node("other"), node("s2"))  # in-degree 2 at s2
+        assert not graph.p2_indegree_at_most_one()
+        assert not graph.is_directed_path()
+
+    def test_cycle_violates_p3(self):
+        graph = path_graph(3)
+        graph.add(node("s3"), node("s0"))
+        assert not graph.p3_acyclic()
+        assert not graph.is_directed_path()
+
+    def test_self_loop_is_cycle(self):
+        graph = StateGraph()
+        graph.add(node("x"), node("x"))
+        assert not graph.p3_acyclic()
+
+    def test_two_components_fail(self):
+        graph = path_graph(2)
+        graph.add(node("t0"), node("t1"))
+        assert not graph.is_directed_path()
+        # 4 odd-degree vertices
+        assert not graph.p4_two_odd_vertices_one_source()
+
+    def test_empty_graph_is_not_a_path(self):
+        assert not StateGraph().is_directed_path()
+
+    def test_single_edge_is_a_path(self):
+        graph = path_graph(1)
+        assert graph.is_directed_path()
+
+
+class TestLemma41:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=1, max_value=12))
+    def test_paths_satisfy_hypotheses_and_conclusion(self, length):
+        graph = path_graph(length)
+        assert all(graph.lemma41_properties().values())
+        assert graph.is_directed_path()
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), min_size=1, max_size=14))
+    def test_lemma_implication_on_random_graphs(self, edges):
+        """Whenever P1-P4 all hold, the graph must be a directed path --
+        the lemma proper, checked over random multigraphs."""
+        graph = StateGraph()
+        for a, b in edges:
+            graph.add(node(f"n{a}"), node(f"n{b}"))
+        assert lemma41_path_theorem(graph)
+
+
+class TestXorView:
+    def test_telescoping_on_path(self):
+        graph = path_graph(6)
+        assert graph.xor_of_transitions() == node("s0") ^ node("s6")
+        assert graph.xor_check_passes(node("s0"), node("s6"))
+
+    def test_wrong_endpoints_fail(self):
+        graph = path_graph(6)
+        assert not graph.xor_check_passes(node("s0"), node("s5"))
+
+
+class TestFigure3Scenario:
+    """The paper's Figure 3: with *untagged* states the server replays
+    state (D2, 2) to two users; every intermediate node has even degree
+    so the XOR check telescopes and the attack is invisible.  With
+    user-tagged states the same replay produces a node of in-degree 2,
+    so the graph is not a path and the registers cannot telescope."""
+
+    ROOTS = {name: hash_bytes(f"M({name})".encode())
+             for name in ("D0", "D1", "D2", "D2p", "D2pp", "D3", "D4")}
+
+    # (old_name, old_ctr, new_name, new_ctr, validating_user) -- the
+    # edge labels of Figure 3.
+    TRANSITIONS = [
+        ("D0", 0, "D1", 1, "u1"),
+        ("D1", 1, "D2", 2, "u2"),
+        ("D2", 2, "D3", 3, "u1"),   # u1 consumes (D2, 2) ...
+        ("D0", 0, "D2p", 2, "u2"),  # replayed branches re-converging on
+        ("D2p", 2, "D3", 3, "u3"),  # the same (D3, 3) state
+        ("D0", 0, "D2pp", 2, "u1"),
+        ("D2pp", 2, "D3", 3, "u3"),
+        ("D3", 3, "D4", 4, "u3"),
+    ]
+
+    def untagged(self, name, ctr):
+        return hash_state(self.ROOTS[name], ctr)
+
+    def test_untagged_xor_hides_the_replay(self):
+        """All σ registers XOR to first ^ last even though the graph is
+        nothing like a single path -- the vulnerability.
+
+        Degrees: (D0,0) has degree 3 (odd, survives once), (D4,4) has
+        degree 1, every other node has even degree and cancels.  The
+        untagged check h(M(D0)||0) ^ last == XOR σ therefore *passes*
+        with last = (D4,4), hiding a blatant fork."""
+        sigma = xor_all(
+            self.untagged(old, octr) ^ self.untagged(new, nctr)
+            for old, octr, new, nctr, _user in self.TRANSITIONS
+        )
+        graph = StateGraph()
+        for old, octr, new, nctr, _user in self.TRANSITIONS:
+            graph.add(self.untagged(old, octr), self.untagged(new, nctr))
+        assert not graph.is_directed_path()  # truly not a serial history
+        assert sigma == self.untagged("D0", 0) ^ self.untagged("D4", 4)  # yet it telescopes
+
+    def test_replay_cycle_cancels_untagged(self):
+        """A replay loop: the server leads a user around D1 -> D2 -> D1.
+        The cycle's nodes all have even degree, so the untagged XOR
+        still telescopes to the path endpoints -- the loop is
+        invisible to the register check."""
+        transitions = [
+            ("D0", 0, "D1", 1),
+            ("D1", 1, "D2", 2),
+            ("D2", 2, "D1", 1),   # replayed: back to an old state
+            ("D1", 1, "D3", 3),
+        ]
+        sigma = xor_all(
+            self.untagged(old, octr) ^ self.untagged(new, nctr)
+            for old, octr, new, nctr in transitions
+        )
+        assert sigma == self.untagged("D0", 0) ^ self.untagged("D3", 3)
+        graph = StateGraph()
+        for old, octr, new, nctr in transitions:
+            graph.add(self.untagged(old, octr), self.untagged(new, nctr))
+        assert not graph.p3_acyclic()
+        assert not graph.is_directed_path()  # yet XOR passed: attack hidden
+
+    def tagged(self, name, ctr, user):
+        return hash_tagged_state(self.ROOTS[name], ctr, user)
+
+    def test_tagging_forces_detection(self):
+        """Protocol II's two refinements together defeat Figure 3.
+
+        The per-user counter check (step 4) forces the three transitions
+        consuming counter value 2 to be validated by three *distinct*
+        users; the user tag then makes the three resulting (D3, 3, .)
+        states distinct nodes.  The re-convergence that cancelled out in
+        the untagged algebra now leaves four odd-degree vertices, so no
+        candidate `last` can make the register check telescope --
+        whichever producer the server names for the final transition.
+        """
+        # (old, old_ctr, old_producer) -> (new, new_ctr, validating user);
+        # consumers of ctr=2 are distinct (u1, u3, u2) per the counter check.
+        edges = [
+            (("D0", 0, ""), ("D1", 1, "u1")),
+            (("D1", 1, "u1"), ("D2", 2, "u2")),
+            (("D2", 2, "u2"), ("D3", 3, "u1")),
+            (("D0", 0, ""), ("D2p", 2, "u2")),
+            (("D2p", 2, "u2"), ("D3", 3, "u3")),
+            (("D0", 0, ""), ("D2pp", 2, "u1")),
+            (("D2pp", 2, "u1"), ("D3", 3, "u2")),
+        ]
+        start = self.tagged("D0", 0, "")
+        for final_producer in ("u1", "u2", "u3"):
+            graph = StateGraph()
+            tagged_edges = []
+            for (old, octr, oprod), (new, nctr, user) in edges:
+                pair = (self.tagged(old, octr, oprod), self.tagged(new, nctr, user))
+                graph.add(*pair)
+                tagged_edges.append(pair)
+            # The server picks which (D3, 3, j) it claims the final
+            # transition consumed.
+            final = (self.tagged("D3", 3, final_producer), self.tagged("D4", 4, "u3"))
+            graph.add(*final)
+            tagged_edges.append(final)
+            assert not graph.is_directed_path()
+            sigma = xor_all(a ^ b for a, b in tagged_edges)
+            candidates = {edge[1] for edge in tagged_edges}
+            assert all(sigma != (start ^ last) for last in candidates), final_producer

@@ -1,0 +1,80 @@
+"""Tests for the executable Theorem 3.1 construction."""
+
+import pytest
+
+from repro.analysis.impossibility import demonstrate_partition, make_partition_spec
+
+
+class TestSpecConstruction:
+    def test_groups_disjoint(self):
+        spec = make_partition_spec(group_a_size=2, group_b_size=3, seed=1)
+        assert not set(spec.group_a) & set(spec.group_b)
+
+    def test_workload_variants(self):
+        spec = make_partition_spec(seed=1)
+        full = spec.workload(True, True)
+        only_a = spec.workload(True, False)
+        only_b = spec.workload(False, True)
+        assert full.total_operations() > only_a.total_operations()
+        assert full.total_operations() > only_b.total_operations()
+        # the prefixes agree across variants
+        for user in (*spec.group_a, *spec.group_b):
+            prefix_rounds = [i.round for i in spec.prefix.get(user, [])]
+            for workload in (full, only_a, only_b):
+                rounds = [i.round for i in workload.schedules[user]]
+                assert rounds[: len(prefix_rounds)] == prefix_rounds
+
+    def test_suffixes_after_fork(self):
+        spec = make_partition_spec(seed=2)
+        for suffix in (spec.suffix_a, spec.suffix_b):
+            for intents in suffix.values():
+                assert all(i.round > spec.fork_round for i in intents)
+
+    def test_deterministic(self):
+        a = make_partition_spec(seed=3)
+        b = make_partition_spec(seed=3)
+        assert a == b
+
+
+class TestTheorem31:
+    """No server-only client can distinguish the forked run from the
+    honest runs -- for ANY of our client strategies."""
+
+    @pytest.mark.parametrize("protocol", ["naive", "protocol1", "protocol2"])
+    def test_indistinguishable_without_external_communication(self, protocol):
+        report = demonstrate_partition(protocol, seed=4)
+        assert report.server_forked           # the attack genuinely forked
+        assert report.honest_runs_clean       # completeness of the clients
+        assert report.views_match_a, protocol  # A sees exactly rA
+        assert report.views_match_b, protocol  # B sees exactly rB
+        assert not report.attack_detected      # => necessarily undetected
+        assert report.theorem_holds
+
+    def test_protocol3_with_idle_epochs_also_blind(self):
+        """With epochs so long no audit ever fires, Protocol III is a
+        server-only client too and the construction applies."""
+        report = demonstrate_partition("protocol3", seed=4, epoch_length=100_000)
+        assert report.theorem_holds
+
+    def test_external_communication_breaks_indistinguishability(self):
+        """The converse direction (Section 4): a small sync period means
+        broadcast traffic, the B users' views diverge from rB, and the
+        attack is detected."""
+        report = demonstrate_partition("protocol2", k=3, seed=4)
+        assert report.server_forked
+        assert not report.views_match_b
+        assert report.attack_detected
+
+    def test_aggregated_sync_also_breaks_it(self):
+        report = demonstrate_partition("protocol2agg", k=3, seed=4)
+        assert report.attack_detected
+
+    def test_multiple_seeds(self):
+        for seed in range(3):
+            report = demonstrate_partition("protocol2", seed=seed)
+            assert report.theorem_holds, seed
+
+    def test_larger_groups(self):
+        spec = make_partition_spec(group_a_size=2, group_b_size=3, seed=5)
+        report = demonstrate_partition("protocol2", spec=spec, seed=5)
+        assert report.theorem_holds

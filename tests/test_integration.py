@@ -1,0 +1,109 @@
+"""End-to-end integration: real CVS content flowing through the
+verified database and the multi-user protocols."""
+
+import pytest
+
+from helpers import run_scenario
+from repro.core.facade import CvsClient, CvsServer
+from repro.core.scenarios import build_simulation
+from repro.mtree.database import ReadQuery, WriteQuery
+from repro.server.attacks import ForkAttack
+from repro.simulation.workload import Intent, Workload
+from repro.storage.rcs import RevisionStore
+
+
+class TestFacadeDevelopmentFlow:
+    def test_full_project_lifecycle(self):
+        server = CvsServer(order=8)
+        dev = CvsClient(server, author="dev")
+
+        # grow a small project
+        dev.commit("Makefile", ["all:", "\tcc -o app main.c"], "build scaffolding")
+        dev.commit("src/main.c", ["#include <stdio.h>", "int main() { return 0; }"], "entry point")
+        dev.commit("src/util.c", ["int helper() { return 1; }"], "helpers")
+
+        # iterate on a file
+        for i in range(10):
+            content = ["#include <stdio.h>", f"int main() {{ return {i}; }}"]
+            dev.commit("src/main.c", content, f"iteration {i}")
+        assert len(dev.log("src/main.c")) == 11
+
+        # diff across revision gaps
+        text = dev.diff("src/main.c", "1.1")
+        assert "+int main() { return 9; }" in text
+
+        # prune and verify listing
+        dev.remove("src/util.c", "dead code")
+        assert dev.paths("src/") == ["src/main.c"]
+
+        # old history remains verifiable
+        assert dev.checkout("src/util.c", "1.1") == ["int helper() { return 1; }"]
+
+
+def cvs_commit_workload() -> Workload:
+    """A two-user CVS session, pre-serialised: each WriteQuery carries a
+    full RCS store so the Merkle root commits to file history."""
+
+    def store_blob(lines_history):
+        store = RevisionStore()
+        for t, lines in enumerate(lines_history):
+            store.commit(list(lines), author="x", log_message="", timestamp=t)
+        return store.serialize()
+
+    common_v1 = store_blob([["#define X 1"]])
+    common_v2 = store_blob([["#define X 1"], ["#define X 2"]])
+    app_v1 = store_blob([["int app() { return X; }"]])
+
+    schedules = {
+        "alice": [
+            Intent(round=2, query=WriteQuery(b"src/common.h", common_v1)),
+            Intent(round=8, query=WriteQuery(b"src/common.h", common_v2)),
+            Intent(round=30, query=ReadQuery(b"src/app.c")),
+            Intent(round=36, query=ReadQuery(b"src/common.h")),
+            Intent(round=42, query=ReadQuery(b"src/app.c")),
+        ],
+        "bob": [
+            Intent(round=5, query=ReadQuery(b"src/common.h")),
+            Intent(round=14, query=WriteQuery(b"src/app.c", app_v1)),
+            Intent(round=20, query=ReadQuery(b"src/common.h")),
+            Intent(round=38, query=ReadQuery(b"src/app.c")),
+        ],
+    }
+    return Workload(name="cvs-session", schedules=schedules)
+
+
+class TestSimulatedCvsSession:
+    def test_honest_session_round_trips_history(self):
+        workload = cvs_commit_workload()
+        simulation = build_simulation("protocol2", workload, k=10, seed=1)
+        report = simulation.execute()
+        assert not report.detected
+        # The server-side value for common.h deserialises to full history.
+        blob = simulation.server.states["main"].database.get(b"src/common.h")
+        store = RevisionStore.deserialize(blob)
+        assert store.checkout("1.1") == ["#define X 1"]
+        assert store.checkout("1.2") == ["#define X 2"]
+
+    def test_forked_session_detected(self):
+        workload = cvs_commit_workload()
+        attack = ForkAttack(victims=["bob"], fork_round=10)
+        report = run_scenario("protocol2", workload, attack=attack, k=2, seed=2)
+        assert report.detected
+        assert not report.false_alarm
+
+
+class TestCrossProtocolConsistency:
+    @pytest.mark.parametrize("protocol", ["naive", "protocol1", "protocol2"])
+    def test_same_workload_same_final_database(self, protocol):
+        """Whatever the protocol wrapping, the honest server must end at
+        the same database state for the same workload."""
+        from repro.simulation.workload import steady_workload
+
+        workload = steady_workload(3, 8, seed=3, write_ratio=0.8)
+        simulation = build_simulation(protocol, workload, k=100, seed=3)
+        report = simulation.execute()
+        assert not report.detected
+        digest = simulation.server.states["main"].database.root_digest()
+        if not hasattr(TestCrossProtocolConsistency, "_reference"):
+            TestCrossProtocolConsistency._reference = digest
+        assert digest == TestCrossProtocolConsistency._reference

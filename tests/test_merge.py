@@ -1,0 +1,164 @@
+"""Tests for the three-way merge engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.merge import MergeResult, merge3, render_with_markers
+
+BASE = ["a", "b", "c", "d", "e", "f", "g", "h"]
+
+
+class TestCleanMerges:
+    def test_no_changes(self):
+        result = merge3(BASE, list(BASE), list(BASE))
+        assert not result.has_conflicts
+        assert result.lines() == BASE
+
+    def test_only_ours_changed(self):
+        ours = ["a", "B", "c", "d", "e", "f", "g", "h"]
+        result = merge3(BASE, ours, list(BASE))
+        assert result.lines() == ours
+
+    def test_only_theirs_changed(self):
+        theirs = BASE + ["i"]
+        result = merge3(BASE, list(BASE), theirs)
+        assert result.lines() == theirs
+
+    def test_disjoint_changes_combine(self):
+        ours = ["A"] + BASE[1:]          # change the first line
+        theirs = BASE[:-1] + ["H"]       # change the last line
+        result = merge3(BASE, ours, theirs)
+        assert not result.has_conflicts
+        assert result.lines() == ["A"] + BASE[1:-1] + ["H"]
+
+    def test_identical_changes_merge_silently(self):
+        changed = ["a", "X", "c", "d", "e", "f", "g", "h"]
+        result = merge3(BASE, list(changed), list(changed))
+        assert not result.has_conflicts
+        assert result.lines() == changed
+
+    def test_adjacent_but_disjoint_regions(self):
+        ours = ["a", "B", "c", "d", "e", "f", "g", "h"]
+        theirs = ["a", "b", "c", "D", "e", "f", "g", "h"]
+        result = merge3(BASE, ours, theirs)
+        assert not result.has_conflicts
+        assert result.lines() == ["a", "B", "c", "D", "e", "f", "g", "h"]
+
+    def test_our_delete_their_append(self):
+        ours = BASE[2:]
+        theirs = BASE + ["tail"]
+        result = merge3(BASE, ours, theirs)
+        assert not result.has_conflicts
+        assert result.lines() == BASE[2:] + ["tail"]
+
+
+class TestConflicts:
+    def test_same_line_differs(self):
+        ours = ["a", "OURS", "c", "d", "e", "f", "g", "h"]
+        theirs = ["a", "THEIRS", "c", "d", "e", "f", "g", "h"]
+        result = merge3(BASE, ours, theirs)
+        assert result.has_conflicts
+        conflict = result.conflicts()[0]
+        assert conflict.base == ("b",)
+        assert conflict.ours == ("OURS",)
+        assert conflict.theirs == ("THEIRS",)
+
+    def test_delete_vs_edit_conflicts(self):
+        ours = ["a", "c", "d", "e", "f", "g", "h"]        # deleted b
+        theirs = ["a", "B!", "c", "d", "e", "f", "g", "h"]  # edited b
+        result = merge3(BASE, ours, theirs)
+        assert result.has_conflicts
+
+    def test_insertions_at_same_point_conflict(self):
+        ours = BASE[:4] + ["from ours"] + BASE[4:]
+        theirs = BASE[:4] + ["from theirs"] + BASE[4:]
+        result = merge3(BASE, ours, theirs)
+        assert result.has_conflicts
+
+    def test_flatten_with_conflicts_raises(self):
+        ours = ["X"] + BASE[1:]
+        theirs = ["Y"] + BASE[1:]
+        result = merge3(BASE, ours, theirs)
+        with pytest.raises(ValueError):
+            result.lines()
+
+    def test_clean_text_around_conflict_is_preserved(self):
+        ours = ["a", "OURS"] + BASE[2:]
+        theirs = ["a", "THEIRS"] + BASE[2:]
+        result = merge3(BASE, ours, theirs)
+        rendered = render_with_markers(result, "alice", "bob")
+        assert rendered[0] == "a"
+        assert rendered[-1] == "h"
+
+    def test_marker_rendering(self):
+        ours = ["a", "OURS"] + BASE[2:]
+        theirs = ["a", "THEIRS"] + BASE[2:]
+        rendered = render_with_markers(merge3(BASE, ours, theirs), "alice", "bob")
+        assert "<<<<<<< alice" in rendered
+        assert "=======" in rendered
+        assert ">>>>>>> bob" in rendered
+        assert rendered.index("OURS") < rendered.index("=======") < rendered.index("THEIRS")
+
+
+def random_edit(rng, lines):
+    """One structured random edit (replace / delete / insert a block)."""
+    lines = list(lines)
+    kind = rng.choice(["replace", "delete", "insert"])
+    if not lines or kind == "insert":
+        at = rng.randrange(len(lines) + 1)
+        lines[at:at] = [f"ins-{rng.randrange(1000)}"]
+    elif kind == "replace":
+        at = rng.randrange(len(lines))
+        lines[at] = f"rep-{rng.randrange(1000)}"
+    else:
+        at = rng.randrange(len(lines))
+        del lines[at]
+    return lines
+
+
+class TestProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        base=st.lists(st.sampled_from([f"l{i}" for i in range(10)]), max_size=16),
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_ours=st.integers(min_value=0, max_value=3),
+        n_theirs=st.integers(min_value=0, max_value=3),
+    )
+    def test_merge_never_crashes_and_flattens_or_conflicts(self, base, seed, n_ours, n_theirs):
+        rng = random.Random(seed)
+        ours = list(base)
+        for _ in range(n_ours):
+            ours = random_edit(rng, ours)
+        theirs = list(base)
+        for _ in range(n_theirs):
+            theirs = random_edit(rng, theirs)
+        result = merge3(base, ours, theirs)
+        assert isinstance(result, MergeResult)
+        if not result.has_conflicts:
+            merged = result.lines()
+            # every line of the merge comes from one of the three inputs
+            pool = set(base) | set(ours) | set(theirs)
+            assert set(merged) <= pool
+        rendered = render_with_markers(result)
+        assert isinstance(rendered, list)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        base=st.lists(st.sampled_from([f"l{i}" for i in range(8)]), max_size=14),
+        derived=st.lists(st.sampled_from([f"l{i}" for i in range(8)]), max_size=14),
+    )
+    def test_merge_with_unchanged_side_yields_other(self, base, derived):
+        assert merge3(base, derived, list(base)).lines() == derived
+        assert merge3(base, list(base), derived).lines() == derived
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        base=st.lists(st.sampled_from([f"l{i}" for i in range(8)]), max_size=14),
+        derived=st.lists(st.sampled_from([f"l{i}" for i in range(8)]), max_size=14),
+    )
+    def test_identical_sides_never_conflict(self, base, derived):
+        result = merge3(base, list(derived), list(derived))
+        assert not result.has_conflicts
+        assert result.lines() == derived

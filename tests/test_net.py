@@ -1,0 +1,238 @@
+"""Tests for the TCP deployment layer (real sockets on localhost)."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.net import RemoteClient, serve_in_thread, sync_check
+
+
+@pytest.fixture
+def server():
+    srv = serve_in_thread(order=4)
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+def connect(server, user_id):
+    host, port = server.address
+    return RemoteClient(host, port, user_id, server.initial_root_digest(), order=4)
+
+
+class TestSingleClient:
+    def test_put_get_roundtrip(self, server):
+        with connect(server, "alice") as alice:
+            alice.put(b"src/main.c", b"int main() {}")
+            assert alice.get(b"src/main.c") == b"int main() {}"
+            assert alice.get(b"missing") is None
+
+    def test_delete(self, server):
+        with connect(server, "alice") as alice:
+            alice.put(b"k", b"v")
+            alice.delete(b"k")
+            assert alice.get(b"k") is None
+
+    def test_scan(self, server):
+        with connect(server, "alice") as alice:
+            for i in range(8):
+                alice.put(f"f{i}".encode(), str(i).encode())
+            entries = alice.scan(b"f2", b"f5")
+            assert [k for k, _ in entries] == [b"f2", b"f3", b"f4", b"f5"]
+
+    def test_many_operations(self, server):
+        with connect(server, "alice") as alice:
+            for i in range(60):
+                alice.put(f"k{i % 10}".encode(), f"v{i}".encode())
+            assert alice.operations == 60
+            assert alice.gctr == 60
+
+
+class TestMultipleClients:
+    def test_two_users_interleaved(self, server):
+        with connect(server, "alice") as alice, connect(server, "bob") as bob:
+            alice.put(b"shared", b"from alice")
+            assert bob.get(b"shared") == b"from alice"
+            bob.put(b"shared", b"from bob")
+            assert alice.get(b"shared") == b"from bob"
+
+    def test_honest_sync_check_passes(self, server):
+        root = server.initial_root_digest()
+        with connect(server, "alice") as alice, connect(server, "bob") as bob:
+            alice.put(b"a", b"1")
+            bob.put(b"b", b"2")
+            alice.get(b"b")
+            registers = {"alice": alice.registers(), "bob": bob.registers()}
+        assert sync_check(root, registers)
+
+    def test_pristine_sync_check_passes(self, server):
+        assert sync_check(server.initial_root_digest(), {})
+
+    def test_concurrent_clients(self, server):
+        """Hammer the server from threads; serial execution must keep
+        every client's register chain valid."""
+        root = server.initial_root_digest()
+        errors = []
+        registers = {}
+        lock = threading.Lock()
+
+        def work(user):
+            try:
+                with connect(server, user) as client:
+                    for i in range(20):
+                        client.put(f"{user}-{i % 5}".encode(), str(i).encode())
+                        client.get(f"{user}-{i % 5}".encode())
+                    with lock:
+                        registers[user] = client.registers()
+            except Exception as exc:  # noqa: BLE001
+                errors.append((user, exc))
+
+        threads = [threading.Thread(target=work, args=(f"u{i}",)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert sync_check(root, registers)
+
+
+class TestServerMisbehaviour:
+    def test_forked_server_caught_by_sync_check(self, server):
+        """Simulate a fork at the state level: snapshot the server state,
+        serve bob from the stale copy, and check the registers refuse to
+        reconcile."""
+        root = server.initial_root_digest()
+        with connect(server, "alice") as alice:
+            alice.put(b"k", b"v1")
+            with server.state_lock:
+                stale = server.state.clone()
+            alice.put(b"k", b"v2")
+
+            # swap the stale state in for bob's session
+            with server.state_lock:
+                live, server.state = server.state, stale
+            with connect(server, "bob") as bob:
+                bob.put(b"k", b"bob's view")
+                bob_registers = bob.registers()
+            with server.state_lock:
+                server.state = live
+
+            registers = {"alice": alice.registers(), "bob": bob_registers}
+        assert not sync_check(root, registers)
+
+    def test_garbage_frames_rejected(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port)) as sock:
+            sock.sendall(b"\x00\x00\x00\x04junk")
+            # server drops the connection without crashing
+            assert sock.recv(64) == b""
+        # and keeps serving others
+        with connect(server, "alice") as alice:
+            alice.put(b"still", b"alive")
+            assert alice.get(b"still") == b"alive"
+
+    def test_sync_check_is_anchored_at_the_initial_root(self, server):
+        """The registers are derived entirely from VOs; the initial root
+        is the *checker's* trust anchor.  Checking against the true
+        pre-history root passes; checking against any other digest (a
+        server lying about where history began) rejects."""
+        from repro.crypto.hashing import hash_bytes
+
+        true_root = server.initial_root_digest()  # before any operation
+        with connect(server, "alice") as alice:
+            alice.put(b"k", b"v")
+            registers = {"alice": alice.registers()}
+        assert sync_check(true_root, registers)
+        assert not sync_check(hash_bytes(b"forged genesis"), registers)
+
+
+class TestProtocol1OverTcp:
+    @pytest.fixture
+    def p1_setup(self):
+        from repro.core.scenarios import make_keys
+        from repro.mtree.database import VerifiedDatabase
+        from repro.protocols.base import ServerState
+        from repro.protocols.protocol1 import Protocol1Server, bootstrap_server_state
+
+        keys = make_keys(["alice", "bob"], seed=77)
+        state = ServerState(database=VerifiedDatabase(order=4))
+        bootstrap_server_state(state, keys.signers["alice"])
+        server = serve_in_thread(protocol=Protocol1Server(), state=state)
+        yield server, keys
+        server.shutdown()
+        server.server_close()
+
+    def connect_p1(self, server, keys, user):
+        from repro.net import RemoteClientP1
+
+        host, port = server.address
+        return RemoteClientP1(host, port, user, keys.signers[user],
+                              keys.verifier, order=4)
+
+    def test_signed_roundtrip(self, p1_setup):
+        server, keys = p1_setup
+        with self.connect_p1(server, keys, "alice") as alice:
+            alice.put(b"k", b"v")
+            assert alice.get(b"k") == b"v"
+            assert alice.lctr == 2
+
+    def test_two_users_chain_signatures(self, p1_setup):
+        from repro.net import count_sync_check
+
+        server, keys = p1_setup
+        with self.connect_p1(server, keys, "alice") as alice, \
+                self.connect_p1(server, keys, "bob") as bob:
+            alice.put(b"shared", b"from alice")
+            assert bob.get(b"shared") == b"from alice"
+            bob.put(b"shared", b"from bob")
+            assert alice.get(b"shared") == b"from bob"
+            counts = {"alice": alice.counts(), "bob": bob.counts()}
+        assert count_sync_check(counts)
+
+    def test_forked_counts_fail_sync(self, p1_setup):
+        from repro.net import count_sync_check
+
+        server, keys = p1_setup
+        with self.connect_p1(server, keys, "alice") as alice:
+            alice.put(b"k", b"v1")
+            with server.state_lock:
+                stale = server.state.clone()
+            alice.put(b"k", b"v2")
+            with server.state_lock:
+                live, server.state = server.state, stale
+            with self.connect_p1(server, keys, "bob") as bob:
+                bob.put(b"k", b"bob world")
+                bob_counts = bob.counts()
+            with server.state_lock:
+                server.state = live
+            alice.get(b"k")
+            counts = {"alice": alice.counts(), "bob": bob_counts}
+        assert not count_sync_check(counts)
+
+    def test_forged_signature_rejected(self, p1_setup):
+        from repro.net import IntegrityError
+
+        server, keys = p1_setup
+        with self.connect_p1(server, keys, "alice") as alice:
+            alice.put(b"k", b"v")
+            # corrupt the stored signature server-side (a forging server)
+            from repro.crypto.signatures import Signature
+
+            with server.state_lock:
+                genuine = server.state.meta["p1.sig"]
+                server.state.meta["p1.sig"] = Signature(
+                    signer_id=genuine.signer_id, digest=genuine.digest,
+                    raw=bytes(len(genuine.raw)))
+            with pytest.raises(IntegrityError, match="signature"):
+                alice.get(b"k")
+
+
+class TestLargeFrames:
+    def test_megabyte_values_roundtrip(self, server):
+        """Framing handles large VO-bearing responses (multi-frame reads
+        on a value far larger than any socket buffer)."""
+        big = bytes(range(256)) * 4096  # 1 MiB
+        with connect(server, "alice") as alice:
+            alice.put(b"blob", big)
+            assert alice.get(b"blob") == big

@@ -1,0 +1,125 @@
+"""Tests for Merkle-tree snapshots (shape-exact persistence)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mtree.bplus import BPlusTree
+from repro.mtree.database import ReadQuery, VerifiedDatabase, WriteQuery, DeleteQuery, ClientVerifier
+from repro.mtree.persistence import (
+    PersistenceError,
+    dump_database,
+    dump_tree,
+    load_database,
+    load_tree,
+)
+
+
+def build_random_tree(seed: int, ops: int = 200, order: int = 4) -> BPlusTree:
+    rng = random.Random(seed)
+    tree = BPlusTree(order=order)
+    for step in range(ops):
+        key = f"k{rng.randrange(60):03d}".encode()
+        if rng.random() < 0.7:
+            tree.insert(key, f"v{step}".encode())
+        else:
+            tree.delete(key)
+    return tree
+
+
+class TestTreeSnapshot:
+    def test_roundtrip_preserves_entries(self):
+        tree = build_random_tree(1)
+        clone = load_tree(dump_tree(tree))
+        assert dict(clone.items()) == dict(tree.items())
+        assert len(clone) == len(tree)
+        assert clone.order == tree.order
+
+    def test_roundtrip_preserves_shape(self):
+        """The crucial property: the reloaded tree hashes identically."""
+        from repro.mtree.merkle import MerkleBPlusTree
+
+        tree = build_random_tree(2)
+        original = MerkleBPlusTree(order=tree.order)
+        original._tree = tree
+        clone = load_tree(dump_tree(tree))
+        restored = MerkleBPlusTree(order=clone.order)
+        restored._tree = clone
+        assert restored.root_digest() == original.root_digest()
+
+    def test_empty_tree(self):
+        tree = BPlusTree(order=5)
+        clone = load_tree(dump_tree(tree))
+        assert len(clone) == 0
+        assert clone.order == 5
+
+    def test_leaf_chain_rebuilt(self):
+        tree = build_random_tree(3)
+        clone = load_tree(dump_tree(tree))
+        assert [k for k, _ in clone.items()] == sorted(clone.keys())
+        lo, hi = b"k010", b"k040"
+        assert list(clone.range(lo, hi)) == list(tree.range(lo, hi))
+
+    def test_binary_safe(self):
+        tree = BPlusTree(order=4)
+        tree.insert(b"\x00\xff\n key", b"\xde\xad\xbe\xef\nvalue")
+        clone = load_tree(dump_tree(tree))
+        assert clone.get(b"\x00\xff\n key") == b"\xde\xad\xbe\xef\nvalue"
+
+    def test_bad_header(self):
+        with pytest.raises(PersistenceError):
+            load_tree(b"not a snapshot\n")
+
+    def test_truncated(self):
+        blob = dump_tree(build_random_tree(4))
+        with pytest.raises(PersistenceError):
+            load_tree(blob[: len(blob) // 2])
+
+    def test_trailing_data(self):
+        blob = dump_tree(build_random_tree(5))
+        with pytest.raises(PersistenceError):
+            load_tree(blob + b"leaf 0\n")
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), order=st.integers(3, 8))
+    def test_roundtrip_property(self, seed, order):
+        tree = build_random_tree(seed, ops=80, order=order)
+        clone = load_tree(dump_tree(tree))
+        clone.check_invariants()
+        assert dict(clone.items()) == dict(tree.items())
+
+
+class TestDatabaseSnapshot:
+    def test_client_trust_survives_restart(self):
+        """The point of shape-exact persistence: a client's tracked root
+        digest still verifies against the reloaded server."""
+        db = VerifiedDatabase(order=4)
+        client = ClientVerifier(db.root_digest(), order=4)
+        rng = random.Random(7)
+        for step in range(150):
+            key = f"k{rng.randrange(40):03d}".encode()
+            query = WriteQuery(key, f"v{step}".encode())
+            client.apply(query, db.execute(query))
+
+        blob = dump_database(db)
+        restarted = load_database(blob)
+        assert restarted.root_digest() == db.root_digest()
+
+        # the client keeps operating against the restarted server
+        query = ReadQuery(b"k001")
+        answer = client.apply(query, restarted.execute(query))
+        assert answer == db.get(b"k001")
+        update = WriteQuery(b"k001", b"after restart")
+        client.apply(update, restarted.execute(update))
+        assert client.root_digest == restarted.root_digest()
+
+    def test_deletes_then_snapshot(self):
+        db = VerifiedDatabase(order=3)
+        for i in range(30):
+            db.execute(WriteQuery(f"k{i:02d}".encode(), b"x"))
+        for i in range(0, 30, 2):
+            db.execute(DeleteQuery(f"k{i:02d}".encode()))
+        restored = load_database(dump_database(db))
+        assert restored.root_digest() == db.root_digest()
+        assert len(restored) == 15

@@ -1,0 +1,148 @@
+"""Tests for range verification objects, especially completeness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import Digest, hash_bytes
+from repro.mtree.merkle import MerkleBPlusTree
+from repro.mtree.proofs import (
+    FringeNode,
+    ProofError,
+    RangeProof,
+    build_range_proof,
+    implied_root_for_range,
+    verify_range,
+)
+
+
+def make_tree(n=60, order=4):
+    mtree = MerkleBPlusTree(order=order)
+    for i in range(n):
+        mtree.insert(f"k{i:03d}".encode(), f"v{i}".encode())
+    return mtree
+
+
+class TestCorrectness:
+    def test_simple_range(self):
+        mtree = make_tree()
+        proof = build_range_proof(mtree, b"k010", b"k020")
+        entries = verify_range(mtree.root_digest(), proof)
+        assert [k for k, _ in entries] == [f"k{i:03d}".encode() for i in range(10, 21)]
+
+    def test_empty_range(self):
+        mtree = make_tree()
+        proof = build_range_proof(mtree, b"a", b"b")
+        assert verify_range(mtree.root_digest(), proof) == ()
+
+    def test_full_range(self):
+        mtree = make_tree(30)
+        proof = build_range_proof(mtree, b"", b"\xff")
+        assert len(verify_range(mtree.root_digest(), proof)) == 30
+
+    def test_single_key_range(self):
+        mtree = make_tree()
+        proof = build_range_proof(mtree, b"k007", b"k007")
+        entries = verify_range(mtree.root_digest(), proof)
+        assert entries == ((b"k007", b"v7"),)
+
+    def test_empty_tree(self):
+        mtree = MerkleBPlusTree()
+        proof = build_range_proof(mtree, b"a", b"z")
+        assert verify_range(mtree.root_digest(), proof) == ()
+
+    def test_inverted_range_rejected_at_build(self):
+        mtree = make_tree()
+        with pytest.raises(ValueError):
+            build_range_proof(mtree, b"z", b"a")
+
+    def test_implied_root(self):
+        mtree = make_tree()
+        proof = build_range_proof(mtree, b"k000", b"k030")
+        assert implied_root_for_range(proof) == mtree.root_digest()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=80),
+        lo=st.integers(min_value=0, max_value=90),
+        span=st.integers(min_value=0, max_value=50),
+        order=st.integers(min_value=3, max_value=8),
+    )
+    def test_random_ranges_roundtrip(self, n, lo, span, order):
+        mtree = make_tree(n, order)
+        low, high = f"k{lo:03d}".encode(), f"k{lo + span:03d}".encode()
+        proof = build_range_proof(mtree, low, high)
+        entries = verify_range(mtree.root_digest(), proof)
+        expected = tuple(mtree.range(low, high))
+        assert entries == expected
+
+
+class TestCompleteness:
+    """A malicious server must not be able to silently drop rows."""
+
+    def _drop_one_leaf(self, node):
+        """Replace the first revealed leaf inside the fringe with its bare
+        digest (hiding its rows) -- what a row-dropping server would try."""
+        if isinstance(node, FringeNode):
+            new_children = []
+            dropped = False
+            for child in node.children:
+                if not dropped and not isinstance(child, Digest):
+                    if isinstance(child, FringeNode):
+                        replaced, dropped = self._drop_one_leaf(child)
+                        new_children.append(replaced)
+                    else:
+                        # compute the honest digest of the hidden leaf
+                        new_children.append(child.digest())
+                        dropped = True
+                else:
+                    new_children.append(child)
+            return FringeNode(keys=node.keys, children=tuple(new_children)), dropped
+        return node, False
+
+    def test_hidden_subtree_rejected(self):
+        mtree = make_tree(60)
+        proof = build_range_proof(mtree, b"k010", b"k040")
+        forged_root, dropped = self._drop_one_leaf(proof.root)
+        assert dropped
+        forged = RangeProof(low=proof.low, high=proof.high, root=forged_root, entries=proof.entries)
+        with pytest.raises(ProofError):
+            verify_range(mtree.root_digest(), forged)
+
+    def test_dropped_entries_rejected(self):
+        mtree = make_tree(60)
+        proof = build_range_proof(mtree, b"k010", b"k040")
+        forged = RangeProof(low=proof.low, high=proof.high, root=proof.root,
+                            entries=proof.entries[:-3])
+        with pytest.raises(ProofError):
+            verify_range(mtree.root_digest(), forged)
+
+    def test_tampered_entry_value_rejected(self):
+        mtree = make_tree(60)
+        proof = build_range_proof(mtree, b"k010", b"k040")
+        entries = list(proof.entries)
+        entries[2] = (entries[2][0], b"EVIL")
+        forged = RangeProof(low=proof.low, high=proof.high, root=proof.root,
+                            entries=tuple(entries))
+        with pytest.raises(ProofError):
+            verify_range(mtree.root_digest(), forged)
+
+    def test_extra_entry_rejected(self):
+        mtree = make_tree(60)
+        proof = build_range_proof(mtree, b"k010", b"k012")
+        forged = RangeProof(low=proof.low, high=proof.high, root=proof.root,
+                            entries=proof.entries + ((b"k011a", b"ghost"),))
+        with pytest.raises(ProofError):
+            verify_range(mtree.root_digest(), forged)
+
+    def test_wrong_root_rejected(self):
+        mtree = make_tree(60)
+        proof = build_range_proof(mtree, b"k010", b"k040")
+        with pytest.raises(ProofError):
+            verify_range(hash_bytes(b"not the root"), proof)
+
+    def test_malformed_low_high_rejected(self):
+        mtree = make_tree(10)
+        proof = build_range_proof(mtree, b"k001", b"k005")
+        forged = RangeProof(low=b"z", high=b"a", root=proof.root, entries=proof.entries)
+        with pytest.raises(ProofError):
+            verify_range(mtree.root_digest(), forged)

@@ -1,0 +1,128 @@
+"""Tests for point-read verification objects (membership / absence)."""
+
+import math
+
+import pytest
+
+from repro.crypto.hashing import hash_bytes, hash_leaf
+from repro.mtree.merkle import MerkleBPlusTree
+from repro.mtree.proofs import (
+    LeafSnapshot,
+    ProofError,
+    ReadProof,
+    build_read_proof,
+    check_read_answer,
+    implied_root_for_read,
+    verify_read,
+)
+
+
+@pytest.fixture
+def mtree():
+    tree = MerkleBPlusTree(order=4)
+    for i in range(0, 100, 2):  # even keys only
+        tree.insert(f"k{i:03d}".encode(), f"v{i}".encode())
+    return tree
+
+
+class TestMembership:
+    def test_present_key_verifies(self, mtree):
+        proof = build_read_proof(mtree, b"k042")
+        assert verify_read(mtree.root_digest(), proof, b"k042") == b"v42"
+
+    def test_absent_key_verifies_none(self, mtree):
+        proof = build_read_proof(mtree, b"k043")
+        assert verify_read(mtree.root_digest(), proof, b"k043") is None
+
+    def test_all_keys_verify(self, mtree):
+        root = mtree.root_digest()
+        for i in range(0, 100, 2):
+            key = f"k{i:03d}".encode()
+            assert verify_read(root, build_read_proof(mtree, key), key) == f"v{i}".encode()
+
+    def test_empty_tree_absence(self):
+        mtree = MerkleBPlusTree()
+        proof = build_read_proof(mtree, b"anything")
+        assert verify_read(mtree.root_digest(), proof, b"anything") is None
+
+    def test_implied_root_matches(self, mtree):
+        proof = build_read_proof(mtree, b"k010")
+        assert implied_root_for_read(proof, b"k010") == mtree.root_digest()
+
+
+class TestRejections:
+    def test_wrong_root_rejected(self, mtree):
+        proof = build_read_proof(mtree, b"k042")
+        with pytest.raises(ProofError):
+            verify_read(hash_bytes(b"wrong root"), proof, b"k042")
+
+    def test_key_mismatch_rejected(self, mtree):
+        proof = build_read_proof(mtree, b"k042")
+        with pytest.raises(ProofError):
+            verify_read(mtree.root_digest(), proof, b"k044")
+
+    def test_tampered_value_rejected(self, mtree):
+        proof = build_read_proof(mtree, b"k042")
+        tampered = ReadProof(key=proof.key, value=b"EVIL", internals=proof.internals, leaf=proof.leaf)
+        with pytest.raises(ProofError):
+            verify_read(mtree.root_digest(), tampered, b"k042")
+
+    def test_tampered_leaf_rejected(self, mtree):
+        proof = build_read_proof(mtree, b"k042")
+        position = proof.leaf.keys.index(b"k042")
+        entry_digests = list(proof.leaf.entry_digests)
+        entry_digests[position] = hash_leaf(b"k042", b"EVIL")
+        forged = ReadProof(
+            key=proof.key,
+            value=b"EVIL",
+            internals=proof.internals,
+            leaf=LeafSnapshot(keys=proof.leaf.keys, entry_digests=tuple(entry_digests)),
+        )
+        # Internally consistent, but no longer hashes to the real root.
+        with pytest.raises(ProofError):
+            verify_read(mtree.root_digest(), forged, b"k042")
+
+    def test_false_absence_rejected(self, mtree):
+        """Server claims the key is absent but proves the leaf that
+        contains it -- the contradiction must be caught."""
+        proof = build_read_proof(mtree, b"k042")
+        lying = ReadProof(key=proof.key, value=None, internals=proof.internals, leaf=proof.leaf)
+        with pytest.raises(ProofError):
+            verify_read(mtree.root_digest(), lying, b"k042")
+
+    def test_false_presence_rejected(self, mtree):
+        proof = build_read_proof(mtree, b"k043")  # absent key
+        lying = ReadProof(key=proof.key, value=b"ghost", internals=proof.internals, leaf=proof.leaf)
+        with pytest.raises(ProofError):
+            verify_read(mtree.root_digest(), lying, b"k043")
+
+    def test_wrong_leaf_rejected(self, mtree):
+        """Absence 'proved' with an unrelated leaf fails the routing check."""
+        absent = build_read_proof(mtree, b"k001")
+        other = build_read_proof(mtree, b"k090")
+        spliced = ReadProof(key=b"k090", value=None, internals=other.internals, leaf=absent.leaf)
+        with pytest.raises(ProofError):
+            verify_read(mtree.root_digest(), spliced, b"k090")
+
+    def test_answer_check_standalone(self, mtree):
+        proof = build_read_proof(mtree, b"k042")
+        assert check_read_answer(proof, b"k042") == b"v42"
+        with pytest.raises(ProofError):
+            check_read_answer(proof, b"k040")
+
+
+class TestSize:
+    def test_vo_size_logarithmic(self):
+        """Figure 2's point: the VO carries O(log n) digests."""
+        sizes = {}
+        for exponent in (6, 10, 14):
+            n = 2 ** exponent
+            mtree = MerkleBPlusTree(order=8)
+            for i in range(n):
+                mtree.insert(f"{i:06d}".encode(), b"x")
+            proof = build_read_proof(mtree, f"{n // 2:06d}".encode())
+            sizes[n] = proof.size_digests()
+        # Growing n by 256x should grow the VO by a small additive factor,
+        # far below linear growth.
+        assert sizes[2 ** 14] < sizes[2 ** 6] * int(math.log2(2 ** 14))
+        assert sizes[2 ** 14] <= 8 * math.ceil(math.log(2 ** 14, 4))

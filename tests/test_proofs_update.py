@@ -1,0 +1,254 @@
+"""Tests for update verification objects: client-side replay of
+inserts/deletes (including splits, borrows, merges, root changes)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import hash_bytes
+from repro.mtree.merkle import MerkleBPlusTree
+from repro.mtree.proofs import (
+    ProofError,
+    SiblingPair,
+    UpdateProof,
+    build_update_proof,
+    derive_update_roots,
+    verify_update,
+)
+
+
+def make_tree(n, order=4):
+    mtree = MerkleBPlusTree(order=order)
+    for i in range(n):
+        mtree.insert(f"k{i:03d}".encode(), f"v{i}".encode())
+    return mtree
+
+
+def replayed_insert(mtree, key, value):
+    """Build proof, verify client-side, apply server-side; return both roots."""
+    old_root = mtree.root_digest()
+    proof = build_update_proof(mtree, "insert", key)
+    derived_new = verify_update(old_root, proof, mtree.order, key, value)
+    mtree.insert(key, value)
+    return derived_new, mtree.root_digest()
+
+
+def replayed_delete(mtree, key):
+    old_root = mtree.root_digest()
+    proof = build_update_proof(mtree, "delete", key)
+    derived_new = verify_update(old_root, proof, mtree.order, key)
+    mtree.delete(key)
+    return derived_new, mtree.root_digest()
+
+
+class TestInsertReplay:
+    def test_fresh_insert(self):
+        mtree = make_tree(10)
+        derived, actual = replayed_insert(mtree, b"k500", b"new")
+        assert derived == actual
+
+    def test_overwrite(self):
+        mtree = make_tree(10)
+        derived, actual = replayed_insert(mtree, b"k005", b"overwritten")
+        assert derived == actual
+
+    def test_insert_into_empty_tree(self):
+        mtree = MerkleBPlusTree(order=4)
+        derived, actual = replayed_insert(mtree, b"first", b"!")
+        assert derived == actual
+
+    def test_leaf_split(self):
+        mtree = MerkleBPlusTree(order=3)
+        for i in range(3):
+            mtree.insert(f"a{i}".encode(), b"x")
+        derived, actual = replayed_insert(mtree, b"a9", b"split-trigger")
+        assert derived == actual
+
+    def test_root_split_grows_height(self):
+        mtree = MerkleBPlusTree(order=3)
+        keys = [f"k{i:02d}".encode() for i in range(2)]
+        for key in keys:
+            mtree.insert(key, b"x")
+        height_before = mtree.height()
+        derived, actual = replayed_insert(mtree, b"k99", b"x")
+        assert derived == actual
+        assert mtree.height() >= height_before
+
+    def test_cascading_splits(self):
+        mtree = MerkleBPlusTree(order=3)
+        for i in range(40):
+            derived, actual = replayed_insert(mtree, f"k{i:03d}".encode(), b"x")
+            assert derived == actual
+            mtree.check_invariants()
+
+
+class TestDeleteReplay:
+    def test_simple_delete(self):
+        mtree = make_tree(10)
+        derived, actual = replayed_delete(mtree, b"k004")
+        assert derived == actual
+
+    def test_delete_to_empty(self):
+        mtree = MerkleBPlusTree(order=4)
+        mtree.insert(b"only", b"x")
+        derived, actual = replayed_delete(mtree, b"only")
+        assert derived == actual
+        assert len(mtree) == 0
+
+    def test_delete_with_borrow_and_merge(self):
+        mtree = make_tree(30, order=3)
+        rng = random.Random(5)
+        keys = [f"k{i:03d}".encode() for i in range(30)]
+        rng.shuffle(keys)
+        for key in keys:
+            derived, actual = replayed_delete(mtree, key)
+            assert derived == actual, key
+            mtree.check_invariants()
+
+    def test_root_collapse(self):
+        mtree = make_tree(5, order=4)
+        for i in range(5):
+            derived, actual = replayed_delete(mtree, f"k{i:03d}".encode())
+            assert derived == actual
+
+    def test_delete_absent_key_rejected_in_replay(self):
+        mtree = make_tree(10)
+        proof = build_update_proof(mtree, "delete", b"k999")
+        with pytest.raises(ProofError):
+            verify_update(mtree.root_digest(), proof, mtree.order, b"k999")
+
+
+class TestRejections:
+    def test_wrong_old_root(self):
+        mtree = make_tree(10)
+        proof = build_update_proof(mtree, "insert", b"k500")
+        with pytest.raises(ProofError):
+            verify_update(hash_bytes(b"bogus"), proof, mtree.order, b"k500", b"v")
+
+    def test_insert_requires_value(self):
+        mtree = make_tree(10)
+        proof = build_update_proof(mtree, "insert", b"k500")
+        with pytest.raises(ProofError):
+            verify_update(mtree.root_digest(), proof, mtree.order, b"k500")
+
+    def test_delete_must_not_carry_value(self):
+        mtree = make_tree(10)
+        proof = build_update_proof(mtree, "delete", b"k004")
+        with pytest.raises(ProofError):
+            verify_update(mtree.root_digest(), proof, mtree.order, b"k004", b"v")
+
+    def test_key_mismatch(self):
+        mtree = make_tree(10)
+        proof = build_update_proof(mtree, "insert", b"k500")
+        with pytest.raises(ProofError):
+            verify_update(mtree.root_digest(), proof, mtree.order, b"k501", b"v")
+
+    def test_unknown_operation_rejected_at_build(self):
+        mtree = make_tree(10)
+        with pytest.raises(ValueError):
+            build_update_proof(mtree, "upsert", b"k000")
+
+    def test_missing_sibling_detected(self):
+        """Strip the siblings from a delete proof that needs rebalancing;
+        the replay must refuse rather than guess."""
+        mtree = make_tree(9, order=3)
+        key = b"k004"
+        proof = build_update_proof(mtree, "delete", key)
+        stripped = UpdateProof(
+            operation=proof.operation,
+            key=proof.key,
+            internals=proof.internals,
+            leaf=proof.leaf,
+            siblings=tuple(SiblingPair(left=None, right=None) for _ in proof.siblings),
+        )
+        # Either the replay needs a sibling (ProofError) or, if this
+        # particular delete required no rebalance, roots must agree.
+        try:
+            derived = verify_update(mtree.root_digest(), stripped, mtree.order, key)
+        except ProofError:
+            return
+        mtree.delete(key)
+        assert derived == mtree.root_digest()
+
+    def test_tampered_sibling_rejected(self):
+        mtree = make_tree(9, order=3)
+        proof = build_update_proof(mtree, "delete", b"k004")
+        has_leaf_sibling = proof.siblings and (
+            proof.siblings[-1].left is not None or proof.siblings[-1].right is not None
+        )
+        if not has_leaf_sibling:
+            pytest.skip("no sibling at leaf level for this shape")
+        last = proof.siblings[-1]
+        side = last.left or last.right
+        tampered_sibling = type(side)(
+            keys=side.keys,
+            entry_digests=tuple(reversed(side.entry_digests)),
+        )
+        if side.keys == tuple(reversed(side.keys)):
+            pytest.skip("palindromic sibling")
+        pairs = list(proof.siblings)
+        if last.left is not None:
+            pairs[-1] = SiblingPair(left=tampered_sibling, right=last.right)
+        else:
+            pairs[-1] = SiblingPair(left=last.left, right=tampered_sibling)
+        forged = UpdateProof(
+            operation=proof.operation, key=proof.key, internals=proof.internals,
+            leaf=proof.leaf, siblings=tuple(pairs),
+        )
+        with pytest.raises(ProofError):
+            verify_update(mtree.root_digest(), forged, mtree.order, b"k004")
+
+    def test_sibling_length_mismatch(self):
+        mtree = make_tree(20, order=3)
+        proof = build_update_proof(mtree, "delete", b"k004")
+        forged = UpdateProof(
+            operation=proof.operation, key=proof.key, internals=proof.internals,
+            leaf=proof.leaf, siblings=proof.siblings[:-1],
+        )
+        with pytest.raises(ProofError):
+            verify_update(mtree.root_digest(), forged, mtree.order, b"k004")
+
+    def test_derive_update_roots(self):
+        mtree = make_tree(10)
+        proof = build_update_proof(mtree, "insert", b"k003")
+        old_root, new_root = derive_update_roots(proof, mtree.order, b"k003", b"changed")
+        assert old_root == mtree.root_digest()
+        mtree.insert(b"k003", b"changed")
+        assert new_root == mtree.root_digest()
+
+
+@st.composite
+def update_sequences(draw):
+    keys = st.integers(min_value=0, max_value=40).map(lambda i: f"key{i:02d}".encode())
+    ops = st.one_of(
+        st.tuples(st.just("insert"), keys, st.binary(min_size=0, max_size=4)),
+        st.tuples(st.just("delete"), keys, st.just(b"")),
+    )
+    return draw(st.lists(ops, max_size=60))
+
+
+class TestReplayEquivalenceProperty:
+    """The central soundness property: for ANY sequence of operations the
+    client-side replay derives exactly the root the honest server gets."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(order=st.integers(min_value=3, max_value=7), ops=update_sequences())
+    def test_replay_always_matches(self, order, ops):
+        mtree = MerkleBPlusTree(order=order)
+        present = set()
+        for kind, key, value in ops:
+            if kind == "delete" and key not in present:
+                continue
+            old_root = mtree.root_digest()
+            proof = build_update_proof(mtree, kind, key)
+            if kind == "insert":
+                derived = verify_update(old_root, proof, order, key, value)
+                mtree.insert(key, value)
+                present.add(key)
+            else:
+                derived = verify_update(old_root, proof, order, key)
+                mtree.delete(key)
+                present.discard(key)
+            assert derived == mtree.root_digest()
+            mtree.check_invariants()

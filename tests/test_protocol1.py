@@ -1,0 +1,248 @@
+"""Protocol I: unit tests against scripted server messages plus full
+simulations (Theorem 4.1's guarantees)."""
+
+import pytest
+
+from helpers import FakeContext, run_scenario
+from repro.crypto.hashing import hash_state
+from repro.crypto.signatures import Signature, Signer, Verifier
+from repro.mtree.database import ReadQuery, VerifiedDatabase, WriteQuery
+from repro.protocols.base import DeviationDetected, Response, ServerState
+from repro.protocols.protocol1 import (
+    Protocol1Client,
+    Protocol1Server,
+    bootstrap_server_state,
+)
+from repro.server.attacks import ForkAttack, SignatureForgeAttack, StaleRootReplayAttack
+from repro.simulation.workload import partitionable_workload, sleepy_workload, steady_workload
+
+BITS = 512
+USERS = ["alice", "bob"]
+
+
+@pytest.fixture(scope="module")
+def signers():
+    return {u: Signer.generate(u, bits=BITS, seed=20 + i) for i, u in enumerate(USERS)}
+
+
+@pytest.fixture(scope="module")
+def verifier(signers):
+    v = Verifier()
+    for user, signer in signers.items():
+        v.register(user, signer.public_key)
+    return v
+
+
+@pytest.fixture
+def rig(signers, verifier):
+    """A direct client/server rig without the simulator."""
+    state = ServerState(database=VerifiedDatabase(order=4))
+    state.database.execute(WriteQuery(b"file", b"v0"))
+    bootstrap_server_state(state, signers["alice"])
+    server = Protocol1Server()
+    clients = {
+        u: Protocol1Client(u, USERS, k=4, signer=signers[u], verifier=verifier, order=4)
+        for u in USERS
+    }
+    return state, server, clients
+
+
+def roundtrip(state, server, client, query, ctx):
+    request = client.make_request(query)
+    response = server.handle_request(client.user_id, request, state, round_no=ctx.round)
+    answer = client.handle_response(query, response, ctx)
+    # deliver the client's follow-up signature to the server
+    followup = ctx.sent_to_server.pop()
+    server.handle_followup(client.user_id, followup, state, ctx.round)
+    return answer
+
+
+class TestQueryVerification:
+    def test_read_roundtrip(self, rig):
+        state, server, clients = rig
+        ctx = FakeContext()
+        assert roundtrip(state, server, clients["alice"], ReadQuery(b"file"), ctx) == b"v0"
+
+    def test_write_then_other_user_reads(self, rig):
+        state, server, clients = rig
+        ctx = FakeContext()
+        roundtrip(state, server, clients["alice"], WriteQuery(b"file", b"v1"), ctx)
+        assert roundtrip(state, server, clients["bob"], ReadQuery(b"file"), ctx) == b"v1"
+
+    def test_counters_advance(self, rig):
+        state, server, clients = rig
+        ctx = FakeContext()
+        roundtrip(state, server, clients["alice"], ReadQuery(b"file"), ctx)
+        roundtrip(state, server, clients["alice"], ReadQuery(b"file"), ctx)
+        assert clients["alice"].lctr == 2
+        assert clients["alice"].gctr == 2
+        assert state.ctr == 2
+
+    def test_server_blocks_until_signature(self, rig):
+        state, server, clients = rig
+        request = clients["alice"].make_request(ReadQuery(b"file"))
+        assert not server.blocked(state)
+        server.handle_request("alice", request, state, 1)
+        assert server.blocked(state)
+
+    def test_stale_signature_detected(self, rig):
+        """Replaying an old signed root: the sig no longer covers the
+        root the VO implies."""
+        state, server, clients = rig
+        ctx = FakeContext()
+        stale_sig = state.meta["p1.sig"]
+        stale_user = state.meta["p1.last_user"]
+        roundtrip(state, server, clients["alice"], WriteQuery(b"file", b"v1"), ctx)
+        # Server now lies: presents the pre-write signature with fresh VO.
+        request = clients["bob"].make_request(ReadQuery(b"file"))
+        response = server.handle_request("bob", request, state, 5)
+        forged = Response(result=response.result,
+                          extras={**response.extras, "sig": stale_sig, "last_user": stale_user, "ctr": 0})
+        with pytest.raises(DeviationDetected):
+            clients["bob"].handle_response(ReadQuery(b"file"), forged, ctx)
+
+    def test_counter_regression_detected(self, rig):
+        state, server, clients = rig
+        ctx = FakeContext()
+        roundtrip(state, server, clients["alice"], ReadQuery(b"file"), ctx)
+        request = clients["alice"].make_request(ReadQuery(b"file"))
+        response = server.handle_request("alice", request, state, 3)
+        rewound = Response(result=response.result, extras={**response.extras, "ctr": 0})
+        with pytest.raises(DeviationDetected, match="regressed"):
+            clients["alice"].handle_response(ReadQuery(b"file"), rewound, ctx)
+
+    def test_forged_signature_detected(self, rig, signers):
+        state, server, clients = rig
+        ctx = FakeContext()
+        request = clients["alice"].make_request(ReadQuery(b"file"))
+        response = server.handle_request("alice", request, state, 1)
+        genuine = response.extras["sig"]
+        forged = Signature(signer_id=genuine.signer_id, digest=genuine.digest,
+                           raw=bytes(len(genuine.raw)))
+        bad = Response(result=response.result, extras={**response.extras, "sig": forged})
+        with pytest.raises(DeviationDetected, match="signature"):
+            clients["alice"].handle_response(ReadQuery(b"file"), bad, ctx)
+
+    def test_signature_from_wrong_user_detected(self, rig, signers):
+        state, server, clients = rig
+        ctx = FakeContext()
+        request = clients["alice"].make_request(ReadQuery(b"file"))
+        response = server.handle_request("alice", request, state, 1)
+        # Bob signs the correct state, but the server claims it is Alice's.
+        correct_digest = response.extras["sig"].digest
+        impostor = Signature(signer_id="alice", digest=correct_digest,
+                             raw=signers["bob"].sign(correct_digest).raw)
+        bad = Response(result=response.result, extras={**response.extras, "sig": impostor})
+        with pytest.raises(DeviationDetected):
+            clients["alice"].handle_response(ReadQuery(b"file"), bad, ctx)
+
+    def test_malformed_response_detected(self, rig):
+        state, server, clients = rig
+        request = clients["alice"].make_request(ReadQuery(b"file"))
+        response = server.handle_request("alice", request, state, 1)
+        with pytest.raises(DeviationDetected, match="malformed"):
+            clients["alice"].handle_response(ReadQuery(b"file"),
+                                             Response(result=response.result, extras={}),
+                                             FakeContext())
+
+    def test_followup_signature_covers_new_state(self, rig, verifier):
+        state, server, clients = rig
+        ctx = FakeContext()
+        query = WriteQuery(b"file", b"v9")
+        request = clients["alice"].make_request(query)
+        response = server.handle_request("alice", request, state, 1)
+        clients["alice"].handle_response(query, response, ctx)
+        followup = ctx.sent_to_server[-1]
+        signature = followup.extras["sig"]
+        expected = hash_state(state.database.root_digest(), 1)
+        assert verifier.verify(signature, expected)
+
+
+class TestSyncPredicate:
+    def test_honest_counts_pass(self, rig):
+        state, server, clients = rig
+        ctx = FakeContext()
+        for _ in range(3):
+            roundtrip(state, server, clients["alice"], ReadQuery(b"file"), ctx)
+        roundtrip(state, server, clients["bob"], ReadQuery(b"file"), ctx)
+        # bob performed the last op: his gctr equals the total count
+        data = {"alice": {"lctr": clients["alice"].lctr}, "bob": {"lctr": clients["bob"].lctr}}
+        assert clients["bob"]._evaluate_sync(data)
+        assert not clients["alice"]._evaluate_sync(data)
+
+    def test_dropped_operation_fails_everyone(self, rig):
+        state, server, clients = rig
+        ctx = FakeContext()
+        roundtrip(state, server, clients["alice"], ReadQuery(b"file"), ctx)
+        # Server "forgets" bob's op: bob did one op on a discarded branch.
+        branch = state.clone()
+        request = clients["bob"].make_request(ReadQuery(b"file"))
+        response = server.handle_request("bob", request, branch, 3)
+        clients["bob"].handle_response(ReadQuery(b"file"), response, ctx)
+        # Immediately after the branch op the counting is still
+        # consistent (bob's branch extends the true history), so bob's
+        # predicate legitimately passes -- detection needs one more op
+        # on the main branch:
+        data = {"alice": {"lctr": clients["alice"].lctr}, "bob": {"lctr": clients["bob"].lctr}}
+        assert clients["bob"]._evaluate_sync(data)
+        roundtrip(state, server, clients["alice"], ReadQuery(b"file"), ctx)
+        data = {"alice": {"lctr": clients["alice"].lctr}, "bob": {"lctr": clients["bob"].lctr}}
+        assert not clients["alice"]._evaluate_sync(data)
+        assert not clients["bob"]._evaluate_sync(data)
+
+    def test_wants_sync_after_k(self, rig):
+        state, server, clients = rig
+        ctx = FakeContext()
+        for _ in range(4):  # k = 4
+            assert not clients["alice"].wants_sync()
+            roundtrip(state, server, clients["alice"], ReadQuery(b"file"), ctx)
+        assert clients["alice"].wants_sync()
+
+
+class TestSimulations:
+    def test_honest_run_clean(self):
+        report = run_scenario("protocol1", steady_workload(3, 8, seed=1), k=4, seed=1)
+        assert not report.detected
+        assert report.first_deviation_round is None
+        assert sum(report.operations_completed.values()) == 24
+
+    def test_honest_sleepy_run_clean(self):
+        report = run_scenario("protocol1", sleepy_workload(4, seed=2), k=6, seed=2)
+        assert not report.detected
+
+    def test_partition_attack_detected_within_k(self):
+        # Protocol I's blocking handshake halves server throughput, so a
+        # sparse schedule keeps the server unsaturated and t1 lands
+        # after the fork engages (the Figure 1 timeline).
+        for k in (2, 6):
+            workload = partitionable_workload(k=k, seed=3, spacing=16, fork_round=60)
+            attack = ForkAttack(victims=workload.metadata["group_b"],
+                                fork_round=workload.metadata["fork_round"])
+            report = run_scenario("protocol1", workload, attack=attack, k=k, seed=3)
+            assert report.detected, k
+            assert not report.false_alarm
+            assert report.max_ops_after_deviation() <= k
+
+    def test_stale_root_replay_detected(self):
+        workload = steady_workload(3, 12, seed=4, write_ratio=0.7)
+        attack = StaleRootReplayAttack(victim="user1", freeze_round=25)
+        report = run_scenario("protocol1", workload, attack=attack, k=5, seed=4)
+        assert report.detected
+        assert not report.false_alarm
+
+    def test_signature_forge_detected_immediately(self):
+        workload = steady_workload(3, 10, seed=5)
+        attack = SignatureForgeAttack(forge_round=20)
+        report = run_scenario("protocol1", workload, attack=attack, k=50, seed=5)
+        assert report.detected
+        # detection on the very operation that carried the forgery
+        assert report.detection_delay_rounds() <= 3
+
+    def test_constant_local_state(self):
+        workload = steady_workload(2, 6, seed=6)
+        simulation = run_scenario("protocol1", workload, k=3, seed=6)
+        # state_size is an item count and must not grow with history
+        from repro.core.scenarios import make_keys
+        keys = make_keys(["u0", "u1"], seed=0)
+        client = Protocol1Client("u0", ["u0", "u1"], 3, keys.signers["u0"], keys.verifier)
+        assert client.state_size() < 10

@@ -1,0 +1,337 @@
+"""Protocol II: register algebra unit tests plus full simulations
+(Theorem 4.2's guarantees, without signatures or a PKI)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import FakeContext, run_scenario
+from repro.crypto.hashing import Digest, hash_tagged_state, xor_all
+from repro.mtree.database import ReadQuery, VerifiedDatabase, WriteQuery
+from repro.protocols.base import DeviationDetected, Response, ServerState
+from repro.protocols.protocol2 import (
+    INITIAL_OWNER,
+    Protocol2Client,
+    Protocol2Server,
+    initial_state_tag,
+)
+from repro.server.attacks import CounterReplayAttack, ForkAttack, TamperValueAttack
+from repro.simulation.workload import partitionable_workload, sleepy_workload, steady_workload
+
+USERS = ["alice", "bob", "carol"]
+
+
+@pytest.fixture
+def rig():
+    state = ServerState(database=VerifiedDatabase(order=4))
+    state.database.execute(WriteQuery(b"file", b"v0"))
+    server = Protocol2Server()
+    server.initialize(state)
+    initial_root = state.database.root_digest()
+    clients = {
+        u: Protocol2Client(u, USERS, k=4, initial_root=initial_root, order=4)
+        for u in USERS
+    }
+    return state, server, clients
+
+
+def roundtrip(state, server, client, query, ctx=None):
+    ctx = ctx or FakeContext()
+    request = client.make_request(query)
+    response = server.handle_request(client.user_id, request, state, ctx.round)
+    return client.handle_response(query, response, ctx)
+
+
+def sync_data(clients, subset=None):
+    return {
+        u: {"sigma": c.sigma, "last": c.last}
+        for u, c in clients.items()
+        if subset is None or u in subset
+    }
+
+
+class TestRegisters:
+    def test_initial_registers(self, rig):
+        _state, _server, clients = rig
+        assert clients["alice"].sigma == Digest.zero()
+        assert clients["alice"].last == Digest.zero()
+        assert clients["alice"].gctr == 0
+
+    def test_first_operation_consumes_initial_state(self, rig):
+        state, server, clients = rig
+        initial_root = state.database.root_digest()
+        roundtrip(state, server, clients["alice"], ReadQuery(b"file"))
+        s0 = initial_state_tag(initial_root)
+        s1 = hash_tagged_state(initial_root, 1, "alice")
+        assert clients["alice"].sigma == s0 ^ s1
+        assert clients["alice"].last == s1
+        assert clients["alice"].gctr == 1
+
+    def test_registers_telescope_over_serial_history(self, rig):
+        state, server, clients = rig
+        initial_root = state.database.root_digest()
+        order = ["alice", "bob", "alice", "carol", "bob", "bob"]
+        for index, user in enumerate(order):
+            query = WriteQuery(b"file", f"v{index + 1}".encode())
+            roundtrip(state, server, clients[user], query)
+        total = xor_all(c.sigma for c in clients.values())
+        s0 = initial_state_tag(initial_root)
+        # bob performed the last operation
+        assert total == s0 ^ clients["bob"].last
+
+    def test_honest_sync_passes_for_last_operator(self, rig):
+        state, server, clients = rig
+        roundtrip(state, server, clients["alice"], WriteQuery(b"file", b"x"))
+        roundtrip(state, server, clients["bob"], ReadQuery(b"file"))
+        data = sync_data(clients)
+        assert clients["bob"]._evaluate_sync(data)
+        assert not clients["alice"]._evaluate_sync(data)
+        # carol never operated: she only passes on a pristine system
+        assert not clients["carol"]._evaluate_sync(data)
+
+    def test_pristine_system_sync_passes(self, rig):
+        _state, _server, clients = rig
+        data = sync_data(clients)
+        for client in clients.values():
+            assert client._evaluate_sync(data)
+
+    def test_counter_regression_detected(self, rig):
+        state, server, clients = rig
+        roundtrip(state, server, clients["alice"], ReadQuery(b"file"))
+        request = clients["alice"].make_request(ReadQuery(b"file"))
+        response = server.handle_request("alice", request, state, 3)
+        rewound = Response(result=response.result,
+                           extras={**response.extras, "ctr": 0, "last_user": INITIAL_OWNER})
+        with pytest.raises(DeviationDetected, match="regressed"):
+            clients["alice"].handle_response(ReadQuery(b"file"), rewound, FakeContext())
+
+    def test_initial_state_owner_check(self, rig):
+        state, server, clients = rig
+        request = clients["alice"].make_request(ReadQuery(b"file"))
+        response = server.handle_request("alice", request, state, 1)
+        lying = Response(result=response.result,
+                         extras={**response.extras, "last_user": "mallory"})
+        with pytest.raises(DeviationDetected, match="initial state"):
+            clients["alice"].handle_response(ReadQuery(b"file"), lying, FakeContext())
+
+    def test_malformed_response_detected(self, rig):
+        state, server, clients = rig
+        request = clients["alice"].make_request(ReadQuery(b"file"))
+        response = server.handle_request("alice", request, state, 1)
+        with pytest.raises(DeviationDetected, match="malformed"):
+            clients["alice"].handle_response(ReadQuery(b"file"),
+                                             Response(result=response.result, extras={}),
+                                             FakeContext())
+
+    def test_forked_registers_fail_sync(self, rig):
+        """Serve bob from a stale clone; the union of registers is no
+        longer a single path, so no user's predicate holds."""
+        state, server, clients = rig
+        roundtrip(state, server, clients["alice"], WriteQuery(b"file", b"x"))
+        stale = state.clone()
+        roundtrip(state, server, clients["alice"], WriteQuery(b"file", b"y"))
+        roundtrip(stale, server, clients["bob"], WriteQuery(b"file", b"z"))
+        data = sync_data(clients)
+        assert not any(c._evaluate_sync(data) for c in clients.values())
+
+    def test_wrong_owner_tag_breaks_chain(self, rig):
+        """The server must attribute the current state to its true
+        producer; lying about `j` desynchronises the registers."""
+        state, server, clients = rig
+        roundtrip(state, server, clients["alice"], WriteQuery(b"file", b"x"))
+        request = clients["bob"].make_request(ReadQuery(b"file"))
+        response = server.handle_request("bob", request, state, 3)
+        lying = Response(result=response.result,
+                         extras={**response.extras, "last_user": "carol"})
+        clients["bob"].handle_response(ReadQuery(b"file"), lying, FakeContext())
+        data = sync_data(clients)
+        assert not any(c._evaluate_sync(data) for c in clients.values())
+
+
+class TestSyncChoreography:
+    def test_wants_sync_after_k(self, rig):
+        state, server, clients = rig
+        for i in range(4):
+            assert not clients["alice"].wants_sync()
+            roundtrip(state, server, clients["alice"], ReadQuery(b"file"))
+        assert clients["alice"].wants_sync()
+
+    def test_announce_broadcasts_request_and_data(self, rig):
+        _state, _server, clients = rig
+        ctx = FakeContext()
+        clients["alice"].announce_sync(ctx)
+        kinds = [b["type"] for b in ctx.broadcasts]
+        assert kinds[0] == "sync-request"
+        assert "sync-data" in kinds
+
+    def test_blocks_transactions_mid_sync(self, rig):
+        _state, _server, clients = rig
+        ctx = FakeContext()
+        assert clients["alice"].may_start_transaction(ctx)
+        clients["alice"].announce_sync(ctx)
+        assert not clients["alice"].may_start_transaction(ctx)
+
+    def test_deferred_data_when_pending(self, rig):
+        state, server, clients = rig
+        busy_ctx = FakeContext(pending=True)
+        clients["bob"].handle_broadcast("alice", {"type": "sync-request", "tag": "alice#1"}, busy_ctx)
+        assert not busy_ctx.broadcasts  # data deferred until txn completes
+        # completing a transaction flushes the deferred broadcast
+        idle_ctx = FakeContext()
+        roundtrip(state, server, clients["bob"], ReadQuery(b"file"), idle_ctx)
+        assert any(b["type"] == "sync-data" for b in idle_ctx.broadcasts)
+
+    def test_full_sync_exchange_success(self, rig):
+        state, server, clients = rig
+        roundtrip(state, server, clients["alice"], WriteQuery(b"file", b"x"))
+        contexts = {u: FakeContext() for u in USERS}
+        clients["alice"].announce_sync(contexts["alice"])
+        tag = contexts["alice"].broadcasts[0]["tag"]
+        # deliver request to others; they respond with data
+        for u in ("bob", "carol"):
+            clients[u].handle_broadcast("alice", {"type": "sync-request", "tag": tag}, contexts[u])
+        # exchange all data messages
+        payloads = {u: {"type": "sync-data", "tag": tag,
+                        "data": {"sigma": clients[u].sigma, "last": clients[u].last}}
+                    for u in USERS}
+        for receiver in USERS:
+            for sender in USERS:
+                if sender != receiver:
+                    clients[receiver].handle_broadcast(sender, payloads[sender], contexts[receiver])
+        # exchange verdicts: alice (last operator) says success
+        verdicts = {}
+        for u in USERS:
+            for broadcast in contexts[u].broadcasts:
+                if broadcast["type"] == "sync-verdict":
+                    verdicts[u] = broadcast["success"]
+        assert verdicts["alice"] is True
+        assert verdicts["bob"] is False
+        for receiver in USERS:
+            for sender in USERS:
+                if sender != receiver:
+                    clients[receiver].handle_broadcast(
+                        sender,
+                        {"type": "sync-verdict", "tag": tag, "success": verdicts[sender]},
+                        contexts[receiver],
+                    )  # must not raise: one success suffices
+        assert clients["alice"].ops_since_sync == 0
+
+
+class TestSimulations:
+    def test_honest_run_clean(self):
+        report = run_scenario("protocol2", steady_workload(4, 10, seed=1), k=5, seed=1)
+        assert not report.detected
+        assert sum(report.operations_completed.values()) == 40
+
+    def test_honest_sleepy_run_clean(self):
+        report = run_scenario("protocol2", sleepy_workload(4, seed=2), k=5, seed=2)
+        assert not report.detected
+
+    def test_partition_attack_detected_within_k(self):
+        for k in (2, 4, 8):
+            workload = partitionable_workload(k=k, seed=3)
+            attack = ForkAttack(victims=workload.metadata["group_b"],
+                                fork_round=workload.metadata["fork_round"])
+            report = run_scenario("protocol2", workload, attack=attack, k=k, seed=3)
+            assert report.detected, k
+            assert not report.false_alarm
+            assert report.max_ops_after_deviation() <= k, k
+
+    def test_counter_replay_detected_instantly(self):
+        workload = steady_workload(3, 12, seed=4)
+        attack = CounterReplayAttack(victim="user1", replay_round=25)
+        report = run_scenario("protocol2", workload, attack=attack, k=50, seed=4)
+        assert report.detected
+        assert "user1" in report.alarms
+
+    def test_tamper_detected(self):
+        workload = steady_workload(3, 12, seed=5, write_ratio=0.4)
+        attack = TamperValueAttack(victim="user0", tamper_round=15)
+        report = run_scenario("protocol2", workload, attack=attack, k=50, seed=5)
+        assert report.detected
+
+    def test_no_blocking_message(self):
+        """Protocol II responses need no follow-up: 2 messages per op
+        (request + response), against Protocol I's 3."""
+        workload = steady_workload(3, 8, seed=6)
+        report2 = run_scenario("protocol2", workload, k=100, seed=6)
+        report1 = run_scenario("protocol1", workload, k=100, seed=6)
+        ops = sum(report2.operations_completed.values())
+        assert report2.messages_sent == 2 * ops
+        assert report1.messages_sent == 3 * ops
+
+
+class TestTheorem42Algebra:
+    """Property test of the register algebra itself: over random server
+    behaviours, the sync predicate passes exactly for serial histories."""
+
+    @staticmethod
+    def _simulate_registers(n_users, ops, fork_at=None, seed=0):
+        """Pure register simulation: a server executes ``ops`` user
+        indices in order; optionally forks the last user off at op
+        ``fork_at``.  Returns (sigmas, lasts, initial_tag)."""
+        import random as _random
+        from repro.crypto.hashing import Digest, hash_bytes, hash_tagged_state
+
+        rng = _random.Random(seed)
+        users = [f"u{i}" for i in range(n_users)]
+        initial_root = hash_bytes(b"root0")
+        s0 = initial_state_tag(initial_root)
+
+        class Branch:
+            def __init__(self):
+                self.root = initial_root
+                self.ctr = 0
+                self.owner = ""
+
+        main, fork = Branch(), None
+        sigma = {u: Digest.zero() for u in users}
+        last = {u: Digest.zero() for u in users}
+        victim = users[-1]
+
+        for index, user_index in enumerate(ops):
+            user = users[user_index % n_users]
+            if fork_at is not None and index == fork_at and fork is None:
+                fork = Branch()
+                fork.root, fork.ctr, fork.owner = main.root, main.ctr, main.owner
+            branch = fork if (fork is not None and user == victim) else main
+            old = hash_tagged_state(branch.root, branch.ctr, branch.owner)
+            branch.root = hash_bytes(f"root-{id(branch) % 97}-{branch.ctr}-{rng.random()}".encode())
+            branch.ctr += 1
+            branch.owner = user
+            new = hash_tagged_state(branch.root, branch.ctr, user)
+            sigma[user] = sigma[user] ^ old ^ new
+            last[user] = new
+        return sigma, last, s0
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        n_users=st.integers(2, 4),
+        ops=st.lists(st.integers(0, 3), min_size=1, max_size=12),
+    )
+    def test_serial_histories_always_pass(self, n_users, ops):
+        from repro.crypto.hashing import xor_all
+
+        sigma, last, s0 = self._simulate_registers(n_users, ops)
+        total = xor_all(sigma.values())
+        assert any((s0 ^ l) == total for l in last.values() if l)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        n_users=st.integers(2, 4),
+        ops=st.lists(st.integers(0, 3), min_size=4, max_size=12),
+        fork_at=st.integers(1, 3),
+    )
+    def test_forked_histories_always_fail(self, n_users, ops, fork_at):
+        """Whenever both branches actually execute operations after the
+        fork, no candidate last can reconcile the registers."""
+        from repro.crypto.hashing import xor_all
+
+        victim_index = n_users - 1
+        post = ops[fork_at:]
+        victim_post = sum(1 for o in post if o % n_users == victim_index)
+        others_post = sum(1 for o in post if o % n_users != victim_index)
+        if victim_post == 0 or others_post == 0:
+            return  # degenerate fork: one branch never used -> still serial
+        sigma, last, s0 = self._simulate_registers(n_users, ops, fork_at=fork_at)
+        total = xor_all(sigma.values())
+        assert not any((s0 ^ l) == total for l in last.values() if l)

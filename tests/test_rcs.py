@@ -1,0 +1,165 @@
+"""Tests for the RCS-style revision store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.rcs import RcsError, RevisionStore
+
+documents = st.lists(st.sampled_from(["alpha", "beta", "gamma", "", "  indented"]), max_size=12)
+
+
+def build(revisions):
+    store = RevisionStore()
+    for t, lines in enumerate(revisions):
+        store.commit(list(lines), author=f"u{t % 3}", log_message=f"r{t}", timestamp=t)
+    return store
+
+
+class TestCommitCheckout:
+    def test_empty_store(self):
+        store = RevisionStore()
+        assert len(store) == 0
+        assert store.head_number is None
+        with pytest.raises(RcsError):
+            store.checkout()
+
+    def test_head_checkout(self):
+        store = build([["a"], ["a", "b"]])
+        assert store.checkout() == ["a", "b"]
+        assert store.head_number == "1.2"
+
+    def test_every_revision_reachable(self):
+        revisions = [["a"], ["a", "b"], ["b"], [], ["x", "y", "z"]]
+        store = build(revisions)
+        for index, expected in enumerate(revisions):
+            assert store.checkout(f"1.{index + 1}") == expected
+
+    def test_unknown_revision(self):
+        store = build([["a"]])
+        with pytest.raises(RcsError):
+            store.checkout("1.9")
+
+    def test_checkout_copy_is_private(self):
+        store = build([["a"]])
+        lines = store.checkout()
+        lines.append("mutated")
+        assert store.checkout() == ["a"]
+
+    def test_newline_in_line_rejected(self):
+        store = RevisionStore()
+        with pytest.raises(ValueError):
+            store.commit(["bad\nline"], "u", "", 0)
+
+    def test_timestamps_must_not_decrease(self):
+        store = build([["a"]])
+        with pytest.raises(RcsError):
+            store.commit(["b"], "u", "", -5)
+
+    def test_log_metadata(self):
+        store = build([["a"], ["b"]])
+        log = store.log()
+        assert [r.number for r in log] == ["1.1", "1.2"]
+        assert log[0].author == "u0"
+        assert log[1].log_message == "r1"
+        assert store.revision("1.2").timestamp == 1
+
+    def test_diff_between(self):
+        store = build([["a", "b"], ["a", "c"]])
+        delta = store.diff_between("1.1", "1.2")
+        assert delta[0].deleted == ("b",)
+        assert delta[0].inserted == ("c",)
+
+
+class TestDeadFiles:
+    def test_remove_and_resurrect(self):
+        store = build([["content"]])
+        store.remove("u", "gone", 5)
+        assert store.is_dead
+        assert store.checkout() == []
+        store.resurrect(["back"], "u", "revived", 6)
+        assert not store.is_dead
+        assert store.checkout() == ["back"]
+        # history is intact
+        assert store.checkout("1.1") == ["content"]
+
+    def test_double_remove_rejected(self):
+        store = build([["x"]])
+        store.remove("u", "", 1)
+        with pytest.raises(RcsError):
+            store.remove("u", "", 2)
+
+    def test_resurrect_live_rejected(self):
+        store = build([["x"]])
+        with pytest.raises(RcsError):
+            store.resurrect(["y"], "u", "", 1)
+
+
+class TestSerialization:
+    def test_roundtrip_simple(self):
+        store = build([["a"], ["a", "b"], ["c"]])
+        clone = RevisionStore.deserialize(store.serialize())
+        assert clone.serialize() == store.serialize()
+        for index in range(3):
+            number = f"1.{index + 1}"
+            assert clone.checkout(number) == store.checkout(number)
+
+    def test_metadata_preserved(self):
+        store = RevisionStore()
+        store.commit(["x"], author="name with spaces", log_message="log\twith\ttabs", timestamp=9)
+        clone = RevisionStore.deserialize(store.serialize())
+        assert clone.log()[0].author == "name with spaces"
+        assert clone.log()[0].log_message == "log\twith\ttabs"
+
+    def test_deterministic(self):
+        a = build([["x"], ["y"]])
+        b = build([["x"], ["y"]])
+        assert a.serialize() == b.serialize()
+
+    def test_bad_magic(self):
+        with pytest.raises(RcsError):
+            RevisionStore.deserialize(b"not an rcs store\n")
+
+    def test_truncated(self):
+        blob = build([["a"], ["b"]]).serialize()
+        with pytest.raises(RcsError):
+            RevisionStore.deserialize(blob[: len(blob) // 2])
+
+    def test_trailing_garbage(self):
+        blob = build([["a"]]).serialize()
+        with pytest.raises(RcsError):
+            RevisionStore.deserialize(blob + b"extra\n")
+
+    def test_bad_base64(self):
+        blob = build([["a"]]).serialize().decode()
+        # replace author field with invalid base64
+        lines = blob.split("\n")
+        for i, line in enumerate(lines):
+            if line.startswith("rev "):
+                parts = line.split(" ")
+                parts[2] = "%%%"
+                lines[i] = " ".join(parts)
+                break
+        with pytest.raises(RcsError):
+            RevisionStore.deserialize("\n".join(lines).encode())
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(documents, min_size=1, max_size=8))
+    def test_roundtrip_property(self, revisions):
+        store = build(revisions)
+        clone = RevisionStore.deserialize(store.serialize())
+        assert clone.serialize() == store.serialize()
+        for index, expected in enumerate(revisions):
+            assert clone.checkout(f"1.{index + 1}") == list(expected)
+
+    def test_storage_is_delta_compressed(self):
+        """Reverse deltas: 50 revisions of a 200-line file with one-line
+        changes must serialise far smaller than 50 full copies."""
+        base = [f"line {i}" for i in range(200)]
+        store = RevisionStore()
+        full_size = 0
+        for revision in range(50):
+            doc = list(base)
+            doc[revision % 200] = f"edited in r{revision}"
+            store.commit(doc, "u", "", revision)
+            full_size += sum(len(line) + 1 for line in doc)
+        assert len(store.serialize()) < full_size / 10

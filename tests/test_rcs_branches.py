@@ -1,0 +1,153 @@
+"""Tests for RCS branch support (CVS 1.N.2.x numbering)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.merge import merge3
+from repro.storage.rcs import RcsError, RevisionStore
+
+
+@pytest.fixture
+def store():
+    s = RevisionStore()
+    s.commit(["v1 line"], "alice", "r1", 0)
+    s.commit(["v1 line", "v2 line"], "alice", "r2", 1)
+    s.commit(["v1 line", "v2 line", "v3 line"], "alice", "r3", 2)
+    return s
+
+
+class TestBranchNumbering:
+    def test_first_branch_gets_even_number(self, store):
+        assert store.create_branch("1.2") == "1.2.2"
+
+    def test_second_branch_off_same_revision(self, store):
+        store.create_branch("1.2")
+        assert store.create_branch("1.2") == "1.2.4"
+
+    def test_branches_off_different_revisions(self, store):
+        assert store.create_branch("1.1") == "1.1.2"
+        assert store.create_branch("1.3") == "1.3.2"
+        assert store.branches() == ["1.1.2", "1.3.2"]
+
+    def test_branch_off_unknown_revision(self, store):
+        with pytest.raises(RcsError):
+            store.create_branch("1.9")
+
+    def test_branch_revision_numbers(self, store):
+        branch = store.create_branch("1.2")
+        r1 = store.commit_on_branch(branch, ["branched"], "bob", "b1", 5)
+        r2 = store.commit_on_branch(branch, ["branched", "more"], "bob", "b2", 6)
+        assert r1.number == "1.2.2.1"
+        assert r2.number == "1.2.2.2"
+
+
+class TestBranchCheckout:
+    def test_branch_content_independent_of_trunk(self, store):
+        branch = store.create_branch("1.2")
+        store.commit_on_branch(branch, ["v1 line", "branch work"], "bob", "", 5)
+        # trunk head unchanged
+        assert store.checkout() == ["v1 line", "v2 line", "v3 line"]
+        # branch revision as committed
+        assert store.checkout("1.2.2.1") == ["v1 line", "branch work"]
+
+    def test_branch_walks_forward_deltas(self, store):
+        branch = store.create_branch("1.1")
+        contents = [["a"], ["a", "b"], ["c", "a", "b"]]
+        for t, lines in enumerate(contents):
+            store.commit_on_branch(branch, lines, "bob", "", 10 + t)
+        for step, expected in enumerate(contents, start=1):
+            assert store.checkout(f"{branch}.{step}") == expected
+
+    def test_trunk_keeps_evolving_after_branch(self, store):
+        branch = store.create_branch("1.3")
+        store.commit_on_branch(branch, ["stable fix"], "bob", "", 5)
+        store.commit(["trunk", "goes", "on"], "alice", "r4", 6)
+        assert store.checkout() == ["trunk", "goes", "on"]
+        assert store.checkout("1.3.2.1") == ["stable fix"]
+        assert store.checkout("1.3") == ["v1 line", "v2 line", "v3 line"]
+
+    def test_unknown_branch_revision(self, store):
+        branch = store.create_branch("1.2")
+        store.commit_on_branch(branch, ["x"], "bob", "", 5)
+        with pytest.raises(RcsError):
+            store.checkout(f"{branch}.5")
+        with pytest.raises(RcsError):
+            store.checkout("1.2.4.1")
+
+    def test_malformed_branch_number(self, store):
+        store.create_branch("1.2")
+        with pytest.raises(RcsError):
+            store.checkout("1.2.2.xyz")
+
+    def test_branch_head_and_log(self, store):
+        branch = store.create_branch("1.2")
+        assert store.branch_head(branch) is None
+        store.commit_on_branch(branch, ["x"], "bob", "fix", 5)
+        assert store.branch_head(branch) == "1.2.2.1"
+        assert [r.log_message for r in store.branch_log(branch)] == ["fix"]
+
+    def test_branch_timestamps_monotone(self, store):
+        branch = store.create_branch("1.2")
+        store.commit_on_branch(branch, ["x"], "bob", "", 10)
+        with pytest.raises(RcsError):
+            store.commit_on_branch(branch, ["y"], "bob", "", 3)
+
+
+class TestBranchSerialization:
+    def test_roundtrip_with_branches(self, store):
+        branch = store.create_branch("1.2")
+        store.commit_on_branch(branch, ["branch v1"], "bob", "b1", 5)
+        store.commit_on_branch(branch, ["branch v2"], "bob", "b2", 6)
+        clone = RevisionStore.deserialize(store.serialize())
+        assert clone.serialize() == store.serialize()
+        assert clone.branches() == [branch]
+        assert clone.checkout("1.2.2.2") == ["branch v2"]
+        assert clone.checkout("1.2") == store.checkout("1.2")
+
+    def test_empty_branch_roundtrips(self, store):
+        store.create_branch("1.1")
+        clone = RevisionStore.deserialize(store.serialize())
+        assert clone.branches() == ["1.1.2"]
+        assert clone.branch_head("1.1.2") is None
+
+    def test_v1_blobs_still_parse(self):
+        """Backward compatibility with the pre-branch format."""
+        legacy = RevisionStore()
+        legacy.commit(["old"], "u", "", 0)
+        blob = legacy.serialize().replace(b"rcs-store 2", b"rcs-store 1")
+        # strip the (empty) branches section to produce a true v1 blob
+        blob = blob.replace(b"branches 0\n", b"")
+        clone = RevisionStore.deserialize(blob)
+        assert clone.checkout() == ["old"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.lists(st.sampled_from(["a", "b", "c"]), max_size=5),
+                    min_size=1, max_size=4))
+    def test_roundtrip_property_with_branch(self, branch_contents):
+        store = RevisionStore()
+        store.commit(["base"], "u", "", 0)
+        branch = store.create_branch("1.1")
+        for t, lines in enumerate(branch_contents):
+            store.commit_on_branch(branch, list(lines), "u", "", t + 1)
+        clone = RevisionStore.deserialize(store.serialize())
+        for step, expected in enumerate(branch_contents, start=1):
+            assert clone.checkout(f"{branch}.{step}") == list(expected)
+
+
+class TestBranchMergeWorkflow:
+    def test_merge_branch_into_trunk(self, store):
+        """The release-branch pattern: fix on the branch, develop on
+        trunk, merge the fix back with merge3."""
+        branch = store.create_branch("1.3")
+        store.commit_on_branch(branch, ["v1 line", "v2 line", "v3 line", "hotfix"],
+                               "bob", "fix", 5)
+        store.commit(["v0 line", "v1 line", "v2 line", "v3 line"], "alice", "feature", 6)
+
+        base = store.checkout("1.3")
+        trunk = store.checkout()
+        fix = store.checkout(f"{branch}.1")
+        merged = merge3(base, trunk, fix)
+        assert not merged.has_conflicts
+        assert merged.lines() == ["v0 line", "v1 line", "v2 line", "v3 line", "hotfix"]
+        store.commit(merged.lines(), "alice", "merge hotfix", 7)
+        assert store.checkout()[-1] == "hotfix"

@@ -1,0 +1,146 @@
+"""Tests for the multi-file repository."""
+
+import pytest
+
+from repro.storage.repository import Repository, RepositoryError
+from repro.storage.rcs import RevisionStore
+
+
+@pytest.fixture
+def repo():
+    repository = Repository()
+    repository.commit(
+        "alice",
+        {"src/main.c": ["int main() {}"], "src/common.h": ["#define VERSION 1"]},
+        "initial import",
+        timestamp=0,
+    )
+    return repository
+
+
+class TestCommitCheckout:
+    def test_paths(self, repo):
+        assert repo.paths() == ["src/common.h", "src/main.c"]
+
+    def test_contains(self, repo):
+        assert "src/main.c" in repo
+        assert "unknown.c" not in repo
+
+    def test_checkout_head(self, repo):
+        assert repo.checkout("src/common.h") == ["#define VERSION 1"]
+
+    def test_checkout_old_revision(self, repo):
+        repo.commit("bob", {"src/common.h": ["#define VERSION 2"]}, "bump", 1)
+        assert repo.checkout("src/common.h") == ["#define VERSION 2"]
+        assert repo.checkout("src/common.h", "1.1") == ["#define VERSION 1"]
+
+    def test_unknown_path(self, repo):
+        with pytest.raises(RepositoryError):
+            repo.checkout("nope.c")
+
+    def test_empty_commit_rejected(self, repo):
+        with pytest.raises(RepositoryError):
+            repo.commit("alice", {}, "empty")
+
+    def test_checkout_all(self, repo):
+        copy = repo.checkout_all()
+        assert set(copy) == {"src/common.h", "src/main.c"}
+
+    def test_multi_file_commit_records_revisions(self, repo):
+        record = repo.commit(
+            "bob",
+            {"src/main.c": ["changed"], "README": ["docs"]},
+            "two files",
+            timestamp=3,
+        )
+        assert set(record.revisions) == {"src/main.c", "README"}
+        assert record.revisions["src/main.c"].number == "1.2"
+        assert record.revisions["README"].number == "1.1"
+
+    def test_history(self, repo):
+        repo.commit("bob", {"src/main.c": ["x"]}, "edit", 2)
+        history = repo.history()
+        assert len(history) == 2
+        assert history[0].author == "alice"
+        assert history[1].log_message == "edit"
+
+    def test_head_revision(self, repo):
+        assert repo.head_revision("src/main.c") == "1.1"
+
+
+class TestRemove:
+    def test_remove_hides_path(self, repo):
+        repo.commit("alice", {"src/main.c": None}, "drop", 1)
+        assert "src/main.c" not in repo
+        assert repo.paths() == ["src/common.h"]
+        assert repo.paths(include_dead=True) == ["src/common.h", "src/main.c"]
+
+    def test_checkout_dead_head_rejected(self, repo):
+        repo.commit("alice", {"src/main.c": None}, "drop", 1)
+        with pytest.raises(RepositoryError):
+            repo.checkout("src/main.c")
+
+    def test_dead_history_reachable(self, repo):
+        repo.commit("alice", {"src/main.c": None}, "drop", 1)
+        assert repo.checkout("src/main.c", "1.1") == ["int main() {}"]
+
+    def test_resurrect_via_commit(self, repo):
+        repo.commit("alice", {"src/main.c": None}, "drop", 1)
+        repo.commit("bob", {"src/main.c": ["reborn"]}, "revive", 2)
+        assert repo.checkout("src/main.c") == ["reborn"]
+
+    def test_remove_unknown_rejected(self, repo):
+        with pytest.raises(RepositoryError):
+            repo.commit("alice", {"ghost.c": None}, "drop")
+
+
+class TestTags:
+    def test_tag_and_checkout(self, repo):
+        repo.tag("release-1.0")
+        repo.commit("bob", {"src/common.h": ["#define VERSION 2"]}, "bump", 1)
+        pinned = repo.checkout_tag("release-1.0")
+        assert pinned["src/common.h"] == ["#define VERSION 1"]
+
+    def test_duplicate_tag_rejected(self, repo):
+        repo.tag("v1")
+        with pytest.raises(RepositoryError):
+            repo.tag("v1")
+
+    def test_unknown_tag(self, repo):
+        with pytest.raises(RepositoryError):
+            repo.checkout_tag("ghost")
+
+    def test_partial_tag(self, repo):
+        repo.tag("headers", paths=["src/common.h"])
+        assert set(repo.checkout_tag("headers")) == {"src/common.h"}
+
+
+class TestStatus:
+    def test_status_categories(self, repo):
+        working = {
+            "src/common.h": ["#define VERSION 1"],  # up-to-date
+            "src/main.c": ["hacked locally"],  # modified
+            "scratch.txt": ["untracked"],  # unknown
+        }
+        report = repo.status(working)
+        assert report == {
+            "src/common.h": "up-to-date",
+            "src/main.c": "modified",
+            "scratch.txt": "unknown",
+        }
+
+    def test_needs_checkout(self, repo):
+        report = repo.status({"src/main.c": ["int main() {}"]})
+        assert report["src/common.h"] == "needs-checkout"
+
+
+class TestMerkleIntegration:
+    def test_serialize_file_roundtrip(self, repo):
+        blob = repo.serialize_file("src/main.c")
+        store = Repository.deserialize_file(blob)
+        assert isinstance(store, RevisionStore)
+        assert store.checkout() == ["int main() {}"]
+
+    def test_serialize_unknown(self, repo):
+        with pytest.raises(RepositoryError):
+            repo.serialize_file("ghost")

@@ -1,0 +1,109 @@
+"""Tests for the from-scratch RSA implementation."""
+
+import random
+
+import pytest
+
+from repro.crypto.hashing import hash_bytes
+from repro.crypto import rsa
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return rsa.generate_keypair(bits=512, seed=1234)
+
+
+class TestMillerRabin:
+    def test_small_primes(self):
+        rng = random.Random(0)
+        for p in (2, 3, 5, 7, 97, 101, 7919):
+            assert rsa.is_probable_prime(p, rng)
+
+    def test_small_composites(self):
+        rng = random.Random(0)
+        for n in (0, 1, 4, 9, 100, 561, 1105, 7917):  # includes Carmichael 561, 1105
+            assert not rsa.is_probable_prime(n, rng)
+
+    def test_carmichael_numbers_rejected(self):
+        rng = random.Random(7)
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not rsa.is_probable_prime(carmichael, rng)
+
+    def test_generated_prime_has_requested_bits(self):
+        rng = random.Random(5)
+        for bits in (16, 32, 64):
+            p = rsa.generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert rsa.is_probable_prime(p, rng)
+
+    def test_generate_prime_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            rsa.generate_prime(4, random.Random(0))
+
+
+class TestKeyGeneration:
+    def test_deterministic_with_seed(self):
+        a = rsa.generate_keypair(bits=512, seed=42)
+        b = rsa.generate_keypair(bits=512, seed=42)
+        assert a.public.modulus == b.public.modulus
+        assert a.exponent == b.exponent
+
+    def test_different_seeds_differ(self):
+        a = rsa.generate_keypair(bits=512, seed=1)
+        b = rsa.generate_keypair(bits=512, seed=2)
+        assert a.public.modulus != b.public.modulus
+
+    def test_rejects_small_modulus(self):
+        with pytest.raises(ValueError):
+            rsa.generate_keypair(bits=256)
+
+    def test_modulus_size(self, keypair):
+        assert 511 <= keypair.public.modulus.bit_length() <= 512
+
+    def test_public_exponent(self, keypair):
+        assert keypair.public.exponent == 65537
+
+    def test_fingerprint_stable(self, keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert len(keypair.public.fingerprint()) == 8
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        digest = hash_bytes(b"message")
+        signature = rsa.sign_digest(keypair, digest)
+        assert rsa.verify_digest(keypair.public, digest, signature)
+
+    def test_signature_length(self, keypair):
+        signature = rsa.sign_digest(keypair, hash_bytes(b"m"))
+        assert len(signature) == keypair.public.byte_length
+
+    def test_wrong_digest_fails(self, keypair):
+        signature = rsa.sign_digest(keypair, hash_bytes(b"m1"))
+        assert not rsa.verify_digest(keypair.public, hash_bytes(b"m2"), signature)
+
+    def test_bitflip_fails(self, keypair):
+        digest = hash_bytes(b"m")
+        signature = bytearray(rsa.sign_digest(keypair, digest))
+        signature[3] ^= 0x40
+        assert not rsa.verify_digest(keypair.public, digest, bytes(signature))
+
+    def test_wrong_key_fails(self, keypair):
+        other = rsa.generate_keypair(bits=512, seed=99)
+        signature = rsa.sign_digest(keypair, hash_bytes(b"m"))
+        assert not rsa.verify_digest(other.public, hash_bytes(b"m"), signature)
+
+    def test_wrong_length_rejected(self, keypair):
+        assert not rsa.verify_digest(keypair.public, hash_bytes(b"m"), b"short")
+
+    def test_all_zero_forgery_rejected(self, keypair):
+        forged = bytes(keypair.public.byte_length)
+        assert not rsa.verify_digest(keypair.public, hash_bytes(b"m"), forged)
+
+    def test_value_above_modulus_rejected(self, keypair):
+        too_big = (keypair.public.modulus + 1).to_bytes(keypair.public.byte_length, "big")
+        assert not rsa.verify_digest(keypair.public, hash_bytes(b"m"), too_big)
+
+    def test_deterministic_signatures(self, keypair):
+        digest = hash_bytes(b"same message")
+        assert rsa.sign_digest(keypair, digest) == rsa.sign_digest(keypair, digest)

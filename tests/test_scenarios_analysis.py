@@ -1,0 +1,216 @@
+"""Tests for scenario builders and the analysis helpers."""
+
+import pytest
+
+from helpers import run_scenario
+from repro.analysis import (
+    detection_metrics,
+    format_series,
+    format_table,
+    overhead_metrics,
+    preservation_factor,
+    user_gaps,
+)
+from repro.core.scenarios import PROTOCOLS, build_simulation, make_keys, populate_database
+from repro.mtree.database import VerifiedDatabase
+from repro.server.attacks import ForkAttack
+from repro.simulation.workload import steady_workload, epoch_workload
+
+
+class TestBuilders:
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            build_simulation("protocol9", steady_workload(2, 2))
+
+    def test_all_protocols_build(self):
+        workload = steady_workload(2, 3, seed=1)
+        epoch_wl = epoch_workload(2, 30, 2, seed=1)
+        for protocol in PROTOCOLS:
+            wl = epoch_wl if protocol == "protocol3" else workload
+            simulation = build_simulation(protocol, wl, seed=1)
+            assert simulation.server is not None
+            assert len(simulation.users) == 2
+
+    def test_populate_database_covers_workload_keys(self):
+        workload = steady_workload(3, 10, keyspace=12, seed=2)
+        database = VerifiedDatabase(order=4)
+        populate_database(database, workload)
+        for intents in workload.schedules.values():
+            for intent in intents:
+                if hasattr(intent.query, "key"):
+                    assert database.get(intent.query.key) is not None
+
+    def test_make_keys_deterministic(self):
+        a = make_keys(["x", "y"], seed=3)
+        b = make_keys(["x", "y"], seed=3)
+        assert a.signers["x"].public_key == b.signers["x"].public_key
+        assert a.ca.public_key == b.ca.public_key
+
+    def test_make_keys_verifier_covers_all_users(self):
+        keys = make_keys(["x", "y", "z"], seed=4)
+        for user in ("x", "y", "z"):
+            assert keys.verifier.knows(user)
+
+    def test_empty_workload_rejected(self):
+        from repro.simulation.workload import Workload
+
+        with pytest.raises(ValueError):
+            build_simulation("naive", Workload(name="empty", schedules={}))
+
+
+class TestMetrics:
+    @pytest.fixture(scope="class")
+    def honest_report(self):
+        return run_scenario("protocol2", steady_workload(3, 8, seed=5), k=4, seed=5)
+
+    @pytest.fixture(scope="class")
+    def attacked_report(self):
+        workload = steady_workload(3, 12, keyspace=6, write_ratio=0.6, seed=6)
+        attack = ForkAttack(victims=["user1"], fork_round=workload.horizon() // 2)
+        return run_scenario("protocol2", workload, attack=attack, k=4, seed=6)
+
+    def test_detection_metrics_honest(self, honest_report):
+        metrics = detection_metrics(honest_report)
+        assert not metrics.deviated
+        assert not metrics.detected
+        assert not metrics.false_alarm
+
+    def test_detection_metrics_attacked(self, attacked_report):
+        metrics = detection_metrics(attacked_report)
+        assert metrics.deviated
+        assert metrics.detected
+        assert metrics.detection_delay_rounds is not None
+        assert metrics.reasons
+
+    def test_overhead_metrics(self, honest_report):
+        metrics = overhead_metrics(honest_report)
+        assert metrics.operations == 24
+        assert metrics.messages_per_operation == pytest.approx(2.0)
+        assert metrics.throughput_ops_per_round > 0
+
+    def test_user_gaps(self, honest_report):
+        gaps = user_gaps(honest_report, "user0")
+        assert len(gaps) == 7
+        assert all(g > 0 for g in gaps)
+
+    def test_preservation_factor_self_is_one(self, honest_report):
+        assert preservation_factor(honest_report, honest_report, "user0") == pytest.approx(1.0)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "n"], [["alpha", 1], ["b", 22]], title="T")
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert "alpha" in lines[3]
+        assert len({len(line) for line in lines[2:]}) == 1  # aligned rows
+
+    def test_format_table_value_rendering(self):
+        text = format_table(["v"], [[True], [False], [None], [1.23456], ["s"]])
+        assert "yes" in text and "no" in text and "-" in text and "1.235" in text
+
+    def test_format_series(self):
+        text = format_series("fig", [1, 2], [10.0, 20.0], "x", "y")
+        assert text.startswith("fig")
+        assert "10.000" in text
+
+
+class TestReportCollector:
+    def test_collects_saved_tables(self, tmp_path):
+        import io
+        from repro.analysis.report import collect_report, main
+
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "E1_x.txt").write_text("table one\nrow\n")
+        (results / "E2_y.txt").write_text("table two\n")
+        (results / "ignored.json").write_text("{}")
+        text = collect_report(str(results))
+        assert "[E1_x]" in text and "table one" in text
+        assert "[E2_y]" in text
+        assert "ignored" not in text
+        assert text.index("[E1_x]") < text.index("[E2_y]")
+
+        out = io.StringIO()
+        assert main([str(results)], out=out) == 0
+        assert "table one" in out.getvalue()
+
+    def test_missing_dir(self, tmp_path):
+        import io
+        from repro.analysis.report import main
+
+        out = io.StringIO()
+        assert main([str(tmp_path / "nope")], out=out) == 2
+        assert "error" in out.getvalue()
+
+    def test_empty_dir(self, tmp_path):
+        from repro.analysis.report import collect_report
+        import pytest as _pytest
+
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with _pytest.raises(FileNotFoundError):
+            collect_report(str(empty))
+
+
+class TestCommitMany:
+    def test_multi_file_commit(self):
+        from repro.core.facade import CvsClient, CvsServer
+
+        client = CvsClient(CvsServer(order=4), author="dev")
+        revisions = client.commit_many(
+            {"b.txt": ["bee"], "a.txt": ["ay"]}, "bulk import")
+        assert set(revisions) == {"a.txt", "b.txt"}
+        assert revisions["a.txt"].number == "1.1"
+        assert client.checkout("b.txt") == ["bee"]
+
+    def test_empty_commit_rejected(self):
+        from repro.core.facade import CvsClient, CvsServer
+        import pytest as _pytest
+
+        client = CvsClient(CvsServer(order=4), author="dev")
+        with _pytest.raises(ValueError):
+            client.commit_many({})
+
+
+class TestTimeline:
+    def test_renders_events_in_order(self):
+        from repro.analysis.timeline import render_timeline
+        from repro.server.attacks import ForkAttack
+        from repro.simulation.workload import steady_workload
+
+        workload = steady_workload(3, 8, keyspace=6, write_ratio=0.6, seed=6)
+        attack = ForkAttack(victims=["user1"], fork_round=workload.horizon() // 2)
+        report = run_scenario("protocol2", workload, attack=attack, k=3, seed=6)
+        text = render_timeline(report)
+        assert "issues #1" in text
+        assert "completes #1" in text
+        assert "SERVER DEVIATES" in text
+        assert "ALARMS" in text
+        assert text.endswith("outcome: detected")
+        # round-ordered
+        rounds = [int(line.split()[0][1:]) for line in text.splitlines()
+                  if line.strip().startswith("r")]
+        assert rounds == sorted(rounds)
+
+    def test_windowing_and_truncation(self):
+        from repro.analysis.timeline import render_timeline
+        from repro.server.attacks import ForkAttack
+        from repro.simulation.workload import steady_workload
+
+        workload = steady_workload(3, 10, keyspace=6, write_ratio=0.6, seed=7)
+        attack = ForkAttack(victims=["user1"], fork_round=workload.horizon() // 2)
+        report = run_scenario("protocol2", workload, attack=attack, k=3, seed=7)
+        windowed = render_timeline(report, around_deviation=4)
+        assert "SERVER DEVIATES" in windowed
+        assert len(windowed.splitlines()) < len(render_timeline(report).splitlines())
+        tiny = render_timeline(report, max_events=3)
+        assert "truncated" in tiny
+
+    def test_clean_run(self):
+        from repro.analysis.timeline import render_timeline
+        from repro.simulation.workload import steady_workload
+
+        report = run_scenario("protocol2", steady_workload(2, 4, seed=8), k=50, seed=8)
+        text = render_timeline(report)
+        assert "outcome: no alarm, no deviation" in text

@@ -1,0 +1,147 @@
+"""Tests for the signing API and the minimal PKI."""
+
+import pytest
+
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.pki import (
+    Certificate,
+    CertificateAuthority,
+    CertificateError,
+    build_verifier,
+    verify_certificate,
+)
+from repro.crypto.signatures import Signature, Signer, Verifier
+
+BITS = 512
+
+
+@pytest.fixture(scope="module")
+def alice():
+    return Signer.generate("alice", bits=BITS, seed=10)
+
+
+@pytest.fixture(scope="module")
+def bob():
+    return Signer.generate("bob", bits=BITS, seed=11)
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority(bits=BITS, seed=12)
+
+
+class TestSigner:
+    def test_identity(self, alice):
+        assert alice.signer_id == "alice"
+
+    def test_sign_names_signer(self, alice):
+        signature = alice.sign(hash_bytes(b"m"))
+        assert signature.signer_id == "alice"
+
+    def test_repr(self, alice):
+        signature = alice.sign(hash_bytes(b"m"))
+        assert "alice" in repr(signature)
+
+
+class TestVerifier:
+    def test_verify_known_signer(self, alice):
+        verifier = Verifier({"alice": alice.public_key})
+        digest = hash_bytes(b"m")
+        assert verifier.verify(alice.sign(digest), digest)
+
+    def test_unknown_signer_fails(self, alice):
+        verifier = Verifier()
+        digest = hash_bytes(b"m")
+        assert not verifier.verify(alice.sign(digest), digest)
+
+    def test_digest_mismatch_fails(self, alice):
+        verifier = Verifier({"alice": alice.public_key})
+        signature = alice.sign(hash_bytes(b"m1"))
+        assert not verifier.verify(signature, hash_bytes(b"m2"))
+
+    def test_replayed_signature_over_stale_digest_fails(self, alice):
+        # The classic stale-root attack: the server hands back an old
+        # but genuine signature.  Verification against the *expected*
+        # digest must fail.
+        verifier = Verifier({"alice": alice.public_key})
+        stale = alice.sign(hash_bytes(b"old state"))
+        assert not verifier.verify(stale, hash_bytes(b"current state"))
+
+    def test_impersonation_fails(self, alice, bob):
+        # Bob's genuine signature presented as Alice's.
+        verifier = Verifier({"alice": alice.public_key, "bob": bob.public_key})
+        digest = hash_bytes(b"m")
+        forged = Signature(signer_id="alice", digest=digest, raw=bob.sign(digest).raw)
+        assert not verifier.verify(forged, digest)
+
+    def test_register_and_knows(self, alice):
+        verifier = Verifier()
+        assert not verifier.knows("alice")
+        verifier.register("alice", alice.public_key)
+        assert verifier.knows("alice")
+
+
+class TestCertificateAuthority:
+    def test_issue_and_verify(self, ca, alice):
+        certificate = ca.issue("alice", alice.public_key)
+        verify_certificate(certificate, ca.public_key)  # must not raise
+
+    def test_serials_increase(self, ca, alice, bob):
+        c1 = ca.issue("alice", alice.public_key)
+        c2 = ca.issue("bob", bob.public_key)
+        assert c2.serial > c1.serial
+
+    def test_tampered_subject_fails(self, ca, alice):
+        certificate = ca.issue("alice", alice.public_key)
+        mallory = Certificate(
+            subject_id="mallory",
+            public_key=certificate.public_key,
+            serial=certificate.serial,
+            issuer_id=certificate.issuer_id,
+            signature=certificate.signature,
+        )
+        with pytest.raises(CertificateError):
+            verify_certificate(mallory, ca.public_key)
+
+    def test_swapped_key_fails(self, ca, alice, bob):
+        certificate = ca.issue("alice", alice.public_key)
+        swapped = Certificate(
+            subject_id=certificate.subject_id,
+            public_key=bob.public_key,
+            serial=certificate.serial,
+            issuer_id=certificate.issuer_id,
+            signature=certificate.signature,
+        )
+        with pytest.raises(CertificateError):
+            verify_certificate(swapped, ca.public_key)
+
+    def test_revocation(self, ca, alice):
+        certificate = ca.issue("alice", alice.public_key)
+        ca.revoke(certificate.serial)
+        assert certificate.serial in ca.revocation_list()
+        with pytest.raises(CertificateError):
+            verify_certificate(certificate, ca.public_key, ca.revocation_list())
+
+    def test_revoke_unknown_serial(self, ca):
+        with pytest.raises(CertificateError):
+            ca.revoke(10_000)
+
+    def test_wrong_ca_key_fails(self, ca, alice):
+        certificate = ca.issue("alice", alice.public_key)
+        other_ca = CertificateAuthority(bits=BITS, seed=77)
+        with pytest.raises(CertificateError):
+            verify_certificate(certificate, other_ca.public_key)
+
+
+class TestBuildVerifier:
+    def test_builds_directory(self, ca, alice, bob):
+        certificates = [ca.issue("alice", alice.public_key), ca.issue("bob", bob.public_key)]
+        verifier = build_verifier(certificates, ca.public_key)
+        digest = hash_bytes(b"m")
+        assert verifier.verify(alice.sign(digest), digest)
+        assert verifier.verify(bob.sign(digest), digest)
+
+    def test_rejects_revoked(self, ca, alice):
+        certificate = ca.issue("alice", alice.public_key)
+        with pytest.raises(CertificateError):
+            build_verifier([certificate], ca.public_key, frozenset({certificate.serial}))

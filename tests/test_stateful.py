@@ -1,0 +1,132 @@
+"""Hypothesis stateful (rule-based) machines over the core structures.
+
+These drive long, adversarially shrunk operation interleavings that
+hand-written tests never quite reach:
+
+* the verified database against a dict model, with the client verifier
+  tracking the root the whole way;
+* the revision store against a list-of-revisions model.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.mtree.database import (
+    ClientVerifier,
+    DeleteQuery,
+    RangeQuery,
+    ReadQuery,
+    VerifiedDatabase,
+    WriteQuery,
+)
+from repro.storage.rcs import RevisionStore
+
+KEYS = st.integers(min_value=0, max_value=25).map(lambda i: f"key{i:02d}".encode())
+VALUES = st.binary(min_size=0, max_size=8)
+
+
+class VerifiedDatabaseMachine(RuleBasedStateMachine):
+    """Every operation is verified by the client; the model must agree."""
+
+    def __init__(self):
+        super().__init__()
+        self.db = VerifiedDatabase(order=4)
+        self.client = ClientVerifier(self.db.root_digest(), order=4)
+        self.model = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def write(self, key, value):
+        query = WriteQuery(key, value)
+        assert self.client.apply(query, self.db.execute(query)) is None
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def read(self, key):
+        query = ReadQuery(key)
+        answer = self.client.apply(query, self.db.execute(query))
+        assert answer == self.model.get(key)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        query = DeleteQuery(key)
+        self.client.apply(query, self.db.execute(query))
+        del self.model[key]
+
+    @rule(low=KEYS, high=KEYS)
+    def scan(self, low, high):
+        if low > high:
+            low, high = high, low
+        query = RangeQuery(low, high)
+        entries = self.client.apply(query, self.db.execute(query))
+        expected = tuple(sorted((k, v) for k, v in self.model.items()
+                                if low <= k <= high))
+        assert tuple(entries) == expected
+
+    @invariant()
+    def roots_agree(self):
+        assert self.client.root_digest == self.db.root_digest()
+
+    @invariant()
+    def structure_sound(self):
+        self.db.mtree.check_invariants()
+        assert len(self.db) == len(self.model)
+
+
+TestVerifiedDatabaseMachine = VerifiedDatabaseMachine.TestCase
+TestVerifiedDatabaseMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None)
+
+
+class RevisionStoreMachine(RuleBasedStateMachine):
+    """The revision store against an explicit list of all revisions."""
+
+    def __init__(self):
+        super().__init__()
+        self.store = RevisionStore()
+        self.history = []  # list of (number, lines)
+        self.clock = 0
+
+    @rule(lines=st.lists(st.sampled_from(["a", "bb", "ccc", ""]), max_size=6))
+    def commit(self, lines):
+        if self.store.is_dead:
+            revision = self.store.resurrect(list(lines), "u", "", self.clock)
+        else:
+            revision = self.store.commit(list(lines), "u", "", self.clock)
+        self.clock += 1
+        self.history.append((revision.number, list(lines)))
+
+    @precondition(lambda self: self.history and not self.store.is_dead)
+    @rule()
+    def remove(self):
+        revision = self.store.remove("u", "", self.clock)
+        self.clock += 1
+        self.history.append((revision.number, []))
+
+    @precondition(lambda self: self.history)
+    @rule(data=st.data())
+    def checkout_old(self, data):
+        number, expected = data.draw(st.sampled_from(self.history))
+        assert self.store.checkout(number) == expected
+
+    @precondition(lambda self: self.history)
+    @rule()
+    def serialization_roundtrip(self):
+        clone = RevisionStore.deserialize(self.store.serialize())
+        assert clone.serialize() == self.store.serialize()
+        number, expected = self.history[-1]
+        assert clone.checkout(number) == expected
+
+    @invariant()
+    def head_is_latest(self):
+        if self.history:
+            number, expected = self.history[-1]
+            assert self.store.head_number == number
+            assert self.store.checkout() == expected
+
+
+TestRevisionStoreMachine = RevisionStoreMachine.TestCase
+TestRevisionStoreMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None)

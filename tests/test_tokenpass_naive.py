@@ -1,0 +1,181 @@
+"""Tests for the two baselines: the token-passing strawman (Section
+2.2.3) and the naive trust-everything client."""
+
+import statistics
+
+import pytest
+
+from helpers import FakeContext, run_scenario
+from repro.analysis import user_gaps
+from repro.crypto.hashing import hash_state
+from repro.crypto.signatures import Signature
+from repro.core.scenarios import make_keys
+from repro.mtree.database import ReadQuery, VerifiedDatabase, WriteQuery
+from repro.protocols.base import DeviationDetected, Request, Response, ServerState
+from repro.protocols.tokenpass import (
+    TokenPassClient,
+    TokenPassServer,
+    bootstrap_server_state,
+)
+from repro.server.attacks import ForkAttack, TamperValueAttack
+from repro.simulation.workload import back_to_back_workload, steady_workload
+
+USERS = ["u0", "u1", "u2"]
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return make_keys(USERS, seed=66)
+
+
+@pytest.fixture
+def rig(keys):
+    state = ServerState(database=VerifiedDatabase(order=4))
+    state.database.execute(WriteQuery(b"file", b"v0"))
+    bootstrap_server_state(state, keys.signers["u0"])
+    server = TokenPassServer()
+    clients = {
+        u: TokenPassClient(u, USERS, keys.signers[u], keys.verifier,
+                           slot_length=4, order=4)
+        for u in USERS
+    }
+    return state, server, clients
+
+
+class TestTurnDiscipline:
+    def test_slots_rotate(self, rig):
+        _state, _server, clients = rig
+        client = clients["u1"]
+        assert not client.may_start_transaction(FakeContext(round_no=1))   # slot 0 -> u0
+        assert client.may_start_transaction(FakeContext(round_no=5))       # slot 1 -> u1
+        assert not client.may_start_transaction(FakeContext(round_no=9))   # slot 2 -> u2
+
+    def test_one_op_per_slot(self, rig):
+        _state, _server, clients = rig
+        client = clients["u0"]
+        ctx = FakeContext(round_no=1)
+        assert client.may_start_transaction(ctx)
+        client.on_issue(ctx)
+        assert not client.may_start_transaction(ctx)
+
+    def test_null_op_fired_late_in_idle_slot(self, rig):
+        _state, _server, clients = rig
+        client = clients["u0"]
+        early = FakeContext(round_no=0)
+        client.on_round(early)
+        assert not early.internal_requests
+        late = FakeContext(round_no=3)  # slot_length - 1
+        client.on_round(late)
+        assert len(late.internal_requests) == 1
+        assert late.internal_requests[0].query is None
+
+    def test_no_null_op_outside_own_slot(self, rig):
+        _state, _server, clients = rig
+        ctx = FakeContext(round_no=7)  # slot 1 belongs to u1
+        clients["u2"].on_round(ctx)
+        assert not ctx.internal_requests
+
+
+class TestChainVerification:
+    def run_op(self, state, server, client, query, round_no):
+        ctx = FakeContext(round_no=round_no)
+        request = client.make_request(query)
+        response = server.handle_request(client.user_id, request, state, round_no)
+        answer = client.handle_response(query, response, ctx)
+        followup = ctx.sent_to_server.pop()
+        server.handle_followup(client.user_id, followup, state, round_no)
+        return answer
+
+    def test_chain_of_custody(self, rig):
+        state, server, clients = rig
+        assert self.run_op(state, server, clients["u0"], ReadQuery(b"file"), 1) == b"v0"
+        self.run_op(state, server, clients["u1"], WriteQuery(b"file", b"v1"), 5)
+        assert self.run_op(state, server, clients["u2"], ReadQuery(b"file"), 9) == b"v1"
+        assert state.meta["tp.turn"] == 3
+
+    def test_null_op_resigns_state(self, rig, keys):
+        state, server, clients = rig
+        ctx = FakeContext(round_no=3)
+        request = Request(query=None, extras={"null": True})
+        response = server.handle_request("u0", request, state, 3)
+        clients["u0"].handle_response(None, response, ctx)
+        followup = ctx.sent_to_server.pop()
+        signature = followup.extras["sig"]
+        expected = hash_state(state.database.root_digest(), 1)
+        assert keys.verifier.verify(signature, expected)
+
+    def test_broken_chain_detected(self, rig):
+        state, server, clients = rig
+        self.run_op(state, server, clients["u0"], WriteQuery(b"file", b"v1"), 1)
+        # server rolls back the database but keeps the newer signature
+        state.database.execute(WriteQuery(b"file", b"rolled-back"))
+        with pytest.raises(DeviationDetected, match="chain broken"):
+            self.run_op(state, server, clients["u1"], ReadQuery(b"file"), 5)
+
+    def test_forged_signature_detected(self, rig):
+        state, server, clients = rig
+        request = clients["u0"].make_request(ReadQuery(b"file"))
+        response = server.handle_request("u0", request, state, 1)
+        genuine = response.extras["sig"]
+        forged = Response(result=response.result, extras={
+            **response.extras,
+            "sig": Signature(signer_id=genuine.signer_id, digest=genuine.digest,
+                             raw=bytes(len(genuine.raw))),
+        })
+        with pytest.raises(DeviationDetected):
+            clients["u0"].handle_response(ReadQuery(b"file"), forged, FakeContext(round_no=1))
+
+    def test_server_blocks_between_op_and_signature(self, rig):
+        state, server, clients = rig
+        request = clients["u0"].make_request(ReadQuery(b"file"))
+        assert not server.blocked(state)
+        server.handle_request("u0", request, state, 1)
+        assert server.blocked(state)
+
+
+class TestWorkloadPreservation:
+    def test_back_to_back_ops_wait_full_cycle(self):
+        """Section 2.2.3's complaint: a user's second operation waits for
+        everyone else's turn.  The gap between user0's consecutive ops
+        must scale with the number of users."""
+        gaps_by_n = {}
+        for n_users in (2, 6):
+            workload = back_to_back_workload(n_users, ops_per_user=3)
+            report = run_scenario("tokenpass", workload, slot_length=6, seed=1)
+            assert not report.detected
+            gaps = user_gaps(report, "user0")
+            gaps_by_n[n_users] = statistics.mean(gaps)
+        assert gaps_by_n[6] > gaps_by_n[2] * 2
+
+    def test_detects_fork(self):
+        workload = steady_workload(3, 4, spacing=20, seed=2, write_ratio=0.8)
+        attack = ForkAttack(victims=["user1"], fork_round=40)
+        report = run_scenario("tokenpass", workload, attack=attack, slot_length=6, seed=2)
+        assert report.detected
+        assert not report.false_alarm
+
+
+class TestNaive:
+    def test_fork_undetected(self):
+        # small keyspace + many ops so stale answers are actually served
+        workload = steady_workload(3, 20, seed=3, write_ratio=0.6, keyspace=4)
+        attack = ForkAttack(victims=["user1"], fork_round=20)
+        report = run_scenario("naive", workload, attack=attack, seed=3)
+        assert report.first_deviation_round is not None  # the attack bit
+        assert not report.detected                        # nobody noticed
+        assert report.missed_detection
+
+    def test_tamper_undetected(self):
+        workload = steady_workload(3, 10, seed=4, write_ratio=0.3)
+        attack = TamperValueAttack(victim="user0", tamper_round=10)
+        report = run_scenario("naive", workload, attack=attack, seed=4)
+        assert report.first_deviation_round is not None
+        assert not report.detected
+
+    def test_honest_run_completes(self):
+        workload = steady_workload(3, 10, seed=5)
+        report = run_scenario("naive", workload, seed=5)
+        assert not report.detected
+        assert sum(report.operations_completed.values()) == 30
+        ops = sum(report.operations_completed.values())
+        assert report.messages_sent == 2 * ops

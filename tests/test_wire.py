@@ -1,0 +1,155 @@
+"""Tests for the binary wire codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import Digest, hash_bytes
+from repro.crypto.signatures import Signer
+from repro.mtree.database import (
+    DeleteQuery,
+    RangeQuery,
+    ReadQuery,
+    VerifiedDatabase,
+    WriteQuery,
+)
+from repro.protocols.base import Followup, Request, Response
+from repro.protocols.protocol3 import EpochDeposit
+from repro.wire import WireError, decode, encode, wire_size
+
+
+def roundtrip(value):
+    data = encode(value)
+    back = decode(data)
+    assert back == value, (value, back)
+    return data
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -1, 2 ** 40, "", "héllo", b"", b"\x00\xff",
+        Digest.zero(), hash_bytes(b"x"),
+        (), (1, "two", b"three"), ((1, 2), (3,)),
+        {}, {"a": 1, "b": None}, {1: "x", "y": (2, 3)},
+    ])
+    def test_roundtrip(self, value):
+        roundtrip(value)
+
+    def test_lists_normalise_to_tuples(self):
+        assert decode(encode([1, 2])) == (1, 2)
+
+    def test_dict_encoding_is_deterministic(self):
+        assert encode({"a": 1, "b": 2}) == encode({"b": 2, "a": 1})
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(-2**40, 2**40),
+                  st.text(max_size=8), st.binary(max_size=8)),
+        lambda children: st.lists(children, max_size=4).map(tuple),
+        max_leaves=12,
+    ))
+    def test_roundtrip_property(self, value):
+        roundtrip(value)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(WireError):
+            encode(object())
+
+    def test_truncated_rejected(self):
+        data = encode({"k": b"value"})
+        with pytest.raises(WireError):
+            decode(data[:-2])
+
+    def test_trailing_rejected(self):
+        with pytest.raises(WireError):
+            decode(encode(1) + b"\x00")
+
+    def test_garbage_tag_rejected(self):
+        with pytest.raises(WireError):
+            decode(b"\xfe")
+
+
+class TestQueriesAndProofs:
+    @pytest.fixture(scope="class")
+    def db(self):
+        database = VerifiedDatabase(order=4)
+        for i in range(40):
+            database.execute(WriteQuery(f"k{i:03d}".encode(), f"v{i}".encode()))
+        return database
+
+    def test_queries(self):
+        for query in (ReadQuery(b"k"), RangeQuery(b"a", b"z"),
+                      WriteQuery(b"k", b"v"), DeleteQuery(b"k")):
+            roundtrip(query)
+
+    def test_read_result(self, db):
+        result = db.execute(ReadQuery(b"k005"))
+        roundtrip(result)
+
+    def test_absence_result(self, db):
+        roundtrip(db.execute(ReadQuery(b"nope")))
+
+    def test_range_result(self, db):
+        roundtrip(db.execute(RangeQuery(b"k010", b"k020")))
+
+    def test_update_results(self, db):
+        roundtrip(db.execute(WriteQuery(b"k005", b"new")))
+        roundtrip(db.execute(DeleteQuery(b"k006")))
+
+    def test_decoded_proof_still_verifies(self, db):
+        from repro.mtree.proofs import verify_read
+
+        result = db.execute(ReadQuery(b"k010"))
+        decoded = decode(encode(result))
+        assert verify_read(db.root_digest(), decoded.proof, b"k010") == db.get(b"k010")
+
+
+class TestProtocolEnvelopes:
+    def test_request_response_followup(self):
+        db = VerifiedDatabase(order=4)
+        db.execute(WriteQuery(b"k", b"v"))
+        result = db.execute(ReadQuery(b"k"))
+        signer = Signer.generate("alice", bits=512, seed=33)
+        signature = signer.sign(hash_bytes(b"state"))
+
+        roundtrip(Request(query=ReadQuery(b"k"), extras={"fetch_epochs": (1, 2)}))
+        roundtrip(Response(result=result,
+                           extras={"ctr": 7, "last_user": "bob", "sig": signature}))
+        roundtrip(Followup(extras={"sig": signature, "turn": 3}))
+
+    def test_epoch_deposit(self):
+        signer = Signer.generate("u1", bits=512, seed=34)
+        deposit = EpochDeposit(user_id="u1", epoch=4, sigma=hash_bytes(b"s"),
+                               last=hash_bytes(b"l"),
+                               signature=signer.sign(hash_bytes(b"d")))
+        roundtrip(deposit)
+        roundtrip(Response(result=None, extras={"epoch": 6,
+                                                "deposits": {4: {"u1": deposit}}}))
+
+
+class TestWireSize:
+    def test_vo_bytes_are_logarithmic(self):
+        sizes = {}
+        for exponent in (6, 12):
+            n = 2 ** exponent
+            db = VerifiedDatabase(order=8)
+            for i in range(n):
+                db.execute(WriteQuery(f"{i:06d}".encode(), b"x" * 16))
+            result = db.execute(ReadQuery(f"{n // 2:06d}".encode()))
+            sizes[n] = wire_size(result)
+        # 64x the data, far less than 64x the proof bytes
+        assert sizes[2 ** 12] < sizes[2 ** 6] * 4
+
+    def test_network_accounting(self):
+        from repro.core.scenarios import build_simulation
+        from repro.simulation.channels import Network
+        from repro.simulation.workload import steady_workload
+
+        workload = steady_workload(3, 6, seed=3)
+        network = Network(user_ids=workload.user_ids, account_bytes=True)
+        simulation = build_simulation("protocol2", workload, k=100, seed=3,
+                                      network=network)
+        report = simulation.execute()
+        assert not report.detected
+        assert network.bytes_sent > 0
+        ops = sum(report.operations_completed.values())
+        assert network.bytes_sent / ops > 100  # VOs dominate

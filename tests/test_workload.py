@@ -1,0 +1,217 @@
+"""Tests for the workload generators."""
+
+from collections import Counter
+
+from repro.mtree.database import ReadQuery, WriteQuery
+from repro.simulation.workload import (
+    back_to_back_workload,
+    bursty_workload,
+    epoch_workload,
+    partitionable_workload,
+    seed_queries,
+    sleepy_workload,
+    steady_workload,
+)
+
+import pytest
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        a = steady_workload(4, 10, seed=7)
+        b = steady_workload(4, 10, seed=7)
+        assert a.schedules == b.schedules
+
+    def test_different_seed_differs(self):
+        a = steady_workload(4, 10, seed=7)
+        b = steady_workload(4, 10, seed=8)
+        assert a.schedules != b.schedules
+
+
+class TestSteady:
+    def test_shape(self):
+        wl = steady_workload(3, 5)
+        assert wl.user_ids == ["user0", "user1", "user2"]
+        assert wl.total_operations() == 15
+        for intents in wl.schedules.values():
+            rounds = [i.round for i in intents]
+            assert rounds == sorted(rounds)
+            assert rounds[0] >= 1
+
+    def test_write_ratio_extremes(self):
+        all_writes = steady_workload(2, 20, write_ratio=1.0)
+        for intents in all_writes.schedules.values():
+            assert all(isinstance(i.query, WriteQuery) for i in intents)
+        all_reads = steady_workload(2, 20, write_ratio=0.0)
+        for intents in all_reads.schedules.values():
+            assert all(isinstance(i.query, ReadQuery) for i in intents)
+
+    def test_horizon(self):
+        wl = steady_workload(2, 5, spacing=3)
+        assert wl.horizon() == max(i.round for s in wl.schedules.values() for i in s)
+
+
+class TestBurstyAndSleepy:
+    def test_bursty_has_gaps(self):
+        wl = bursty_workload(1, sessions=2, ops_per_session=3, session_gap=100, seed=1)
+        rounds = [i.round for i in wl.schedules["user0"]]
+        gaps = [b - a for a, b in zip(rounds, rounds[1:])]
+        assert max(gaps) >= 100
+
+    def test_sleepy_metadata(self):
+        wl = sleepy_workload(4, sleeper_fraction=0.5, seed=2)
+        assert wl.metadata["sleepers"] == ["user0", "user1"]
+        # sleepers do fewer ops than the awake users
+        assert len(wl.schedules["user0"]) < len(wl.schedules["user3"])
+
+
+class TestPartitionable:
+    def test_groups_and_causality(self):
+        wl = partitionable_workload(group_a_size=1, group_b_size=2, k=5, seed=3)
+        meta = wl.metadata
+        assert meta["group_a"] == ["us0"]
+        assert meta["group_b"] == ["cn0", "cn1"]
+        assert meta["t1_round"] < meta["t2_round"]
+        # t1: group A writes the shared key
+        t1 = [i for i in wl.schedules["us0"] if i.round == meta["t1_round"]][-1]
+        assert isinstance(t1.query, WriteQuery)
+        assert t1.query.key == meta["shared_key"]
+        # t2: group B reads it (the causal dependency)
+        t2 = [i for i in wl.schedules["cn0"] if i.round == meta["t2_round"]][0]
+        assert isinstance(t2.query, ReadQuery)
+        assert t2.query.key == meta["shared_key"]
+
+    def test_group_a_offline_after_t1(self):
+        wl = partitionable_workload(k=5, seed=3)
+        meta = wl.metadata
+        for user in meta["group_a"]:
+            assert all(i.round <= meta["t1_round"] for i in wl.schedules[user])
+
+    def test_k_plus_one_ops_after_t2(self):
+        wl = partitionable_workload(k=7, seed=4)
+        meta = wl.metadata
+        late = [i for i in wl.schedules["cn0"] if i.round > meta["t2_round"]]
+        assert len(late) == 7 + 1
+
+
+class TestEpochWorkload:
+    def test_two_ops_every_epoch(self):
+        wl = epoch_workload(n_users=3, epoch_length=25, epochs=5, seed=5)
+        for user, intents in wl.schedules.items():
+            per_epoch = Counter(i.round // 25 for i in intents)
+            for epoch in range(5):
+                assert per_epoch[epoch] >= 2, (user, epoch)
+
+    def test_rejects_fewer_than_two(self):
+        with pytest.raises(ValueError):
+            epoch_workload(2, 20, 3, ops_per_epoch=1)
+
+    def test_ops_land_early_enough(self):
+        wl = epoch_workload(n_users=2, epoch_length=20, epochs=4, seed=6)
+        for intents in wl.schedules.values():
+            for intent in intents:
+                offset = intent.round % 20
+                assert 1 <= offset <= 14
+
+
+class TestBackToBack:
+    def test_single_busy_user(self):
+        wl = back_to_back_workload(4, ops_per_user=5)
+        assert len(wl.schedules["user0"]) == 5
+        assert all(i.round == 1 for i in wl.schedules["user0"])
+        for u in range(1, 4):
+            assert wl.schedules[f"user{u}"] == []
+
+
+class TestSeedQueries:
+    def test_covers_keyspace(self):
+        queries = seed_queries(8)
+        assert len(queries) == 8
+        assert len({q.key for q in queries}) == 8
+        assert all(isinstance(q, WriteQuery) for q in queries)
+
+
+class TestTimezoneWorkload:
+    def test_requires_teams(self):
+        from repro.simulation.workload import timezone_workload
+
+        with pytest.raises(ValueError):
+            timezone_workload({})
+
+    def test_team_offsets(self):
+        from repro.simulation.workload import timezone_workload
+
+        wl = timezone_workload({"cn": 1, "us": 1}, day_length=100, days=1,
+                               ops_per_day=4, seed=2)
+        cn_rounds = [i.round for i in wl.schedules["cn0"]]
+        us_rounds = [i.round for i in wl.schedules["us0"]]
+        # cn works the first half-day, us the second (offset by 50)
+        assert max(cn_rounds) < 50
+        assert min(us_rounds) >= 50
+
+    def test_shared_and_private_keys(self):
+        from repro.simulation.workload import timezone_workload
+
+        wl = timezone_workload({"a": 2, "b": 2}, day_length=60, days=3,
+                               keyspace=20, shared_fraction=0.2, seed=3)
+        shared = wl.metadata["shared_keys"]
+        for user, intents in wl.schedules.items():
+            for intent in intents:
+                index = int(intent.query.key.decode().split("file")[1].split(".")[0])
+                if index >= shared:
+                    # private keys stay within the user's team slice
+                    team = user[0]
+                    assert (index < shared + 8) == (team == "a")
+
+    def test_deterministic(self):
+        from repro.simulation.workload import timezone_workload
+
+        assert (timezone_workload({"x": 2}, seed=4).schedules
+                == timezone_workload({"x": 2}, seed=4).schedules)
+
+    def test_runs_clean_under_protocol2(self):
+        from repro.simulation.workload import timezone_workload
+        from repro.core import build_simulation
+
+        wl = timezone_workload({"us": 2, "cn": 2}, day_length=80, days=2, seed=5)
+        report = build_simulation("protocol2", wl, k=5, seed=5).execute()
+        assert not report.detected
+
+
+class TestScanRatio:
+    def test_scans_generated(self):
+        from repro.mtree.database import RangeQuery
+        from repro.simulation.workload import steady_workload
+
+        wl = steady_workload(3, 30, write_ratio=0.3, scan_ratio=0.3, seed=11)
+        scans = [i for s in wl.schedules.values() for i in s
+                 if isinstance(i.query, RangeQuery)]
+        assert scans
+        for intent in scans:
+            assert intent.query.low <= intent.query.high
+
+    def test_scans_verified_through_protocols(self):
+        from repro.core import build_simulation
+        from repro.simulation.workload import steady_workload
+
+        wl = steady_workload(3, 12, write_ratio=0.3, scan_ratio=0.4,
+                             keyspace=12, seed=12)
+        for protocol in ("protocol1", "protocol2"):
+            report = build_simulation(protocol, wl, k=5, seed=12).execute()
+            assert not report.detected, (protocol, report.alarms)
+            assert sum(report.operations_completed.values()) == 36
+
+    def test_stale_scan_detected(self):
+        """A fork makes range scans return stale row sets; the register
+        chain must still catch it."""
+        from repro.core import build_simulation
+        from repro.server.attacks import ForkAttack
+        from repro.simulation.workload import steady_workload
+
+        wl = steady_workload(3, 16, write_ratio=0.5, scan_ratio=0.3,
+                             keyspace=8, seed=13)
+        attack = ForkAttack(victims=["user1"], fork_round=wl.horizon() // 2)
+        report = build_simulation("protocol2", wl, k=4, seed=13,
+                                  attack=attack).execute()
+        if report.first_deviation_round is not None:
+            assert report.detected
