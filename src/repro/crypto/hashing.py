@@ -18,8 +18,16 @@ builds its synchronisation check on.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 
 DIGEST_SIZE = 32
+_DIGEST_BITS = DIGEST_SIZE * 8
+
+# Bound on the tagged/plain state-hash memo tables.  Protocols re-derive
+# the same ``h(M(D) || ctr [|| user])`` values constantly (every client
+# recomputes the tags the whole system has produced), so a bounded LRU
+# turns those re-derivations into dictionary hits.
+_STATE_CACHE_SIZE = 1 << 16
 
 # Domain-separation tags.  Each role gets a unique single-byte prefix.
 _DOMAIN_LEAF = b"\x00leaf"
@@ -48,7 +56,7 @@ class Digest:
     every element being its own inverse.
     """
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_int")
 
     def __init__(self, value: bytes) -> None:
         if not isinstance(value, (bytes, bytearray)):
@@ -56,33 +64,46 @@ class Digest:
         if len(value) != DIGEST_SIZE:
             raise ValueError(f"digest must be {DIGEST_SIZE} bytes, got {len(value)}")
         self._value = bytes(value)
+        self._int = int.from_bytes(self._value, "big")
+
+    @classmethod
+    def _from_int(cls, number: int) -> "Digest":
+        """Fast internal constructor from a 256-bit accumulator."""
+        digest = object.__new__(cls)
+        digest._value = number.to_bytes(DIGEST_SIZE, "big")
+        digest._int = number
+        return digest
 
     @classmethod
     def zero(cls) -> "Digest":
         """The XOR identity: the all-zero digest."""
-        return cls(bytes(DIGEST_SIZE))
+        return cls._from_int(0)
 
     @property
     def value(self) -> bytes:
         """The raw 32 bytes of the digest."""
         return self._value
 
+    def as_int(self) -> int:
+        """The digest as a 256-bit big-endian integer (XOR fast path)."""
+        return self._int
+
     def __xor__(self, other: "Digest") -> "Digest":
         if not isinstance(other, Digest):
             return NotImplemented
-        return Digest(bytes(a ^ b for a, b in zip(self._value, other._value)))
+        return Digest._from_int(self._int ^ other._int)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Digest):
             return NotImplemented
-        return self._value == other._value
+        return self._int == other._int
 
     def __hash__(self) -> int:
-        return hash(self._value)
+        return hash(self._int)
 
     def __bool__(self) -> bool:
         """A digest is falsy only when it is the zero digest."""
-        return self._value != bytes(DIGEST_SIZE)
+        return self._int != 0
 
     def hex(self) -> str:
         """Hex encoding of the digest, for display and logs."""
@@ -171,11 +192,26 @@ def hash_internal_node(separator_keys: list[bytes], child_digests: list[Digest])
     return _hash(_DOMAIN_INTERNAL_NODE, *fields)
 
 
+@lru_cache(maxsize=_STATE_CACHE_SIZE)
+def _hash_state_cached(root_digest: Digest, ctr: int) -> Digest:
+    return _hash(_DOMAIN_STATE, root_digest.value, ctr.to_bytes(8, "big"))
+
+
 def hash_state(root_digest: Digest, ctr: int) -> Digest:
     """The paper's state identifier ``h(M(D) || ctr)`` (Protocol I)."""
     if ctr < 0:
         raise ValueError("counter must be non-negative")
-    return _hash(_DOMAIN_STATE, root_digest.value, ctr.to_bytes(8, "big"))
+    return _hash_state_cached(root_digest, ctr)
+
+
+@lru_cache(maxsize=_STATE_CACHE_SIZE)
+def _hash_tagged_state_cached(root_digest: Digest, ctr: int, user_id: str) -> Digest:
+    return _hash(
+        _DOMAIN_TAGGED_STATE,
+        root_digest.value,
+        ctr.to_bytes(8, "big"),
+        user_id.encode("utf-8"),
+    )
 
 
 def hash_tagged_state(root_digest: Digest, ctr: int, user_id: str) -> Digest:
@@ -184,15 +220,14 @@ def hash_tagged_state(root_digest: Digest, ctr: int, user_id: str) -> Digest:
     Tagging the state with the user that validated the transition into
     it is what forces in-degree <= 1 in the seen-state graph
     (Lemma 4.1 / property P2), defeating the Figure 3 replay.
+
+    Every client in the system re-derives the same tag sequence, so the
+    result is memoised in a bounded LRU (the tag is a pure function of
+    its arguments).
     """
     if ctr < 0:
         raise ValueError("counter must be non-negative")
-    return _hash(
-        _DOMAIN_TAGGED_STATE,
-        root_digest.value,
-        ctr.to_bytes(8, "big"),
-        user_id.encode("utf-8"),
-    )
+    return _hash_tagged_state_cached(root_digest, ctr, user_id)
 
 
 def hash_epoch_snapshot(sigma: Digest, last: Digest, epoch: int, user_id: str) -> Digest:
@@ -209,8 +244,12 @@ def hash_epoch_snapshot(sigma: Digest, last: Digest, epoch: int, user_id: str) -
 
 
 def xor_all(digests) -> Digest:
-    """XOR-fold an iterable of digests (identity: :meth:`Digest.zero`)."""
-    total = Digest.zero()
+    """XOR-fold an iterable of digests (identity: :meth:`Digest.zero`).
+
+    Accumulates in a single 256-bit int, so a fold of n digests costs n
+    int XORs and exactly one :class:`Digest` construction.
+    """
+    total = 0
     for digest in digests:
-        total = total ^ digest
-    return total
+        total ^= digest._int
+    return Digest._from_int(total)

@@ -27,15 +27,23 @@ DEFAULT_ORDER = 8
 
 
 class LeafNode:
-    """A leaf holding sorted (key, value) entries and a next-leaf link."""
+    """A leaf holding sorted (key, value) entries and a next-leaf link.
 
-    __slots__ = ("keys", "values", "next_leaf", "digest")
+    ``entry_digests`` mirrors ``keys``/``values`` entry-for-entry: each
+    slot caches ``hash_leaf(key, value)`` (``None`` = not yet hashed).
+    Mutations keep the list aligned but only clear the slots they touch,
+    so recomputing a leaf digest after an update re-hashes one entry
+    instead of all ``order - 1`` of them.
+    """
+
+    __slots__ = ("keys", "values", "next_leaf", "digest", "entry_digests")
 
     def __init__(self) -> None:
         self.keys: list[bytes] = []
         self.values: list[bytes] = []
         self.next_leaf: LeafNode | None = None
         self.digest = None  # cache managed by the Merkle layer
+        self.entry_digests: list = []  # per-entry cache, same arity as keys
 
     @property
     def is_leaf(self) -> bool:
@@ -176,11 +184,13 @@ class BPlusTree:
         for index, stored_key in enumerate(leaf.keys):
             if stored_key == key:
                 leaf.values[index] = value
+                leaf.entry_digests[index] = None
                 return False
 
         position = _sorted_position(leaf.keys, key)
         leaf.keys.insert(position, key)
         leaf.values.insert(position, value)
+        leaf.entry_digests.insert(position, None)
         self._size += 1
 
         if len(leaf.keys) > self._max_entries:
@@ -218,9 +228,11 @@ class BPlusTree:
         sibling = LeafNode()
         sibling.keys = leaf.keys[middle:]
         sibling.values = leaf.values[middle:]
+        sibling.entry_digests = leaf.entry_digests[middle:]
         sibling.next_leaf = leaf.next_leaf
         leaf.keys = leaf.keys[:middle]
         leaf.values = leaf.values[:middle]
+        leaf.entry_digests = leaf.entry_digests[:middle]
         leaf.next_leaf = sibling
         leaf.digest = None
         return sibling.keys[0], sibling
@@ -252,6 +264,7 @@ class BPlusTree:
         position = leaf.keys.index(key)
         del leaf.keys[position]
         del leaf.values[position]
+        del leaf.entry_digests[position]
         self._size -= 1
         self._rebalance_up(path)
         return True
@@ -303,6 +316,7 @@ class BPlusTree:
         if node.is_leaf:
             node.keys.insert(0, left.keys.pop())
             node.values.insert(0, left.values.pop())
+            node.entry_digests.insert(0, left.entry_digests.pop())
             parent.keys[child_pos - 1] = node.keys[0]
         else:
             # Rotate through the parent separator.
@@ -318,6 +332,7 @@ class BPlusTree:
         if node.is_leaf:
             node.keys.append(right.keys.pop(0))
             node.values.append(right.values.pop(0))
+            node.entry_digests.append(right.entry_digests.pop(0))
             parent.keys[child_pos] = right.keys[0]
         else:
             node.keys.append(parent.keys[child_pos])
@@ -332,6 +347,7 @@ class BPlusTree:
         if left.is_leaf:
             left.keys.extend(right.keys)
             left.values.extend(right.values)
+            left.entry_digests.extend(right.entry_digests)
             left.next_leaf = right.next_leaf
         else:
             left.keys.append(parent.keys[left_pos])
@@ -360,6 +376,7 @@ class BPlusTree:
             assert node.keys == sorted(node.keys), "leaf keys out of order"
             assert len(node.keys) == len(set(node.keys)), "duplicate keys in leaf"
             assert len(node.keys) == len(node.values), "leaf key/value arity mismatch"
+            assert len(node.keys) == len(node.entry_digests), "leaf entry-digest arity mismatch"
             assert len(node.keys) <= self._max_entries, "overfull leaf"
             if not is_root:
                 assert len(node.keys) >= self._min_entries, "underfull leaf"
@@ -392,6 +409,39 @@ class BPlusTree:
             leaf = leaf.next_leaf
         assert chained == sorted(chained), "leaf chain out of order"
         assert len(chained) == self._size, "leaf chain misses entries"
+
+    def clone(self) -> "BPlusTree":
+        """Structural copy: fresh nodes, shared immutable contents.
+
+        Both the original and the copy may be mutated independently
+        afterwards (attack forks, the simulator's oracle), so every
+        node object is duplicated -- but the byte-string keys/values and
+        cached :class:`Digest` objects they hold are immutable and
+        therefore shared.  Far cheaper than ``copy.deepcopy``.
+        """
+        twin = BPlusTree(order=self._order)
+        leaves: list[LeafNode] = []
+
+        def copy_node(node):
+            if node.is_leaf:
+                leaf = LeafNode()
+                leaf.keys = list(node.keys)
+                leaf.values = list(node.values)
+                leaf.entry_digests = list(node.entry_digests)
+                leaf.digest = node.digest
+                leaves.append(leaf)
+                return leaf
+            internal = InternalNode()
+            internal.keys = list(node.keys)
+            internal.children = [copy_node(child) for child in node.children]
+            internal.digest = node.digest
+            return internal
+
+        twin._root = copy_node(self._root)
+        for left, right in zip(leaves, leaves[1:]):
+            left.next_leaf = right
+        twin._size = self._size
+        return twin
 
     def height(self) -> int:
         """Number of levels (a lone leaf root has height 1)."""

@@ -114,6 +114,12 @@ class VerifiedDatabase:
     def mtree(self) -> MerkleBPlusTree:
         return self._mtree
 
+    def clone(self) -> "VerifiedDatabase":
+        """Independent copy (see :meth:`MerkleBPlusTree.clone`)."""
+        twin = VerifiedDatabase.__new__(VerifiedDatabase)
+        twin._mtree = self._mtree.clone()
+        return twin
+
     def __len__(self) -> int:
         return len(self._mtree)
 

@@ -71,21 +71,63 @@ class MerkleBPlusTree:
         """Delete ``key`` if present; invalidates digests along the path."""
         return self._tree.delete(key)
 
+    def clone(self) -> "MerkleBPlusTree":
+        """Structural copy sharing immutable entries and cached digests."""
+        twin = MerkleBPlusTree.__new__(MerkleBPlusTree)
+        twin._tree = self._tree.clone()
+        twin.digest_recomputations = self.digest_recomputations
+        return twin
+
     # -- digests -------------------------------------------------------------
 
     def root_digest(self) -> Digest:
-        """The root digest ``M(D)``, recomputing only dirty nodes."""
+        """The root digest ``M(D)``, recomputing only dirty nodes.
+
+        All dirty nodes along the touched paths are recomputed in one
+        iterative batch -- no recursion, so tree depth is unbounded.
+        """
         return self.node_digest(self._tree.root)
+
+    def leaf_entry_digests(self, node: LeafNode) -> list[Digest]:
+        """Per-entry digests of ``node``, re-hashing only dirty entries.
+
+        Each slot caches ``hash_leaf(key, value)``; mutations clear only
+        the slots they touch, so an update re-hashes one entry instead
+        of all ``order - 1``.  The proof layer reads the same cache when
+        snapshotting leaves.
+        """
+        cache = node.entry_digests
+        keys = node.keys
+        values = node.values
+        for index, digest in enumerate(cache):
+            if digest is None:
+                cache[index] = hash_leaf(keys[index], values[index])
+        return cache
 
     def node_digest(self, node: LeafNode | InternalNode) -> Digest:
         """Digest of ``node``, from cache when clean."""
         if node.digest is not None:
             return node.digest
-        self.digest_recomputations += 1
-        if node.is_leaf:
-            entry_digests = [hash_leaf(k, v) for k, v in zip(node.keys, node.values)]
-            node.digest = hash_leaf_node(entry_digests)
-        else:
-            child_digests = [self.node_digest(child) for child in node.children]
-            node.digest = hash_internal_node(list(node.keys), child_digests)
+        # Iterative post-order over the dirty region only: a node is
+        # finished once every child is clean, so each dirty node is
+        # hashed exactly once per batch.
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            if current.digest is not None:
+                stack.pop()
+                continue
+            if current.is_leaf:
+                self.digest_recomputations += 1
+                current.digest = hash_leaf_node(self.leaf_entry_digests(current))
+                stack.pop()
+                continue
+            dirty_children = [c for c in current.children if c.digest is None]
+            if dirty_children:
+                stack.extend(dirty_children)
+            else:
+                self.digest_recomputations += 1
+                current.digest = hash_internal_node(
+                    list(current.keys), [c.digest for c in current.children])
+                stack.pop()
         return node.digest

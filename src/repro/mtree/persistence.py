@@ -73,6 +73,7 @@ def load_tree(blob: bytes) -> BPlusTree:
                 key_text, _, value_text = next_line().partition(" ")
                 node.keys.append(_unb64(key_text))
                 node.values.append(_unb64(value_text))
+                node.entry_digests.append(None)
             return node
         if parts[0] == "internal":
             node = InternalNode()

@@ -80,7 +80,7 @@ def route_index(keys, key: bytes) -> int:
 
 
 def snapshot_leaf(mtree: MerkleBPlusTree, node) -> LeafSnapshot:
-    entry_digests = tuple(hash_leaf(k, v) for k, v in zip(node.keys, node.values))
+    entry_digests = tuple(mtree.leaf_entry_digests(node))
     return LeafSnapshot(keys=tuple(node.keys), entry_digests=entry_digests)
 
 

@@ -101,6 +101,19 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         self._round += 1
         return self._round
 
+    def quiesce(self, timeout: float = BLOCK_TIMEOUT_SECONDS) -> bool:
+        """Wait until no follow-up is outstanding (Protocol I).
+
+        Clients send their post-operation signature asynchronously, so
+        ``put()`` returning does not mean the server has absorbed it.
+        Anything that inspects or swaps ``state`` out-of-band (tests,
+        attack harnesses) should quiesce first or it races the in-flight
+        follow-up.  Returns False on timeout.
+        """
+        with self.state_cond:
+            return self.state_cond.wait_for(
+                lambda: not self.protocol.blocked(self.state), timeout=timeout)
+
     @property
     def address(self) -> tuple[str, int]:
         return self.server_address[0], self.server_address[1]

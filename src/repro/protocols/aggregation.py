@@ -153,7 +153,7 @@ class AggregatedProtocol2Client(Protocol2Client):
             return
         self._seen_totals.add(tag)
         if self.last:
-            mine = (self._initial_tag ^ self.last) == total
+            mine = (self._initial_tag ^ total) == self.last
         else:
             mine = total == Digest.zero()
         self._agg_verdict[tag] = self._agg_verdict[tag] or mine

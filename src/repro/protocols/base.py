@@ -17,11 +17,30 @@ moves envelopes between agents and lets these objects do the thinking.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Protocol as TypingProtocol
 
 from repro.mtree.database import Query, QueryResult, VerifiedDatabase
+
+
+def _copy_meta(value):
+    """Recursive copy of the ``meta`` container skeleton.
+
+    Protocol metadata is plain containers (dict/list/set/tuple) over
+    immutable leaves -- strings, ints, digests, frozen dataclasses such
+    as signatures and epoch deposits.  Copying the containers and
+    sharing the leaves gives the same isolation as ``copy.deepcopy`` at
+    a fraction of the cost.
+    """
+    if isinstance(value, dict):
+        return {key: _copy_meta(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_copy_meta(item) for item in value]
+    if isinstance(value, set):
+        return {_copy_meta(item) for item in value}
+    if isinstance(value, tuple):
+        return tuple(_copy_meta(item) for item in value)
+    return value
 
 
 class DeviationDetected(Exception):
@@ -52,7 +71,12 @@ class ServerState:
     meta: dict = field(default_factory=dict)
 
     def clone(self) -> "ServerState":
-        return copy.deepcopy(self)
+        """Independent snapshot: structural tree copy + meta skeleton copy."""
+        return ServerState(
+            database=self.database.clone(),
+            ctr=self.ctr,
+            meta=_copy_meta(self.meta),
+        )
 
 
 @dataclass(frozen=True)

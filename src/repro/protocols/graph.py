@@ -152,8 +152,13 @@ class StateGraph:
 
     def xor_of_transitions(self) -> Digest:
         """XOR over all edges of (old XOR new) -- what the union of all
-        sigma registers computes."""
-        return xor_all(t.old ^ t.new for t in self.transitions)
+        sigma registers computes.
+
+        XOR is associative, so instead of materialising a per-edge
+        ``old ^ new`` digest this folds both endpoints of every edge in
+        a single :func:`xor_all` pass.
+        """
+        return xor_all(d for t in self.transitions for d in (t.old, t.new))
 
     def xor_check_passes(self, initial: Digest, last: Digest) -> bool:
         """The Protocol II sync predicate for a candidate (initial, last)."""

@@ -113,18 +113,19 @@ def prefix_consistent(
     """
     sigmas = []
     candidates = []
-    any_ops = False
     for log in logs.values():
         checkpoint = _registers_at(log, cutoff)
         if checkpoint is None:
             continue
-        any_ops = True
         sigmas.append(checkpoint.sigma)
         candidates.append(checkpoint.last)
     total = xor_all(sigmas)
-    if not any_ops:
+    if not candidates:
         return total == Digest.zero()
-    return any((initial_tag ^ last) == total for last in candidates)
+    # (initial ^ last) == total  <=>  last == initial ^ total, so one
+    # XOR up front replaces a fold per candidate.
+    target = initial_tag ^ total
+    return target in candidates
 
 
 def localize_fault(initial_tag: Digest, logs: dict[str, list[Checkpoint]]) -> FaultLocalization:

@@ -150,7 +150,7 @@ class Protocol2Client(SyncingClient):
             # A user that never operated succeeds only on the pristine
             # system (nobody operated, total XOR is zero).
             return total == Digest.zero()
-        return (self._initial_tag ^ self.last) == total
+        return (self._initial_tag ^ total) == self.last
 
     def state_size(self) -> int:
         # sigma, last, gctr: constant regardless of history length.

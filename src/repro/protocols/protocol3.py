@@ -280,12 +280,14 @@ class Protocol3Client(ProtocolClient):
             start_candidates = [deposit.last for deposit in previous.values()]
 
         sigma_total = xor_all(deposit.sigma for deposit in current.values())
-        for start in start_candidates:
-            for deposit in current.values():
-                if (start ^ deposit.last) == sigma_total:
-                    self._audited_epochs.add(epoch)
-                    self._verified_epoch_ends[epoch] = deposit.last
-                    return None
+        # (start ^ last) == total  <=>  last == start ^ total: one XOR
+        # per start candidate, then set membership over the deposits.
+        targets = {start ^ sigma_total for start in start_candidates}
+        for deposit in current.values():
+            if deposit.last in targets:
+                self._audited_epochs.add(epoch)
+                self._verified_epoch_ends[epoch] = deposit.last
+                return None
         raise DeviationDetected(
             self.user_id,
             f"epoch {epoch} audit failed: deposited registers are "

@@ -41,6 +41,15 @@ class _PendingTransaction:
     issued_round: int
 
 
+#: identity-keyed fingerprint memo.  A broadcast delivers the *same*
+#: payload object to every other user, so one repr+hash serves n-1
+#: deliveries.  Entries hold a strong reference to the payload, which
+#: pins its ``id`` for the lifetime of the entry; payloads are never
+#: mutated after sending (receivers only read), so the memo stays valid.
+_FINGERPRINT_CACHE: dict[int, tuple[object, str]] = {}
+_FINGERPRINT_CACHE_MAX = 4096
+
+
 def _fingerprint(payload: object) -> str:
     """A stable content fingerprint of a message payload.
 
@@ -50,7 +59,15 @@ def _fingerprint(payload: object) -> str:
     """
     import hashlib
 
-    return hashlib.sha256(repr(payload).encode("utf-8", "replace")).hexdigest()[:16]
+    cached = _FINGERPRINT_CACHE.get(id(payload))
+    if cached is not None and cached[0] is payload:
+        return cached[1]
+    fingerprint = hashlib.sha256(
+        repr(payload).encode("utf-8", "replace")).hexdigest()[:16]
+    if len(_FINGERPRINT_CACHE) >= _FINGERPRINT_CACHE_MAX:
+        _FINGERPRINT_CACHE.clear()
+    _FINGERPRINT_CACHE[id(payload)] = (payload, fingerprint)
+    return fingerprint
 
 
 class UserAgent:

@@ -20,9 +20,12 @@ SERVER_ID = "server"
 BROADCAST = "*"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Envelope:
-    """One in-flight message."""
+    """One in-flight message.  Treated as immutable once queued; a plain
+    slotted dataclass (rather than ``frozen=True``) because broadcasts
+    create one envelope per recipient on the hot path and frozen
+    construction costs ~4x."""
 
     sender: str
     recipient: str

@@ -97,6 +97,7 @@ class Simulation:
     ) -> None:
         self.server = server
         self.users = users
+        self._users_by_id = {user.user_id: user for user in users}
         self.network = network or Network(user_ids=[u.user_id for u in users])
         self.run = Run()
         self._txn_counter = [0]
@@ -144,10 +145,10 @@ class Simulation:
         return all(user.done() and not user.inbox for user in self.users)
 
     def _user(self, user_id: str) -> UserAgent:
-        for user in self.users:
-            if user.user_id == user_id:
-                return user
-        raise KeyError(f"unknown user {user_id!r}")
+        try:
+            return self._users_by_id[user_id]
+        except KeyError:
+            raise KeyError(f"unknown user {user_id!r}") from None
 
     def _report(self, rounds_executed: int) -> SimulationReport:
         return SimulationReport(

@@ -66,116 +66,121 @@ def _pack_length(n: int) -> bytes:
     return struct.pack(">I", n)
 
 
-def _encode_raw(data: bytes, out: list[bytes]) -> None:
-    out.append(_pack_length(len(data)))
-    out.append(data)
+# Single-byte tag frames, prebuilt so the encoder appends constants
+# into one growing bytearray instead of assembling throwaway objects.
+_TAG_BYTES = {name: bytes([tag]) for name, tag in _TAGS.items()}
 
 
-def _encode_value(value: object, out: list[bytes]) -> None:
+def _encode_raw(data: bytes, out: bytearray) -> None:
+    out += _pack_length(len(data))
+    out += data
+
+
+def _encode_value(value: object, out: bytearray) -> None:
     if value is None:
-        out.append(bytes([_TAGS["none"]]))
+        out += _TAG_BYTES["none"]
     elif value is True:
-        out.append(bytes([_TAGS["true"]]))
+        out += _TAG_BYTES["true"]
     elif value is False:
-        out.append(bytes([_TAGS["false"]]))
+        out += _TAG_BYTES["false"]
     elif isinstance(value, int):
-        out.append(bytes([_TAGS["int"]]))
-        out.append(struct.pack(">q", value))
+        out += _TAG_BYTES["int"]
+        out += struct.pack(">q", value)
     elif isinstance(value, str):
-        out.append(bytes([_TAGS["str"]]))
+        out += _TAG_BYTES["str"]
         _encode_raw(value.encode("utf-8"), out)
     elif isinstance(value, (bytes, bytearray)):
-        out.append(bytes([_TAGS["bytes"]]))
+        out += _TAG_BYTES["bytes"]
         _encode_raw(bytes(value), out)
     elif isinstance(value, Digest):
-        out.append(bytes([_TAGS["digest"]]))
-        out.append(value.value)
+        out += _TAG_BYTES["digest"]
+        out += value.value
     elif isinstance(value, (list, tuple)):
-        out.append(bytes([_TAGS["list"]]))
-        out.append(_pack_length(len(value)))
+        out += _TAG_BYTES["list"]
+        out += _pack_length(len(value))
         for item in value:
             _encode_value(item, out)
     elif isinstance(value, dict):
-        out.append(bytes([_TAGS["dict"]]))
-        out.append(_pack_length(len(value)))
+        out += _TAG_BYTES["dict"]
+        out += _pack_length(len(value))
         for key in sorted(value, key=repr):
             _encode_value(key, out)
             _encode_value(value[key], out)
     elif isinstance(value, ReadQuery):
-        out.append(bytes([_TAGS["read_query"]]))
+        out += _TAG_BYTES["read_query"]
         _encode_raw(value.key, out)
     elif isinstance(value, RangeQuery):
-        out.append(bytes([_TAGS["range_query"]]))
+        out += _TAG_BYTES["range_query"]
         _encode_raw(value.low, out)
         _encode_raw(value.high, out)
     elif isinstance(value, WriteQuery):
-        out.append(bytes([_TAGS["write_query"]]))
+        out += _TAG_BYTES["write_query"]
         _encode_raw(value.key, out)
         _encode_raw(value.value, out)
     elif isinstance(value, DeleteQuery):
-        out.append(bytes([_TAGS["delete_query"]]))
+        out += _TAG_BYTES["delete_query"]
         _encode_raw(value.key, out)
     elif isinstance(value, LeafSnapshot):
-        out.append(bytes([_TAGS["leaf_snapshot"]]))
+        out += _TAG_BYTES["leaf_snapshot"]
         _encode_value(list(value.keys), out)
         _encode_value(list(value.entry_digests), out)
     elif isinstance(value, InternalSnapshot):
-        out.append(bytes([_TAGS["internal_snapshot"]]))
+        out += _TAG_BYTES["internal_snapshot"]
         _encode_value(list(value.keys), out)
         _encode_value(list(value.child_digests), out)
     elif isinstance(value, ReadProof):
-        out.append(bytes([_TAGS["read_proof"]]))
+        out += _TAG_BYTES["read_proof"]
         _encode_raw(value.key, out)
         _encode_value(value.value, out)
         _encode_value(list(value.internals), out)
         _encode_value(value.leaf, out)
     elif isinstance(value, FringeNode):
-        out.append(bytes([_TAGS["fringe_node"]]))
+        out += _TAG_BYTES["fringe_node"]
         _encode_value(list(value.keys), out)
         _encode_value(list(value.children), out)
     elif isinstance(value, RangeProof):
-        out.append(bytes([_TAGS["range_proof"]]))
+        out += _TAG_BYTES["range_proof"]
         _encode_raw(value.low, out)
         _encode_raw(value.high, out)
         _encode_value(value.root, out)
         _encode_value([list(entry) for entry in value.entries], out)
     elif isinstance(value, SiblingPair):
-        out.append(bytes([_TAGS["sibling_pair"]]))
+        out += _TAG_BYTES["sibling_pair"]
         _encode_value(value.left, out)
         _encode_value(value.right, out)
     elif isinstance(value, UpdateProof):
-        out.append(bytes([_TAGS["update_proof"]]))
+        out += _TAG_BYTES["update_proof"]
         _encode_value(value.operation, out)
         _encode_raw(value.key, out)
         _encode_value(list(value.internals), out)
         _encode_value(value.leaf, out)
         _encode_value(list(value.siblings), out)
     elif isinstance(value, QueryResult):
-        out.append(bytes([_TAGS["query_result"]]))
+        out += _TAG_BYTES["query_result"]
         _encode_value(value.answer, out)
         _encode_value(value.proof, out)
     elif isinstance(value, Signature):
-        out.append(bytes([_TAGS["signature"]]))
+        out += _TAG_BYTES["signature"]
         _encode_value(value.signer_id, out)
         _encode_value(value.digest, out)
         _encode_raw(value.raw, out)
     elif isinstance(value, EpochDeposit):
-        out.append(bytes([_TAGS["epoch_deposit"]]))
+        out += _TAG_BYTES["epoch_deposit"]
         _encode_value(value.user_id, out)
         _encode_value(value.epoch, out)
         _encode_value(value.sigma, out)
         _encode_value(value.last, out)
         _encode_value(value.signature, out)
     elif isinstance(value, Request):
-        out.append(bytes([_TAGS["request"]]))
+        out += _TAG_BYTES["request"]
         _encode_value(value.query, out)
         _encode_value(value.extras, out)
     elif isinstance(value, Response):
-        out.append(bytes([_TAGS["response"]]))
+        out += _TAG_BYTES["response"]
         _encode_value(value.result, out)
         _encode_value(value.extras, out)
     elif isinstance(value, Followup):
-        out.append(bytes([_TAGS["followup"]]))
+        out += _TAG_BYTES["followup"]
         _encode_value(value.extras, out)
     else:
         raise WireError(f"cannot encode {type(value).__name__}")
@@ -183,9 +188,9 @@ def _encode_value(value: object, out: list[bytes]) -> None:
 
 def encode(message: object) -> bytes:
     """Serialise any message/value in the closed universe."""
-    out: list[bytes] = []
+    out = bytearray()
     _encode_value(message, out)
-    return b"".join(out)
+    return bytes(out)
 
 
 class _Reader:

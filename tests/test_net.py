@@ -149,13 +149,12 @@ class TestServerMisbehaviour:
 
 class TestProtocol1OverTcp:
     @pytest.fixture
-    def p1_setup(self):
-        from repro.core.scenarios import make_keys
+    def p1_setup(self, shared_keys):
         from repro.mtree.database import VerifiedDatabase
         from repro.protocols.base import ServerState
         from repro.protocols.protocol1 import Protocol1Server, bootstrap_server_state
 
-        keys = make_keys(["alice", "bob"], seed=77)
+        keys = shared_keys
         state = ServerState(database=VerifiedDatabase(order=4))
         bootstrap_server_state(state, keys.signers["alice"])
         server = serve_in_thread(protocol=Protocol1Server(), state=state)
@@ -196,14 +195,17 @@ class TestProtocol1OverTcp:
         server, keys = p1_setup
         with self.connect_p1(server, keys, "alice") as alice:
             alice.put(b"k", b"v1")
+            assert server.quiesce()  # let alice's follow-up signature land
             with server.state_lock:
                 stale = server.state.clone()
             alice.put(b"k", b"v2")
+            assert server.quiesce()
             with server.state_lock:
                 live, server.state = server.state, stale
             with self.connect_p1(server, keys, "bob") as bob:
                 bob.put(b"k", b"bob world")
                 bob_counts = bob.counts()
+            assert server.quiesce()
             with server.state_lock:
                 server.state = live
             alice.get(b"k")
@@ -216,6 +218,7 @@ class TestProtocol1OverTcp:
         server, keys = p1_setup
         with self.connect_p1(server, keys, "alice") as alice:
             alice.put(b"k", b"v")
+            assert server.quiesce()  # let alice's follow-up signature land
             # corrupt the stored signature server-side (a forging server)
             from repro.crypto.signatures import Signature
 

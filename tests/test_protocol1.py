@@ -21,8 +21,9 @@ USERS = ["alice", "bob"]
 
 
 @pytest.fixture(scope="module")
-def signers():
-    return {u: Signer.generate(u, bits=BITS, seed=20 + i) for i, u in enumerate(USERS)}
+def signers(shared_signers):
+    # Session-shared deterministic keypairs (see tests/conftest.py).
+    return shared_signers
 
 
 @pytest.fixture(scope="module")
