@@ -49,6 +49,10 @@ from repro import wire
 
 REGRESSION_FACTOR = 3.0
 
+#: hard ceiling on the *estimated* cost of disabled observability hooks
+#: relative to the E12 makespan (the tentpole's "no-op-cheap" promise).
+OBS_OVERHEAD_LIMIT_PCT = 3.0
+
 
 def _rate(fn, *, min_time: float = 0.2, batch: int = 1) -> float:
     """Operations per second of ``fn`` (which performs ``batch`` ops)."""
@@ -157,6 +161,50 @@ def measure(quick: bool = False) -> dict[str, float]:
     assert not report.detected, report.alarms
     metrics["e12_makespan_ms" if not quick else "e12_quick_makespan_ms"] = wall_ms
 
+    # -- observability overhead --------------------------------------------
+    # The <3% disabled-overhead budget is far below wall-clock noise, so
+    # it is *computed* rather than timed directly: an obs-enabled E12 run
+    # counts how many instrument hooks the workload fires
+    # (``runtime.hook_fires``); a disabled run executes at most that many
+    # enabled-checks, each costing no more than a full disabled
+    # instrument call, which micro-benchmarks measure exactly.
+    from repro import obs
+
+    obs.disable()
+    probe_counter = obs.counter("perf.disabled_probe")
+    def disabled_incs():
+        for _ in range(256):
+            probe_counter.inc()
+    metrics["obs_disabled_inc_ns"] = 1e9 / _rate(
+        disabled_incs, min_time=min_time, batch=256)
+
+    def disabled_spans():
+        for _ in range(256):
+            with obs.span("perf.disabled_probe_span"):
+                pass
+    metrics["obs_disabled_span_ns"] = 1e9 / _rate(
+        disabled_spans, min_time=min_time, batch=256)
+
+    obs.reset()
+    obs.enable()
+    try:
+        started = time.perf_counter()
+        report = build_simulation("protocol2", workload, k=4, seed=9).execute()
+        enabled_ms = (time.perf_counter() - started) * 1000.0
+        hook_fires = obs.runtime.hook_fires
+        span_fires = sum(agg["count"] for agg in obs.tracer.aggregate().values())
+    finally:
+        obs.disable()
+        obs.reset()
+    assert not report.detected, report.alarms
+    metrics["e12_obs_enabled_makespan_ms"] = enabled_ms
+    metrics["obs_hook_fires_e12"] = float(hook_fires)
+    # Bill each hook at its own disabled cost: span sites pay a full
+    # disabled span() call, every other fire at most a disabled inc().
+    overhead_ns = (span_fires * metrics["obs_disabled_span_ns"]
+                   + (hook_fires - span_fires) * metrics["obs_disabled_inc_ns"])
+    metrics["obs_disabled_overhead_pct"] = overhead_ns / (wall_ms * 1e6) * 100.0
+
     return {name: round(value, 3) for name, value in metrics.items()}
 
 
@@ -232,13 +280,19 @@ def main(argv: list[str] | None = None) -> int:
             print("no usable BENCH_perf.json baseline; skipping regression check")
             return 0
         problems = compare(metrics, baseline)
+        overhead = metrics.get("obs_disabled_overhead_pct")
+        if overhead is not None and overhead > OBS_OVERHEAD_LIMIT_PCT:
+            problems.append(
+                f"obs_disabled_overhead_pct: {overhead} exceeds the "
+                f"{OBS_OVERHEAD_LIMIT_PCT:.0f}% disabled-hook budget")
         if problems:
             print("PERF REGRESSION (> %.0fx):" % REGRESSION_FACTOR)
             for line in problems:
                 print("  " + line)
             return 1
         print("regression check passed (all metrics within "
-              f"{REGRESSION_FACTOR:.0f}x of baseline)")
+              f"{REGRESSION_FACTOR:.0f}x of baseline; obs disabled overhead "
+              f"{overhead}% < {OBS_OVERHEAD_LIMIT_PCT:.0f}%)")
     return 0
 
 

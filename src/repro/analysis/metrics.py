@@ -87,3 +87,45 @@ def preservation_factor(report: SimulationReport, baseline: SimulationReport, us
     if not ours or not reference:
         return 1.0
     return statistics.mean(ours) / max(statistics.mean(reference), 1e-9)
+
+
+def obs_reconciliation(report: SimulationReport, snap: dict | None = None) -> dict[str, dict]:
+    """Cross-check the obs counters against a :class:`SimulationReport`.
+
+    The simulator counts everything twice: once in its own report fields
+    and once through the obs registry.  When observability was enabled
+    (and ``repro.obs.reset()`` ran immediately before the execution, so
+    no earlier run's counts bleed in) the two bookkeepers must agree
+    *exactly* -- any drift means an instrumentation hook is missing or
+    double-firing.
+
+    ``snap`` is an :func:`repro.obs.snapshot` dict; omit it to read the
+    live registry.  Returns ``{check: {"obs": int, "report": int,
+    "ok": bool}}``.
+    """
+
+    def counter_total(name: str) -> int:
+        if snap is not None:
+            entry = snap.get("counters", {}).get(name)
+            return int(entry["total"]) if entry else 0
+        from repro.obs.metrics import REGISTRY
+
+        return int(REGISTRY.counter(name).total())
+
+    expected = {
+        "rounds": ("sim.rounds", report.rounds_executed),
+        "envelopes_sent": ("sim.envelopes_sent", report.messages_sent),
+        "broadcasts": ("sim.broadcasts", report.broadcasts_sent),
+        "ops_issued": ("sim.ops_issued",
+                       sum(len(rounds) for rounds in report.issue_rounds.values())),
+        "ops_completed": ("sim.ops_completed",
+                          sum(report.operations_completed.values())),
+        "alarms": ("sim.alarms", len(report.alarms)),
+        "server_ops": ("sim.server_ops", report.server_operations),
+    }
+    checks: dict[str, dict] = {}
+    for check, (counter_name, reported) in expected.items():
+        observed = counter_total(counter_name)
+        checks[check] = {"obs": observed, "report": int(reported),
+                         "ok": observed == int(reported)}
+    return checks

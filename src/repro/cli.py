@@ -17,6 +17,7 @@ Usage (also via ``python -m repro``)::
     repro -R REPO trust                            show the trust anchor
     repro -R REPO serve [-p PORT]                  host the repository over TCP
     repro --remote HOST:PORT ...                   run any command against a server
+    repro obs-report [--protocol P] [--json]       simulate a workload, print obs metrics
 
 Layout of a repository directory::
 
@@ -307,6 +308,49 @@ def cmd_serve(args, out) -> int:
     return 0
 
 
+def cmd_obs_report(args, out) -> int:
+    """Run a simulated workload with observability on; print the metrics.
+
+    Exercises the full protocol stack (Merkle VOs, signatures, sync
+    broadcasts) under the round simulator and renders every counter,
+    histogram, and span aggregate the run produced, plus a
+    reconciliation table proving the obs counters agree exactly with
+    the simulator's own report.
+    """
+    from repro import obs
+    from repro.analysis.metrics import obs_reconciliation
+    from repro.core.scenarios import build_simulation
+    from repro.simulation.workload import steady_workload
+
+    obs.reset()
+    obs.enable()
+    try:
+        workload = steady_workload(
+            args.users, args.ops, spacing=6, keyspace=32,
+            write_ratio=0.6, scan_ratio=0.1, seed=args.seed)
+        simulation = build_simulation(args.protocol, workload, k=args.k, seed=args.seed)
+        report = simulation.execute()
+        snap = obs.snapshot()
+    finally:
+        obs.disable()
+    reconciliation = obs_reconciliation(report, snap)
+    consistent = all(entry["ok"] for entry in reconciliation.values())
+    if args.json:
+        snap["reconciliation"] = reconciliation
+        snap["reconciliation_ok"] = consistent
+        print(obs.render_json(snap), file=out)
+        return 0 if consistent else 1
+    print(f"# obs-report: {args.protocol}, {args.users} users x {args.ops} ops, "
+          f"k={args.k}, seed={args.seed}", file=out)
+    print(obs.render_text(snap), file=out)
+    print("reconciliation (obs counters vs simulation report)", file=out)
+    for check, entry in reconciliation.items():
+        verdict = "ok" if entry["ok"] else "MISMATCH"
+        print(f"  {check:<16s} obs={entry['obs']:<8d} report={entry['report']:<8d} "
+              f"{verdict}", file=out)
+    return 0 if consistent else 1
+
+
 def cmd_annotate(args, out) -> int:
     from repro.storage.annotate import format_annotations
 
@@ -411,6 +455,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser("serve", help="host the repository over TCP")
     serve.add_argument("-p", "--port", type=int, default=7117)
     serve.set_defaults(handler=cmd_serve)
+
+    obs_report = commands.add_parser(
+        "obs-report",
+        help="run a simulated workload with observability on; print metrics")
+    obs_report.add_argument("--protocol", default="protocol2",
+                            help="protocol to simulate (default: protocol2)")
+    obs_report.add_argument("--users", type=int, default=6)
+    obs_report.add_argument("--ops", type=int, default=8,
+                            help="operations per user")
+    obs_report.add_argument("-k", type=int, default=4, help="sync period")
+    obs_report.add_argument("--seed", type=int, default=9)
+    obs_report.add_argument("--json", action="store_true",
+                            help="emit the snapshot as JSON")
+    obs_report.set_defaults(handler=cmd_obs_report)
     return parser
 
 

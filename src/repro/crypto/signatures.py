@@ -9,10 +9,20 @@ signer's identity, which a verifier checks against a key directory
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.crypto import rsa
 from repro.crypto.hashing import Digest
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
+
+_SIGN_MS = _registry.histogram(
+    "crypto.sign_ms", "wall time of one RSA signing operation")
+_VERIFY_MS = _registry.histogram(
+    "crypto.verify_ms", "wall time of one signature verification")
+_VERIFY_REJECTS = _registry.counter(
+    "crypto.verify_rejects", "signature verifications that failed")
 
 
 @dataclass(frozen=True)
@@ -49,7 +59,12 @@ class Signer:
 
     def sign(self, digest: Digest) -> Signature:
         """Produce ``sign_i(digest)``."""
-        raw = rsa.sign_digest(self._private_key, digest)
+        if not _obs.enabled:
+            raw = rsa.sign_digest(self._private_key, digest)
+        else:
+            started = time.perf_counter_ns()
+            raw = rsa.sign_digest(self._private_key, digest)
+            _SIGN_MS.observe((time.perf_counter_ns() - started) / 1e6)
         return Signature(signer_id=self._signer_id, digest=digest, raw=raw)
 
 
@@ -74,6 +89,16 @@ class Verifier:
         replayed by the server -- fails here because the digest the
         client independently recomputed does not match.
         """
+        if not _obs.enabled:
+            return self._verify(signature, expected_digest)
+        started = time.perf_counter_ns()
+        accepted = self._verify(signature, expected_digest)
+        _VERIFY_MS.observe((time.perf_counter_ns() - started) / 1e6)
+        if not accepted:
+            _VERIFY_REJECTS.inc(signer=signature.signer_id)
+        return accepted
+
+    def _verify(self, signature: Signature, expected_digest: Digest) -> bool:
         key = self._directory.get(signature.signer_id)
         if key is None:
             return False

@@ -16,6 +16,13 @@ from __future__ import annotations
 
 from repro.crypto.hashing import Digest, hash_internal_node, hash_leaf, hash_leaf_node
 from repro.mtree.bplus import DEFAULT_ORDER, BPlusTree, InternalNode, LeafNode
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
+
+_RECOMPUTATIONS = _registry.counter(
+    "mtree.node_recomputations", "Merkle nodes re-hashed after mutations")
+_CACHE_HITS = _registry.counter(
+    "mtree.digest_cache_hits", "node_digest calls served from the clean cache")
 
 
 class MerkleBPlusTree:
@@ -107,10 +114,13 @@ class MerkleBPlusTree:
     def node_digest(self, node: LeafNode | InternalNode) -> Digest:
         """Digest of ``node``, from cache when clean."""
         if node.digest is not None:
+            if _obs.enabled:
+                _CACHE_HITS.inc()
             return node.digest
         # Iterative post-order over the dirty region only: a node is
         # finished once every child is clean, so each dirty node is
         # hashed exactly once per batch.
+        recomputed_before = self.digest_recomputations
         stack = [node]
         while stack:
             current = stack[-1]
@@ -130,4 +140,6 @@ class MerkleBPlusTree:
                 current.digest = hash_internal_node(
                     list(current.keys), [c.digest for c in current.children])
                 stack.pop()
+        if _obs.enabled:
+            _RECOMPUTATIONS.inc(self.digest_recomputations - recomputed_before)
         return node.digest

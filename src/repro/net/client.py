@@ -14,18 +14,42 @@ is outside the server's control, which is the whole point).
 from __future__ import annotations
 
 import socket
+import time
 
 from repro.crypto.hashing import Digest, hash_tagged_state, xor_all
 from repro.mtree.database import DeleteQuery, Query, RangeQuery, ReadQuery, WriteQuery
 from repro.mtree.proofs import ProofError
 from repro.net.framing import recv_message, send_message
-from repro.protocols.base import Request, Response
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
+from repro.protocols.base import ErrorReply, Request, Response
 from repro.protocols.protocol2 import INITIAL_OWNER, initial_state_tag
 from repro.protocols.verify import derive_outcome
+
+_CLIENT_OP_MS = _registry.histogram(
+    "net.client_op_ms", "round-trip client operation latency (send to verified)")
 
 
 class IntegrityError(Exception):
     """The server's response is inconsistent with every honest history."""
+
+
+class ServerBusyError(IntegrityError):
+    """The server refused the request: it stayed blocked on another
+    client's follow-up signature past its block timeout (Protocol I).
+    The session remains usable -- retry once the operator catches up."""
+
+    def __init__(self, reply: ErrorReply) -> None:
+        super().__init__(reply.reason or "server busy")
+        self.reply = reply
+
+
+def _expect_response(message: object) -> Response:
+    if isinstance(message, ErrorReply):
+        raise ServerBusyError(message)
+    if not isinstance(message, Response):
+        raise IntegrityError("server closed the connection or spoke garbage")
+    return message
 
 
 class RemoteClient:
@@ -55,10 +79,9 @@ class RemoteClient:
 
     def execute(self, query: Query) -> object:
         """Send a query; verify the response; return the trusted answer."""
+        started = time.perf_counter_ns() if _obs.enabled else 0
         send_message(self._sock, Request(query=query, extras={"user": self.user_id}))
-        response = recv_message(self._sock)
-        if not isinstance(response, Response):
-            raise IntegrityError("server closed the connection or spoke garbage")
+        response = _expect_response(recv_message(self._sock))
         try:
             ctr = int(response.extras["ctr"])
             last_user = response.extras["last_user"]
@@ -79,6 +102,9 @@ class RemoteClient:
         self.last = new_tag
         self.gctr = ctr + 1
         self.operations += 1
+        if started:
+            _CLIENT_OP_MS.observe(
+                (time.perf_counter_ns() - started) / 1e6, user=self.user_id)
         return outcome.answer
 
     # convenience verbs
@@ -134,10 +160,9 @@ class RemoteClientP1:
         from repro.crypto.signatures import Signature
         from repro.protocols.base import Followup
 
+        started = time.perf_counter_ns() if _obs.enabled else 0
         send_message(self._sock, Request(query=query, extras={"user": self.user_id}))
-        response = recv_message(self._sock)
-        if not isinstance(response, Response):
-            raise IntegrityError("server closed the connection or spoke garbage")
+        response = _expect_response(recv_message(self._sock))
         try:
             ctr = int(response.extras["ctr"])
             last_user = response.extras["last_user"]
@@ -158,6 +183,9 @@ class RemoteClientP1:
         self.gctr = ctr + 1
         new_sig = self._signer.sign(self._hash_state(outcome.new_root, ctr + 1))
         send_message(self._sock, Followup(extras={"sig": new_sig, "user": self.user_id}))
+        if started:
+            _CLIENT_OP_MS.observe(
+                (time.perf_counter_ns() - started) / 1e6, user=self.user_id)
         return outcome.answer
 
     def get(self, key: bytes) -> bytes | None:

@@ -5,9 +5,20 @@ from __future__ import annotations
 import socket
 import struct
 
+from repro.obs import runtime as _obs
+from repro.obs.metrics import BYTE_BUCKETS, REGISTRY as _registry
 from repro.wire import decode, encode
 
 MAX_FRAME = 64 * 1024 * 1024  # sanity bound, far above any real VO
+
+_FRAMES_SENT = _registry.counter("net.frames_sent", "frames written to sockets")
+_FRAMES_RECEIVED = _registry.counter("net.frames_received", "frames read off sockets")
+_BYTES_SENT = _registry.counter(
+    "net.bytes_sent", "payload + header bytes written to sockets")
+_BYTES_RECEIVED = _registry.counter(
+    "net.bytes_received", "payload + header bytes read off sockets")
+_FRAME_BYTES = _registry.histogram(
+    "net.frame_bytes", "per-frame payload size on the wire", buckets=BYTE_BUCKETS)
 
 
 class FramingError(Exception):
@@ -20,6 +31,10 @@ def send_message(sock: socket.socket, message: object) -> None:
     if len(payload) > MAX_FRAME:
         raise FramingError(f"frame of {len(payload)} bytes exceeds the maximum")
     sock.sendall(struct.pack(">I", len(payload)) + payload)
+    if _obs.enabled:
+        _FRAMES_SENT.inc()
+        _BYTES_SENT.inc(4 + len(payload))
+        _FRAME_BYTES.observe(len(payload), direction="out")
 
 
 def recv_message(sock: socket.socket) -> object | None:
@@ -31,6 +46,10 @@ def recv_message(sock: socket.socket) -> object | None:
     if length > MAX_FRAME:
         raise FramingError(f"peer announced a {length}-byte frame")
     payload = _recv_exact(sock, length, allow_eof=False)
+    if _obs.enabled:
+        _FRAMES_RECEIVED.inc()
+        _BYTES_RECEIVED.inc(4 + length)
+        _FRAME_BYTES.observe(length, direction="in")
     return decode(payload)
 
 

@@ -20,9 +20,12 @@ from __future__ import annotations
 
 import socketserver
 import threading
+import time
 
 from repro.mtree.database import VerifiedDatabase
-from repro.protocols.base import Followup, Request, ServerProtocol, ServerState
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
+from repro.protocols.base import ErrorReply, Followup, Request, ServerProtocol, ServerState
 from repro.protocols.protocol2 import Protocol2Server
 from repro.net.framing import FramingError, recv_message, send_message
 from repro.wire import WireError
@@ -30,6 +33,17 @@ from repro.wire import WireError
 #: how long a handler waits for another client's follow-up signature
 #: before giving up on the request (Protocol I only)
 BLOCK_TIMEOUT_SECONDS = 30.0
+
+_REQUEST_MS = _registry.histogram(
+    "net.request_ms", "server-side request handling time (incl. blocking)")
+_BLOCK_WAITS = _registry.counter(
+    "net.block_waits", "requests that found the server blocked (Protocol I)")
+_BLOCK_WAIT_MS = _registry.histogram(
+    "net.block_wait_ms", "time spent waiting on another client's follow-up")
+_BLOCK_TIMEOUTS = _registry.counter(
+    "net.block_timeouts", "requests refused because the block never cleared")
+_FOLLOWUPS = _registry.counter(
+    "net.followups", "follow-up signatures absorbed (Protocol I)")
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -48,19 +62,45 @@ class _Handler(socketserver.BaseRequestHandler):
                     server.protocol.handle_followup(
                         user_id, message, server.state, round_no=server.tick())
                     server.state_cond.notify_all()
+                if _obs.enabled:
+                    _FOLLOWUPS.inc(user=user_id)
                 continue
             if not isinstance(message, Request):
                 return  # protocol violation: drop the connection
             user_id = message.extras.get("user", "anonymous")
+            started = time.perf_counter_ns() if _obs.enabled else 0
             with server.state_cond:
                 # Protocol I blocking: wait for the previous operator's
                 # signature before serving the next query.
-                if not server.state_cond.wait_for(
-                        lambda: not server.protocol.blocked(server.state),
-                        timeout=BLOCK_TIMEOUT_SECONDS):
-                    return
+                blocked = server.protocol.blocked(server.state)
+                if blocked and _obs.enabled:
+                    _BLOCK_WAITS.inc()
+                wait_started = time.perf_counter_ns() if blocked and _obs.enabled else 0
+                cleared = server.state_cond.wait_for(
+                    lambda: not server.protocol.blocked(server.state),
+                    timeout=server.block_timeout)
+                if wait_started:
+                    _BLOCK_WAIT_MS.observe(
+                        (time.perf_counter_ns() - wait_started) / 1e6)
+                if not cleared:
+                    # The operating client never returned its signature.
+                    # Refuse this request with an explicit error frame so
+                    # the waiting client fails fast instead of hanging on
+                    # a silently dropped connection.
+                    if _obs.enabled:
+                        _BLOCK_TIMEOUTS.inc()
+                    try:
+                        send_message(self.request, ErrorReply(
+                            reason="server blocked awaiting a follow-up signature",
+                            extras={"timeout_s": server.block_timeout}))
+                    except OSError:
+                        return
+                    continue
                 response = server.protocol.handle_request(
                     user_id, message, server.state, round_no=server.tick())
+            if _obs.enabled:
+                _REQUEST_MS.observe(
+                    (time.perf_counter_ns() - started) / 1e6, user=user_id)
             try:
                 send_message(self.request, response)
             except OSError:
@@ -81,6 +121,7 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         database: VerifiedDatabase | None = None,
         protocol: ServerProtocol | None = None,
         state: ServerState | None = None,
+        block_timeout: float = BLOCK_TIMEOUT_SECONDS,
     ) -> None:
         super().__init__((host, port), _Handler)
         if state is not None:
@@ -90,6 +131,7 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         self.protocol = protocol or Protocol2Server()
         self.protocol.initialize(self.state)
         self.state_cond = threading.Condition()
+        self.block_timeout = block_timeout
         self._round = 0
 
     @property
@@ -101,7 +143,7 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         self._round += 1
         return self._round
 
-    def quiesce(self, timeout: float = BLOCK_TIMEOUT_SECONDS) -> bool:
+    def quiesce(self, timeout: float | None = None) -> bool:
         """Wait until no follow-up is outstanding (Protocol I).
 
         Clients send their post-operation signature asynchronously, so
@@ -110,6 +152,8 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         attack harnesses) should quiesce first or it races the in-flight
         follow-up.  Returns False on timeout.
         """
+        if timeout is None:
+            timeout = self.block_timeout
         with self.state_cond:
             return self.state_cond.wait_for(
                 lambda: not self.protocol.blocked(self.state), timeout=timeout)
@@ -132,13 +176,15 @@ def serve_in_thread(
     port: int = 0,
     protocol: ServerProtocol | None = None,
     state: ServerState | None = None,
+    block_timeout: float = BLOCK_TIMEOUT_SECONDS,
 ) -> TrustedCvsTcpServer:
     """Start a server on an ephemeral port; returns the running server.
 
     Call ``server.shutdown(); server.server_close()`` when done.
     """
     server = TrustedCvsTcpServer(order=order, database=database, port=port,
-                                 protocol=protocol, state=state)
+                                 protocol=protocol, state=state,
+                                 block_timeout=block_timeout)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server

@@ -1,0 +1,97 @@
+"""Runtime observability: metrics, span tracing, and exporters.
+
+The paper states its desiderata in measurable quantities -- detection
+delay, workload preservation, message overhead (Sections 2.2, 4.3) --
+but reconstructs them after the fact from simulation reports.  This
+package makes the same quantities (and the systems-level ones beneath
+them: signature time, VO bytes, Merkle cache behaviour, wire traffic)
+observable *live*, in-process, with zero dependencies:
+
+* :mod:`repro.obs.metrics` -- counters / gauges / histograms with
+  labeled series behind a process-wide :data:`registry`;
+* :mod:`repro.obs.tracing` -- nested monotonic spans with a ring-buffer
+  exporter and per-phase aggregates;
+* :mod:`repro.obs.export` -- one snapshot dict, rendered as text
+  (``repro obs-report``) or JSON.
+
+Collection is **off by default** and every hook is no-op-cheap while
+disabled (see :mod:`repro.obs.runtime`); flip it with :func:`enable`
+or ``REPRO_OBS=1``.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    report = build_simulation("protocol2", workload, k=4).execute()
+    print(obs.render_text())
+    obs.disable()
+"""
+
+from repro.obs import runtime
+from repro.obs.export import render_json, render_text, snapshot
+from repro.obs.metrics import (
+    BYTE_BUCKETS,
+    DEFAULT_BUCKETS,
+    REGISTRY as registry,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+)
+from repro.obs.runtime import disable, enable, is_enabled
+from repro.obs.tracing import TRACER as tracer, SpanRecord, Tracer
+
+
+def counter(name: str, help: str = "") -> Counter:
+    """Get-or-create a counter in the default registry."""
+    return registry.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    """Get-or-create a gauge in the default registry."""
+    return registry.gauge(name, help)
+
+
+def histogram(name: str, help: str = "",
+              buckets: tuple[float, ...] | None = None) -> Histogram:
+    """Get-or-create a histogram in the default registry."""
+    return registry.histogram(name, help, buckets=buckets)
+
+
+def span(name: str):
+    """Open a span on the default tracer (``with obs.span("phase"):``)."""
+    return tracer.span(name)
+
+
+def reset() -> None:
+    """Zero all metric series and clear the trace ring buffer."""
+    registry.reset()
+    tracer.reset()
+    runtime.hook_fires = 0
+
+
+__all__ = [
+    "BYTE_BUCKETS",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "SpanRecord",
+    "Tracer",
+    "counter",
+    "disable",
+    "enable",
+    "gauge",
+    "histogram",
+    "is_enabled",
+    "registry",
+    "render_json",
+    "render_text",
+    "reset",
+    "runtime",
+    "snapshot",
+    "span",
+    "tracer",
+]

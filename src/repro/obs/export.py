@@ -1,0 +1,106 @@
+"""Exporters: one snapshot dict, rendered as JSON or aligned text.
+
+``snapshot`` freezes the registry + tracer into plain JSON-able data;
+``render_text`` is what ``repro obs-report`` prints; ``render_json``
+feeds benchmark post-processing so EXPERIMENTS can cite live numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import runtime
+from repro.obs.metrics import REGISTRY, Counter, Gauge, Histogram, Registry
+from repro.obs.tracing import TRACER, Tracer
+
+
+def snapshot(registry: Registry | None = None, tracer: Tracer | None = None) -> dict:
+    """Freeze all collected metrics and span aggregates."""
+    registry = registry if registry is not None else REGISTRY
+    tracer = tracer if tracer is not None else TRACER
+    counters: dict[str, dict] = {}
+    gauges: dict[str, dict] = {}
+    histograms: dict[str, dict] = {}
+    for metric in registry:
+        if isinstance(metric, Counter):
+            counters[metric.name] = {"total": metric.total(), "series": metric.series()}
+        elif isinstance(metric, Gauge):
+            gauges[metric.name] = {"series": metric.series()}
+        elif isinstance(metric, Histogram):
+            histograms[metric.name] = {"series": metric.series_summary()}
+    return {
+        "enabled": runtime.enabled,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "spans": tracer.aggregate(),
+    }
+
+
+def render_json(snap: dict | None = None, indent: int = 2) -> str:
+    return json.dumps(snap if snap is not None else snapshot(),
+                      indent=indent, sort_keys=True)
+
+
+def _fmt(value: float) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.3f}"
+    return f"{int(value):,}"
+
+
+def render_text(snap: dict | None = None) -> str:
+    """Human-oriented report: counters, gauges, histograms, span phases."""
+    snap = snap if snap is not None else snapshot()
+    lines: list[str] = []
+
+    def section(title: str) -> None:
+        if lines:
+            lines.append("")
+        lines.append(title)
+        lines.append("-" * len(title))
+
+    if snap["counters"]:
+        section("counters")
+        width = max(len(name) for name in snap["counters"])
+        for name, data in snap["counters"].items():
+            lines.append(f"  {name:<{width}}  {_fmt(data['total']):>14}")
+            series = data["series"]
+            if len(series) > 1 or (series and next(iter(series)) != ""):
+                for label, value in series.items():
+                    lines.append(f"    {label or '(no labels)':<{width}}{_fmt(value):>14}")
+
+    if any(data["series"] for data in snap["gauges"].values()):
+        section("gauges")
+        width = max(len(name) for name in snap["gauges"])
+        for name, data in snap["gauges"].items():
+            for label, value in data["series"].items():
+                suffix = f"{{{label}}}" if label else ""
+                lines.append(f"  {name}{suffix:<{width}}  {_fmt(value):>14}")
+
+    populated = {name: data for name, data in snap["histograms"].items()
+                 if data["series"]}
+    if populated:
+        section("histograms")
+        for name, data in populated.items():
+            for label, cell in data["series"].items():
+                suffix = f"{{{label}}}" if label else ""
+                lines.append(
+                    f"  {name}{suffix}: count={_fmt(cell['count'])} "
+                    f"mean={_fmt(cell['mean'])} p50={_fmt(cell['p50'])} "
+                    f"p99={_fmt(cell['p99'])} max={_fmt(cell['max'])}")
+
+    if snap["spans"]:
+        section("span timings (per phase)")
+        width = max(len(name) for name in snap["spans"])
+        lines.append(f"  {'phase':<{width}}  {'count':>9}  {'total ms':>12}"
+                     f"  {'mean ms':>10}  {'max ms':>10}  errors")
+        for name, agg in snap["spans"].items():
+            lines.append(
+                f"  {name:<{width}}  {agg['count']:>9,}  {agg['total_ms']:>12,.3f}"
+                f"  {agg['mean_ms']:>10,.4f}  {agg['max_ms']:>10,.3f}  {agg['errors']}")
+
+    if not lines:
+        lines.append("(no observability data collected -- is obs enabled?)")
+    return "\n".join(lines)

@@ -1,0 +1,291 @@
+"""Counters, gauges, and histograms with labeled series.
+
+The instruments mirror the shape every metrics system converges on
+(Prometheus, OpenTelemetry) without any dependency: a *metric* is a
+named instrument; a *series* is one (label-set -> value) cell of it.
+Instrumented modules hold direct references to their instruments
+(``_OPS = registry.counter("sim.ops_completed")``), so :meth:`Registry
+.reset` clears series *in place* and never discards instrument objects.
+
+Every mutating method is a no-op while :mod:`repro.obs.runtime` is
+disabled; see there for the overhead accounting contract.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator
+
+from repro.obs import runtime
+
+#: default histogram buckets (upper bounds), tuned for millisecond
+#: latencies but serviceable for small counts; byte-sized metrics pass
+#: their own buckets.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+#: geometric byte-size buckets: 64 B .. 16 MiB.
+BYTE_BUCKETS: tuple[float, ...] = tuple(64 * 4 ** i for i in range(10))
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+def _label_text(key: tuple[tuple[str, str], ...]) -> str:
+    return ",".join(f"{name}={value}" for name, value in key) or ""
+
+
+class Metric:
+    """Common naming/registration surface of all instruments."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+    def clear(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing count, optionally labeled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._series: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1, **labels: str) -> None:
+        if not runtime.enabled:
+            return
+        runtime.hook_fires += 1
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._series.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        return sum(self._series.values())
+
+    def series(self) -> dict[str, float]:
+        return {_label_text(key): value for key, value in sorted(self._series.items())}
+
+    def clear(self) -> None:
+        self._series.clear()
+
+
+class Gauge(Metric):
+    """A point-in-time value (last write wins), optionally labeled."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._series: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        if not runtime.enabled:
+            return
+        runtime.hook_fires += 1
+        self._series[_label_key(labels)] = value
+
+    def value(self, **labels: str) -> float | None:
+        return self._series.get(_label_key(labels))
+
+    def series(self) -> dict[str, float]:
+        return {_label_text(key): value for key, value in sorted(self._series.items())}
+
+    def clear(self) -> None:
+        self._series.clear()
+
+
+class _HistogramSeries:
+    """One label-set's accumulation: bucket counts + running stats."""
+
+    __slots__ = ("counts", "sum", "count", "min", "max")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # +1 for the +inf overflow
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+class Histogram(Metric):
+    """A distribution over fixed buckets with exact sum/count/min/max.
+
+    ``buckets`` are inclusive upper bounds in ascending order; an
+    implicit +inf bucket catches overflow.  Quantiles are estimated by
+    linear interpolation inside the bucket containing the target rank
+    (the standard Prometheus ``histogram_quantile`` estimate).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple[float, ...] | None = None) -> None:
+        super().__init__(name, help)
+        bounds = DEFAULT_BUCKETS if buckets is None else tuple(buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be strictly increasing")
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        self.buckets = bounds
+        self._series: dict[tuple, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        if not runtime.enabled:
+            return
+        runtime.hook_fires += 1
+        key = _label_key(labels)
+        cell = self._series.get(key)
+        if cell is None:
+            cell = self._series[key] = _HistogramSeries(len(self.buckets))
+        cell.counts[bisect_left(self.buckets, value)] += 1
+        cell.sum += value
+        cell.count += 1
+        if value < cell.min:
+            cell.min = value
+        if value > cell.max:
+            cell.max = value
+
+    # -- read side ---------------------------------------------------------
+
+    def _cell(self, labels: dict[str, str]) -> _HistogramSeries | None:
+        return self._series.get(_label_key(labels))
+
+    def count(self, **labels: str) -> int:
+        cell = self._cell(labels)
+        return cell.count if cell else 0
+
+    def total_count(self) -> int:
+        return sum(cell.count for cell in self._series.values())
+
+    def sum(self, **labels: str) -> float:
+        cell = self._cell(labels)
+        return cell.sum if cell else 0.0
+
+    def mean(self, **labels: str) -> float | None:
+        cell = self._cell(labels)
+        if not cell or not cell.count:
+            return None
+        return cell.sum / cell.count
+
+    def bucket_counts(self, **labels: str) -> dict[str, int]:
+        """Cumulative ``le`` -> count map, Prometheus style."""
+        cell = self._cell(labels)
+        if cell is None:
+            return {}
+        out: dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, cell.counts):
+            running += count
+            out[f"{bound:g}"] = running
+        out["+inf"] = running + cell.counts[-1]
+        return out
+
+    def quantile(self, q: float, **labels: str) -> float | None:
+        """Estimated q-quantile (0 <= q <= 1) from the bucket counts.
+
+        Interpolated estimates are clamped to the observed [min, max]:
+        with few samples a wide bucket would otherwise yield a quantile
+        above the largest value ever seen.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        cell = self._cell(labels)
+        if cell is None or not cell.count:
+            return None
+        rank = q * cell.count
+        running = 0.0
+        lower = 0.0
+        for bound, count in zip(self.buckets, cell.counts):
+            if running + count >= rank:
+                if count == 0:
+                    return min(max(bound, cell.min), cell.max)
+                fraction = (rank - running) / count
+                estimate = lower + (bound - lower) * fraction
+                return min(max(estimate, cell.min), cell.max)
+            running += count
+            lower = bound
+        # rank falls in the +inf bucket: the best point estimate we can
+        # give is the observed maximum.
+        return cell.max
+
+    def series_summary(self) -> dict[str, dict]:
+        out = {}
+        for key, cell in sorted(self._series.items()):
+            out[_label_text(key)] = {
+                "count": cell.count,
+                "sum": round(cell.sum, 6),
+                "mean": round(cell.sum / cell.count, 6) if cell.count else None,
+                "min": round(cell.min, 6) if cell.count else None,
+                "max": round(cell.max, 6) if cell.count else None,
+                "p50": self._rounded_quantile(key, 0.5),
+                "p99": self._rounded_quantile(key, 0.99),
+            }
+        return out
+
+    def _rounded_quantile(self, key: tuple, q: float) -> float | None:
+        value = self.quantile(q, **dict(key))
+        return round(value, 6) if value is not None else None
+
+    def clear(self) -> None:
+        self._series.clear()
+
+
+class Registry:
+    """Name -> instrument directory; the single source of metric truth.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create (idempotent
+    per name), so modules can declare their instruments at import time
+    and tests can look the same instruments up by name.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] | None = None) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Metric | None:
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    def reset(self) -> None:
+        """Zero every series in place; instruments stay registered."""
+        for metric in self._metrics.values():
+            metric.clear()
+
+
+#: the process-wide default registry all built-in instrumentation uses.
+REGISTRY = Registry()

@@ -1,0 +1,175 @@
+"""Lightweight span tracing with monotonic timing and nesting.
+
+A *span* brackets one logical phase (``with trace.span("verify_vo"):``)
+and records its wall time from ``time.perf_counter_ns`` (monotonic, so
+system clock adjustments never produce negative durations).  Spans nest:
+each thread keeps an open-span stack, so a span entered inside another
+records its parent's name and depth, which the exporters use to render
+phase breakdowns.
+
+Finished spans land in two places:
+
+* a bounded **ring buffer** of :class:`SpanRecord` (the most recent
+  ``capacity`` spans, cheap enough to leave always-on while enabled);
+* a per-name **aggregate** (count / total / max) that survives ring
+  eviction, so long runs still report faithful per-phase totals.
+
+Exception safety: ``__exit__`` always pops the stack and records the
+span -- with ``status="error"`` and the exception type attached -- and
+never swallows the exception.
+
+While :mod:`repro.obs.runtime` is disabled, ``span()`` hands back a
+shared no-op context manager: no allocation, no clock read.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs import runtime
+
+
+@dataclass(slots=True, frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    start_ns: int
+    duration_ns: int
+    depth: int
+    parent: str | None
+    status: str  # "ok" or "error"
+    error: str | None = None
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+
+class _NoopSpan:
+    """Returned while tracing is disabled; a shared do-nothing manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("_tracer", "name", "_start", "_depth", "_parent")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        self._depth = len(stack)
+        self._parent = stack[-1].name if stack else None
+        stack.append(self)
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        duration = time.perf_counter_ns() - self._start
+        stack = self._tracer._stack()
+        # Pop *this* span even if an instrumented callee leaked spans.
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        self._tracer._record(
+            SpanRecord(
+                name=self.name,
+                start_ns=self._start,
+                duration_ns=duration,
+                depth=self._depth,
+                parent=self._parent,
+                status="ok" if exc_type is None else "error",
+                error=exc_type.__name__ if exc_type is not None else None,
+            )
+        )
+        return False  # never swallow exceptions
+
+
+class Tracer:
+    """Span factory + ring buffer + per-name aggregates."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self._records: deque[SpanRecord] = deque(maxlen=capacity)
+        self._aggregate: dict[str, list] = {}  # name -> [count, total_ns, max_ns, errors]
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def span(self, name: str) -> _Span | _NoopSpan:
+        if not runtime.enabled:
+            return _NOOP
+        runtime.hook_fires += 1
+        return _Span(self, name)
+
+    # -- internals ---------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+            cell = self._aggregate.get(record.name)
+            if cell is None:
+                cell = self._aggregate[record.name] = [0, 0, 0, 0]
+            cell[0] += 1
+            cell[1] += record.duration_ns
+            if record.duration_ns > cell[2]:
+                cell[2] = record.duration_ns
+            if record.status != "ok":
+                cell[3] += 1
+
+    # -- read side ---------------------------------------------------------
+
+    def records(self) -> list[SpanRecord]:
+        """The ring buffer's contents, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def aggregate(self) -> dict[str, dict]:
+        """Per-span-name totals: count, total/mean/max ms, error count."""
+        with self._lock:
+            out = {}
+            for name in sorted(self._aggregate):
+                count, total_ns, max_ns, errors = self._aggregate[name]
+                out[name] = {
+                    "count": count,
+                    "total_ms": round(total_ns / 1e6, 6),
+                    "mean_ms": round(total_ns / count / 1e6, 6) if count else 0.0,
+                    "max_ms": round(max_ns / 1e6, 6),
+                    "errors": errors,
+                }
+            return out
+
+    def depth(self) -> int:
+        """Current nesting depth on the calling thread."""
+        return len(self._stack())
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._aggregate.clear()
+        self._local = threading.local()
+
+
+#: the process-wide default tracer all built-in instrumentation uses.
+TRACER = Tracer()

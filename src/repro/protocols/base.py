@@ -104,6 +104,22 @@ class Followup:
     extras: dict = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class ErrorReply:
+    """A server->client failure notice carrying no answer.
+
+    Sent in place of a :class:`Response` when the server cannot serve
+    the request at all -- e.g. the Protocol I handler timing out while
+    waiting for another client's follow-up signature.  An explicit
+    frame lets the requester distinguish "server gave up" from a hung
+    connection; under the paper's b*-bounded transaction time
+    assumption, a trusted server never emits one under honest load.
+    """
+
+    reason: str = ""
+    extras: dict = field(default_factory=dict)
+
+
 class ClientContext(TypingProtocol):
     """What a protocol client may do while handling an event.
 

@@ -18,8 +18,17 @@ counts, Protocol II contributes XOR registers.
 
 from __future__ import annotations
 
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
 from repro.protocols.base import ClientContext, DeviationDetected, ProtocolClient, Response
 from repro.mtree.database import Query
+
+_SYNCS_STARTED = _registry.counter(
+    "protocol.syncs_started", "sync-ups announced on the broadcast channel")
+_SYNCS_PASSED = _registry.counter(
+    "protocol.syncs_passed", "completed syncs where some user's predicate held")
+_SYNCS_FAILED = _registry.counter(
+    "protocol.syncs_failed", "completed syncs with no satisfiable predicate (deviation)")
 
 
 class SyncingClient(ProtocolClient):
@@ -88,6 +97,8 @@ class SyncingClient(ProtocolClient):
 
     def announce_sync(self, ctx: ClientContext) -> None:
         self._sync_seq += 1
+        if _obs.enabled:
+            _SYNCS_STARTED.inc(user=self.user_id)
         tag = f"{self.user_id}#{self._sync_seq}"
         ctx.broadcast({"type": "sync-request", "tag": tag})
         self._enter_sync(tag, ctx)
@@ -148,11 +159,15 @@ class SyncingClient(ProtocolClient):
         self._entered.discard(tag)
         self._deferred_data.discard(tag)
         if not any(all_verdicts):
+            if _obs.enabled:
+                _SYNCS_FAILED.inc(user=self.user_id)
             raise DeviationDetected(
                 self.user_id,
                 "synchronisation failed: no user's registers are consistent "
                 "with a single serial execution",
             )
+        if _obs.enabled:
+            _SYNCS_PASSED.inc(user=self.user_id)
         self.ops_since_sync = 0
 
     def state_size(self) -> int:

@@ -31,6 +31,17 @@ from repro.mtree.proofs import (
     implied_root_for_range,
     implied_root_for_read,
 )
+from repro.obs import runtime as _obs
+from repro.obs.metrics import BYTE_BUCKETS, REGISTRY as _registry
+from repro.obs.tracing import TRACER as _tracer
+
+_OPS_VERIFIED = _registry.counter(
+    "protocol.ops_verified", "responses whose VO checked out, by query kind")
+_VERIFY_FAILURES = _registry.counter(
+    "protocol.verify_failures", "responses rejected by VO verification")
+_VO_BYTES = _registry.histogram(
+    "protocol.vo_bytes", "verification object size on the wire",
+    buckets=BYTE_BUCKETS)
 
 
 @dataclass(frozen=True)
@@ -53,6 +64,27 @@ def derive_outcome(query: Query, result: QueryResult, order: int) -> VerifiedOut
     is *recomputed by the client* from the pre-update VO, never taken
     from the server.
     """
+    if not _obs.enabled:
+        return _derive_outcome(query, result, order)
+    kind = type(query).__name__
+    with _tracer.span("protocol.verify_vo"):
+        try:
+            outcome = _derive_outcome(query, result, order)
+        except ProofError:
+            _VERIFY_FAILURES.inc(kind=kind)
+            raise
+    _OPS_VERIFIED.inc(kind=kind)
+    # Lazy import: repro.wire reaches back into the protocol modules.
+    from repro.wire import WireError, wire_size
+
+    try:
+        _VO_BYTES.observe(wire_size(result.proof), kind=kind)
+    except WireError:  # pragma: no cover - test-local proof stand-ins
+        pass
+    return outcome
+
+
+def _derive_outcome(query: Query, result: QueryResult, order: int) -> VerifiedOutcome:
     proof = result.proof
     if isinstance(query, ReadQuery):
         if not isinstance(proof, ReadProof):

@@ -21,9 +21,22 @@ from repro.protocols.base import (
     ServerProtocol,
     ServerState,
 )
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
 from repro.simulation.channels import SERVER_ID, Network
 from repro.simulation.events import Action, Run, describe_query
 from repro.simulation.workload import Intent
+
+_OPS_ISSUED = _registry.counter(
+    "sim.ops_issued", "workload operations issued, by user")
+_OPS_COMPLETED = _registry.counter(
+    "sim.ops_completed", "workload operations verified complete, by user")
+_OP_GAPS = _registry.histogram(
+    "sim.op_gap_rounds", "rounds between a user's consecutive completions",
+    buckets=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 256))
+_ALARMS = _registry.counter("sim.alarms", "users that raised a deviation alarm")
+_SERVER_OPS = _registry.counter(
+    "sim.server_ops", "operations the server agent served")
 
 
 @dataclass
@@ -190,6 +203,11 @@ class UserAgent:
             raise DeviationDetected(self.user_id, "unsolicited response from server")
         answer = self.client.handle_response(pending.query, payload, self)
         if pending.query is not None:
+            if _obs.enabled:
+                _OPS_COMPLETED.inc(user=self.user_id)
+                if self.completion_rounds:
+                    _OP_GAPS.observe(self._round - self.completion_rounds[-1],
+                                     user=self.user_id)
             self.completion_rounds.append(self._round)
             self._run.record(
                 Action(
@@ -217,6 +235,8 @@ class UserAgent:
         txn_id = self._txn_counter[0]
         self.pending = _PendingTransaction(txn_id=txn_id, query=intent.query, issued_round=round_no)
         self.issue_rounds.append(round_no)
+        if _obs.enabled:
+            _OPS_ISSUED.inc(user=self.user_id)
         request = self.client.make_request(intent.query)
         self.send_to_server(request)
         self.client.on_issue(self)
@@ -245,6 +265,8 @@ class UserAgent:
     def _raise_alarm(self, exc: DeviationDetected) -> None:
         if self.alarm is None:
             self.alarm = Alarm(round=self._round, reason=exc.reason)
+            if _obs.enabled:
+                _ALARMS.inc(user=self.user_id)
         self.pending = None
 
 
@@ -324,6 +346,8 @@ class ServerAgent:
                 response = self.attack.mutate_response(user_id, request, response, state, round_no)
             self.operations_served += 1
             served += 1
+            if _obs.enabled:
+                _SERVER_OPS.inc()
             self._check_against_oracle(request, response, state, round_no)
             network.send(SERVER_ID, user_id, response, round_no)
 

@@ -16,8 +16,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
+
 SERVER_ID = "server"
 BROADCAST = "*"
+
+_ENVELOPES_SENT = _registry.counter(
+    "sim.envelopes_sent", "point-to-point envelopes queued on the network")
+_BROADCASTS = _registry.counter(
+    "sim.broadcasts", "broadcast-channel sends (one per payload)")
+_BROADCAST_ENVELOPES = _registry.counter(
+    "sim.broadcast_envelopes", "per-recipient envelopes fanned out by broadcasts")
+_WIRE_BYTES = _registry.counter(
+    "sim.bytes_sent", "wire bytes accounted on the simulated network")
 
 
 @dataclass(slots=True)
@@ -59,7 +71,9 @@ class Network:
         from repro.wire import WireError, wire_size
 
         try:
-            self.bytes_sent += wire_size(payload)
+            size = wire_size(payload)
+            self.bytes_sent += size
+            _WIRE_BYTES.inc(size)
         except WireError:
             # broadcast payloads are plain dicts of encodable values;
             # anything else is simulation-internal and not billed
@@ -76,11 +90,17 @@ class Network:
         )
         self._pending.setdefault(envelope.deliver_round, []).append(envelope)
         self.messages_sent += 1
+        if _obs.enabled:
+            _ENVELOPES_SENT.inc()
         self._account(payload)
 
     def broadcast(self, sender: str, payload: object, round_no: int) -> None:
         """Queue a broadcast to every *other* user (external channel)."""
         self.broadcasts_sent += 1
+        if _obs.enabled:
+            _BROADCASTS.inc()
+            _BROADCAST_ENVELOPES.inc(
+                len(self.user_ids) - (1 if sender in self.user_ids else 0))
         for user_id in self.user_ids:
             if user_id == sender:
                 continue

@@ -30,17 +30,34 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
 from repro.simulation.channels import Envelope, Network
+
+_RETRANSMISSIONS = _registry.counter(
+    "sim.retransmissions", "ARQ retransmissions forced by injected losses")
+_DELAYED_ENVELOPES = _registry.counter(
+    "sim.envelopes_delayed", "envelopes whose delivery a loss postponed")
 
 
 @dataclass
 class LossyNetwork(Network):
-    """Bounded-delay delivery over a lossy link with ARQ semantics."""
+    """Bounded-delay delivery over a lossy link with ARQ semantics.
+
+    All randomness flows through one explicit ``random.Random`` -- never
+    the module-global ``random`` state -- so two networks constructed
+    with the same ``seed`` (or sharing an ``rng``) inject byte-identical
+    loss patterns and same-seed simulations replay exactly.  Pass
+    ``rng`` to thread an externally owned generator through (e.g. one
+    shared with a workload generator); it takes precedence over
+    ``seed``.
+    """
 
     loss_rate: float = 0.0
     retransmit_timeout: int = 4
     max_attempts: int = 8
     seed: int = 0
+    rng: random.Random | None = None
     _rng: random.Random = field(default_factory=random.Random, repr=False)
     losses_injected: int = 0
 
@@ -49,17 +66,21 @@ class LossyNetwork(Network):
             raise ValueError("loss rate must be in [0, 1)")
         if self.retransmit_timeout < 1 or self.max_attempts < 1:
             raise ValueError("retransmission parameters must be positive")
-        self._rng = random.Random(self.seed)
+        self._rng = self.rng if self.rng is not None else random.Random(self.seed)
 
     def _attempts(self) -> int:
         attempts = 1
         while attempts < self.max_attempts and self._rng.random() < self.loss_rate:
             attempts += 1
             self.losses_injected += 1
+            if _obs.enabled:
+                _RETRANSMISSIONS.inc()
         return attempts
 
     def send(self, sender: str, recipient: str, payload: object, round_no: int) -> None:
         extra = (self._attempts() - 1) * self.retransmit_timeout
+        if extra and _obs.enabled:
+            _DELAYED_ENVELOPES.inc()
         envelope = Envelope(
             sender=sender,
             recipient=recipient,
@@ -69,13 +90,21 @@ class LossyNetwork(Network):
         )
         self._pending.setdefault(envelope.deliver_round, []).append(envelope)
         self.messages_sent += 1
+        if _obs.enabled:
+            _registry.counter("sim.envelopes_sent").inc()
 
     def broadcast(self, sender: str, payload: object, round_no: int) -> None:
         self.broadcasts_sent += 1
+        if _obs.enabled:
+            _registry.counter("sim.broadcasts").inc()
+            _registry.counter("sim.broadcast_envelopes").inc(
+                len(self.user_ids) - (1 if sender in self.user_ids else 0))
         for user_id in self.user_ids:
             if user_id == sender:
                 continue
             extra = (self._attempts() - 1) * self.retransmit_timeout
+            if extra and _obs.enabled:
+                _DELAYED_ENVELOPES.inc()
             envelope = Envelope(
                 sender=sender,
                 recipient=user_id,

@@ -17,9 +17,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
+from repro.obs.tracing import TRACER as _tracer
 from repro.simulation.agents import Alarm, ServerAgent, UserAgent
 from repro.simulation.channels import Network
 from repro.simulation.events import Run
+
+_ROUNDS = _registry.counter("sim.rounds", "simulation rounds executed")
+_DELIVERED = _registry.counter(
+    "sim.envelopes_delivered", "envelopes handed to recipient inboxes")
+_DETECTION_DELAY = _registry.gauge(
+    "sim.detection_delay_rounds", "rounds between deviation onset and first alarm")
+_FIRST_ALARM = _registry.gauge(
+    "sim.first_alarm_round", "round of the first user alarm")
+_FIRST_DEVIATION = _registry.gauge(
+    "sim.first_deviation_round", "round of the first server deviation")
 
 
 @dataclass
@@ -114,15 +127,20 @@ class Simulation:
         idle_rounds = 0
         round_no = 0
         for round_no in range(1, max_rounds + 1):
-            for envelope in self.network.deliveries(round_no):
-                if envelope.recipient == "server":
-                    self.server.inbox.append(envelope)
-                else:
-                    self._user(envelope.recipient).inbox.append(envelope)
+            with _tracer.span("sim.round"):
+                due = self.network.deliveries(round_no)
+                if _obs.enabled:
+                    _ROUNDS.inc()
+                    _DELIVERED.inc(len(due))
+                for envelope in due:
+                    if envelope.recipient == "server":
+                        self.server.inbox.append(envelope)
+                    else:
+                        self._user(envelope.recipient).inbox.append(envelope)
 
-            for user in self.users:
-                user.step(round_no, self.network, self.run, self._txn_counter)
-            self.server.step(round_no, self.network)
+                for user in self.users:
+                    user.step(round_no, self.network, self.run, self._txn_counter)
+                self.server.step(round_no, self.network)
 
             if detection_round is None and any(u.alarm is not None for u in self.users):
                 detection_round = round_no
@@ -151,6 +169,18 @@ class Simulation:
             raise KeyError(f"unknown user {user_id!r}") from None
 
     def _report(self, rounds_executed: int) -> SimulationReport:
+        report = self._build_report(rounds_executed)
+        if _obs.enabled:
+            if report.detection_round is not None:
+                _FIRST_ALARM.set(report.detection_round)
+            if report.first_deviation_round is not None:
+                _FIRST_DEVIATION.set(report.first_deviation_round)
+            delay = report.detection_delay_rounds()
+            if delay is not None:
+                _DETECTION_DELAY.set(delay)
+        return report
+
+    def _build_report(self, rounds_executed: int) -> SimulationReport:
         return SimulationReport(
             rounds_executed=rounds_executed,
             run=self.run,

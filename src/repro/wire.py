@@ -39,7 +39,7 @@ from repro.mtree.proofs import (
     SiblingPair,
     UpdateProof,
 )
-from repro.protocols.base import Followup, Request, Response
+from repro.protocols.base import ErrorReply, Followup, Request, Response
 from repro.protocols.protocol3 import EpochDeposit
 
 
@@ -51,6 +51,7 @@ class WireError(Exception):
 _TAGS = {
     "none": 0x00, "false": 0x01, "true": 0x02, "int": 0x03, "str": 0x04,
     "bytes": 0x05, "digest": 0x06, "list": 0x07, "dict": 0x08,
+    "float": 0x09,
     "read_query": 0x10, "range_query": 0x11, "write_query": 0x12,
     "delete_query": 0x13,
     "leaf_snapshot": 0x20, "internal_snapshot": 0x21, "read_proof": 0x22,
@@ -58,6 +59,7 @@ _TAGS = {
     "sibling_pair": 0x26, "query_result": 0x27,
     "signature": 0x30, "epoch_deposit": 0x31,
     "request": 0x40, "response": 0x41, "followup": 0x42,
+    "error_reply": 0x43,
 }
 _NAMES = {tag: name for name, tag in _TAGS.items()}
 
@@ -86,6 +88,9 @@ def _encode_value(value: object, out: bytearray) -> None:
     elif isinstance(value, int):
         out += _TAG_BYTES["int"]
         out += struct.pack(">q", value)
+    elif isinstance(value, float):
+        out += _TAG_BYTES["float"]
+        out += struct.pack(">d", value)
     elif isinstance(value, str):
         out += _TAG_BYTES["str"]
         _encode_raw(value.encode("utf-8"), out)
@@ -182,6 +187,10 @@ def _encode_value(value: object, out: bytearray) -> None:
     elif isinstance(value, Followup):
         out += _TAG_BYTES["followup"]
         _encode_value(value.extras, out)
+    elif isinstance(value, ErrorReply):
+        out += _TAG_BYTES["error_reply"]
+        _encode_value(value.reason, out)
+        _encode_value(value.extras, out)
     else:
         raise WireError(f"cannot encode {type(value).__name__}")
 
@@ -227,6 +236,8 @@ def _decode_value(reader: _Reader) -> object:
         return False
     if name == "int":
         return struct.unpack(">q", reader.take(8))[0]
+    if name == "float":
+        return struct.unpack(">d", reader.take(8))[0]
     if name == "str":
         return reader.raw().decode("utf-8")
     if name == "bytes":
@@ -283,6 +294,8 @@ def _decode_value(reader: _Reader) -> object:
         return Response(result=_decode_value(reader), extras=_decode_value(reader))
     if name == "followup":
         return Followup(extras=_decode_value(reader))
+    if name == "error_reply":
+        return ErrorReply(reason=_decode_value(reader), extras=_decode_value(reader))
     raise WireError(f"unhandled tag {name!r}")  # pragma: no cover
 
 

@@ -22,6 +22,19 @@ SHARED_USERS = ["alice", "bob"]
 SHARED_KEY_BITS = 512
 
 
+@pytest.fixture(autouse=True)
+def obs_isolation():
+    """Every test starts and ends with observability off and zeroed, so
+    counters from one test never bleed into another's reconciliation."""
+    from repro import obs
+
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
 @pytest.fixture
 def fake_ctx():
     return FakeContext()

@@ -130,3 +130,19 @@ class TestTrustAnchor:
         out = run(["-R", repo, "-a", "bob", "checkout", "f.txt"])
         assert out == "x\n"
         assert os.path.isfile(os.path.join(repo, "trust", "bob.digest"))
+
+
+class TestObsReport:
+    def test_text_report_reconciles(self):
+        text = run(["obs-report", "--users", "3", "--ops", "4"])
+        assert "protocol.ops_verified" in text
+        assert "reconciliation" in text
+        assert "MISMATCH" not in text
+
+    def test_json_report(self):
+        import json
+
+        text = run(["obs-report", "--users", "3", "--ops", "4", "--json"])
+        snap = json.loads(text)
+        assert snap["reconciliation_ok"] is True
+        assert all(check["ok"] for check in snap["reconciliation"].values())

@@ -231,6 +231,107 @@ class TestProtocol1OverTcp:
                 alice.get(b"k")
 
 
+class TestProtocol1Blocking:
+    """The Protocol I blocking path: the server may not answer the next
+    query until the previous operator returns its signature over the
+    new root.  These tests drive the handler with raw frames so the
+    follow-up can be withheld deliberately."""
+
+    def _start_server(self, keys, block_timeout):
+        from repro.mtree.database import VerifiedDatabase
+        from repro.protocols.base import ServerState
+        from repro.protocols.protocol1 import Protocol1Server, bootstrap_server_state
+
+        state = ServerState(database=VerifiedDatabase(order=4))
+        bootstrap_server_state(state, keys.signers["alice"])
+        return serve_in_thread(protocol=Protocol1Server(), state=state,
+                               block_timeout=block_timeout)
+
+    @staticmethod
+    def _operate_withholding_followup(server, signer, key, value):
+        """Run one write as ``signer``'s user over a raw socket, but do
+        NOT send the follow-up signature.  Returns (socket, followup)."""
+        from repro.crypto.hashing import hash_state
+        from repro.mtree.database import WriteQuery
+        from repro.net.framing import recv_message, send_message
+        from repro.protocols.base import Followup, Request, Response
+        from repro.protocols.verify import derive_outcome
+
+        host, port = server.address
+        sock = socket.create_connection((host, port))
+        query = WriteQuery(key, value)
+        send_message(sock, Request(query=query,
+                                   extras={"user": signer.signer_id}))
+        response = recv_message(sock)
+        assert isinstance(response, Response)
+        ctr = int(response.extras["ctr"])
+        outcome = derive_outcome(query, response.result, 4)
+        followup = Followup(extras={
+            "sig": signer.sign(hash_state(outcome.new_root, ctr + 1)),
+            "user": signer.signer_id,
+        })
+        return sock, followup
+
+    def test_second_client_blocks_until_first_signs(self, shared_keys):
+        from repro.net import RemoteClientP1
+        from repro.net.framing import send_message
+
+        server = self._start_server(shared_keys, block_timeout=30.0)
+        try:
+            sock_a, followup = self._operate_withholding_followup(
+                server, shared_keys.signers["alice"], b"k", b"v1")
+            answered = threading.Event()
+            results = {}
+
+            def bob_reads():
+                host, port = server.address
+                with RemoteClientP1(host, port, "bob",
+                                    shared_keys.signers["bob"],
+                                    shared_keys.verifier, order=4) as bob:
+                    results["answer"] = bob.get(b"k")
+                answered.set()
+
+            thread = threading.Thread(target=bob_reads, daemon=True)
+            thread.start()
+            # Bob must be parked on the unsigned root, not answered.
+            assert not answered.wait(0.4)
+            send_message(sock_a, followup)
+            assert answered.wait(10.0), "bob never unblocked after the signature"
+            thread.join(5.0)
+            assert results["answer"] == b"v1"
+            sock_a.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_block_timeout_returns_error_frame(self, shared_keys):
+        """When the operator never signs, the handler must refuse the
+        waiting request with an explicit ErrorReply -- a clean failure
+        the client surfaces as ServerBusyError -- and the connection
+        must stay usable afterwards."""
+        from repro.net import RemoteClientP1
+        from repro.net.client import ServerBusyError
+        from repro.net.framing import send_message
+
+        server = self._start_server(shared_keys, block_timeout=0.3)
+        try:
+            sock_a, followup = self._operate_withholding_followup(
+                server, shared_keys.signers["alice"], b"k", b"v1")
+            host, port = server.address
+            with RemoteClientP1(host, port, "bob", shared_keys.signers["bob"],
+                                shared_keys.verifier, order=4) as bob:
+                with pytest.raises(ServerBusyError, match="follow-up"):
+                    bob.get(b"k")
+                # the session survives the refusal: sign, then retry
+                send_message(sock_a, followup)
+                assert server.quiesce(timeout=5.0)
+                assert bob.get(b"k") == b"v1"
+            sock_a.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
 class TestLargeFrames:
     def test_megabyte_values_roundtrip(self, server):
         """Framing handles large VO-bearing responses (multi-frame reads

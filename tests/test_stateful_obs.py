@@ -1,0 +1,87 @@
+"""Hypothesis stateful test: the obs counters must reconcile exactly
+with the simulator's own bookkeeping.
+
+The machine accumulates arbitrary per-user operation schedules,
+optionally arms a forking server, then executes the simulation with
+observability on and asserts that every obs counter agrees with the
+:class:`SimulationReport` -- the instrumentation and the report are two
+independent observers of one run, so any drift is a bug in the hooks
+(missing, double-firing, or leaking across runs)."""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+
+from repro import obs
+from repro.analysis.metrics import obs_reconciliation
+from repro.core.scenarios import build_simulation
+from repro.mtree.database import ReadQuery, WriteQuery
+from repro.server.attacks import ForkAttack
+from repro.simulation.workload import Intent, Workload
+
+USERS = ["user0", "user1", "user2"]
+
+
+class ObsReconciliationMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ops = {user: [] for user in USERS}
+        self.attack = None
+
+    @rule(user=st.sampled_from(USERS), key=st.integers(0, 7),
+          write=st.booleans(), gap=st.integers(1, 6))
+    def schedule_op(self, user, key, write, gap):
+        ops = self.ops[user]
+        round_no = (ops[-1].round if ops else 0) + gap
+        query = (WriteQuery(f"k{key}".encode(), f"{user}@{round_no}".encode())
+                 if write else ReadQuery(f"k{key}".encode()))
+        ops.append(Intent(round=round_no, query=query))
+
+    @rule(victim=st.sampled_from(USERS), fork_round=st.integers(2, 12))
+    def arm_fork(self, victim, fork_round):
+        self.attack = ForkAttack(victims=[victim], fork_round=fork_round)
+
+    @precondition(lambda self: any(self.ops.values()))
+    @rule(protocol=st.sampled_from(["protocol2", "protocol3"]))
+    def run_and_reconcile(self, protocol):
+        workload = Workload(name="stateful-obs",
+                            schedules={u: list(v) for u, v in self.ops.items()})
+        obs.reset()
+        obs.enable()
+        try:
+            simulation = build_simulation(protocol, workload,
+                                          attack=self.attack, k=3, seed=5)
+            report = simulation.execute(max_rounds=3000)
+            snap = obs.snapshot()
+        finally:
+            obs.disable()
+
+        checks = obs_reconciliation(report, snap)
+        assert all(entry["ok"] for entry in checks.values()), checks
+
+        # Per-user series must match too, not just grand totals.
+        issued = obs.counter("sim.ops_issued")
+        completed = obs.counter("sim.ops_completed")
+        for user in USERS:
+            assert issued.value(user=user) == len(report.issue_rounds[user])
+            assert completed.value(user=user) == report.operations_completed[user]
+
+        # Every completed operation carried a VO that verified.
+        verified = obs.counter("protocol.ops_verified").total()
+        assert verified >= sum(report.operations_completed.values())
+
+        # A detected run must show its alarms in the obs counters and a
+        # fork can never be flagged before it happened.
+        if report.detected:
+            assert obs.counter("sim.alarms").total() == len(report.alarms)
+            if report.first_deviation_round is not None:
+                assert report.detection_round >= report.first_deviation_round
+
+        # Fresh schedules for the next run in this example.
+        self.ops = {user: [] for user in USERS}
+        self.attack = None
+
+
+TestObsReconciliationMachine = ObsReconciliationMachine.TestCase
+TestObsReconciliationMachine.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None)

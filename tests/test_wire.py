@@ -27,6 +27,7 @@ def roundtrip(value):
 class TestPrimitives:
     @pytest.mark.parametrize("value", [
         None, True, False, 0, -1, 2 ** 40, "", "héllo", b"", b"\x00\xff",
+        0.0, -1.5, 0.3, 2.0 ** 80, float("inf"),
         Digest.zero(), hash_bytes(b"x"),
         (), (1, "two", b"three"), ((1, 2), (3,)),
         {}, {"a": 1, "b": None}, {1: "x", "y": (2, 3)},
@@ -115,6 +116,13 @@ class TestProtocolEnvelopes:
         roundtrip(Response(result=result,
                            extras={"ctr": 7, "last_user": "bob", "sig": signature}))
         roundtrip(Followup(extras={"sig": signature, "turn": 3}))
+
+    def test_error_reply(self):
+        from repro.protocols.base import ErrorReply
+
+        roundtrip(ErrorReply(reason="server blocked awaiting a follow-up "
+                                    "signature", extras={"timeout_s": 0.3}))
+        roundtrip(ErrorReply())
 
     def test_epoch_deposit(self):
         signer = Signer.generate("u1", bits=512, seed=34)
