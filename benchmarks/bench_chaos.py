@@ -1,0 +1,273 @@
+"""Chaos campaign: crashes + flaky links, end to end, with receipts.
+
+The paper's model (and future-work item (3)) assumes reliable delivery
+and a crash-free server.  This campaign removes both assumptions at
+once and measures what the recovery machinery must guarantee:
+
+* a seeded :class:`~repro.net.chaosproxy.ChaosProxy` between clients
+  and server severs connections and truncates frames mid-stream;
+* the server is crash-stopped (connections severed, no flush beyond
+  the WAL -- SIGKILL-equivalent) and restarted from WAL + snapshot at
+  scheduled points mid-workload;
+* every client is a self-healing :class:`~repro.net.RemoteClient`
+  retrying idempotent requests through reconnects.
+
+Pass criteria (all checked, printed as JSON):
+
+* **zero integrity false-positives** -- no client ever raises
+  ``IntegrityError`` during the honest-but-chaotic run;
+* **zero lost acknowledged writes, zero duplicated writes** -- the
+  final server counter equals the number of distinct operations, every
+  acknowledged value reads back, and the final root digest equals an
+  *uninterrupted* reference run of the same seeded workload;
+* **register soundness** -- the Protocol II ``sync_check`` passes over
+  all clients' registers;
+* **tamper true-positive** -- a byte-flipped WAL refuses to replay
+  (``WalError``), so recovery cannot be used as a forking side door.
+
+Run ``python benchmarks/bench_chaos.py --quick --check`` for the CI
+gate (small N/M, fixed seed) or without ``--quick`` for the full
+campaign (>= 20 injected connection drops, >= 5 server restarts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.mtree.database import VerifiedDatabase, WriteQuery  # noqa: E402
+from repro.net import (  # noqa: E402
+    ChaosConfig,
+    ChaosProxy,
+    IntegrityError,
+    RemoteClient,
+    RetryPolicy,
+    WalError,
+    serve_in_thread,
+    sync_check,
+)
+from repro.net.server import TrustedCvsTcpServer  # noqa: E402
+
+ORDER = 8
+
+
+def _workload(users: list[str], ops_per_user: int, keyspace: int):
+    """The deterministic op sequence: round-robin users, each writing
+    ``user-k`` keys with strictly increasing values.  Returns
+    ``(user, key, value)`` triples."""
+    sequence = []
+    for step in range(ops_per_user):
+        for user in users:
+            key = f"{user}-{step % keyspace}".encode()
+            value = f"{user}:{step}".encode()
+            sequence.append((user, key, value))
+    return sequence
+
+
+def _reference_root(sequence) -> tuple:
+    """Root digest + op count of an uninterrupted, failure-free run."""
+    database = VerifiedDatabase(order=ORDER)
+    for _user, key, value in sequence:
+        database.execute(WriteQuery(key, value))
+    return database.root_digest(), len(sequence)
+
+
+def _restart_server(data_dir: str, port: int,
+                    snapshot_every: int) -> TrustedCvsTcpServer:
+    # The freed port can linger in TIME_WAIT bookkeeping for a moment on
+    # some platforms; retry briefly rather than flaking the campaign.
+    deadline = time.monotonic() + 10.0
+    while True:
+        try:
+            return serve_in_thread(order=ORDER, port=port, data_dir=data_dir,
+                                   snapshot_every=snapshot_every)
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.05)
+
+
+def run_campaign(users: int = 3, ops_per_user: int = 60, keyspace: int = 12,
+                 restarts: int = 5, seed: int = 1301,
+                 drop_rate: float = 0.012, truncate_rate: float = 0.01,
+                 snapshot_every: int = 40, verbose: bool = True) -> dict:
+    user_ids = [f"u{i}" for i in range(users)]
+    sequence = _workload(user_ids, ops_per_user, keyspace)
+    expected_root, expected_ops = _reference_root(sequence)
+
+    data_dir = tempfile.mkdtemp(prefix="chaos-server-")
+    anchor_dir = tempfile.mkdtemp(prefix="chaos-anchors-")
+    restart_points = {((i + 1) * len(sequence)) // (restarts + 1)
+                      for i in range(restarts)}
+
+    results: dict = {"config": {
+        "users": users, "ops_per_user": ops_per_user, "keyspace": keyspace,
+        "restarts": restarts, "seed": seed, "drop_rate": drop_rate,
+        "truncate_rate": truncate_rate, "snapshot_every": snapshot_every,
+    }}
+    integrity_false_positives = 0
+    acked: dict[bytes, bytes] = {}
+
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    server = serve_in_thread(order=ORDER, data_dir=data_dir,
+                             snapshot_every=snapshot_every)
+    server_port = server.address[1]
+    genesis = server.initial_root_digest()
+    proxy = ChaosProxy(*server.address, seed=seed, config=ChaosConfig(
+        drop_rate=drop_rate, truncate_rate=truncate_rate,
+        delay_rate=0.02, delay_s=0.002, immune_chunks=1)).start()
+    host, port = proxy.address
+
+    clients = {
+        user: RemoteClient(
+            host, port, user, genesis, order=ORDER,
+            connect_timeout=5.0, op_timeout=10.0,
+            retry=RetryPolicy(attempts=24, base=0.01, cap=0.25,
+                              jitter=0.5, seed=seed + index),
+            anchor_path=os.path.join(anchor_dir, f"{user}.anchor"))
+        for index, user in enumerate(user_ids)
+    }
+
+    wal_replays = 0
+    try:
+        for step, (user, key, value) in enumerate(sequence):
+            if step in restart_points:
+                server.stop(snapshot=False)  # crash: WAL only
+                server = _restart_server(data_dir, server_port, snapshot_every)
+                wal_replays += server.replayed_records
+                if verbose:
+                    print(f"  [step {step}] crash-restart: replayed "
+                          f"{server.replayed_records} WAL record(s)")
+            try:
+                clients[user].put(key, value)
+            except IntegrityError:
+                integrity_false_positives += 1
+                raise
+            acked[key] = value
+
+        # Final read-back of every acknowledged write, through the
+        # verifying clients themselves (reads carry VOs too).
+        reader = clients[user_ids[0]]
+        readback_mismatches = sum(
+            1 for key, value in sorted(acked.items())
+            if reader.get(key) != value)
+
+        registers = {user: client.registers()
+                     for user, client in clients.items()}
+        sync_ok = sync_check(genesis, registers)
+        with server.state_lock:
+            final_root = server.state.database.root_digest()
+            final_ctr = server.state.ctr
+    finally:
+        for client in clients.values():
+            client.close()
+        proxy.stop()
+        server.stop(snapshot=False)
+        obs_counters = {
+            name: obs.registry.counter(name).total()
+            for name in ("net.reconnects", "net.retries",
+                         "server.wal_replays", "server.wal_appends",
+                         "server.dedup_hits", "server.snapshots",
+                         "chaos.conn_drops", "chaos.truncations")}
+        obs.disable()
+
+    # -- tamper true-positive: recovery must refuse a doctored store -----
+    wal_path = os.path.join(data_dir, "wal.log")
+    target = wal_path if os.path.getsize(wal_path) > 16 \
+        else os.path.join(data_dir, "state.snapshot")
+    with open(target, "r+b") as handle:
+        blob = bytearray(handle.read())
+        blob[min(40, len(blob) - 1)] ^= 0xFF
+        handle.seek(0)
+        handle.write(blob)
+    try:
+        TrustedCvsTcpServer(order=ORDER, data_dir=data_dir).server_close()
+        tamper_detected = False
+    except WalError:
+        tamper_detected = True
+
+    total_reads = len(acked)
+    results["measured"] = {
+        "operations": expected_ops,
+        "final_reads": total_reads,
+        "server_ctr": final_ctr,
+        "expected_ctr": expected_ops + total_reads,
+        "wal_replays": wal_replays,
+        "restarts": restarts,
+        "proxy_faults": dict(proxy.faults),
+        "obs": obs_counters,
+    }
+    results["checks"] = {
+        "integrity_false_positives": integrity_false_positives,
+        "lost_acked_writes": readback_mismatches,
+        # ctr > expected would mean a retried write was double-applied;
+        # ctr < expected would mean an acknowledged one vanished.
+        "duplicated_writes": max(0, final_ctr - (expected_ops + total_reads)),
+        "root_matches_uninterrupted_run": final_root == expected_root,
+        "sync_check": sync_ok,
+        "tampered_wal_detected": tamper_detected,
+    }
+    shutil.rmtree(data_dir, ignore_errors=True)
+    shutil.rmtree(anchor_dir, ignore_errors=True)
+    return results
+
+
+def campaign_passes(results: dict, require_min_faults: bool) -> bool:
+    checks = results["checks"]
+    ok = (checks["integrity_false_positives"] == 0
+          and checks["lost_acked_writes"] == 0
+          and checks["duplicated_writes"] == 0
+          and checks["root_matches_uninterrupted_run"]
+          and checks["sync_check"]
+          and checks["tampered_wal_detected"] is True)
+    if require_min_faults:
+        measured = results["measured"]
+        ok = ok and measured["proxy_faults"]["drops"] \
+            + measured["proxy_faults"]["truncations"] >= 20 \
+            and measured["restarts"] >= 5
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small N/M for CI (fixed seed)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless every criterion holds")
+    parser.add_argument("--seed", type=int, default=1301)
+    parser.add_argument("--json", action="store_true", help="JSON only")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        results = run_campaign(users=2, ops_per_user=25, keyspace=8,
+                               restarts=2, seed=args.seed,
+                               drop_rate=0.02, truncate_rate=0.015,
+                               snapshot_every=16, verbose=not args.json)
+        require_min_faults = False
+    else:
+        results = run_campaign(users=3, ops_per_user=80, keyspace=12,
+                               restarts=5, seed=args.seed,
+                               drop_rate=0.05, truncate_rate=0.035,
+                               snapshot_every=48, verbose=not args.json)
+        require_min_faults = True
+
+    ok = campaign_passes(results, require_min_faults)
+    results["pass"] = ok
+    print(json.dumps(results, indent=2))
+    if args.check and not ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

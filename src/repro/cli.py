@@ -15,7 +15,7 @@ Usage (also via ``python -m repro``)::
     repro -R REPO merge PATH -b BRANCH              merge a branch to trunk
     repro -R REPO update PATH -r BASE --file F      merge head into a working file
     repro -R REPO trust                            show the trust anchor
-    repro -R REPO serve [-p PORT]                  host the repository over TCP
+    repro -R REPO serve [-p PORT] [--durable]      host the repository over TCP
     repro --remote HOST:PORT ...                   run any command against a server
     repro obs-report [--protocol P] [--json]       simulate a workload, print obs metrics
 
@@ -44,6 +44,7 @@ from repro.mtree.proofs import ProofError
 
 DB_FILE = "db.snapshot"
 TRUST_DIR = "trust"
+SERVER_DIR = "server"
 
 
 class CliError(Exception):
@@ -279,7 +280,13 @@ def cmd_update(args, out) -> int:
 
 
 def cmd_serve(args, out) -> int:
-    """Host a local repository over TCP (Ctrl-C to stop and persist)."""
+    """Host a local repository over TCP (Ctrl-C to stop and persist).
+
+    With ``--durable`` the server keeps a write-ahead log + periodic
+    snapshots under ``REPO/server/``: a crash (power cut, SIGKILL)
+    loses no acknowledged write, and the next ``serve`` replays to the
+    identical root digest so clients' trust anchors still verify.
+    """
     from repro.mtree.persistence import load_database as _load
     from repro.net.server import serve_in_thread
 
@@ -288,9 +295,15 @@ def cmd_serve(args, out) -> int:
         raise CliError(f"{args.repo!r} is not a repository (run 'repro init' first)")
     with open(db_path, "rb") as handle:
         database = _load(handle.read())
-    server = serve_in_thread(database=database, port=args.port)
+    data_dir = os.path.join(args.repo, SERVER_DIR) if args.durable else None
+    server = serve_in_thread(database=database, port=args.port,
+                             data_dir=data_dir,
+                             snapshot_every=args.snapshot_every)
     host, port = server.address
-    print(f"serving {args.repo} on {host}:{port} (Ctrl-C to stop)", file=out)
+    mode = "durable (WAL + snapshots)" if args.durable else "in-memory"
+    print(f"serving {args.repo} on {host}:{port}, {mode} (Ctrl-C to stop)", file=out)
+    if args.durable and server.replayed_records:
+        print(f"recovered: replayed {server.replayed_records} WAL record(s)", file=out)
     try:
         import threading
 
@@ -298,8 +311,7 @@ def cmd_serve(args, out) -> int:
     except KeyboardInterrupt:
         pass
     finally:
-        server.shutdown()
-        server.server_close()
+        server.stop(snapshot=args.durable)
         with server.state_lock:
             snapshot = dump_database(server.state.database)
         with open(db_path, "wb") as handle:
@@ -454,6 +466,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = commands.add_parser("serve", help="host the repository over TCP")
     serve.add_argument("-p", "--port", type=int, default=7117)
+    serve.add_argument("--durable", action="store_true",
+                       help="write-ahead log + snapshots under REPO/server/: "
+                            "crashes lose no acknowledged write")
+    serve.add_argument("--snapshot-every", type=int, default=256,
+                       help="ops between snapshots in --durable mode")
     serve.set_defaults(handler=cmd_serve)
 
     obs_report = commands.add_parser(

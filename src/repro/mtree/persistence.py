@@ -46,7 +46,10 @@ def dump_tree(tree: BPlusTree) -> bytes:
 
 def load_tree(blob: bytes) -> BPlusTree:
     """Reconstruct a tree serialised by :func:`dump_tree`."""
-    lines = blob.decode("ascii").split("\n")
+    try:
+        lines = blob.decode("ascii").split("\n")
+    except UnicodeDecodeError as exc:
+        raise PersistenceError(f"snapshot is not ascii: {exc}") from exc
     if lines and lines[-1] == "":
         lines.pop()
     position = 0
@@ -62,7 +65,12 @@ def load_tree(blob: bytes) -> BPlusTree:
     header = next_line().split(" ")
     if len(header) != 4 or header[0] != "bplus-snapshot" or header[1] != "1":
         raise PersistenceError("bad snapshot header")
-    order, size = int(header[2]), int(header[3])
+    try:
+        order, size = int(header[2]), int(header[3])
+    except ValueError as exc:
+        raise PersistenceError(f"bad snapshot header: {exc}") from exc
+    if order < 3 or size < 0:
+        raise PersistenceError("bad snapshot header: implausible order/size")
     tree = BPlusTree(order=order)
 
     def read_node():
@@ -97,6 +105,16 @@ def load_tree(blob: bytes) -> BPlusTree:
         raise PersistenceError(f"malformed snapshot: {exc}") from exc
     if position != len(lines):
         raise PersistenceError("trailing data in snapshot")
+
+    def count_entries(node) -> int:
+        if node.is_leaf:
+            return len(node.keys)
+        return sum(count_entries(child) for child in node.children)
+
+    actual = count_entries(root)
+    if actual != size:
+        raise PersistenceError(
+            f"snapshot header claims {size} entries but the nodes hold {actual}")
     tree._root = root
     tree._size = size
     _relink_leaves(tree)

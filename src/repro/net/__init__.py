@@ -1,20 +1,33 @@
 """Socket deployment: the Trusted CVS server and verifying client over
-TCP, speaking the binary wire format of :mod:`repro.wire`."""
+TCP, speaking the binary wire format of :mod:`repro.wire`, with
+crash-safe server recovery (:mod:`repro.net.wal`), self-healing clients,
+and a fault-injecting proxy (:mod:`repro.net.chaosproxy`) for chaos
+testing the whole stack."""
 
+from repro.net.chaosproxy import ChaosConfig, ChaosProxy
 from repro.net.client import (
     IntegrityError,
     RemoteClient,
     RemoteClientP1,
+    RetryPolicy,
+    ServerBusyError,
+    TransientNetworkError,
     count_sync_check,
     sync_check,
 )
 from repro.net.framing import FramingError, recv_message, send_message
 from repro.net.server import TrustedCvsTcpServer, serve_in_thread
+from repro.net.wal import ServerStore, WalError
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosProxy",
     "IntegrityError",
     "RemoteClient",
     "RemoteClientP1",
+    "RetryPolicy",
+    "ServerBusyError",
+    "TransientNetworkError",
     "count_sync_check",
     "sync_check",
     "FramingError",
@@ -22,4 +35,6 @@ __all__ = [
     "send_message",
     "TrustedCvsTcpServer",
     "serve_in_thread",
+    "ServerStore",
+    "WalError",
 ]

@@ -1,0 +1,206 @@
+"""A fault-injecting TCP proxy for chaos-testing the net stack.
+
+Sits between clients and a :class:`~repro.net.server.TrustedCvsTcpServer`
+and misbehaves on purpose, at the *byte* level, where real networks
+fail: it severs connections without warning, forwards only a prefix of
+a chunk before killing the link (a frame truncated mid-length-prefix or
+mid-payload, depending on where the cut lands), and injects forwarding
+delays.  It never alters bytes it does deliver -- corruption is the
+wire/verification layers' department; the proxy models *loss*, which
+the paper's model explicitly assumes away (future-work item (3)).
+
+Reproducibility: every probabilistic decision is drawn from RNGs
+derived from one master seed and the per-connection index, so a chaos
+campaign with a fixed seed injects the same fault schedule per
+connection on every run regardless of thread interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+from dataclasses import dataclass
+
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
+
+_DROPS = _registry.counter(
+    "chaos.conn_drops", "connections severed by the chaos proxy")
+_TRUNCATIONS = _registry.counter(
+    "chaos.truncations", "chunks cut mid-stream before severing")
+_DELAYS = _registry.counter(
+    "chaos.delays", "forwarding delays injected")
+_CONNECTIONS = _registry.counter(
+    "chaos.connections", "connections accepted by the chaos proxy")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-chunk fault probabilities and magnitudes.
+
+    Each forwarded chunk independently risks: ``truncate_rate`` (cut
+    the chunk at a random byte offset, forward the prefix, then sever
+    both directions), ``drop_rate`` (sever immediately, forwarding
+    nothing), and ``delay_rate`` (sleep ``delay_s`` before
+    forwarding).  ``immune_chunks`` exempts each connection's first N
+    chunks so a campaign can guarantee forward progress.
+    """
+
+    drop_rate: float = 0.0
+    truncate_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_s: float = 0.01
+    immune_chunks: int = 0
+
+
+class _Pump(threading.Thread):
+    """One direction of one proxied connection."""
+
+    def __init__(self, proxy: "ChaosProxy", source: socket.socket,
+                 sink: socket.socket, rng: random.Random, label: str) -> None:
+        super().__init__(daemon=True)
+        self._proxy = proxy
+        self._source = source
+        self._sink = sink
+        self._rng = rng
+        self._label = label
+
+    def run(self) -> None:
+        config = self._proxy.config
+        chunk_no = 0
+        try:
+            while True:
+                chunk = self._source.recv(4096)
+                if not chunk:
+                    break
+                chunk_no += 1
+                if chunk_no > config.immune_chunks:
+                    roll = self._rng.random()
+                    if roll < config.drop_rate:
+                        self._proxy._record("drops")
+                        return  # sever without forwarding
+                    if roll < config.drop_rate + config.truncate_rate:
+                        cut = self._rng.randrange(0, len(chunk))
+                        if cut:
+                            self._sink.sendall(chunk[:cut])
+                        self._proxy._record("truncations")
+                        return  # sever mid-frame
+                    if roll < (config.drop_rate + config.truncate_rate
+                               + config.delay_rate):
+                        self._proxy._record("delays", sever=False)
+                        self._proxy._sleep(config.delay_s)
+                self._sink.sendall(chunk)
+        except OSError:
+            pass
+        finally:
+            for sock in (self._source, self._sink):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+
+class ChaosProxy:
+    """A TCP proxy that forwards ``listen`` -> ``upstream`` with faults.
+
+    Use as a context manager or call :meth:`start` / :meth:`stop`.  The
+    fault tallies are exposed on :attr:`faults` (and mirrored to obs
+    counters when collection is enabled).
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 listen_host: str = "127.0.0.1", listen_port: int = 0,
+                 seed: int = 0, config: ChaosConfig | None = None) -> None:
+        self.upstream = (upstream_host, upstream_port)
+        self.config = config or ChaosConfig()
+        self._seed = seed
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((listen_host, listen_port))
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+        self._conn_index = 0
+        self._lock = threading.Lock()
+        self.faults = {"drops": 0, "truncations": 0, "delays": 0,
+                       "connections": 0}
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._listener.getsockname()[:2]
+        return host, port
+
+    def start(self) -> "ChaosProxy":
+        self._listener.listen(32)
+        self._running = True
+        self._accept_thread = threading.Thread(target=self._accept_loop,
+                                               daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- internals ---------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                downstream, _ = self._listener.accept()
+            except OSError:
+                return
+            with self._lock:
+                index = self._conn_index
+                self._conn_index += 1
+                self.faults["connections"] += 1
+            if _obs.enabled:
+                _CONNECTIONS.inc()
+            try:
+                upstream = socket.create_connection(self.upstream, timeout=5.0)
+            except OSError:
+                # Upstream down (e.g. mid-restart): the client sees a
+                # refused/reset connection, which is exactly the fault
+                # model it must absorb.
+                try:
+                    downstream.close()
+                except OSError:
+                    pass
+                continue
+            # Independent, deterministic RNG per connection direction.
+            # (Integer seeds only: str/tuple hashing is randomised per
+            # process, which would break cross-run reproducibility.)
+            base = self._seed * 1_000_003 + index * 2
+            _Pump(self, downstream, upstream,
+                  random.Random(base), "c2s").start()
+            _Pump(self, upstream, downstream,
+                  random.Random(base + 1), "s2c").start()
+
+    def _record(self, kind: str, sever: bool = True) -> None:
+        with self._lock:
+            self.faults[kind] += 1
+        if _obs.enabled:
+            {"drops": _DROPS, "truncations": _TRUNCATIONS,
+             "delays": _DELAYS}[kind].inc()
+
+    @staticmethod
+    def _sleep(seconds: float) -> None:
+        if seconds > 0:
+            import time
+
+            time.sleep(seconds)

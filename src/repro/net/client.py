@@ -9,25 +9,48 @@ Several clients sharing a server can check their collective view with
 :func:`sync_check` -- the Protocol II synchronisation predicate over
 registers exchanged out-of-band (users trust each other; how they meet
 is outside the server's control, which is the whole point).
+
+Self-healing: the client stamps every logical operation with an
+idempotent request id, so when a connection drops (or an operation
+times out) it reconnects with capped exponential backoff + jitter and
+resends the same id -- the server's dedup table guarantees the write is
+applied exactly once whichever side of the failure it landed on.  The
+trust anchor (initial tag, XOR registers, counter) can be persisted to
+a file so a restarted *client* resumes verification where it left off.
+Failures that exhaust the retry budget surface as
+:class:`TransientNetworkError` -- explicitly *not* an integrity
+verdict; nothing about a flaky link implicates the server's honesty.
 """
 
 from __future__ import annotations
 
+import os
+import random
 import socket
 import time
 
 from repro.crypto.hashing import Digest, hash_tagged_state, xor_all
 from repro.mtree.database import DeleteQuery, Query, RangeQuery, ReadQuery, WriteQuery
 from repro.mtree.proofs import ProofError
-from repro.net.framing import recv_message, send_message
+from repro.net.framing import FramingError, recv_message, send_message
 from repro.obs import runtime as _obs
 from repro.obs.metrics import REGISTRY as _registry
 from repro.protocols.base import ErrorReply, Request, Response
 from repro.protocols.protocol2 import INITIAL_OWNER, initial_state_tag
 from repro.protocols.verify import derive_outcome
+from repro.wire import WireError
+
+#: default socket timeouts -- a hung server must not block a client
+#: forever; the timeout surfaces as a retryable failure instead.
+CONNECT_TIMEOUT_SECONDS = 5.0
+OP_TIMEOUT_SECONDS = 15.0
 
 _CLIENT_OP_MS = _registry.histogram(
     "net.client_op_ms", "round-trip client operation latency (send to verified)")
+_RECONNECTS = _registry.counter(
+    "net.reconnects", "client reconnections after a lost/failed connection")
+_RETRIES = _registry.counter(
+    "net.retries", "client operation retries, by reason (io/busy)")
 
 
 class IntegrityError(Exception):
@@ -44,6 +67,41 @@ class ServerBusyError(IntegrityError):
         self.reply = reply
 
 
+class TransientNetworkError(Exception):
+    """The operation could not complete over the network (connection
+    refused/lost, timeout, server busy past the retry budget).  This is
+    a *liveness* failure, not an integrity one: retrying later is safe
+    because operations carry idempotent request ids."""
+
+
+class RetryPolicy:
+    """Capped exponential backoff with jitter, driven by a seeded RNG.
+
+    ``attempts`` bounds tries per operation (the first try included);
+    the delay before retry ``n`` is ``min(cap, base * 2**n)`` scaled by
+    a uniform jitter factor in ``[1 - jitter, 1]``.  A seeded policy
+    produces a reproducible backoff schedule -- the chaos harness runs
+    on fixed seeds end to end.
+    """
+
+    def __init__(self, attempts: int = 6, base: float = 0.05,
+                 cap: float = 2.0, jitter: float = 0.5,
+                 busy_attempts: int = 4, seed: int | None = None) -> None:
+        if attempts < 1:
+            raise ValueError("retry policy needs at least one attempt")
+        self.attempts = attempts
+        self.base = base
+        self.cap = cap
+        self.jitter = jitter
+        self.busy_attempts = busy_attempts
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based)."""
+        raw = min(self.cap, self.base * (2 ** attempt))
+        return raw * (1.0 - self.jitter * self._rng.random())
+
+
 def _expect_response(message: object) -> Response:
     if isinstance(message, ErrorReply):
         raise ServerBusyError(message)
@@ -52,22 +110,87 @@ def _expect_response(message: object) -> Response:
     return message
 
 
+_ANCHOR_MAGIC = "client-anchor 1"
+
+
 class RemoteClient:
-    """One user's verified session against a TCP server."""
+    """One user's verified session against a TCP server.
+
+    ``anchor_path`` (optional) persists the trust anchor -- initial
+    tag, sigma/last registers, counter, and the request-id sequence --
+    after every verified operation, so a restarted client process can
+    resume the same session: pass the same path and ``initial_root``
+    may be omitted.
+    """
 
     def __init__(self, host: str, port: int, user_id: str,
-                 initial_root: Digest, order: int = 8) -> None:
+                 initial_root: Digest | None = None, order: int = 8,
+                 connect_timeout: float = CONNECT_TIMEOUT_SECONDS,
+                 op_timeout: float = OP_TIMEOUT_SECONDS,
+                 retry: RetryPolicy | None = None,
+                 anchor_path: str | None = None) -> None:
         self.user_id = user_id
         self._order = order
-        self._initial_tag = initial_state_tag(initial_root)
+        self._host, self._port = host, port
+        self._connect_timeout = connect_timeout
+        self._op_timeout = op_timeout
+        self._retry = retry or RetryPolicy()
+        self._anchor_path = anchor_path
         self.sigma = Digest.zero()
         self.last = Digest.zero()
         self.gctr = 0
         self.operations = 0
-        self._sock = socket.create_connection((host, port))
+        self._seq = 0
+        self._initial_tag = None
+        if anchor_path is not None and os.path.isfile(anchor_path):
+            self._load_anchor()
+        if self._initial_tag is None:
+            if initial_root is None:
+                raise ValueError(
+                    "initial_root is required unless a saved anchor exists")
+            self._initial_tag = initial_state_tag(initial_root)
+        self._sock: socket.socket | None = None
+        self._connect_with_retry()
+
+    # -- connection management --------------------------------------------
+
+    def _connect_with_retry(self) -> None:
+        """The constructor's first connect, under the same retry budget
+        as every other transport failure: a server mid-restart must not
+        kill client construction with a raw OSError."""
+        last_error: Exception | None = None
+        for attempt in range(self._retry.attempts):
+            try:
+                self._connect(first=True)
+                return
+            except OSError as exc:
+                last_error = exc
+                if _obs.enabled:
+                    _RETRIES.inc(reason="io", user=self.user_id)
+                if attempt + 1 < self._retry.attempts:
+                    time.sleep(self._retry.delay(attempt))
+        raise TransientNetworkError(
+            f"could not connect to {self._host}:{self._port} after "
+            f"{self._retry.attempts} attempt(s): {last_error}") from last_error
+
+    def _connect(self, first: bool = False) -> None:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._connect_timeout)
+        sock.settimeout(self._op_timeout)
+        self._sock = sock
+        if not first and _obs.enabled:
+            _RECONNECTS.inc(user=self.user_id)
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def close(self) -> None:
-        self._sock.close()
+        self._drop_connection()
 
     def __enter__(self) -> "RemoteClient":
         return self
@@ -75,13 +198,92 @@ class RemoteClient:
     def __exit__(self, *_exc) -> None:
         self.close()
 
+    # -- anchor persistence -------------------------------------------------
+
+    def _load_anchor(self) -> None:
+        with open(self._anchor_path, "r", encoding="ascii") as handle:
+            lines = handle.read().splitlines()
+        if not lines or lines[0] != _ANCHOR_MAGIC:
+            raise ValueError(f"{self._anchor_path!r} is not a client anchor")
+        fields = dict(line.split(" ", 1) for line in lines[1:] if line)
+        if fields.get("user") != self.user_id:
+            raise ValueError(
+                f"anchor belongs to {fields.get('user')!r}, not {self.user_id!r}")
+        self._initial_tag = Digest.from_hex(fields["initial_tag"])
+        self.sigma = Digest.from_hex(fields["sigma"])
+        self.last = Digest.from_hex(fields["last"])
+        self.gctr = int(fields["gctr"])
+        self.operations = int(fields["operations"])
+        self._seq = int(fields["seq"])
+
+    def save_anchor(self) -> None:
+        """Persist the trust anchor atomically (tmp + rename)."""
+        if self._anchor_path is None:
+            return
+        lines = [
+            _ANCHOR_MAGIC,
+            f"user {self.user_id}",
+            f"initial_tag {self._initial_tag.hex()}",
+            f"sigma {self.sigma.hex()}",
+            f"last {self.last.hex()}",
+            f"gctr {self.gctr}",
+            f"operations {self.operations}",
+            f"seq {self._seq}",
+        ]
+        tmp = self._anchor_path + ".tmp"
+        with open(tmp, "w", encoding="ascii") as handle:
+            handle.write("\n".join(lines) + "\n")
+        os.replace(tmp, self._anchor_path)
+
     # -- operations ---------------------------------------------------------
+
+    def _exchange(self, request: Request) -> Response:
+        """Send one request and read its response, reconnecting and
+        retrying on transport failures.  Safe to resend verbatim: the
+        request id makes the server apply it at most once."""
+        policy = self._retry
+        io_failures = 0
+        busy_failures = 0
+        last_error: Exception | None = None
+        while io_failures < policy.attempts and busy_failures < policy.busy_attempts:
+            try:
+                if self._sock is None:
+                    self._connect()
+                send_message(self._sock, request)
+                message = recv_message(self._sock)
+                if message is None:
+                    raise FramingError("server closed the connection")
+                return _expect_response(message)
+            except ServerBusyError as exc:
+                # The session is intact -- the server refused, it did
+                # not vanish.  Back off and re-ask without reconnecting.
+                busy_failures += 1
+                last_error = exc
+                if _obs.enabled:
+                    _RETRIES.inc(reason="busy", user=self.user_id)
+                if busy_failures < policy.busy_attempts:
+                    time.sleep(policy.delay(busy_failures - 1))
+            except (OSError, FramingError, WireError) as exc:
+                # Connection-level failure: the stream may be mid-frame
+                # desynchronised, so the only safe move is a fresh
+                # connection and a verbatim resend.
+                io_failures += 1
+                last_error = exc
+                self._drop_connection()
+                if _obs.enabled:
+                    _RETRIES.inc(reason="io", user=self.user_id)
+                if io_failures < policy.attempts:
+                    time.sleep(policy.delay(io_failures - 1))
+        raise TransientNetworkError(
+            f"operation failed after {io_failures} connection failure(s) and "
+            f"{busy_failures} busy refusal(s): {last_error}") from last_error
 
     def execute(self, query: Query) -> object:
         """Send a query; verify the response; return the trusted answer."""
         started = time.perf_counter_ns() if _obs.enabled else 0
-        send_message(self._sock, Request(query=query, extras={"user": self.user_id}))
-        response = _expect_response(recv_message(self._sock))
+        request = Request(query=query, extras={
+            "user": self.user_id, "rid": f"{self.user_id}:{self._seq}"})
+        response = self._exchange(request)
         try:
             ctr = int(response.extras["ctr"])
             last_user = response.extras["last_user"]
@@ -102,6 +304,9 @@ class RemoteClient:
         self.last = new_tag
         self.gctr = ctr + 1
         self.operations += 1
+        self._seq += 1
+        if self._anchor_path is not None:
+            self.save_anchor()
         if started:
             _CLIENT_OP_MS.observe(
                 (time.perf_counter_ns() - started) / 1e6, user=self.user_id)
@@ -132,10 +337,19 @@ class RemoteClientP1:
     user's public key (from the PKI); after each verified operation the
     client sends back ``sign_i(h(new_root || ctr + 1))``, unblocking
     the server for the next query.
+
+    Carries the same socket timeouts as :class:`RemoteClient` so a hung
+    server cannot park the session forever, but does *not* transparently
+    reconnect: Protocol I's blocking follow-up makes a half-done
+    operation visible to every other user, so the honest reaction to a
+    lost connection is to surface it and let the operator re-establish
+    the session deliberately.
     """
 
     def __init__(self, host: str, port: int, user_id: str,
-                 signer, verifier, order: int = 8) -> None:
+                 signer, verifier, order: int = 8,
+                 connect_timeout: float = CONNECT_TIMEOUT_SECONDS,
+                 op_timeout: float = OP_TIMEOUT_SECONDS) -> None:
         from repro.crypto.hashing import hash_state
 
         self._hash_state = hash_state
@@ -145,7 +359,9 @@ class RemoteClientP1:
         self._verifier = verifier
         self.lctr = 0
         self.gctr = 0
-        self._sock = socket.create_connection((host, port))
+        self._sock = socket.create_connection((host, port),
+                                              timeout=connect_timeout)
+        self._sock.settimeout(op_timeout)
 
     def close(self) -> None:
         self._sock.close()
@@ -161,8 +377,13 @@ class RemoteClientP1:
         from repro.protocols.base import Followup
 
         started = time.perf_counter_ns() if _obs.enabled else 0
-        send_message(self._sock, Request(query=query, extras={"user": self.user_id}))
-        response = _expect_response(recv_message(self._sock))
+        try:
+            send_message(self._sock, Request(query=query,
+                                             extras={"user": self.user_id}))
+            response = _expect_response(recv_message(self._sock))
+        except (OSError, FramingError) as exc:
+            raise TransientNetworkError(
+                f"Protocol I operation failed in transit: {exc}") from exc
         try:
             ctr = int(response.extras["ctr"])
             last_user = response.extras["last_user"]

@@ -38,14 +38,23 @@ def send_message(sock: socket.socket, message: object) -> None:
 
 
 def recv_message(sock: socket.socket) -> object | None:
-    """Receive one message; None on clean EOF at a frame boundary."""
+    """Receive one message; None on clean EOF at a frame boundary.
+
+    A peer dying mid-frame -- inside the 4-byte length prefix or inside
+    the payload -- raises :class:`FramingError`, never a bare
+    ``struct.error`` or a short-read artefact; callers get exactly one
+    failure type for "the stream is no longer frame-aligned".
+    """
     header = _recv_exact(sock, 4, allow_eof=True)
     if header is None:
         return None
-    (length,) = struct.unpack(">I", header)
+    try:
+        (length,) = struct.unpack(">I", header)
+    except struct.error as exc:  # defensive: _recv_exact guarantees 4 bytes
+        raise FramingError(f"unreadable frame header: {exc}") from exc
     if length > MAX_FRAME:
         raise FramingError(f"peer announced a {length}-byte frame")
-    payload = _recv_exact(sock, length, allow_eof=False)
+    payload = _recv_exact(sock, length, allow_eof=False, what="payload")
     if _obs.enabled:
         _FRAMES_RECEIVED.inc()
         _BYTES_RECEIVED.inc(4 + length)
@@ -53,7 +62,8 @@ def recv_message(sock: socket.socket) -> object | None:
     return decode(payload)
 
 
-def _recv_exact(sock: socket.socket, n: int, allow_eof: bool) -> bytes | None:
+def _recv_exact(sock: socket.socket, n: int, allow_eof: bool,
+                what: str = "length prefix") -> bytes | None:
     chunks: list[bytes] = []
     remaining = n
     while remaining:
@@ -61,7 +71,8 @@ def _recv_exact(sock: socket.socket, n: int, allow_eof: bool) -> bytes | None:
         if not chunk:
             if allow_eof and remaining == n:
                 return None
-            raise FramingError("connection closed mid-frame")
+            raise FramingError(
+                f"connection closed mid-{what}: {n - remaining} of {n} bytes")
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)

@@ -14,10 +14,18 @@ The server needs no keys and is trusted with nothing: every response
 carries the verification object clients check.  Use
 :class:`~repro.net.client.RemoteClient` (Protocol II) or
 :class:`~repro.net.client.RemoteClientP1` (Protocol I) to talk to it.
+
+Crash safety (``data_dir``): when given a data directory the server
+keeps a write-ahead log and periodic shape-exact snapshots (see
+:mod:`repro.net.wal`).  A restarted server replays to the identical
+root digest, counters, and request-ID dedup table, so clients that
+retry in-flight operations are answered exactly once and resume their
+verified sessions as if nothing happened.
 """
 
 from __future__ import annotations
 
+import socket
 import socketserver
 import threading
 import time
@@ -25,14 +33,27 @@ import time
 from repro.mtree.database import VerifiedDatabase
 from repro.obs import runtime as _obs
 from repro.obs.metrics import REGISTRY as _registry
-from repro.protocols.base import ErrorReply, Followup, Request, ServerProtocol, ServerState
+from repro.protocols.base import (
+    ErrorReply,
+    Followup,
+    Request,
+    Response,
+    ServerProtocol,
+    ServerState,
+    request_id,
+)
 from repro.protocols.protocol2 import Protocol2Server
 from repro.net.framing import FramingError, recv_message, send_message
+from repro.net.wal import ServerStore
 from repro.wire import WireError
 
 #: how long a handler waits for another client's follow-up signature
 #: before giving up on the request (Protocol I only)
 BLOCK_TIMEOUT_SECONDS = 30.0
+
+#: write a snapshot (and truncate the WAL) every this many logged
+#: messages; bounds replay work after a crash.
+SNAPSHOT_EVERY = 256
 
 _REQUEST_MS = _registry.histogram(
     "net.request_ms", "server-side request handling time (incl. blocking)")
@@ -44,11 +65,26 @@ _BLOCK_TIMEOUTS = _registry.counter(
     "net.block_timeouts", "requests refused because the block never cleared")
 _FOLLOWUPS = _registry.counter(
     "net.followups", "follow-up signatures absorbed (Protocol I)")
+_WAL_APPENDS = _registry.counter(
+    "server.wal_appends", "messages durably logged before execution")
+_WAL_REPLAYS = _registry.counter(
+    "server.wal_replays", "WAL records re-executed during recovery")
+_SNAPSHOTS = _registry.counter(
+    "server.snapshots", "state snapshots written (WAL truncations)")
+_DEDUP_HITS = _registry.counter(
+    "server.dedup_hits", "retried requests answered from the dedup table")
 
 
 class _Handler(socketserver.BaseRequestHandler):
     def handle(self) -> None:  # pragma: no cover - exercised via sockets
         server: TrustedCvsTcpServer = self.server  # type: ignore[assignment]
+        server._register_connection(self.request)
+        try:
+            self._serve_connection(server)
+        finally:
+            server._unregister_connection(self.request)
+
+    def _serve_connection(self, server) -> None:  # pragma: no cover
         while True:
             try:
                 message = recv_message(self.request)
@@ -59,8 +95,7 @@ class _Handler(socketserver.BaseRequestHandler):
             if isinstance(message, Followup):
                 user_id = message.extras.get("user", "anonymous")
                 with server.state_cond:
-                    server.protocol.handle_followup(
-                        user_id, message, server.state, round_no=server.tick())
+                    server.apply_followup(user_id, message)
                     server.state_cond.notify_all()
                 if _obs.enabled:
                     _FOLLOWUPS.inc(user=user_id)
@@ -92,12 +127,12 @@ class _Handler(socketserver.BaseRequestHandler):
                     try:
                         send_message(self.request, ErrorReply(
                             reason="server blocked awaiting a follow-up signature",
-                            extras={"timeout_s": server.block_timeout}))
+                            extras={"timeout_s": server.block_timeout,
+                                    "retryable": True}))
                     except OSError:
                         return
                     continue
-                response = server.protocol.handle_request(
-                    user_id, message, server.state, round_no=server.tick())
+                response = server.apply_request(user_id, message)
             if _obs.enabled:
                 _REQUEST_MS.observe(
                     (time.perf_counter_ns() - started) / 1e6, user=user_id)
@@ -122,17 +157,159 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         protocol: ServerProtocol | None = None,
         state: ServerState | None = None,
         block_timeout: float = BLOCK_TIMEOUT_SECONDS,
+        data_dir: str | None = None,
+        snapshot_every: int = SNAPSHOT_EVERY,
+        fsync: bool = True,
     ) -> None:
         super().__init__((host, port), _Handler)
-        if state is not None:
-            self.state = state
-        else:
-            self.state = ServerState(database=database or VerifiedDatabase(order=order))
         self.protocol = protocol or Protocol2Server()
-        self.protocol.initialize(self.state)
-        self.state_cond = threading.Condition()
         self.block_timeout = block_timeout
+        self.snapshot_every = snapshot_every
+        self.state_cond = threading.Condition()
         self._round = 0
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+        self._dedup: dict[str, tuple[str, Response]] = {}
+        self._ops_since_snapshot = 0
+        self._store: ServerStore | None = None
+        self.replayed_records = 0
+        if data_dir is not None:
+            self._store = ServerStore(data_dir, fsync=fsync)
+            self._recover(order=order, database=database, state=state)
+        else:
+            if state is not None:
+                self.state = state
+            else:
+                self.state = ServerState(
+                    database=database or VerifiedDatabase(order=order))
+            self.protocol.initialize(self.state)
+
+    # -- durability --------------------------------------------------------
+
+    def _recover(self, order: int, database: VerifiedDatabase | None,
+                 state: ServerState | None) -> None:
+        """Restore from snapshot + WAL, or bootstrap a fresh store."""
+        snapshot = self._store.load_snapshot()
+        if snapshot is None:
+            # First run in this directory: initialise, then anchor the
+            # WAL chain with a genesis snapshot so every later record
+            # verifies against a recorded head.
+            if state is not None:
+                self.state = state
+            else:
+                self.state = ServerState(
+                    database=database or VerifiedDatabase(order=order))
+            self.protocol.initialize(self.state)
+            self._store.write_snapshot(self.state, self._dedup)
+        else:
+            restored_db, ctr, meta, dedup, chain = snapshot
+            self.state = ServerState(database=restored_db, ctr=ctr, meta=meta)
+            self._dedup = dict(dedup)
+            self._store.set_chain(chain)
+        records = self._store.wal_records(self._store._chain)
+        for message in records:
+            user_id = message.extras.get("user", "anonymous")
+            if isinstance(message, Followup):
+                self.protocol.handle_followup(
+                    user_id, message, self.state, round_no=self.tick())
+            else:
+                response = self.protocol.handle_request(
+                    user_id, message, self.state, round_no=self.tick())
+                rid = request_id(message)
+                if rid is not None:
+                    self._dedup[user_id] = (rid, response)
+            if _obs.enabled:
+                _WAL_REPLAYS.inc()
+        self.replayed_records = len(records)
+        self._ops_since_snapshot = len(records)
+
+    def apply_request(self, user_id: str, message: Request) -> Response:
+        """Dedup-check, log, and execute one request (lock held)."""
+        rid = request_id(message)
+        if rid is not None:
+            cached = self._dedup.get(user_id)
+            if cached is not None and cached[0] == rid:
+                # A retry of an operation that already executed: return
+                # the recorded response so the write is never applied
+                # twice and the client's register chain stays intact.
+                if _obs.enabled:
+                    _DEDUP_HITS.inc(user=user_id)
+                return cached[1]
+        if self._store is not None:
+            self._store.wal_append(message)
+            if _obs.enabled:
+                _WAL_APPENDS.inc()
+        response = self.protocol.handle_request(
+            user_id, message, self.state, round_no=self.tick())
+        if rid is not None:
+            self._dedup[user_id] = (rid, response)
+        self._after_logged_message()
+        return response
+
+    def apply_followup(self, user_id: str, message: Followup) -> None:
+        """Log and absorb one follow-up message (lock held)."""
+        if self._store is not None:
+            self._store.wal_append(message)
+            if _obs.enabled:
+                _WAL_APPENDS.inc()
+        self.protocol.handle_followup(
+            user_id, message, self.state, round_no=self.tick())
+        self._after_logged_message()
+
+    def _after_logged_message(self) -> None:
+        if self._store is None:
+            return
+        self._ops_since_snapshot += 1
+        if self._ops_since_snapshot >= self.snapshot_every:
+            self._snapshot_locked()
+
+    def _snapshot_locked(self) -> None:
+        self._store.write_snapshot(self.state, self._dedup)
+        self._ops_since_snapshot = 0
+        if _obs.enabled:
+            _SNAPSHOTS.inc()
+
+    def checkpoint(self) -> None:
+        """Write a snapshot now (durable mode only); truncates the WAL."""
+        if self._store is None:
+            return
+        with self.state_cond:
+            self._snapshot_locked()
+
+    def _register_connection(self, sock) -> None:
+        with self._connections_lock:
+            self._connections.add(sock)
+
+    def _unregister_connection(self, sock) -> None:
+        with self._connections_lock:
+            self._connections.discard(sock)
+
+    def stop(self, snapshot: bool = False) -> None:
+        """Stop serving.  With ``snapshot=False`` this is the crash-
+        equivalent shutdown: every live connection is severed and
+        nothing is flushed beyond what the WAL already holds, which is
+        exactly what recovery must cope with (a SIGKILLed process takes
+        its established sockets down with it)."""
+        self.shutdown()
+        self.server_close()
+        with self._connections_lock:
+            active = list(self._connections)
+        for sock in active:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._store is not None:
+            if snapshot:
+                with self.state_cond:
+                    self._snapshot_locked()
+            self._store.close()
+
+    # -- shared plumbing ---------------------------------------------------
 
     @property
     def state_lock(self):
@@ -177,14 +354,20 @@ def serve_in_thread(
     protocol: ServerProtocol | None = None,
     state: ServerState | None = None,
     block_timeout: float = BLOCK_TIMEOUT_SECONDS,
+    data_dir: str | None = None,
+    snapshot_every: int = SNAPSHOT_EVERY,
+    fsync: bool = True,
 ) -> TrustedCvsTcpServer:
     """Start a server on an ephemeral port; returns the running server.
 
-    Call ``server.shutdown(); server.server_close()`` when done.
+    Call ``server.stop()`` (or ``server.shutdown(); server.server_close()``)
+    when done.
     """
     server = TrustedCvsTcpServer(order=order, database=database, port=port,
                                  protocol=protocol, state=state,
-                                 block_timeout=block_timeout)
+                                 block_timeout=block_timeout,
+                                 data_dir=data_dir,
+                                 snapshot_every=snapshot_every, fsync=fsync)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server

@@ -1,0 +1,243 @@
+"""Crash safety for the TCP server: write-ahead log + snapshots.
+
+The trust anchor the whole system hangs off is the root digest, and the
+root digest commits to the *exact tree shape* -- so recovery cannot be
+"rebuild from the entry set"; it has to replay the identical operation
+sequence onto the identical starting shape.  This module gives the
+server that property with two files in a data directory:
+
+``state.snapshot``
+    The Merkle tree (via :mod:`repro.mtree.persistence`, shape-exact)
+    plus the protocol metadata (``ctr``, ``meta``, the request-ID dedup
+    table) and the WAL hash-chain head, all wire-encoded.  Written
+    atomically (tmp + rename), so a crash mid-snapshot leaves the
+    previous snapshot intact.
+
+``wal.log``
+    One record per request accepted since the last snapshot, appended
+    and fsynced *before* the request is executed.  Each record is
+    ``len(4B) || wire(Request) || chain(32B)`` where
+    ``chain_i = h(chain_{i-1} || payload_i)`` anchors the record to the
+    snapshot's recorded chain head.  On recovery the records are
+    re-executed in order, which -- execution being deterministic --
+    reproduces the pre-crash state bit-for-bit, dedup table included.
+
+Failure semantics of the chain:
+
+* a *truncated tail* record (the process died mid-append) is discarded
+  silently -- the request was never acknowledged, so dropping it is
+  correct, and the file is trimmed back to the last complete record;
+* any *other* corruption (bit flips, edited payloads, spliced records)
+  breaks the hash chain and raises :class:`WalError`.  Recovery refuses
+  to run, so a tampered log cannot be laundered into a "recovered"
+  state that silently forks the history clients have verified.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.crypto.hashing import DIGEST_SIZE, Digest, hash_bytes
+from repro.mtree.database import VerifiedDatabase
+from repro.mtree.merkle import MerkleBPlusTree
+from repro.mtree.persistence import PersistenceError, dump_tree, load_tree
+from repro.protocols.base import Followup, Request
+from repro.wire import WireError, decode, encode
+
+SNAPSHOT_FILE = "state.snapshot"
+WAL_FILE = "wal.log"
+
+_SNAPSHOT_MAGIC = b"cvs-server-snapshot 1\n"
+_CHAIN_DOMAIN = b"wal-chain"
+_GENESIS_DOMAIN = b"wal-genesis"
+
+
+class WalError(Exception):
+    """Raised when the WAL or snapshot cannot be trusted for recovery."""
+
+
+def chain_genesis(root: Digest) -> Digest:
+    """The chain head a fresh (or freshly snapshotted) log starts from."""
+    return hash_bytes(_GENESIS_DOMAIN + root.to_bytes())
+
+
+def _chain_next(head: Digest, payload: bytes) -> Digest:
+    return hash_bytes(_CHAIN_DOMAIN + head.to_bytes() + payload)
+
+
+class ServerStore:
+    """The durable half of a :class:`~repro.net.server.TrustedCvsTcpServer`.
+
+    Owns the snapshot and WAL files in ``data_dir`` and the running
+    hash-chain head.  All methods must be called under the server's
+    state lock; the store itself does no locking.
+    """
+
+    def __init__(self, data_dir: str, fsync: bool = True) -> None:
+        self.data_dir = data_dir
+        self.fsync = fsync
+        os.makedirs(data_dir, exist_ok=True)
+        self.snapshot_path = os.path.join(data_dir, SNAPSHOT_FILE)
+        self.wal_path = os.path.join(data_dir, WAL_FILE)
+        self._wal_handle = None
+        self._chain = Digest.zero()  # set by load()/write_snapshot()
+
+    # -- snapshot ----------------------------------------------------------
+
+    def write_snapshot(self, state, dedup: dict) -> None:
+        """Atomically persist the full server state; truncate the WAL.
+
+        ``state`` is a :class:`~repro.protocols.base.ServerState`;
+        ``dedup`` maps user id -> (request id, Response).
+        """
+        root = state.database.root_digest()
+        chain = chain_genesis(root)
+        tree_blob = dump_tree(state.database.mtree.tree)
+        meta_blob = encode({
+            "ctr": state.ctr,
+            "meta": state.meta,
+            "dedup": {user: list(entry) for user, entry in dedup.items()},
+            "root": root,
+            "chain": chain,
+        })
+        tmp_path = self.snapshot_path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(_SNAPSHOT_MAGIC)
+            handle.write(struct.pack(">I", len(tree_blob)))
+            handle.write(tree_blob)
+            handle.write(struct.pack(">I", len(meta_blob)))
+            handle.write(meta_blob)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, self.snapshot_path)
+        self._reset_wal()
+        self._chain = chain
+
+    def load_snapshot(self):
+        """Read the snapshot; returns ``(database, ctr, meta, dedup, chain)``
+        or ``None`` when no snapshot exists yet."""
+        if not os.path.isfile(self.snapshot_path):
+            return None
+        with open(self.snapshot_path, "rb") as handle:
+            blob = handle.read()
+        if not blob.startswith(_SNAPSHOT_MAGIC):
+            raise WalError("bad snapshot header")
+        position = len(_SNAPSHOT_MAGIC)
+        try:
+            (tree_len,) = struct.unpack_from(">I", blob, position)
+            position += 4
+            tree_blob = blob[position:position + tree_len]
+            if len(tree_blob) != tree_len:
+                raise WalError("truncated snapshot (tree section)")
+            position += tree_len
+            (meta_len,) = struct.unpack_from(">I", blob, position)
+            position += 4
+            meta_blob = blob[position:position + meta_len]
+            if len(meta_blob) != meta_len:
+                raise WalError("truncated snapshot (meta section)")
+        except struct.error as exc:
+            raise WalError(f"truncated snapshot: {exc}") from exc
+        try:
+            tree = load_tree(tree_blob)
+            fields = decode(meta_blob)
+        except (PersistenceError, WireError) as exc:
+            raise WalError(f"corrupt snapshot: {exc}") from exc
+        if not isinstance(fields, dict):
+            raise WalError("corrupt snapshot: meta section is not a dict")
+        database = VerifiedDatabase(order=tree.order)
+        mtree = MerkleBPlusTree(order=tree.order)
+        mtree._tree = tree
+        database._mtree = mtree
+        try:
+            ctr = int(fields["ctr"])
+            meta = dict(fields["meta"])
+            dedup = {user: tuple(entry) for user, entry in dict(fields["dedup"]).items()}
+            root = fields["root"]
+            chain = fields["chain"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WalError(f"corrupt snapshot: {exc}") from exc
+        if database.root_digest() != root:
+            raise WalError(
+                "snapshot tree does not hash to its recorded root digest")
+        if chain != chain_genesis(root):
+            raise WalError("snapshot chain head does not match its root")
+        return database, ctr, meta, dedup, chain
+
+    # -- write-ahead log ---------------------------------------------------
+
+    def wal_append(self, message: Request | Followup) -> None:
+        """Durably log a request or follow-up *before* it is executed."""
+        payload = encode(message)
+        self._chain = _chain_next(self._chain, payload)
+        if self._wal_handle is None:
+            self._wal_handle = open(self.wal_path, "ab")
+        handle = self._wal_handle
+        handle.write(struct.pack(">I", len(payload)))
+        handle.write(payload)
+        handle.write(self._chain.to_bytes())
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def wal_records(self, chain: Digest) -> list[Request | Followup]:
+        """Read back every complete, chain-verified record.
+
+        A truncated final record (crash mid-append) is trimmed off the
+        file; any other inconsistency raises :class:`WalError`.
+        """
+        if not os.path.isfile(self.wal_path):
+            self._chain = chain
+            return []
+        with open(self.wal_path, "rb") as handle:
+            blob = handle.read()
+        records: list[Request | Followup] = []
+        position = 0
+        good_end = 0
+        while position < len(blob):
+            if position + 4 > len(blob):
+                break  # truncated tail: mid length prefix
+            (length,) = struct.unpack_from(">I", blob, position)
+            end = position + 4 + length + DIGEST_SIZE
+            if end > len(blob):
+                break  # truncated tail: mid payload or mid chain digest
+            payload = blob[position + 4:position + 4 + length]
+            recorded = blob[position + 4 + length:end]
+            chain = _chain_next(chain, payload)
+            if chain.to_bytes() != recorded:
+                raise WalError(
+                    f"WAL record {len(records)} breaks the hash chain: "
+                    "the log was corrupted or tampered with")
+            try:
+                message = decode(payload)
+            except WireError as exc:
+                raise WalError(f"WAL record {len(records)} undecodable: {exc}") from exc
+            if not isinstance(message, (Request, Followup)):
+                raise WalError(f"WAL record {len(records)} is not a request")
+            records.append(message)
+            position = good_end = end
+        if good_end < len(blob):
+            # Trim the torn tail so the next append starts at a record
+            # boundary (the request it held was never acknowledged).
+            with open(self.wal_path, "r+b") as handle:
+                handle.truncate(good_end)
+        self._chain = chain
+        return records
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def set_chain(self, chain: Digest) -> None:
+        self._chain = chain
+
+    def _reset_wal(self) -> None:
+        if self._wal_handle is not None:
+            self._wal_handle.close()
+            self._wal_handle = None
+        with open(self.wal_path, "wb"):
+            pass
+
+    def close(self) -> None:
+        if self._wal_handle is not None:
+            self._wal_handle.close()
+            self._wal_handle = None

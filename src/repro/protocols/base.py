@@ -79,6 +79,23 @@ class ServerState:
         )
 
 
+#: ``extras`` key carrying a request's idempotency token.  A client
+#: that may retry an operation stamps each *logical* operation with one
+#: id (``"<user>:<sequence>"``) and reuses it verbatim on every retry;
+#: the server keeps its latest (id, response) per user and answers a
+#: replayed id from that table instead of executing the query again.
+RID_KEY = "rid"
+
+#: ``extras`` key naming the requesting user on the wire.
+USER_KEY = "user"
+
+
+def request_id(message: "Request") -> str | None:
+    """The idempotency token of a request, if its sender set one."""
+    rid = message.extras.get(RID_KEY)
+    return rid if isinstance(rid, str) else None
+
+
 @dataclass(frozen=True)
 class Request:
     """A client->server message carrying one query plus protocol extras."""

@@ -1,0 +1,313 @@
+"""Crash safety: WAL + snapshot recovery, request-ID dedup, and the
+kill-and-restart end-to-end guarantee.
+
+The trust anchor (root digest, counters, registers) must survive
+crashes bit-for-bit -- otherwise recovery itself becomes a forking
+opportunity.  These tests drive the durable server through crash-stop
+(connections severed, nothing flushed beyond the WAL) and assert the
+restarted deployment is indistinguishable from an uninterrupted one.
+"""
+
+import os
+import socket
+import struct
+
+import pytest
+
+from repro.mtree.database import VerifiedDatabase, WriteQuery
+from repro.net import (
+    RemoteClient,
+    RetryPolicy,
+    TransientNetworkError,
+    WalError,
+    serve_in_thread,
+    sync_check,
+)
+from repro.net.server import TrustedCvsTcpServer
+from repro.net.wal import ServerStore, chain_genesis
+from repro.protocols.base import Request, ServerState
+from repro.protocols.protocol2 import Protocol2Server
+
+
+def _request(user, key, value, seq):
+    return Request(query=WriteQuery(key, value),
+                   extras={"user": user, "rid": f"{user}:{seq}"})
+
+
+def _fast_retry(seed=0):
+    return RetryPolicy(attempts=20, base=0.01, cap=0.1, seed=seed)
+
+
+class TestServerStore:
+    def test_snapshot_roundtrip(self, tmp_path):
+        store = ServerStore(str(tmp_path))
+        state = ServerState(database=VerifiedDatabase(order=4))
+        Protocol2Server().initialize(state)
+        for i in range(30):
+            state.database.execute(WriteQuery(f"k{i}".encode(), b"v"))
+            state.ctr += 1
+        store.write_snapshot(state, {"alice": ("alice:3", None)})
+        loaded = store.load_snapshot()
+        assert loaded is not None
+        database, ctr, meta, dedup, chain = loaded
+        assert database.root_digest() == state.database.root_digest()
+        assert ctr == 30
+        assert meta == state.meta
+        assert dedup == {"alice": ("alice:3", None)}
+        assert chain == chain_genesis(state.database.root_digest())
+
+    def test_wal_append_and_replay(self, tmp_path):
+        store = ServerStore(str(tmp_path))
+        state = ServerState(database=VerifiedDatabase(order=4))
+        store.write_snapshot(state, {})
+        requests = [_request("alice", f"k{i}".encode(), b"v", i) for i in range(5)]
+        for request in requests:
+            store.wal_append(request)
+        store.close()
+
+        fresh = ServerStore(str(tmp_path))
+        _, _, _, _, chain = fresh.load_snapshot()
+        assert fresh.wal_records(chain) == requests
+
+    def test_torn_tail_is_trimmed_not_fatal(self, tmp_path):
+        """A crash mid-append leaves a partial record; recovery drops it
+        (the request was never acknowledged) and trims the file."""
+        store = ServerStore(str(tmp_path))
+        state = ServerState(database=VerifiedDatabase(order=4))
+        store.write_snapshot(state, {})
+        store.wal_append(_request("alice", b"a", b"1", 0))
+        store.wal_append(_request("alice", b"b", b"2", 1))
+        store.close()
+
+        wal = os.path.join(str(tmp_path), "wal.log")
+        intact = os.path.getsize(wal)
+        with open(wal, "r+b") as handle:
+            handle.truncate(intact - 7)
+
+        fresh = ServerStore(str(tmp_path))
+        _, _, _, _, chain = fresh.load_snapshot()
+        records = fresh.wal_records(chain)
+        assert len(records) == 1  # the torn second record is gone
+        assert os.path.getsize(wal) < intact - 7  # trimmed to a boundary
+
+    def test_tampered_record_raises(self, tmp_path):
+        store = ServerStore(str(tmp_path))
+        state = ServerState(database=VerifiedDatabase(order=4))
+        store.write_snapshot(state, {})
+        store.wal_append(_request("alice", b"a", b"payload", 0))
+        store.wal_append(_request("alice", b"b", b"payload", 1))
+        store.close()
+
+        wal = os.path.join(str(tmp_path), "wal.log")
+        with open(wal, "r+b") as handle:
+            blob = bytearray(handle.read())
+            blob[10] ^= 0x01  # flip one bit inside the first payload
+            handle.seek(0)
+            handle.write(blob)
+
+        fresh = ServerStore(str(tmp_path))
+        _, _, _, _, chain = fresh.load_snapshot()
+        with pytest.raises(WalError, match="chain"):
+            fresh.wal_records(chain)
+
+    def test_spliced_record_raises(self, tmp_path):
+        """Reordering two intact records breaks the chain: a tamperer
+        cannot rewrite history by shuffling the log."""
+        store = ServerStore(str(tmp_path))
+        state = ServerState(database=VerifiedDatabase(order=4))
+        store.write_snapshot(state, {})
+        store.wal_append(_request("alice", b"a", b"1", 0))
+        boundary = os.path.getsize(os.path.join(str(tmp_path), "wal.log"))
+        store.wal_append(_request("alice", b"b", b"2", 1))
+        store.close()
+
+        wal = os.path.join(str(tmp_path), "wal.log")
+        with open(wal, "rb") as handle:
+            blob = handle.read()
+        with open(wal, "wb") as handle:
+            handle.write(blob[boundary:] + blob[:boundary])
+
+        fresh = ServerStore(str(tmp_path))
+        _, _, _, _, chain = fresh.load_snapshot()
+        with pytest.raises(WalError, match="chain"):
+            fresh.wal_records(chain)
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        store = ServerStore(str(tmp_path))
+        state = ServerState(database=VerifiedDatabase(order=4))
+        state.database.execute(WriteQuery(b"k", b"v"))
+        store.write_snapshot(state, {})
+        snapshot = os.path.join(str(tmp_path), "state.snapshot")
+        with open(snapshot, "r+b") as handle:
+            blob = bytearray(handle.read())
+            blob[30] ^= 0xFF
+            handle.seek(0)
+            handle.write(blob)
+        with pytest.raises(WalError):
+            ServerStore(str(tmp_path)).load_snapshot()
+
+
+class TestDurableServer:
+    def test_restart_replays_to_identical_root(self, tmp_path):
+        data_dir = str(tmp_path / "server")
+        server = serve_in_thread(order=4, data_dir=data_dir, snapshot_every=8)
+        host, port = server.address
+        genesis = server.initial_root_digest()
+        with RemoteClient(host, port, "alice", genesis, order=4,
+                          retry=_fast_retry()) as alice:
+            for i in range(21):
+                alice.put(f"k{i % 5}".encode(), f"v{i}".encode())
+        with server.state_lock:
+            root_before = server.state.database.root_digest()
+            ctr_before = server.state.ctr
+        server.stop(snapshot=False)  # crash
+
+        restarted = serve_in_thread(order=4, data_dir=data_dir, snapshot_every=8)
+        with restarted.state_lock:
+            assert restarted.state.database.root_digest() == root_before
+            assert restarted.state.ctr == ctr_before
+        assert restarted.replayed_records > 0
+        restarted.stop()
+
+    def test_duplicate_rid_not_double_applied(self, tmp_path):
+        server = serve_in_thread(order=4, data_dir=str(tmp_path / "s"))
+        host, port = server.address
+        from repro.net.framing import recv_message, send_message
+
+        request = _request("alice", b"k", b"v", 0)
+        with socket.create_connection((host, port)) as sock:
+            send_message(sock, request)
+            first = recv_message(sock)
+            send_message(sock, request)  # verbatim retry
+            second = recv_message(sock)
+        assert first == second  # bit-identical replayed response
+        with server.state_lock:
+            assert server.state.ctr == 1  # applied exactly once
+        server.stop()
+
+    def test_dedup_table_survives_restart(self, tmp_path):
+        """Crash after apply but before the client saw the ack: the
+        retry against the restarted server must hit the rebuilt dedup
+        table, not re-execute."""
+        data_dir = str(tmp_path / "server")
+        server = serve_in_thread(order=4, data_dir=data_dir)
+        host, port = server.address
+        from repro.net.framing import recv_message, send_message
+
+        request = _request("alice", b"k", b"v", 0)
+        with socket.create_connection((host, port)) as sock:
+            send_message(sock, request)
+            first = recv_message(sock)
+        server.stop(snapshot=False)  # crash: the ack may never have left
+
+        restarted = serve_in_thread(order=4, data_dir=data_dir,
+                                    port=port)
+        with socket.create_connection((host, port)) as sock:
+            send_message(sock, request)
+            replayed = recv_message(sock)
+        assert replayed == first
+        with restarted.state_lock:
+            assert restarted.state.ctr == 1
+        restarted.stop()
+
+    def test_in_memory_server_unchanged(self):
+        """No data_dir -> no WAL, no snapshots, no dedup persistence --
+        the PR 1/2 behaviour, bit for bit."""
+        server = serve_in_thread(order=4)
+        host, port = server.address
+        with RemoteClient(host, port, "alice", server.initial_root_digest(),
+                          order=4) as alice:
+            alice.put(b"k", b"v")
+            assert alice.get(b"k") == b"v"
+        assert server._store is None
+        server.stop()
+
+
+class TestKillAndRestart:
+    def test_mid_workload_crash_transparent_to_clients(self, tmp_path):
+        """The acceptance scenario: SIGKILL-equivalent drop mid-workload,
+        restart from WAL+snapshot, clients reconnect and finish; final
+        root equals an uninterrupted run's and sync_check passes."""
+        ops = [(f"u{i % 2}", f"k{i % 6}".encode(), f"v{i}".encode())
+               for i in range(40)]
+        reference = VerifiedDatabase(order=4)
+        for _, key, value in ops:
+            reference.execute(WriteQuery(key, value))
+
+        data_dir = str(tmp_path / "server")
+        server = serve_in_thread(order=4, data_dir=data_dir, snapshot_every=12)
+        host, port = server.address
+        genesis = server.initial_root_digest()
+        clients = {
+            user: RemoteClient(host, port, user, genesis, order=4,
+                               retry=_fast_retry(seed=index))
+            for index, user in enumerate(["u0", "u1"])
+        }
+        try:
+            for step, (user, key, value) in enumerate(ops):
+                if step in (13, 27):  # two crashes mid-workload
+                    server.stop(snapshot=False)
+                    server = serve_in_thread(order=4, data_dir=data_dir,
+                                             port=port, snapshot_every=12)
+                clients[user].put(key, value)
+            registers = {user: client.registers()
+                         for user, client in clients.items()}
+            assert sync_check(genesis, registers)
+            with server.state_lock:
+                assert server.state.database.root_digest() == reference.root_digest()
+                assert server.state.ctr == len(ops)  # no loss, no duplication
+        finally:
+            for client in clients.values():
+                client.close()
+            server.stop()
+
+    def test_client_anchor_resume(self, tmp_path):
+        """A restarted *client* process resumes its verified session
+        from the persisted trust anchor."""
+        server = serve_in_thread(order=4, data_dir=str(tmp_path / "s"))
+        host, port = server.address
+        genesis = server.initial_root_digest()
+        anchor = str(tmp_path / "alice.anchor")
+        with RemoteClient(host, port, "alice", genesis, order=4,
+                          anchor_path=anchor) as alice:
+            for i in range(7):
+                alice.put(f"k{i}".encode(), f"v{i}".encode())
+            gctr = alice.gctr
+
+        # new process: no initial_root needed, picks up where it left off
+        with RemoteClient(host, port, "alice", order=4,
+                          anchor_path=anchor) as resumed:
+            assert resumed.gctr == gctr
+            assert resumed.get(b"k3") == b"v3"
+            assert sync_check(genesis, {"alice": resumed.registers()})
+        server.stop()
+
+    def test_anchor_for_wrong_user_rejected(self, tmp_path):
+        server = serve_in_thread(order=4)
+        host, port = server.address
+        anchor = str(tmp_path / "a.anchor")
+        with RemoteClient(host, port, "alice", server.initial_root_digest(),
+                          order=4, anchor_path=anchor) as alice:
+            alice.put(b"k", b"v")
+        with pytest.raises(ValueError, match="belongs to"):
+            RemoteClient(host, port, "bob", order=4, anchor_path=anchor)
+        server.stop()
+
+    def test_tampered_wal_blocks_recovery(self, tmp_path):
+        data_dir = str(tmp_path / "server")
+        server = serve_in_thread(order=4, data_dir=data_dir, snapshot_every=100)
+        host, port = server.address
+        with RemoteClient(host, port, "alice", server.initial_root_digest(),
+                          order=4) as alice:
+            for i in range(5):
+                alice.put(f"k{i}".encode(), b"v")
+        server.stop(snapshot=False)
+
+        wal = os.path.join(data_dir, "wal.log")
+        with open(wal, "r+b") as handle:
+            blob = bytearray(handle.read())
+            blob[12] ^= 0xFF
+            handle.seek(0)
+            handle.write(blob)
+        with pytest.raises(WalError):
+            TrustedCvsTcpServer(order=4, data_dir=data_dir)

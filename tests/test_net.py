@@ -332,6 +332,133 @@ class TestProtocol1Blocking:
             server.server_close()
 
 
+class TestTimeoutsAndRetries:
+    """A hung or refusing server must surface as a *retryable* failure
+    (TransientNetworkError) within the configured budget -- never a
+    client parked forever, never an integrity verdict."""
+
+    def test_hung_server_times_out_as_transient(self):
+        """A listener that accepts but never answers: the per-op socket
+        timeout fires, the client retries, exhausts its budget, and
+        raises TransientNetworkError (an OSError chain, not a hang)."""
+        from repro.crypto.hashing import hash_bytes
+        from repro.net import RetryPolicy, TransientNetworkError
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        host, port = listener.getsockname()
+        try:
+            client = RemoteClient(
+                host, port, "alice", hash_bytes(b"whatever"), order=4,
+                op_timeout=0.2,
+                retry=RetryPolicy(attempts=2, base=0.01, cap=0.01, seed=0))
+            with pytest.raises(TransientNetworkError):
+                client.put(b"k", b"v")
+            client.close()
+        finally:
+            listener.close()
+
+    def test_connection_refused_is_transient_not_integrity(self):
+        from repro.crypto.hashing import hash_bytes
+        from repro.net import IntegrityError, RetryPolicy, TransientNetworkError
+
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(TransientNetworkError) as excinfo:
+            RemoteClient("127.0.0.1", dead_port, "alice",
+                         hash_bytes(b"whatever"), order=4,
+                         retry=RetryPolicy(attempts=2, base=0.01, seed=0))
+        assert not isinstance(excinfo.value, IntegrityError)
+
+    def _busy_shim(self, upstream_address, busy_replies):
+        """A shim server that refuses the first ``busy_replies``
+        requests per connection with a retryable ErrorReply, then
+        relays request/response frames to the real server."""
+        from repro.net.framing import recv_message, send_message
+        from repro.protocols.base import ErrorReply
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+
+        def serve():
+            while True:
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+
+                def handle(conn=conn):
+                    remaining = busy_replies
+                    upstream = None
+                    try:
+                        while True:
+                            request = recv_message(conn)
+                            if request is None:
+                                return
+                            if remaining > 0:
+                                remaining -= 1
+                                send_message(conn, ErrorReply(
+                                    reason="blocked on another user's follow-up",
+                                    extras={"retryable": True}))
+                                continue
+                            if upstream is None:
+                                upstream = socket.create_connection(
+                                    upstream_address, timeout=5)
+                            send_message(upstream, request)
+                            send_message(conn, recv_message(upstream))
+                    except OSError:
+                        pass
+                    finally:
+                        conn.close()
+                        if upstream is not None:
+                            upstream.close()
+
+                threading.Thread(target=handle, daemon=True).start()
+
+        threading.Thread(target=serve, daemon=True).start()
+        return listener
+
+    def test_busy_refusals_retried_then_succeed(self, server):
+        """ServerBusyError is retried on the *same* connection (the
+        session is intact) and the operation completes once the server
+        stops refusing."""
+        from repro.net import RetryPolicy
+
+        shim = self._busy_shim(server.address, busy_replies=2)
+        host, port = shim.getsockname()
+        try:
+            with RemoteClient(host, port, "alice",
+                              server.initial_root_digest(), order=4,
+                              retry=RetryPolicy(attempts=3, base=0.01,
+                                                cap=0.02, busy_attempts=4,
+                                                seed=0)) as alice:
+                alice.put(b"k", b"v")  # 2 refusals, then applied
+                assert alice.get(b"k") == b"v"
+                assert alice.operations == 2
+        finally:
+            shim.close()
+
+    def test_busy_budget_exhaustion_is_transient(self, server):
+        from repro.net import RetryPolicy, TransientNetworkError
+
+        shim = self._busy_shim(server.address, busy_replies=10 ** 6)
+        host, port = shim.getsockname()
+        try:
+            with RemoteClient(host, port, "alice",
+                              server.initial_root_digest(), order=4,
+                              retry=RetryPolicy(attempts=3, base=0.01,
+                                                cap=0.02, busy_attempts=3,
+                                                seed=0)) as alice:
+                with pytest.raises(TransientNetworkError, match="busy"):
+                    alice.put(b"k", b"v")
+        finally:
+            shim.close()
+
+
 class TestLargeFrames:
     def test_megabyte_values_roundtrip(self, server):
         """Framing handles large VO-bearing responses (multi-frame reads
