@@ -1,0 +1,460 @@
+"""Byzantine campaign: the attack gallery against real sockets, with
+benign chaos in the same run, measured against the detection bound.
+
+The simulator's detection matrix proves soundness in-process; the chaos
+campaign proves liveness under benign faults.  This campaign closes the
+remaining gap: a *malicious* server (every wire-adapted attack from
+:mod:`repro.server.attacks`) serving a real client fleet over TCP,
+composed with the chaos proxy's drops/truncations/resets/delays, for
+Protocols I and II.
+
+Pass criteria (all checked, printed as JSON):
+
+* **zero false positives** -- honest-but-chaotic runs (faults injected,
+  no attack) never raise ``IntegrityError`` and pass every periodic
+  sync;
+* **zero missed detections** -- every deviating run is detected, and
+  within the protocol's operation bound: instant-class attacks (bad VO,
+  counter replay, forged signature) on the deviating operation itself,
+  partition-class attacks (fork, drop-commit, stale root) by the next
+  register/count synchronisation, i.e. within ``k * n_users + n_users``
+  global operations of the first deviating response;
+* **every detection is provable** -- a forensic evidence bundle is
+  written (by the client for per-operation detections, from the
+  exchanged registers/counts for sync detections) and
+  ``repro evidence-inspect`` re-verifies each offline as a genuine
+  deviation (exit 0).
+
+Detection latency is measured against the :class:`WireAttack` ground
+truth: the server tick at which a deviating response actually went out,
+converted to global operations.
+
+Run ``python benchmarks/bench_byzantine.py --quick --check`` for the CI
+gate or without ``--quick`` for the full campaign (every attack class
+against both protocols).
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import shutil
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.mtree.database import VerifiedDatabase  # noqa: E402
+from repro.net import (  # noqa: E402
+    ChaosConfig,
+    ChaosProxy,
+    IntegrityError,
+    RemoteClient,
+    RetryPolicy,
+    ServerBusyError,
+    WireAttack,
+    count_sync_check,
+    serve_in_thread,
+    sync_check,
+)
+from repro.net import evidence  # noqa: E402
+from repro.net.client import RemoteClientP1  # noqa: E402
+from repro.core.scenarios import make_keys  # noqa: E402
+from repro.protocols.base import ServerState  # noqa: E402
+from repro.protocols.protocol1 import (  # noqa: E402
+    Protocol1Server,
+    bootstrap_server_state,
+)
+from repro.server.attacks import (  # noqa: E402
+    CompositeAttack,
+    CounterReplayAttack,
+    DropCommitAttack,
+    ForkAttack,
+    SignatureForgeAttack,
+    StaleRootReplayAttack,
+    TamperValueAttack,
+)
+
+ORDER = 8
+KEY_SEED = 4096
+
+
+def _inspect_ok(path: str) -> bool:
+    """``repro evidence-inspect`` must certify the bundle (exit 0)."""
+    return cli_main(["evidence-inspect", path], out=io.StringIO()) == 0
+
+
+def _sync_evidence(evidence_dir: str, tag: str, bundle: dict) -> str:
+    path = os.path.join(evidence_dir, f"{tag}.evidence")
+    return evidence.write_bundle(path, bundle)
+
+
+# -- Protocol II runs ------------------------------------------------------
+
+def run_p2(name, attack_factory, *, seed, n_users=3, k=4, steps=14,
+           chaos=True, verbose=True) -> dict:
+    """One seeded run: round-robin client fleet through the chaos proxy
+    against a (possibly Byzantine) Protocol II server.  Returns the
+    per-run record for the campaign report."""
+    users = [f"u{i}" for i in range(n_users)]
+    wire = WireAttack(attack_factory()) if attack_factory else None
+    evidence_dir = tempfile.mkdtemp(prefix=f"byz-{name}-")
+    server = serve_in_thread(order=ORDER, attack=wire)
+    genesis = server.initial_root_digest()
+    proxy = None
+    host, port = server.address
+    if chaos:
+        proxy = ChaosProxy(host, port, seed=seed, config=ChaosConfig(
+            drop_rate=0.015, truncate_rate=0.01, reset_rate=0.01,
+            delay_rate=0.02, delay_s=0.002, immune_chunks=1)).start()
+        host, port = proxy.address
+
+    clients = {
+        user: RemoteClient(
+            host, port, user, genesis, order=ORDER,
+            connect_timeout=5.0, op_timeout=10.0,
+            retry=RetryPolicy(attempts=24, base=0.01, cap=0.25,
+                              jitter=0.5, seed=seed + index),
+            evidence_dir=evidence_dir)
+        for index, user in enumerate(users)
+    }
+
+    detection = None  # (kind, global_op, bundle_path)
+    false_alarm = False
+    sync_rounds = 0
+    global_op = 0
+    try:
+        for step in range(steps):
+            for user in users:
+                if detection or false_alarm:
+                    break
+                global_op += 1
+                client = clients[user]
+                try:
+                    if step % 3 == 2:
+                        client.get(f"{user}-{(step - 1) % 5}".encode())
+                    else:
+                        client.put(f"{user}-{step % 5}".encode(),
+                                   f"{user}:{step}".encode())
+                except ServerBusyError:
+                    raise
+                except IntegrityError as exc:
+                    if wire is None or wire.first_deviation_op is None:
+                        false_alarm = True
+                        break
+                    detection = ("response", global_op,
+                                 getattr(exc, "evidence_path", None))
+                if not detection and global_op % (k * n_users) == 0:
+                    sync_rounds += 1
+                    registers = {u: c.registers()
+                                 for u, c in clients.items()}
+                    if not sync_check(genesis, registers):
+                        if wire is None or wire.first_deviation_op is None:
+                            false_alarm = True
+                        else:
+                            detection = ("sync", global_op, _sync_evidence(
+                                evidence_dir, f"sync-{global_op}",
+                                evidence.sync_bundle(genesis, registers)))
+            if detection or false_alarm:
+                break
+        if not detection and not false_alarm:  # final sync closes every run
+            sync_rounds += 1
+            registers = {u: c.registers() for u, c in clients.items()}
+            if not sync_check(genesis, registers):
+                if wire is None or wire.first_deviation_op is None:
+                    false_alarm = True
+                else:
+                    detection = ("sync", global_op, _sync_evidence(
+                        evidence_dir, "sync-final",
+                        evidence.sync_bundle(genesis, registers)))
+    finally:
+        for client in clients.values():
+            client.close()
+        if proxy is not None:
+            proxy.stop()
+        server.stop()
+
+    return _run_record(name, "II", wire, detection, false_alarm,
+                       global_op, k, n_users, messages_per_op=1,
+                       sync_rounds=sync_rounds, evidence_dir=evidence_dir,
+                       proxy=proxy, verbose=verbose)
+
+
+# -- Protocol I runs -------------------------------------------------------
+
+def run_p1(name, attack_factory, *, seed, k=4, steps=10,
+           chaos=True, verbose=True) -> dict:
+    """Protocol I fleet (alice operates first as the elected signer,
+    then round-robin).  The P1 client does not transparently reconnect,
+    so benign chaos is delay-only -- loss still reaches the *server
+    side* untouched (the attack layer sits behind the proxy)."""
+    users = ["alice", "bob"]
+    keys = make_keys(users, seed=KEY_SEED)
+    wire = WireAttack(attack_factory()) if attack_factory else None
+    evidence_dir = tempfile.mkdtemp(prefix=f"byz-{name}-")
+
+    state = ServerState(database=VerifiedDatabase(order=ORDER))
+    protocol = Protocol1Server()
+    protocol.initialize(state)
+    bootstrap_server_state(state, keys.signers["alice"])
+    server = serve_in_thread(order=ORDER, protocol=protocol, state=state,
+                             block_timeout=10.0, attack=wire)
+    proxy = None
+    host, port = server.address
+    if chaos:
+        proxy = ChaosProxy(host, port, seed=seed, config=ChaosConfig(
+            delay_rate=0.05, delay_s=0.002)).start()
+        host, port = proxy.address
+
+    clients = {
+        user: RemoteClientP1(host, port, user, keys.signers[user],
+                             keys.verifier, order=ORDER,
+                             evidence_dir=evidence_dir)
+        for user in users
+    }
+
+    detection = None
+    false_alarm = False
+    sync_rounds = 0
+    global_op = 0
+    try:
+        for step in range(steps):
+            for user in users:
+                if detection or false_alarm:
+                    break
+                global_op += 1
+                client = clients[user]
+                try:
+                    if step % 3 == 2:
+                        client.get(f"{user}-{(step - 1) % 5}".encode())
+                    else:
+                        client.put(f"{user}-{step % 5}".encode(),
+                                   f"{user}:{step}".encode())
+                except ServerBusyError:
+                    raise
+                except IntegrityError as exc:
+                    if wire is None or wire.first_deviation_op is None:
+                        false_alarm = True
+                        break
+                    detection = ("response", global_op,
+                                 getattr(exc, "evidence_path", None))
+                if not detection and global_op % (k * len(users)) == 0:
+                    sync_rounds += 1
+                    counts = {u: c.counts() for u, c in clients.items()}
+                    if not count_sync_check(counts):
+                        if wire is None or wire.first_deviation_op is None:
+                            false_alarm = True
+                        else:
+                            detection = ("count-sync", global_op,
+                                         _sync_evidence(
+                                             evidence_dir,
+                                             f"count-sync-{global_op}",
+                                             evidence.count_sync_bundle(counts)))
+            if detection or false_alarm:
+                break
+        if not detection and not false_alarm:
+            sync_rounds += 1
+            counts = {u: c.counts() for u, c in clients.items()}
+            if not count_sync_check(counts):
+                if wire is None or wire.first_deviation_op is None:
+                    false_alarm = True
+                else:
+                    detection = ("count-sync", global_op, _sync_evidence(
+                        evidence_dir, "count-sync-final",
+                        evidence.count_sync_bundle(counts)))
+    finally:
+        for client in clients.values():
+            client.close()
+        if proxy is not None:
+            proxy.stop()
+        server.stop()
+
+    # Each Protocol I operation is two wire messages (request +
+    # follow-up signature), so ticks convert to operations at 2:1.
+    return _run_record(name, "I", wire, detection, false_alarm,
+                       global_op, k, len(users), messages_per_op=2,
+                       sync_rounds=sync_rounds, evidence_dir=evidence_dir,
+                       proxy=proxy, verbose=verbose)
+
+
+# -- shared reporting ------------------------------------------------------
+
+def _run_record(name, protocol, wire, detection, false_alarm, global_op,
+                k, n_users, messages_per_op, sync_rounds, evidence_dir,
+                proxy, verbose) -> dict:
+    bound = k * n_users + n_users
+    deviated = wire is not None and wire.first_deviation_op is not None
+    record = {
+        "run": name,
+        "protocol": protocol,
+        "attack": wire.name if wire else None,
+        "operations": global_op,
+        "sync_rounds": sync_rounds,
+        "false_alarm": false_alarm,
+        "deviated": deviated,
+        "injected_responses": wire.injected if wire else 0,
+        "proxy_faults": dict(proxy.faults) if proxy else None,
+        "detected": detection is not None,
+        "bound_ops": bound,
+    }
+    if deviated:
+        deviation_op = (wire.first_deviation_op
+                        + messages_per_op - 1) // messages_per_op
+        record["first_deviation_op"] = deviation_op
+        if detection:
+            kind, detect_op, bundle_path = detection
+            latency = detect_op - deviation_op
+            genuine = False
+            if bundle_path:
+                genuine = (evidence.reverify(
+                    evidence.read_bundle(bundle_path))[0]
+                    and _inspect_ok(bundle_path))
+            record.update({
+                "detection_kind": kind,
+                "detection_op": detect_op,
+                "latency_ops": latency,
+                "within_bound": 0 <= latency <= bound,
+                "evidence_bundle": bundle_path,
+                "evidence_genuine": genuine,
+            })
+    if verbose:
+        if detection:
+            print(f"  [{name}] detected via {record['detection_kind']} at op "
+                  f"{record['detection_op']} (deviated at "
+                  f"{record['first_deviation_op']}, latency "
+                  f"{record['latency_ops']} <= {bound}), evidence "
+                  f"{'re-verified' if record['evidence_genuine'] else 'BAD'}")
+        elif deviated:
+            print(f"  [{name}] MISSED: deviated but never detected")
+        else:
+            print(f"  [{name}] honest run clean: {global_op} ops, "
+                  f"{sync_rounds} sync round(s), no alarms")
+    shutil.rmtree(evidence_dir, ignore_errors=True)
+    return record
+
+
+P2_ATTACKS = [
+    ("p2-fork", lambda: ForkAttack(victims=["u1"], fork_round=10)),
+    ("p2-drop-commit", lambda: DropCommitAttack(victim="u1", drop_round=10)),
+    ("p2-stale-root", lambda: StaleRootReplayAttack(victim="u1",
+                                                    freeze_round=10)),
+    ("p2-tamper", lambda: TamperValueAttack(victim="u0", tamper_round=6)),
+    ("p2-tamper-forged", lambda: TamperValueAttack(victim="u0",
+                                                   tamper_round=6,
+                                                   forge_proof=True)),
+    ("p2-counter-replay", lambda: CounterReplayAttack(victim="u0",
+                                                      replay_round=10)),
+    ("p2-composite", lambda: CompositeAttack([
+        ForkAttack(victims=["u2"], fork_round=12),
+        TamperValueAttack(victim="u0", tamper_round=18),
+    ])),
+]
+
+P1_ATTACKS = [
+    ("p1-fork", lambda: ForkAttack(victims=["bob"], fork_round=8)),
+    ("p1-stale-root", lambda: StaleRootReplayAttack(victim="bob",
+                                                    freeze_round=8)),
+    ("p1-sig-forge", lambda: SignatureForgeAttack(forge_round=8)),
+    ("p1-tamper", lambda: TamperValueAttack(victim="alice", tamper_round=8)),
+    ("p1-counter-replay", lambda: CounterReplayAttack(victim="alice",
+                                                      replay_round=8)),
+]
+
+QUICK_P2 = {"p2-fork", "p2-tamper", "p2-counter-replay"}
+QUICK_P1 = {"p1-fork", "p1-sig-forge"}
+
+
+def run_campaign(seed: int = 2203, quick: bool = False,
+                 verbose: bool = True) -> dict:
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    runs = []
+    try:
+        p2_steps = 8 if quick else 14
+        p1_steps = 8 if quick else 12
+        runs.append(run_p2("p2-honest-chaotic", None, seed=seed,
+                           steps=p2_steps, verbose=verbose))
+        runs.append(run_p1("p1-honest-chaotic", None, seed=seed + 1,
+                           steps=p1_steps, verbose=verbose))
+        for index, (name, factory) in enumerate(P2_ATTACKS):
+            if quick and name not in QUICK_P2:
+                continue
+            runs.append(run_p2(name, factory, seed=seed + 10 + index,
+                               steps=p2_steps, verbose=verbose))
+        for index, (name, factory) in enumerate(P1_ATTACKS):
+            if quick and name not in QUICK_P1:
+                continue
+            runs.append(run_p1(name, factory, seed=seed + 50 + index,
+                               steps=p1_steps, verbose=verbose))
+        obs_counters = {
+            name: obs.registry.counter(name).total()
+            for name in ("net.attacks_injected", "net.detections",
+                         "net.evidence_bundles", "chaos.resets",
+                         "chaos.conn_drops", "chaos.truncations")}
+    finally:
+        obs.disable()
+
+    honest = [r for r in runs if r["attack"] is None]
+    malicious = [r for r in runs if r["attack"] is not None]
+    deviating = [r for r in malicious if r["deviated"]]
+    checks = {
+        "false_positives": sum(1 for r in honest
+                               if r["false_alarm"] or r["detected"]),
+        "missed_detections": sum(1 for r in deviating if not r["detected"]),
+        "out_of_bound_detections": sum(
+            1 for r in deviating
+            if r["detected"] and not r.get("within_bound", False)),
+        "unproven_detections": sum(
+            1 for r in deviating
+            if r["detected"] and not r.get("evidence_genuine", False)),
+        "attacks_that_never_deviated": sum(
+            1 for r in malicious if not r["deviated"]),
+        "obs_consistent": (
+            obs_counters["net.attacks_injected"] >= len(deviating)
+            and obs_counters["net.evidence_bundles"] >= len(deviating)),
+    }
+    return {
+        "config": {"seed": seed, "quick": quick, "order": ORDER},
+        "runs": runs,
+        "obs": obs_counters,
+        "checks": checks,
+    }
+
+
+def campaign_passes(results: dict) -> bool:
+    checks = results["checks"]
+    return (checks["false_positives"] == 0
+            and checks["missed_detections"] == 0
+            and checks["out_of_bound_detections"] == 0
+            and checks["unproven_detections"] == 0
+            and checks["attacks_that_never_deviated"] == 0
+            and checks["obs_consistent"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="subset of attacks, fewer ops (CI gate)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless every criterion holds")
+    parser.add_argument("--seed", type=int, default=2203)
+    parser.add_argument("--json", action="store_true", help="JSON only")
+    args = parser.parse_args(argv)
+
+    results = run_campaign(seed=args.seed, quick=args.quick,
+                           verbose=not args.json)
+    ok = campaign_passes(results)
+    results["pass"] = ok
+    print(json.dumps(results, indent=2))
+    if args.check and not ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

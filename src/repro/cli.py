@@ -363,6 +363,40 @@ def cmd_obs_report(args, out) -> int:
     return 0 if consistent else 1
 
 
+def cmd_evidence_inspect(args, out) -> int:
+    """Decode a forensic evidence bundle and re-verify it offline.
+
+    Exit 0 iff the bundle proves a genuine deviation: the captured
+    frames fail verification against the recorded pre-operation client
+    state (or the recorded registers/counts fail their sync predicate),
+    exactly as they did live.  A bundle whose material verifies cleanly
+    exits 1 -- it does not implicate the server.
+    """
+    from repro.net import evidence
+
+    try:
+        bundle = evidence.read_bundle(args.bundle)
+    except (OSError, evidence.EvidenceError) as exc:
+        raise CliError(str(exc)) from exc
+    genuine, why = evidence.reverify(bundle)
+    print(f"bundle   : {args.bundle}", file=out)
+    print(f"kind     : {bundle['kind']} (protocol {bundle.get('protocol', '?')})",
+          file=out)
+    print(f"user     : {bundle.get('user', '?')}", file=out)
+    if "op_index" in bundle:
+        print(f"op index : {bundle['op_index']}", file=out)
+    print(f"reported : {bundle.get('reason', '?')}", file=out)
+    if bundle["kind"] == "response":
+        print(f"frames   : request {len(bundle['request_frame'])} B, "
+              f"response {len(bundle['response_frame'])} B", file=out)
+        anchor = bundle.get("anchor") or {}
+        if anchor.get("anchor_path"):
+            print(f"anchor   : {anchor['anchor_path']}", file=out)
+    verdict = "GENUINE DEVIATION" if genuine else "verifies cleanly (NOT evidence)"
+    print(f"re-verify: {verdict} -- {why}", file=out)
+    return 0 if genuine else 1
+
+
 def cmd_annotate(args, out) -> int:
     from repro.storage.annotate import format_annotations
 
@@ -486,6 +520,12 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--json", action="store_true",
                             help="emit the snapshot as JSON")
     obs_report.set_defaults(handler=cmd_obs_report)
+
+    evidence_inspect = commands.add_parser(
+        "evidence-inspect",
+        help="decode a forensic evidence bundle and re-verify it offline")
+    evidence_inspect.add_argument("bundle", help="path to a .evidence file")
+    evidence_inspect.set_defaults(handler=cmd_evidence_inspect)
     return parser
 
 

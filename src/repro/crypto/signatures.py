@@ -81,6 +81,12 @@ class Verifier:
     def knows(self, signer_id: str) -> bool:
         return signer_id in self._directory
 
+    def directory(self) -> dict[str, rsa.PublicKey]:
+        """A copy of the key directory (for evidence bundles: a bundle
+        must carry the public keys it was verified against, so a third
+        party can re-run the check offline)."""
+        return dict(self._directory)
+
     def verify(self, signature: Signature, expected_digest: Digest) -> bool:
         """True iff ``signature`` is a valid signature of ``expected_digest``
         by the principal it claims to come from.

@@ -1,9 +1,12 @@
 """Socket deployment: the Trusted CVS server and verifying client over
 TCP, speaking the binary wire format of :mod:`repro.wire`, with
 crash-safe server recovery (:mod:`repro.net.wal`), self-healing clients,
-and a fault-injecting proxy (:mod:`repro.net.chaosproxy`) for chaos
-testing the whole stack."""
+a fault-injecting proxy (:mod:`repro.net.chaosproxy`) for chaos testing,
+a Byzantine attack adapter (:mod:`repro.net.byzantine`) that aims the
+simulator's malicious-server gallery at the wire path, and forensic
+evidence bundles (:mod:`repro.net.evidence`) for provable detections."""
 
+from repro.net.byzantine import WireAttack
 from repro.net.chaosproxy import ChaosConfig, ChaosProxy
 from repro.net.client import (
     IntegrityError,
@@ -15,13 +18,19 @@ from repro.net.client import (
     count_sync_check,
     sync_check,
 )
+from repro.net.evidence import EvidenceError, read_bundle, reverify, write_bundle
 from repro.net.framing import FramingError, recv_message, send_message
 from repro.net.server import TrustedCvsTcpServer, serve_in_thread
 from repro.net.wal import ServerStore, WalError
 
 __all__ = [
+    "WireAttack",
     "ChaosConfig",
     "ChaosProxy",
+    "EvidenceError",
+    "read_bundle",
+    "reverify",
+    "write_bundle",
     "IntegrityError",
     "RemoteClient",
     "RemoteClientP1",

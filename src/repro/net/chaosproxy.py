@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import random
 import socket
+import struct
 import threading
 from dataclasses import dataclass
 
@@ -29,6 +30,8 @@ _DROPS = _registry.counter(
     "chaos.conn_drops", "connections severed by the chaos proxy")
 _TRUNCATIONS = _registry.counter(
     "chaos.truncations", "chunks cut mid-stream before severing")
+_RESETS = _registry.counter(
+    "chaos.resets", "connections aborted with an RST mid-stream")
 _DELAYS = _registry.counter(
     "chaos.delays", "forwarding delays injected")
 _CONNECTIONS = _registry.counter(
@@ -42,16 +45,29 @@ class ChaosConfig:
     Each forwarded chunk independently risks: ``truncate_rate`` (cut
     the chunk at a random byte offset, forward the prefix, then sever
     both directions), ``drop_rate`` (sever immediately, forwarding
-    nothing), and ``delay_rate`` (sleep ``delay_s`` before
-    forwarding).  ``immune_chunks`` exempts each connection's first N
-    chunks so a campaign can guarantee forward progress.
+    nothing), ``reset_rate`` (forward a random prefix, then *abort* the
+    connection -- an RST, not a graceful FIN, so the peer sees
+    ``ECONNRESET`` mid-response instead of a clean EOF), and
+    ``delay_rate`` (sleep ``delay_s`` before forwarding).
+    ``reset_rate_s2c``, when set, overrides ``reset_rate`` for the
+    server-to-client direction only (each direction draws from its own
+    seeded RNG, so the override keeps schedules reproducible).
+    ``immune_chunks`` exempts each connection's first N chunks so a
+    campaign can guarantee forward progress.
     """
 
     drop_rate: float = 0.0
     truncate_rate: float = 0.0
+    reset_rate: float = 0.0
+    reset_rate_s2c: float | None = None
     delay_rate: float = 0.0
     delay_s: float = 0.01
     immune_chunks: int = 0
+
+    def reset_rate_for(self, label: str) -> float:
+        if label == "s2c" and self.reset_rate_s2c is not None:
+            return self.reset_rate_s2c
+        return self.reset_rate
 
 
 class _Pump(threading.Thread):
@@ -68,6 +84,7 @@ class _Pump(threading.Thread):
 
     def run(self) -> None:
         config = self._proxy.config
+        reset_rate = config.reset_rate_for(self._label)
         chunk_no = 0
         try:
             while True:
@@ -77,17 +94,26 @@ class _Pump(threading.Thread):
                 chunk_no += 1
                 if chunk_no > config.immune_chunks:
                     roll = self._rng.random()
-                    if roll < config.drop_rate:
+                    sever = config.drop_rate
+                    if roll < sever:
                         self._proxy._record("drops")
                         return  # sever without forwarding
-                    if roll < config.drop_rate + config.truncate_rate:
+                    sever += config.truncate_rate
+                    if roll < sever:
                         cut = self._rng.randrange(0, len(chunk))
                         if cut:
                             self._sink.sendall(chunk[:cut])
                         self._proxy._record("truncations")
                         return  # sever mid-frame
-                    if roll < (config.drop_rate + config.truncate_rate
-                               + config.delay_rate):
+                    sever += reset_rate
+                    if roll < sever:
+                        cut = self._rng.randrange(0, len(chunk))
+                        if cut:
+                            self._sink.sendall(chunk[:cut])
+                        self._proxy._record("resets")
+                        self._abort()
+                        return  # RST, not FIN: abrupt mid-response abort
+                    if roll < sever + config.delay_rate:
                         self._proxy._record("delays", sever=False)
                         self._proxy._sleep(config.delay_s)
                 self._sink.sendall(chunk)
@@ -103,6 +129,21 @@ class _Pump(threading.Thread):
                     sock.close()
                 except OSError:
                     pass
+
+    def _abort(self) -> None:
+        """Close both sockets abruptly: SO_LINGER with a zero timeout
+        turns close() into an RST, so the peer's next read fails with
+        ``ECONNRESET`` instead of seeing a graceful end of stream."""
+        hard_close = struct.pack("ii", 1, 0)
+        for sock in (self._source, self._sink):
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, hard_close)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
 
 
 class ChaosProxy:
@@ -126,8 +167,8 @@ class ChaosProxy:
         self._running = False
         self._conn_index = 0
         self._lock = threading.Lock()
-        self.faults = {"drops": 0, "truncations": 0, "delays": 0,
-                       "connections": 0}
+        self.faults = {"drops": 0, "truncations": 0, "resets": 0,
+                       "delays": 0, "connections": 0}
 
     @property
     def address(self) -> tuple[str, int]:
@@ -196,7 +237,7 @@ class ChaosProxy:
             self.faults[kind] += 1
         if _obs.enabled:
             {"drops": _DROPS, "truncations": _TRUNCATIONS,
-             "delays": _DELAYS}[kind].inc()
+             "resets": _RESETS, "delays": _DELAYS}[kind].inc()
 
     @staticmethod
     def _sleep(seconds: float) -> None:

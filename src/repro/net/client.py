@@ -51,6 +51,8 @@ _RECONNECTS = _registry.counter(
     "net.reconnects", "client reconnections after a lost/failed connection")
 _RETRIES = _registry.counter(
     "net.retries", "client operation retries, by reason (io/busy)")
+_DETECTIONS = _registry.counter(
+    "net.detections", "integrity violations detected by verifying clients")
 
 
 class IntegrityError(Exception):
@@ -128,7 +130,8 @@ class RemoteClient:
                  connect_timeout: float = CONNECT_TIMEOUT_SECONDS,
                  op_timeout: float = OP_TIMEOUT_SECONDS,
                  retry: RetryPolicy | None = None,
-                 anchor_path: str | None = None) -> None:
+                 anchor_path: str | None = None,
+                 evidence_dir: str | None = None) -> None:
         self.user_id = user_id
         self._order = order
         self._host, self._port = host, port
@@ -136,6 +139,8 @@ class RemoteClient:
         self._op_timeout = op_timeout
         self._retry = retry or RetryPolicy()
         self._anchor_path = anchor_path
+        self._evidence_dir = evidence_dir
+        self._capture: list[bytes] = []
         self.sigma = Digest.zero()
         self.last = Digest.zero()
         self.gctr = 0
@@ -201,20 +206,54 @@ class RemoteClient:
     # -- anchor persistence -------------------------------------------------
 
     def _load_anchor(self) -> None:
-        with open(self._anchor_path, "r", encoding="ascii") as handle:
-            lines = handle.read().splitlines()
+        """Parse the persisted trust anchor, defensively.
+
+        The anchor file is the client's root of trust; a corrupted or
+        truncated one must be rejected with an explicit
+        :class:`IntegrityError` -- never a raw parse crash, and never a
+        silent fallback to some partially-read register state.  An
+        anchor that parses fine but names a *different* user is a
+        caller mix-up, not corruption: that stays ``ValueError``.
+        """
+        def corrupt(detail: str, cause: Exception | None = None):
+            error = IntegrityError(
+                f"trust anchor {self._anchor_path!r} is corrupted or "
+                f"truncated: {detail}")
+            raise error from cause
+
+        try:
+            with open(self._anchor_path, "r", encoding="ascii") as handle:
+                lines = handle.read().splitlines()
+        except UnicodeDecodeError as exc:
+            corrupt("not ASCII text", exc)
+        except OSError as exc:
+            corrupt(f"unreadable ({exc})", exc)
         if not lines or lines[0] != _ANCHOR_MAGIC:
-            raise ValueError(f"{self._anchor_path!r} is not a client anchor")
-        fields = dict(line.split(" ", 1) for line in lines[1:] if line)
-        if fields.get("user") != self.user_id:
+            corrupt("missing anchor magic header")
+        fields = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(" ")
+            if not _ or not value:
+                corrupt(f"malformed field line {line!r}")
+            fields[name] = value
+        if "user" not in fields:
+            corrupt("no user field")
+        if fields["user"] != self.user_id:
             raise ValueError(
-                f"anchor belongs to {fields.get('user')!r}, not {self.user_id!r}")
-        self._initial_tag = Digest.from_hex(fields["initial_tag"])
-        self.sigma = Digest.from_hex(fields["sigma"])
-        self.last = Digest.from_hex(fields["last"])
-        self.gctr = int(fields["gctr"])
-        self.operations = int(fields["operations"])
-        self._seq = int(fields["seq"])
+                f"anchor belongs to {fields['user']!r}, not {self.user_id!r}")
+        try:
+            self._initial_tag = Digest.from_hex(fields["initial_tag"])
+            self.sigma = Digest.from_hex(fields["sigma"])
+            self.last = Digest.from_hex(fields["last"])
+            self.gctr = int(fields["gctr"])
+            self.operations = int(fields["operations"])
+            self._seq = int(fields["seq"])
+        except KeyError as exc:
+            corrupt(f"missing field {exc.args[0]!r}", exc)
+        except ValueError as exc:
+            corrupt(f"unparseable field value ({exc})", exc)
 
     def save_anchor(self) -> None:
         """Persist the trust anchor atomically (tmp + rename)."""
@@ -250,7 +289,7 @@ class RemoteClient:
                 if self._sock is None:
                     self._connect()
                 send_message(self._sock, request)
-                message = recv_message(self._sock)
+                message = recv_message(self._sock, capture=self._capture)
                 if message is None:
                     raise FramingError("server closed the connection")
                 return _expect_response(message)
@@ -283,21 +322,29 @@ class RemoteClient:
         started = time.perf_counter_ns() if _obs.enabled else 0
         request = Request(query=query, extras={
             "user": self.user_id, "rid": f"{self.user_id}:{self._seq}"})
-        response = self._exchange(request)
+        self._capture.clear()
         try:
-            ctr = int(response.extras["ctr"])
-            last_user = response.extras["last_user"]
-        except (KeyError, TypeError, ValueError) as exc:
-            raise IntegrityError("malformed response") from exc
-        if ctr < self.gctr:
-            raise IntegrityError(
-                f"operation counter regressed: {ctr} after {self.gctr}")
-        if ctr == 0 and last_user != INITIAL_OWNER:
-            raise IntegrityError("initial state attributed to a user")
-        try:
-            outcome = derive_outcome(query, response.result, self._order)
-        except ProofError as exc:
-            raise IntegrityError(f"verification object rejected: {exc}") from exc
+            response = self._exchange(request)
+            try:
+                ctr = int(response.extras["ctr"])
+                last_user = response.extras["last_user"]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise IntegrityError("malformed response") from exc
+            if ctr < self.gctr:
+                raise IntegrityError(
+                    f"operation counter regressed: {ctr} after {self.gctr}")
+            if ctr == 0 and last_user != INITIAL_OWNER:
+                raise IntegrityError("initial state attributed to a user")
+            try:
+                outcome = derive_outcome(query, response.result, self._order)
+            except ProofError as exc:
+                raise IntegrityError(
+                    f"verification object rejected: {exc}") from exc
+        except IntegrityError as exc:
+            if isinstance(exc, ServerBusyError):
+                raise
+            self._on_detection(exc, request)
+            raise
         old_tag = hash_tagged_state(outcome.old_root, ctr, last_user)
         new_tag = hash_tagged_state(outcome.new_root, ctr + 1, self.user_id)
         self.sigma = self.sigma ^ old_tag ^ new_tag
@@ -311,6 +358,32 @@ class RemoteClient:
             _CLIENT_OP_MS.observe(
                 (time.perf_counter_ns() - started) / 1e6, user=self.user_id)
         return outcome.answer
+
+    def _on_detection(self, exc: IntegrityError, request: Request) -> None:
+        """A verification failed: count it and, when an evidence
+        directory is configured, capture a forensic bundle (the verbatim
+        frames, the pre-operation registers, the anchor lineage) so the
+        deviation is provable offline.  Sets ``exc.evidence_path``."""
+        if _obs.enabled:
+            _DETECTIONS.inc(user=self.user_id, protocol="II")
+        if self._evidence_dir is None:
+            return
+        from repro.net import evidence
+        from repro.wire import encode
+
+        bundle = evidence.response_bundle(
+            protocol="II", user_id=self.user_id, reason=str(exc),
+            op_index=self.operations, order=self._order,
+            request_frame=encode(request),
+            response_frame=self._capture[-1] if self._capture else b"",
+            client_state={"sigma": self.sigma, "last": self.last,
+                          "gctr": self.gctr, "seq": self._seq},
+            anchor=evidence.anchor_lineage(self._initial_tag,
+                                           self._anchor_path))
+        os.makedirs(self._evidence_dir, exist_ok=True)
+        path = os.path.join(self._evidence_dir,
+                            f"{self.user_id}-{self._seq}.evidence")
+        exc.evidence_path = evidence.write_bundle(path, bundle)
 
     # convenience verbs
     def get(self, key: bytes) -> bytes | None:
@@ -349,7 +422,8 @@ class RemoteClientP1:
     def __init__(self, host: str, port: int, user_id: str,
                  signer, verifier, order: int = 8,
                  connect_timeout: float = CONNECT_TIMEOUT_SECONDS,
-                 op_timeout: float = OP_TIMEOUT_SECONDS) -> None:
+                 op_timeout: float = OP_TIMEOUT_SECONDS,
+                 evidence_dir: str | None = None) -> None:
         from repro.crypto.hashing import hash_state
 
         self._hash_state = hash_state
@@ -357,6 +431,8 @@ class RemoteClientP1:
         self._order = order
         self._signer = signer
         self._verifier = verifier
+        self._evidence_dir = evidence_dir
+        self._capture: list[bytes] = []
         self.lctr = 0
         self.gctr = 0
         self._sock = socket.create_connection((host, port),
@@ -377,29 +453,39 @@ class RemoteClientP1:
         from repro.protocols.base import Followup
 
         started = time.perf_counter_ns() if _obs.enabled else 0
+        request = Request(query=query, extras={"user": self.user_id})
+        self._capture.clear()
         try:
-            send_message(self._sock, Request(query=query,
-                                             extras={"user": self.user_id}))
-            response = _expect_response(recv_message(self._sock))
+            send_message(self._sock, request)
+            response = _expect_response(
+                recv_message(self._sock, capture=self._capture))
         except (OSError, FramingError) as exc:
             raise TransientNetworkError(
                 f"Protocol I operation failed in transit: {exc}") from exc
         try:
-            ctr = int(response.extras["ctr"])
-            last_user = response.extras["last_user"]
-            signature = response.extras["sig"]
-        except (KeyError, TypeError, ValueError) as exc:
-            raise IntegrityError("malformed response") from exc
-        if ctr < self.gctr:
-            raise IntegrityError(f"operation counter regressed: {ctr} after {self.gctr}")
-        try:
-            outcome = derive_outcome(query, response.result, self._order)
-        except ProofError as exc:
-            raise IntegrityError(f"verification object rejected: {exc}") from exc
-        expected = self._hash_state(outcome.old_root, ctr)
-        if not isinstance(signature, Signature) or signature.signer_id != last_user \
-                or not self._verifier.verify(signature, expected):
-            raise IntegrityError("illegitimate state signature")
+            try:
+                ctr = int(response.extras["ctr"])
+                last_user = response.extras["last_user"]
+                signature = response.extras["sig"]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise IntegrityError("malformed response") from exc
+            if ctr < self.gctr:
+                raise IntegrityError(
+                    f"operation counter regressed: {ctr} after {self.gctr}")
+            try:
+                outcome = derive_outcome(query, response.result, self._order)
+            except ProofError as exc:
+                raise IntegrityError(
+                    f"verification object rejected: {exc}") from exc
+            expected = self._hash_state(outcome.old_root, ctr)
+            if not isinstance(signature, Signature) or signature.signer_id != last_user \
+                    or not self._verifier.verify(signature, expected):
+                raise IntegrityError("illegitimate state signature")
+        except IntegrityError as exc:
+            if isinstance(exc, ServerBusyError):
+                raise
+            self._on_detection(exc, request)
+            raise
         self.lctr += 1
         self.gctr = ctr + 1
         new_sig = self._signer.sign(self._hash_state(outcome.new_root, ctr + 1))
@@ -408,6 +494,30 @@ class RemoteClientP1:
             _CLIENT_OP_MS.observe(
                 (time.perf_counter_ns() - started) / 1e6, user=self.user_id)
         return outcome.answer
+
+    def _on_detection(self, exc: IntegrityError, request: Request) -> None:
+        """Count the detection and capture a forensic bundle carrying
+        the public-key directory, so the signature verdict is
+        reproducible offline without the PKI."""
+        if _obs.enabled:
+            _DETECTIONS.inc(user=self.user_id, protocol="I")
+        if self._evidence_dir is None:
+            return
+        from repro.net import evidence
+        from repro.wire import encode
+
+        bundle = evidence.response_bundle(
+            protocol="I", user_id=self.user_id, reason=str(exc),
+            op_index=self.lctr, order=self._order,
+            request_frame=encode(request),
+            response_frame=self._capture[-1] if self._capture else b"",
+            client_state={"lctr": self.lctr, "gctr": self.gctr},
+            anchor=evidence.anchor_lineage(None, None),
+            verifier_keys=evidence.key_directory(self._verifier))
+        os.makedirs(self._evidence_dir, exist_ok=True)
+        path = os.path.join(self._evidence_dir,
+                            f"{self.user_id}-{self.lctr}.evidence")
+        exc.evidence_path = evidence.write_bundle(path, bundle)
 
     def get(self, key: bytes) -> bytes | None:
         return self.execute(ReadQuery(key))

@@ -37,13 +37,19 @@ def send_message(sock: socket.socket, message: object) -> None:
         _FRAME_BYTES.observe(len(payload), direction="out")
 
 
-def recv_message(sock: socket.socket) -> object | None:
+def recv_message(sock: socket.socket,
+                 capture: list | None = None) -> object | None:
     """Receive one message; None on clean EOF at a frame boundary.
 
     A peer dying mid-frame -- inside the 4-byte length prefix or inside
     the payload -- raises :class:`FramingError`, never a bare
     ``struct.error`` or a short-read artefact; callers get exactly one
     failure type for "the stream is no longer frame-aligned".
+
+    ``capture``, when given, receives the verbatim payload bytes of the
+    decoded frame (appended before decoding) -- forensic evidence
+    capture needs the bytes exactly as the peer sent them, not a
+    re-encoding of the decoded object.
     """
     header = _recv_exact(sock, 4, allow_eof=True)
     if header is None:
@@ -55,6 +61,8 @@ def recv_message(sock: socket.socket) -> object | None:
     if length > MAX_FRAME:
         raise FramingError(f"peer announced a {length}-byte frame")
     payload = _recv_exact(sock, length, allow_eof=False, what="payload")
+    if capture is not None:
+        capture.append(payload)
     if _obs.enabled:
         _FRAMES_RECEIVED.inc()
         _BYTES_RECEIVED.inc(4 + length)

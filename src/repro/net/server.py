@@ -43,6 +43,7 @@ from repro.protocols.base import (
     request_id,
 )
 from repro.protocols.protocol2 import Protocol2Server
+from repro.net.byzantine import as_wire_attack
 from repro.net.framing import FramingError, recv_message, send_message
 from repro.net.wal import ServerStore
 from repro.wire import WireError
@@ -106,13 +107,15 @@ class _Handler(socketserver.BaseRequestHandler):
             started = time.perf_counter_ns() if _obs.enabled else 0
             with server.state_cond:
                 # Protocol I blocking: wait for the previous operator's
-                # signature before serving the next query.
-                blocked = server.protocol.blocked(server.state)
+                # signature before serving the next query.  Under a
+                # Byzantine fork each user waits on *its own* branch's
+                # outstanding follow-up, like a real forking server would.
+                blocked = server.blocked_for(user_id)
                 if blocked and _obs.enabled:
                     _BLOCK_WAITS.inc()
                 wait_started = time.perf_counter_ns() if blocked and _obs.enabled else 0
                 cleared = server.state_cond.wait_for(
-                    lambda: not server.protocol.blocked(server.state),
+                    lambda: not server.blocked_for(user_id),
                     timeout=server.block_timeout)
                 if wait_started:
                     _BLOCK_WAIT_MS.observe(
@@ -160,6 +163,7 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         data_dir: str | None = None,
         snapshot_every: int = SNAPSHOT_EVERY,
         fsync: bool = True,
+        attack=None,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.protocol = protocol or Protocol2Server()
@@ -173,6 +177,10 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         self._ops_since_snapshot = 0
         self._store: ServerStore | None = None
         self.replayed_records = 0
+        #: named state branches; ``"main"`` is the honest history, other
+        #: entries are per-victim forks a Byzantine attack may create.
+        self.states: dict[str, ServerState] = {}
+        self.attack = as_wire_attack(attack)
         if data_dir is not None:
             self._store = ServerStore(data_dir, fsync=fsync)
             self._recover(order=order, database=database, state=state)
@@ -183,6 +191,15 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
                 self.state = ServerState(
                     database=database or VerifiedDatabase(order=order))
             self.protocol.initialize(self.state)
+
+    @property
+    def state(self) -> ServerState:
+        """The main (honest-history) state branch."""
+        return self.states["main"]
+
+    @state.setter
+    def state(self, value: ServerState) -> None:
+        self.states["main"] = value
 
     # -- durability --------------------------------------------------------
 
@@ -210,11 +227,9 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         for message in records:
             user_id = message.extras.get("user", "anonymous")
             if isinstance(message, Followup):
-                self.protocol.handle_followup(
-                    user_id, message, self.state, round_no=self.tick())
+                self._execute_followup(user_id, message)
             else:
-                response = self.protocol.handle_request(
-                    user_id, message, self.state, round_no=self.tick())
+                response = self._execute_request(user_id, message)
                 rid = request_id(message)
                 if rid is not None:
                     self._dedup[user_id] = (rid, response)
@@ -222,6 +237,25 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
                 _WAL_REPLAYS.inc()
         self.replayed_records = len(records)
         self._ops_since_snapshot = len(records)
+
+    def _execute_request(self, user_id: str, message: Request) -> Response:
+        """Execute a request at the next tick -- honestly, or through the
+        configured attack.  Both the live path and WAL replay come here,
+        so after a crash the per-victim forked branches are deterministically
+        reconstructed (the attack triggers on the same tick indices)."""
+        round_no = self.tick()
+        if self.attack is not None:
+            return self.attack.apply_request(self, user_id, message, round_no)
+        return self.protocol.handle_request(
+            user_id, message, self.state, round_no=round_no)
+
+    def _execute_followup(self, user_id: str, message: Followup) -> None:
+        round_no = self.tick()
+        if self.attack is not None:
+            self.attack.apply_followup(self, user_id, message, round_no)
+            return
+        self.protocol.handle_followup(
+            user_id, message, self.state, round_no=round_no)
 
     def apply_request(self, user_id: str, message: Request) -> Response:
         """Dedup-check, log, and execute one request (lock held)."""
@@ -239,8 +273,7 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
             self._store.wal_append(message)
             if _obs.enabled:
                 _WAL_APPENDS.inc()
-        response = self.protocol.handle_request(
-            user_id, message, self.state, round_no=self.tick())
+        response = self._execute_request(user_id, message)
         if rid is not None:
             self._dedup[user_id] = (rid, response)
         self._after_logged_message()
@@ -252,8 +285,7 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
             self._store.wal_append(message)
             if _obs.enabled:
                 _WAL_APPENDS.inc()
-        self.protocol.handle_followup(
-            user_id, message, self.state, round_no=self.tick())
+        self._execute_followup(user_id, message)
         self._after_logged_message()
 
     def _after_logged_message(self) -> None:
@@ -264,6 +296,12 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
             self._snapshot_locked()
 
     def _snapshot_locked(self) -> None:
+        if self.attack is not None:
+            # A snapshot persists only the main branch and truncates the
+            # WAL beneath any Byzantine forks; replaying from it could
+            # not reconstruct them (ticks restart at the snapshot).  In
+            # Byzantine mode the genesis-anchored WAL is the sole truth.
+            return
         self._store.write_snapshot(self.state, self._dedup)
         self._ops_since_snapshot = 0
         if _obs.enabled:
@@ -320,20 +358,66 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         self._round += 1
         return self._round
 
+    def blocked_for(self, user_id: str) -> bool:
+        """Whether this user's next request must wait (lock held).
+
+        Honest servers have one history; a Byzantine server routes the
+        check through the branch the attack would serve this user from,
+        so a forked victim blocks on its own branch's pending follow-up
+        rather than the main branch's.
+        """
+        if self.attack is not None:
+            state = self.attack.route_state(self, user_id, self._round + 1)
+            return self.protocol.blocked(state)
+        return self.protocol.blocked(self.state)
+
+    def _all_unblocked(self) -> bool:
+        return all(not self.protocol.blocked(s) for s in self.states.values())
+
     def quiesce(self, timeout: float | None = None) -> bool:
-        """Wait until no follow-up is outstanding (Protocol I).
+        """Wait until no follow-up is outstanding on any branch
+        (Protocol I).
 
         Clients send their post-operation signature asynchronously, so
         ``put()`` returning does not mean the server has absorbed it.
         Anything that inspects or swaps ``state`` out-of-band (tests,
-        attack harnesses) should quiesce first or it races the in-flight
-        follow-up.  Returns False on timeout.
+        attack harnesses) should use :meth:`read_quiesced` -- quiescing
+        and *then* reading reopens the race this method cannot close on
+        its own.  Returns False on timeout.
         """
         if timeout is None:
             timeout = self.block_timeout
         with self.state_cond:
-            return self.state_cond.wait_for(
-                lambda: not self.protocol.blocked(self.state), timeout=timeout)
+            return self.state_cond.wait_for(self._all_unblocked,
+                                            timeout=timeout)
+
+    def read_quiesced(self, reader, timeout: float | None = None):
+        """Run ``reader(main_state)`` under the state lock once every
+        branch is unblocked, in one critical section.
+
+        This closes the in-flight race that ``quiesce()`` alone leaves
+        open: quiescing and then re-acquiring the lock to read lets a
+        queued request execute in between, so the caller could observe a
+        root from mid-transaction (Protocol I: a new root whose
+        follow-up signature has not been absorbed yet).  Returns the
+        reader's result, or ``None`` if the block never cleared within
+        ``timeout``.
+        """
+        if timeout is None:
+            timeout = self.block_timeout
+        with self.state_cond:
+            if not self.state_cond.wait_for(self._all_unblocked,
+                                            timeout=timeout):
+                return None
+            return reader(self.states["main"])
+
+    def consistent_view(self, timeout: float | None = None):
+        """An atomic ``(root_digest, ctr, tick)`` triple of the main
+        branch at a quiescent instant, or ``None`` on timeout."""
+        return self.read_quiesced(
+            lambda state: (state.database.root_digest(), state.ctr,
+                           self._round),
+            timeout=timeout)
 
     @property
     def address(self) -> tuple[str, int]:
@@ -357,6 +441,7 @@ def serve_in_thread(
     data_dir: str | None = None,
     snapshot_every: int = SNAPSHOT_EVERY,
     fsync: bool = True,
+    attack=None,
 ) -> TrustedCvsTcpServer:
     """Start a server on an ephemeral port; returns the running server.
 
@@ -367,7 +452,8 @@ def serve_in_thread(
                                  protocol=protocol, state=state,
                                  block_timeout=block_timeout,
                                  data_dir=data_dir,
-                                 snapshot_every=snapshot_every, fsync=fsync)
+                                 snapshot_every=snapshot_every, fsync=fsync,
+                                 attack=attack)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server

@@ -47,6 +47,11 @@ class WireError(Exception):
     """Raised on malformed or truncated wire data."""
 
 
+#: codec revision, recorded in persisted artefacts (evidence bundles)
+#: so a future decoder can refuse bytes written by an incompatible one.
+CODEC_VERSION = 1
+
+
 # One tag byte per type in the closed universe.
 _TAGS = {
     "none": 0x00, "false": 0x01, "true": 0x02, "int": 0x03, "str": 0x04,

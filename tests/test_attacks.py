@@ -9,6 +9,8 @@ import pytest
 
 from helpers import run_scenario
 from repro.server.attacks import (
+    Attack,
+    CompositeAttack,
     CounterReplayAttack,
     DropCommitAttack,
     ForkAttack,
@@ -117,6 +119,120 @@ class TestSignatureForge:
         report = run("protocol1", lambda r: SignatureForgeAttack(forge_round=r))
         assert report.detected
         assert "signature" in next(iter(report.alarms.values())).reason
+
+
+class _TaggingAttack(Attack):
+    """Test double: appends its tag to a response extra and logs calls,
+    so composite ordering is observable."""
+
+    def __init__(self, tag, log, own_state=None, deviate_at=None):
+        super().__init__()
+        self.tag = tag
+        self.log = log
+        self.own_state = own_state
+        self.deviate_at = deviate_at
+
+    def select_state(self, user_id, round_no, server):
+        if self.own_state is not None:
+            return self.own_state
+        return server.states["main"]
+
+    def mutate_response(self, user_id, request, response, state, round_no):
+        from repro.protocols.base import Response
+
+        self.log.append(self.tag)
+        if self.deviate_at is not None and round_no >= self.deviate_at:
+            self._mark_deviation(round_no)
+        extras = dict(response.extras)
+        extras["trace"] = extras.get("trace", "") + self.tag
+        return Response(result=response.result, extras=extras)
+
+
+class TestCompositeAttack:
+    """Ordering semantics and first_deviation_round propagation."""
+
+    @staticmethod
+    def _server_stub():
+        from types import SimpleNamespace
+
+        return SimpleNamespace(states={"main": object()})
+
+    @staticmethod
+    def _response():
+        from repro.protocols.base import Response
+
+        return Response(result=None, extras={})
+
+    def test_mutations_apply_in_list_order(self):
+        log = []
+        composite = CompositeAttack([_TaggingAttack("a", log),
+                                     _TaggingAttack("b", log),
+                                     _TaggingAttack("c", log)])
+        server = self._server_stub()
+        mutated = composite.mutate_response(
+            "u", None, self._response(), server.states["main"], 5)
+        assert log == ["a", "b", "c"]
+        # later components see (and build on) earlier components' output
+        assert mutated.extras["trace"] == "abc"
+
+    def test_select_state_first_non_main_wins(self):
+        server = self._server_stub()
+        fork_a, fork_b = object(), object()
+        log = []
+        composite = CompositeAttack([
+            _TaggingAttack("m", log),                       # stays on main
+            _TaggingAttack("a", log, own_state=fork_a),     # first divergence
+            _TaggingAttack("b", log, own_state=fork_b),     # shadowed
+        ])
+        assert composite.select_state("u", 1, server) is fork_a
+
+    def test_select_state_defaults_to_main(self):
+        server = self._server_stub()
+        log = []
+        composite = CompositeAttack([_TaggingAttack("m", log),
+                                     _TaggingAttack("n", log)])
+        assert composite.select_state("u", 1, server) is server.states["main"]
+
+    def test_first_deviation_round_is_min_over_components(self):
+        log = []
+        late = _TaggingAttack("l", log, deviate_at=9)
+        early = _TaggingAttack("e", log, deviate_at=4)
+        composite = CompositeAttack([late, early])
+        server = self._server_stub()
+        assert composite.first_deviation_round is None
+        for round_no in range(1, 12):
+            composite.mutate_response("u", None, self._response(),
+                                      server.states["main"], round_no)
+        assert late.first_deviation_round == 9
+        assert early.first_deviation_round == 4
+        assert composite.first_deviation_round == 4
+
+    def test_own_deviation_round_merges_with_components(self):
+        log = []
+        component = _TaggingAttack("c", log, deviate_at=7)
+        composite = CompositeAttack([component])
+        composite._mark_deviation(3)  # the composite's own deviation
+        server = self._server_stub()
+        for round_no in range(1, 9):
+            composite.mutate_response("u", None, self._response(),
+                                      server.states["main"], round_no)
+        assert composite.first_deviation_round == 3
+        # the setter routes to the composite's own slot, not a component
+        assert component.first_deviation_round == 7
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CompositeAttack([])
+
+    def test_composite_detected_end_to_end(self):
+        """A fork + tamper composite is still caught by Protocol II, and
+        the reported deviation onset is the earliest component's."""
+        report = run("protocol2", lambda r: CompositeAttack([
+            ForkAttack(victims=["user1"], fork_round=r),
+            TamperValueAttack(victim="user0", tamper_round=r + 5),
+        ]))
+        assert report.detected
+        assert not report.false_alarm
 
 
 class TestNaiveBaselineMissesEverything:

@@ -1,0 +1,383 @@
+"""Byzantine mode over real sockets: the attack gallery on the wire.
+
+The simulator's detection matrix (test_attacks.py) proves the
+protocols' soundness in-process; these tests prove the same guarantees
+survive the TCP deployment -- wire codec, framing, threading, blocking,
+WAL -- with forensic evidence bundles capturing every detection."""
+
+import io
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.mtree.database import VerifiedDatabase
+from repro.net import (
+    IntegrityError,
+    RemoteClient,
+    WireAttack,
+    count_sync_check,
+    serve_in_thread,
+    sync_check,
+)
+from repro.net import evidence
+from repro.net.client import RemoteClientP1
+from repro.protocols.base import ServerState
+from repro.protocols.protocol1 import Protocol1Server, bootstrap_server_state
+from repro.server.attacks import (
+    CompositeAttack,
+    CounterReplayAttack,
+    DropCommitAttack,
+    ForkAttack,
+    HonestBehavior,
+    SignatureForgeAttack,
+    StaleRootReplayAttack,
+    TamperValueAttack,
+)
+
+
+def p2_server(attack=None, **kwargs):
+    return serve_in_thread(order=4, attack=attack, **kwargs)
+
+
+def p1_server(keys, attack=None, elected="alice", **kwargs):
+    state = ServerState(database=VerifiedDatabase(order=4))
+    protocol = Protocol1Server()
+    protocol.initialize(state)
+    bootstrap_server_state(state, keys.signers[elected])
+    return serve_in_thread(order=4, protocol=protocol, state=state,
+                           block_timeout=5.0, attack=attack, **kwargs)
+
+
+def inspect(path):
+    """Run ``repro evidence-inspect``; returns (exit_code, output)."""
+    out = io.StringIO()
+    code = cli_main(["evidence-inspect", path], out=out)
+    return code, out.getvalue()
+
+
+class TestWireAttacksProtocol2:
+    def test_honest_wire_run_never_alarms(self, tmp_path):
+        wire = WireAttack(HonestBehavior())
+        server = p2_server(attack=wire)
+        try:
+            host, port = server.address
+            genesis = server.initial_root_digest()
+            clients = {
+                user: RemoteClient(host, port, user, genesis, order=4,
+                                   evidence_dir=str(tmp_path / "ev"))
+                for user in ("alice", "bob")
+            }
+            for i in range(6):
+                clients["alice"].put(f"a{i}".encode(), b"v")
+                clients["bob"].put(f"b{i}".encode(), b"v")
+            registers = {u: c.registers() for u, c in clients.items()}
+            assert sync_check(genesis, registers)
+            assert wire.injected == 0
+            assert wire.first_deviation_op is None
+            assert not os.path.isdir(str(tmp_path / "ev"))  # no bundles
+            for client in clients.values():
+                client.close()
+        finally:
+            server.stop()
+
+    def test_unforged_tamper_detected_instantly_with_evidence(self, tmp_path):
+        wire = WireAttack(TamperValueAttack(victim="alice", tamper_round=4))
+        server = p2_server(attack=wire)
+        try:
+            host, port = server.address
+            genesis = server.initial_root_digest()
+            with RemoteClient(host, port, "alice", genesis, order=4,
+                              evidence_dir=str(tmp_path)) as alice:
+                alice.put(b"k", b"v")
+                with pytest.raises(IntegrityError, match="rejected") as exc:
+                    for _ in range(6):
+                        alice.get(b"k")
+                path = exc.value.evidence_path
+            assert wire.injected >= 1
+            bundle = evidence.read_bundle(path)
+            assert bundle["kind"] == "response"
+            assert bundle["protocol"] == "II"
+            genuine, why = evidence.reverify(bundle)
+            assert genuine, why
+            code, output = inspect(path)
+            assert code == 0
+            assert "GENUINE DEVIATION" in output
+        finally:
+            server.stop()
+
+    def test_counter_replay_detected_with_evidence(self, tmp_path):
+        wire = WireAttack(CounterReplayAttack(victim="alice", replay_round=4))
+        server = p2_server(attack=wire)
+        try:
+            host, port = server.address
+            genesis = server.initial_root_digest()
+            with RemoteClient(host, port, "alice", genesis, order=4,
+                              evidence_dir=str(tmp_path)) as alice:
+                with pytest.raises(IntegrityError, match="regressed") as exc:
+                    for i in range(8):
+                        alice.put(f"k{i}".encode(), b"v")
+                path = exc.value.evidence_path
+            genuine, why = evidence.reverify(evidence.read_bundle(path))
+            assert genuine, why
+            assert "regressed" in why
+            assert inspect(path)[0] == 0
+        finally:
+            server.stop()
+
+    @pytest.mark.parametrize("attack_factory", [
+        lambda: ForkAttack(victims=["bob"], fork_round=5),
+        lambda: StaleRootReplayAttack(victim="bob", freeze_round=5),
+        lambda: DropCommitAttack(victim="bob", drop_round=5),
+    ])
+    def test_partition_attacks_fail_sync(self, tmp_path, attack_factory):
+        """Fork-class attacks are invisible per-operation (each branch is
+        internally consistent) but no serial history explains the union
+        of registers: sync_check fails, and the register exchange itself
+        is the evidence."""
+        wire = WireAttack(attack_factory())
+        server = p2_server(attack=wire)
+        try:
+            host, port = server.address
+            genesis = server.initial_root_digest()
+            clients = {
+                user: RemoteClient(host, port, user, genesis, order=4)
+                for user in ("alice", "bob")
+            }
+            for i in range(5):
+                clients["alice"].put(f"a{i}".encode(), b"v")
+                clients["bob"].put(f"b{i}".encode(), b"v")
+            registers = {u: c.registers() for u, c in clients.items()}
+            assert not sync_check(genesis, registers)
+            assert wire.first_deviation_op is not None
+            path = evidence.write_bundle(
+                str(tmp_path / "sync.evidence"),
+                evidence.sync_bundle(genesis, registers))
+            genuine, why = evidence.reverify(evidence.read_bundle(path))
+            assert genuine, why
+            assert inspect(path)[0] == 0
+            for client in clients.values():
+                client.close()
+        finally:
+            server.stop()
+
+    def test_composite_attack_on_the_wire(self):
+        wire = WireAttack(CompositeAttack([
+            ForkAttack(victims=["bob"], fork_round=6),
+            TamperValueAttack(victim="alice", tamper_round=8),
+        ]))
+        server = p2_server(attack=wire)
+        try:
+            host, port = server.address
+            genesis = server.initial_root_digest()
+            alice = RemoteClient(host, port, "alice", genesis, order=4)
+            bob = RemoteClient(host, port, "bob", genesis, order=4)
+            alice.put(b"k", b"v")
+            detected_per_op = False
+            try:
+                for i in range(6):
+                    alice.get(b"k")
+                    bob.put(f"b{i}".encode(), b"v")
+            except IntegrityError:
+                detected_per_op = True
+            synced = sync_check(
+                genesis, {"alice": alice.registers(), "bob": bob.registers()})
+            assert detected_per_op or not synced
+            assert wire.first_deviation_op is not None
+            alice.close()
+            bob.close()
+        finally:
+            server.stop()
+
+
+class TestWireAttacksProtocol1:
+    def test_signature_forge_detected_and_reverifiable_offline(
+            self, shared_keys, tmp_path):
+        wire = WireAttack(SignatureForgeAttack(forge_round=3))
+        server = p1_server(shared_keys, attack=wire)
+        try:
+            host, port = server.address
+            with RemoteClientP1(host, port, "alice",
+                                shared_keys.signers["alice"],
+                                shared_keys.verifier, order=4,
+                                evidence_dir=str(tmp_path)) as alice:
+                with pytest.raises(IntegrityError, match="signature") as exc:
+                    for i in range(5):
+                        alice.put(f"k{i}".encode(), b"v")
+                path = exc.value.evidence_path
+            bundle = evidence.read_bundle(path)
+            assert bundle["protocol"] == "I"
+            assert bundle["verifier_keys"]  # keys travel with the bundle
+            genuine, why = evidence.reverify(bundle)
+            assert genuine, why
+            assert "verify under the signer's key" in why
+            assert inspect(path)[0] == 0
+        finally:
+            server.stop()
+
+    def test_fork_blocks_per_branch_and_fails_count_sync(self, shared_keys):
+        """Each forked branch keeps Protocol I's blocking discipline
+        (the victim's follow-ups land on the victim's branch), yet the
+        branches' counters can no longer reconcile."""
+        wire = WireAttack(ForkAttack(victims=["bob"], fork_round=4))
+        server = p1_server(shared_keys, attack=wire)
+        try:
+            host, port = server.address
+            alice = RemoteClientP1(host, port, "alice",
+                                   shared_keys.signers["alice"],
+                                   shared_keys.verifier, order=4)
+            bob = RemoteClientP1(host, port, "bob",
+                                 shared_keys.signers["bob"],
+                                 shared_keys.verifier, order=4)
+            for i in range(3):
+                alice.put(f"a{i}".encode(), b"v")
+                bob.put(f"b{i}".encode(), b"v")
+            assert "fork" in server.states
+            counts = {"alice": alice.counts(), "bob": bob.counts()}
+            assert not count_sync_check(counts)
+            genuine, why = evidence.reverify(evidence.count_sync_bundle(counts))
+            assert genuine, why
+            alice.close()
+            bob.close()
+        finally:
+            server.stop()
+
+
+class TestForkSurvivesWalReplay:
+    def test_forked_branches_reconstructed_after_crash(self, tmp_path):
+        """A Byzantine durable server crash-restarts into the *same*
+        forked world: WAL replay routes through the attack at identical
+        tick indices, so every branch's root digest is reproduced and
+        both users resume their (divergent) verified sessions."""
+        data_dir = str(tmp_path / "server")
+
+        def make_attack():
+            return WireAttack(ForkAttack(victims=["bob"], fork_round=4))
+
+        server = p2_server(attack=make_attack(), data_dir=data_dir,
+                           snapshot_every=3)
+        host, port = server.address
+        genesis = server.initial_root_digest()
+        alice = RemoteClient(host, port, "alice", genesis, order=4)
+        bob = RemoteClient(host, port, "bob", genesis, order=4)
+        for i in range(4):
+            alice.put(f"a{i}".encode(), b"v")
+            bob.put(f"b{i}".encode(), b"v")
+        with server.state_lock:
+            before = {name: state.database.root_digest()
+                      for name, state in server.states.items()}
+            ticks = server._round
+        assert "fork" in before
+        alice.close()
+        bob.close()
+        server.stop(snapshot=False)  # crash-equivalent
+
+        restarted = p2_server(attack=make_attack(), data_dir=data_dir,
+                              snapshot_every=3)
+        try:
+            assert restarted.replayed_records > 0  # snapshots were suppressed
+            with restarted.state_lock:
+                after = {name: state.database.root_digest()
+                         for name, state in restarted.states.items()}
+                assert restarted._round == ticks
+            assert after == before
+            # both users resume against their own branch
+            host2, port2 = restarted.address
+            alice2 = RemoteClient(host2, port2, "alice", genesis, order=4)
+            bob2 = RemoteClient(host2, port2, "bob", genesis, order=4)
+            for i in range(4):
+                assert alice2.get(f"a{i}".encode()) == b"v"
+            assert bob2.get(b"b0") == b"v"
+            assert bob2.get(b"a3") is None  # alice's post-fork write hidden
+            alice2.close()
+            bob2.close()
+        finally:
+            restarted.stop()
+
+
+class TestEvidenceBundleFormat:
+    def test_fabricated_bundle_does_not_implicate_the_server(self, tmp_path):
+        """A bundle built from an *honest* exchange re-verifies clean:
+        evidence-inspect refuses to certify it (exit 1)."""
+        from repro.wire import encode
+
+        server = p2_server()
+        try:
+            host, port = server.address
+            genesis = server.initial_root_digest()
+            captured = {}
+
+            class Snitch(RemoteClient):
+                def _exchange(self, request):
+                    response = super()._exchange(request)
+                    captured["request"] = request
+                    captured["frame"] = self._capture[-1]
+                    captured["state"] = {
+                        "sigma": self.sigma, "last": self.last,
+                        "gctr": self.gctr, "seq": self._seq}
+                    return response
+
+            with Snitch(host, port, "alice", genesis, order=4) as alice:
+                alice.put(b"k", b"v")
+            bundle = evidence.response_bundle(
+                protocol="II", user_id="alice",
+                reason="fabricated accusation", op_index=0, order=4,
+                request_frame=encode(captured["request"]),
+                response_frame=captured["frame"],
+                client_state=captured["state"],
+                anchor=evidence.anchor_lineage(None, None))
+            path = evidence.write_bundle(str(tmp_path / "fake.evidence"),
+                                         bundle)
+            genuine, why = evidence.reverify(evidence.read_bundle(path))
+            assert not genuine
+            code, output = inspect(path)
+            assert code == 1
+            assert "NOT evidence" in output
+        finally:
+            server.stop()
+
+    def test_corrupt_bundle_file_is_a_clean_cli_error(self, tmp_path):
+        path = str(tmp_path / "junk.evidence")
+        with open(path, "wb") as handle:
+            handle.write(b"not a bundle at all")
+        code, output = inspect(path)
+        assert code == 2
+        assert "error:" in output
+
+    def test_bundle_roundtrip_is_canonical(self, tmp_path):
+        bundle = evidence.count_sync_bundle(
+            {"alice": {"lctr": 3, "gctr": 5}, "bob": {"lctr": 1, "gctr": 4}})
+        p1 = evidence.write_bundle(str(tmp_path / "a.evidence"), bundle)
+        p2 = evidence.write_bundle(str(tmp_path / "b.evidence"),
+                                   evidence.read_bundle(p1))
+        with open(p1, "rb") as h1, open(p2, "rb") as h2:
+            assert h1.read() == h2.read()
+
+
+class TestObsCounters:
+    def test_attack_detection_and_bundle_counters(self, tmp_path):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            wire = WireAttack(TamperValueAttack(victim="alice",
+                                                tamper_round=3))
+            server = p2_server(attack=wire)
+            try:
+                host, port = server.address
+                genesis = server.initial_root_digest()
+                with RemoteClient(host, port, "alice", genesis, order=4,
+                                  evidence_dir=str(tmp_path)) as alice:
+                    alice.put(b"k", b"v")
+                    with pytest.raises(IntegrityError):
+                        for _ in range(5):
+                            alice.get(b"k")
+            finally:
+                server.stop()
+            counters = obs.snapshot()["counters"]
+            assert counters["net.attacks_injected"]["total"] >= 1
+            assert counters["net.detections"]["total"] >= 1
+            assert counters["net.evidence_bundles"]["total"] >= 1
+        finally:
+            obs.disable()

@@ -98,6 +98,73 @@ class TestProxyPlumbing:
         assert proxy.faults["truncations"] >= 1
         upstream.close()
 
+    def test_forced_reset_aborts_abruptly(self):
+        """reset_rate=1.0: the peer sees at most a prefix and then an
+        abrupt failure (RST) or severed stream -- never the full echo."""
+        upstream = _echo_server()
+        config = ChaosConfig(reset_rate=1.0)
+        with ChaosProxy(*upstream.getsockname(), seed=8, config=config) as proxy:
+            with socket.create_connection(proxy.address, timeout=5) as sock:
+                sock.sendall(b"B" * 1000)
+                received = b""
+                try:
+                    while True:
+                        chunk = sock.recv(4096)
+                        if not chunk:
+                            break
+                        received += chunk
+                except OSError:
+                    pass  # ECONNRESET: the abrupt abort, as advertised
+        assert len(received) < 1000
+        assert proxy.faults["resets"] >= 1
+        upstream.close()
+
+    def test_reset_rate_is_per_direction(self):
+        """reset_rate_s2c only: the client's bytes reach the upstream
+        unharmed; the echo coming back is what gets reset."""
+        upstream = _echo_server()
+        config = ChaosConfig(reset_rate=0.0, reset_rate_s2c=1.0)
+        with ChaosProxy(*upstream.getsockname(), seed=9, config=config) as proxy:
+            with socket.create_connection(proxy.address, timeout=5) as sock:
+                sock.sendall(b"C" * 500)
+                received = b""
+                try:
+                    while True:
+                        chunk = sock.recv(4096)
+                        if not chunk:
+                            break
+                        received += chunk
+                except OSError:
+                    pass
+        assert len(received) < 500
+        assert proxy.faults["resets"] >= 1
+        # only the server-to-client pump ever rolled a reset
+        assert proxy.faults["drops"] == 0
+        assert proxy.faults["truncations"] == 0
+        upstream.close()
+
+    def test_reset_schedule_is_seeded(self):
+        """Same seed, same reset pattern across connections."""
+        def run(seed):
+            upstream = _echo_server()
+            config = ChaosConfig(reset_rate=0.5)
+            outcomes = []
+            with ChaosProxy(*upstream.getsockname(), seed=seed,
+                            config=config) as proxy:
+                for _ in range(12):
+                    with socket.create_connection(proxy.address,
+                                                  timeout=5) as sock:
+                        sock.sendall(b"ping")
+                        try:
+                            outcomes.append(sock.recv(16) == b"ping")
+                        except OSError:
+                            outcomes.append(False)
+            upstream.close()
+            return outcomes
+
+        assert run(51) == run(51)
+        assert run(51) != run(52)
+
     def test_seeded_fault_schedule_is_reproducible(self):
         """Same seed, same per-connection chunk pattern -> same faults."""
         def run(seed):
@@ -135,6 +202,26 @@ class TestSelfHealingThroughChaos:
         # exactly-once despite every retry
         with server.state_lock:
             assert server.state.ctr == 30
+
+    def test_client_survives_connection_resets(self, server):
+        """ECONNRESET mid-response is just another transport failure:
+        the client reconnects, resends verbatim, and the dedup table
+        keeps every acknowledged write exactly-once."""
+        host, port = server.address
+        genesis = server.initial_root_digest()
+        config = ChaosConfig(reset_rate=0.2, immune_chunks=0)
+        with ChaosProxy(host, port, seed=17, config=config) as proxy:
+            phost, pport = proxy.address
+            with RemoteClient(phost, pport, "alice", genesis, order=4,
+                              retry=RetryPolicy(attempts=30, base=0.005,
+                                                cap=0.05, seed=7)) as alice:
+                for i in range(20):
+                    alice.put(f"k{i % 3}".encode(), f"v{i}".encode())
+                assert alice.gctr == 20
+                assert sync_check(genesis, {"alice": alice.registers()})
+            assert proxy.faults["resets"] >= 1
+        with server.state_lock:
+            assert server.state.ctr == 20
 
     def test_client_survives_truncated_frames(self, server):
         host, port = server.address

@@ -293,6 +293,46 @@ class TestKillAndRestart:
             RemoteClient(host, port, "bob", order=4, anchor_path=anchor)
         server.stop()
 
+    def test_corrupted_anchor_rejected_with_integrity_error(self, tmp_path):
+        """A tampered anchor file must be refused explicitly -- an
+        IntegrityError naming the file -- never a raw parse crash and
+        never a silent session built on half-read registers."""
+        from repro.net import IntegrityError
+
+        server = serve_in_thread(order=4)
+        host, port = server.address
+        anchor = str(tmp_path / "alice.anchor")
+        with RemoteClient(host, port, "alice", server.initial_root_digest(),
+                          order=4, anchor_path=anchor) as alice:
+            alice.put(b"k", b"v")
+        with open(anchor, "r", encoding="ascii") as handle:
+            original = handle.read()
+
+        def rejected(contents, mode="w"):
+            with open(anchor, mode if isinstance(contents, str) else "wb") as h:
+                h.write(contents)
+            with pytest.raises(IntegrityError, match="corrupted or truncated"):
+                RemoteClient(host, port, "alice", order=4, anchor_path=anchor)
+
+        # tampered: a register line replaced with non-hex garbage
+        rejected(original.replace(
+            original.splitlines()[3].split(" ", 1)[1], "zz-not-hex"))
+        # empty file
+        rejected("")
+        # partial: truncated mid-way (magic intact, fields missing)
+        rejected(original[: len(original) // 3])
+        # binary garbage (not even ASCII)
+        rejected(b"\xff\xfe\x00\x01garbage\x80")
+        # wrong magic line
+        rejected("some-other-format 9\n" + original)
+        # restore: an intact anchor still works after all that
+        with open(anchor, "w", encoding="ascii") as handle:
+            handle.write(original)
+        with RemoteClient(host, port, "alice", order=4,
+                          anchor_path=anchor) as resumed:
+            assert resumed.get(b"k") == b"v"
+        server.stop()
+
     def test_tampered_wal_blocks_recovery(self, tmp_path):
         data_dir = str(tmp_path / "server")
         server = serve_in_thread(order=4, data_dir=data_dir, snapshot_every=100)

@@ -332,6 +332,77 @@ class TestProtocol1Blocking:
             server.server_close()
 
 
+class TestQuiescedReads:
+    """Regression: quiesce() then re-acquiring the lock to read leaves a
+    window where a queued request executes in between, so out-of-band
+    observers (attack harnesses) could see a torn, mid-transaction root.
+    read_quiesced/consistent_view do the wait *and* the read in one
+    critical section."""
+
+    _start_server = TestProtocol1Blocking._start_server
+    _operate_withholding_followup = staticmethod(
+        TestProtocol1Blocking._operate_withholding_followup)
+
+    def test_consistent_view_times_out_while_followup_withheld(self, shared_keys):
+        server = self._start_server(shared_keys, block_timeout=30.0)
+        try:
+            sock_a, followup = self._operate_withholding_followup(
+                server, shared_keys.signers["alice"], b"k", b"v1")
+            # Mid-transaction: the root has advanced but its follow-up
+            # signature is outstanding -- no consistent view exists yet.
+            assert server.consistent_view(timeout=0.3) is None
+            from repro.net.framing import send_message
+
+            send_message(sock_a, followup)
+            view = server.consistent_view(timeout=5.0)
+            assert view is not None
+            root, ctr, tick = view
+            assert ctr == 1
+            sock_a.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_quiesced_read_sees_signed_roots_only(self, shared_keys):
+        """At every quiesced read the stored state signature must cover
+        exactly h(root || ctr) -- the invariant a torn read violates."""
+        from repro.crypto.hashing import hash_state
+        from repro.net import RemoteClientP1
+        from repro.protocols.protocol1 import META_SIG
+
+        server = self._start_server(shared_keys, block_timeout=30.0)
+        try:
+            host, port = server.address
+            stop = threading.Event()
+            violations = []
+
+            def observer():
+                while not stop.is_set():
+                    view = server.read_quiesced(
+                        lambda st: (st.database.root_digest(), st.ctr,
+                                    st.meta.get(META_SIG)),
+                        timeout=5.0)
+                    if view is None:
+                        continue
+                    root, ctr, sig = view
+                    if sig is not None and sig.digest != hash_state(root, ctr):
+                        violations.append((root, ctr, sig))
+
+            thread = threading.Thread(target=observer, daemon=True)
+            thread.start()
+            with RemoteClientP1(host, port, "alice",
+                                shared_keys.signers["alice"],
+                                shared_keys.verifier, order=4) as alice:
+                for i in range(12):
+                    alice.put(f"k{i % 3}".encode(), f"v{i}".encode())
+            stop.set()
+            thread.join(5.0)
+            assert not violations, violations
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
 class TestTimeoutsAndRetries:
     """A hung or refusing server must surface as a *retryable* failure
     (TransientNetworkError) within the configured budget -- never a
