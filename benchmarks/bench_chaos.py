@@ -47,9 +47,11 @@ from repro.net import (  # noqa: E402
     ChaosConfig,
     ChaosProxy,
     IntegrityError,
+    PipelinedRemoteClient,
     RemoteClient,
     RetryPolicy,
     WalError,
+    serve_async_in_thread,
     serve_in_thread,
     sync_check,
 )
@@ -79,15 +81,24 @@ def _reference_root(sequence) -> tuple:
     return database.root_digest(), len(sequence)
 
 
-def _restart_server(data_dir: str, port: int,
-                    snapshot_every: int) -> TrustedCvsTcpServer:
+def _start_server(data_dir: str, port: int, snapshot_every: int,
+                  use_async: bool):
+    if use_async:
+        return serve_async_in_thread(order=ORDER, port=port,
+                                     data_dir=data_dir,
+                                     snapshot_every=snapshot_every)
+    return serve_in_thread(order=ORDER, port=port, data_dir=data_dir,
+                           snapshot_every=snapshot_every)
+
+
+def _restart_server(data_dir: str, port: int, snapshot_every: int,
+                    use_async: bool = False):
     # The freed port can linger in TIME_WAIT bookkeeping for a moment on
     # some platforms; retry briefly rather than flaking the campaign.
     deadline = time.monotonic() + 10.0
     while True:
         try:
-            return serve_in_thread(order=ORDER, port=port, data_dir=data_dir,
-                                   snapshot_every=snapshot_every)
+            return _start_server(data_dir, port, snapshot_every, use_async)
         except OSError:
             if time.monotonic() > deadline:
                 raise
@@ -97,7 +108,8 @@ def _restart_server(data_dir: str, port: int,
 def run_campaign(users: int = 3, ops_per_user: int = 60, keyspace: int = 12,
                  restarts: int = 5, seed: int = 1301,
                  drop_rate: float = 0.012, truncate_rate: float = 0.01,
-                 snapshot_every: int = 40, verbose: bool = True) -> dict:
+                 snapshot_every: int = 40, verbose: bool = True,
+                 use_async: bool = False, pipeline_depth: int = 1) -> dict:
     user_ids = [f"u{i}" for i in range(users)]
     sequence = _workload(user_ids, ops_per_user, keyspace)
     expected_root, expected_ops = _reference_root(sequence)
@@ -111,6 +123,8 @@ def run_campaign(users: int = 3, ops_per_user: int = 60, keyspace: int = 12,
         "users": users, "ops_per_user": ops_per_user, "keyspace": keyspace,
         "restarts": restarts, "seed": seed, "drop_rate": drop_rate,
         "truncate_rate": truncate_rate, "snapshot_every": snapshot_every,
+        "server": "async" if use_async else "threaded",
+        "pipeline_depth": pipeline_depth,
     }}
     integrity_false_positives = 0
     acked: dict[bytes, bytes] = {}
@@ -119,8 +133,7 @@ def run_campaign(users: int = 3, ops_per_user: int = 60, keyspace: int = 12,
 
     obs.reset()
     obs.enable()
-    server = serve_in_thread(order=ORDER, data_dir=data_dir,
-                             snapshot_every=snapshot_every)
+    server = _start_server(data_dir, 0, snapshot_every, use_async)
     server_port = server.address[1]
     genesis = server.initial_root_digest()
     proxy = ChaosProxy(*server.address, seed=seed, config=ChaosConfig(
@@ -128,32 +141,50 @@ def run_campaign(users: int = 3, ops_per_user: int = 60, keyspace: int = 12,
         delay_rate=0.02, delay_s=0.002, immune_chunks=1)).start()
     host, port = proxy.address
 
-    clients = {
-        user: RemoteClient(
-            host, port, user, genesis, order=ORDER,
-            connect_timeout=5.0, op_timeout=10.0,
+    def _make_client(index: int, user: str):
+        kwargs = dict(
+            order=ORDER, connect_timeout=5.0, op_timeout=10.0,
             retry=RetryPolicy(attempts=24, base=0.01, cap=0.25,
                               jitter=0.5, seed=seed + index),
             anchor_path=os.path.join(anchor_dir, f"{user}.anchor"))
-        for index, user in enumerate(user_ids)
-    }
+        if pipeline_depth > 1:
+            return PipelinedRemoteClient(host, port, user, genesis,
+                                         window=pipeline_depth, **kwargs)
+        return RemoteClient(host, port, user, genesis, **kwargs)
+
+    clients = {user: _make_client(index, user)
+               for index, user in enumerate(user_ids)}
 
     wal_replays = 0
     try:
         for step, (user, key, value) in enumerate(sequence):
             if step in restart_points:
                 server.stop(snapshot=False)  # crash: WAL only
-                server = _restart_server(data_dir, server_port, snapshot_every)
+                server = _restart_server(data_dir, server_port,
+                                         snapshot_every, use_async)
                 wal_replays += server.replayed_records
                 if verbose:
                     print(f"  [step {step}] crash-restart: replayed "
                           f"{server.replayed_records} WAL record(s)")
             try:
-                clients[user].put(key, value)
+                if pipeline_depth > 1:
+                    # Fire-and-track: submit() blocks only on a full
+                    # window; every op is drained (and verified) below
+                    # before anything counts as acknowledged.
+                    clients[user].submit(WriteQuery(key, value))
+                else:
+                    clients[user].put(key, value)
             except IntegrityError:
                 integrity_false_positives += 1
                 raise
             acked[key] = value
+        if pipeline_depth > 1:
+            try:
+                for client in clients.values():
+                    client.drain()
+            except IntegrityError:
+                integrity_false_positives += 1
+                raise
 
         # Final read-back of every acknowledged write, through the
         # verifying clients themselves (reads carry VOs too).
@@ -165,9 +196,13 @@ def run_campaign(users: int = 3, ops_per_user: int = 60, keyspace: int = 12,
         registers = {user: client.registers()
                      for user, client in clients.items()}
         sync_ok = sync_check(genesis, registers)
-        with server.state_lock:
-            final_root = server.state.database.root_digest()
-            final_ctr = server.state.ctr
+        if use_async:
+            final_root, final_ctr = server.read_state(
+                lambda state: (state.database.root_digest(), state.ctr))
+        else:
+            with server.state_lock:
+                final_root = server.state.database.root_digest()
+                final_ctr = server.state.ctr
     finally:
         for client in clients.values():
             client.close()
@@ -246,19 +281,27 @@ def main(argv=None) -> int:
                         help="exit non-zero unless every criterion holds")
     parser.add_argument("--seed", type=int, default=1301)
     parser.add_argument("--json", action="store_true", help="JSON only")
+    parser.add_argument("--async", dest="use_async", action="store_true",
+                        help="run the campaign against the asyncio server")
+    parser.add_argument("--pipeline-depth", type=int, default=1,
+                        help="client pipeline window (1 = stop-and-wait)")
     args = parser.parse_args(argv)
 
     if args.quick:
         results = run_campaign(users=2, ops_per_user=25, keyspace=8,
                                restarts=2, seed=args.seed,
                                drop_rate=0.02, truncate_rate=0.015,
-                               snapshot_every=16, verbose=not args.json)
+                               snapshot_every=16, verbose=not args.json,
+                               use_async=args.use_async,
+                               pipeline_depth=args.pipeline_depth)
         require_min_faults = False
     else:
         results = run_campaign(users=3, ops_per_user=80, keyspace=12,
                                restarts=5, seed=args.seed,
                                drop_rate=0.05, truncate_rate=0.035,
-                               snapshot_every=48, verbose=not args.json)
+                               snapshot_every=48, verbose=not args.json,
+                               use_async=args.use_async,
+                               pipeline_depth=args.pipeline_depth)
         require_min_faults = True
 
     ok = campaign_passes(results, require_min_faults)

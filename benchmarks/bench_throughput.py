@@ -1,0 +1,546 @@
+"""Wire-path throughput: threaded stop-and-wait vs async pipelined+batched.
+
+Measures the asyncio server core's tentpole claim: a single-writer
+event loop draining per-tick batches -- one Merkle dirty-path root
+recompute and (Protocol I) one signature per batch instead of one per
+operation -- sustains far higher verified-operation throughput than
+the thread-per-connection stop-and-wait deployment once client counts
+grow.
+
+For each ``(transport, concurrency, batch)`` cell the harness runs C
+concurrent Protocol II sessions against a fresh in-process server,
+every session writing its own keys, and reports sustained ops/sec plus
+p50/p99 per-operation latency.  Verification is never weakened: each
+response's VO is checked with :func:`derive_outcome`, the tagged-state
+XOR registers are accumulated per operation, and every cell ends with
+a passing ``sync_check`` over all sessions -- a cell that cheats
+detection does not count as throughput.
+
+Both deployments run durable (WAL + fsync, the server default): the
+threaded path commits the WAL once per operation, the batched core
+once per drainer batch, so the group-commit amortization is measured
+alongside the root-recompute and scheduling effects.
+
+The Protocol I pair is where the per-op baseline really bleeds: the
+stop-and-wait deployment pays one RSA signature and a blocking
+follow-up round trip per operation, while the async core turns a
+pipelined window into one signing run -- one verified signature and
+one produced signature per batch.  The speedup gates ride on this
+pair; the Protocol II grid reports transport scaling on its own merits
+(both transports execute identical verification CPU under one
+interpreter, so its ratio reflects only the amortizable per-op
+overheads: group WAL commit, root recompute, scheduling).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py           # full grid
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick --check
+
+``--check`` enforces the gates: pipelined+batched Protocol I >= 2x the
+threaded per-op baseline in quick mode and >= 5x in the full grid,
+signatures <= 1 per window (plus scheduling slack), and every cell's
+sync/count-sync predicate passing.  The full run (re)writes the
+repo-root ``BENCH_throughput.json`` baseline; ``--quick`` writes only
+under ``benchmarks/results/`` so CI cannot clobber the committed
+numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from bench_common import REPO_ROOT, emit_json  # noqa: E402
+
+from repro.crypto.hashing import Digest, hash_tagged_state  # noqa: E402
+from repro.mtree.database import WriteQuery  # noqa: E402
+from repro.net import (  # noqa: E402
+    PipelinedRemoteClientP1,
+    RemoteClient,
+    RemoteClientP1,
+    serve_async_in_thread,
+    serve_in_thread,
+    sync_check,
+)
+from repro.net.framing import async_recv_message, async_send_message  # noqa: E402
+from repro.protocols.base import Request, Response  # noqa: E402
+from repro.protocols.protocol2 import INITIAL_OWNER  # noqa: E402
+from repro.protocols.verify import derive_outcome  # noqa: E402
+
+ORDER = 8
+BENCH_THROUGHPUT_PATH = os.path.join(REPO_ROOT, "BENCH_throughput.json")
+
+#: concurrent connection attempts while ramping a cell up -- kept under
+#: the listener backlog so a 5k-session ramp cannot refuse connections.
+CONNECT_FANOUT = 64
+
+QUICK_SPEEDUP_GATE = 2.0
+FULL_SPEEDUP_GATE = 5.0
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(q * len(ordered)) - (0 if q < 1 else 1)))
+    return ordered[index]
+
+
+def _raise_fd_limit(needed: int) -> int | None:
+    """Best-effort RLIMIT_NOFILE bump; returns the effective soft limit."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX: report unknown, let the run try
+        return None
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < needed:
+        try:
+            resource.setrlimit(resource.RLIMIT_NOFILE,
+                               (min(needed, hard), hard))
+        except (ValueError, OSError):
+            pass
+        soft, _hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    return soft
+
+
+def _stats(label: str, clients: int, batch: int, total_ops: int,
+           wall: float, latencies_ms: list[float], sync_ok: bool) -> dict:
+    return {
+        "transport": label,
+        "clients": clients,
+        "batch": batch,
+        "ops": total_ops,
+        "wall_s": round(wall, 3),
+        "ops_per_s": round(total_ops / wall, 1) if wall else 0.0,
+        "p50_ms": round(_percentile(latencies_ms, 0.50), 3),
+        "p99_ms": round(_percentile(latencies_ms, 0.99), 3),
+        "sync_check": sync_ok,
+    }
+
+
+# -- threaded baseline: C stop-and-wait RemoteClient threads --------------
+
+def run_threaded(clients: int, ops_per_client: int) -> dict:
+    data_dir = tempfile.mkdtemp(prefix="tput-threaded-")
+    server = serve_in_thread(order=ORDER, data_dir=data_dir)
+    host, port = server.address
+    genesis = server.initial_root_digest()
+    sessions = [
+        RemoteClient(host, port, f"u{index}", genesis, order=ORDER,
+                     connect_timeout=30.0, op_timeout=120.0)
+        for index in range(clients)
+    ]
+    barrier = threading.Barrier(clients + 1)
+    lat_lists: list[list[float]] = [[] for _ in sessions]
+
+    def worker(session: RemoteClient, latencies: list[float]) -> None:
+        barrier.wait()
+        user = session.user_id
+        for step in range(ops_per_client):
+            started = time.perf_counter()
+            session.put(f"{user}-{step % 8}".encode(), f"{user}:{step}".encode())
+            latencies.append((time.perf_counter() - started) * 1000.0)
+
+    threads = [threading.Thread(target=worker, args=(session, lat), daemon=True)
+               for session, lat in zip(sessions, lat_lists)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    registers = {session.user_id: session.registers() for session in sessions}
+    sync_ok = sync_check(genesis, registers)
+    for session in sessions:
+        session.close()
+    server.stop(snapshot=False)
+    shutil.rmtree(data_dir, ignore_errors=True)
+    latencies = [value for lat in lat_lists for value in lat]
+    return _stats("threaded", clients, 1, clients * ops_per_client,
+                  wall, latencies, sync_ok)
+
+
+# -- async driver: C pipelined sessions in one client event loop ----------
+#
+# The real PipelinedRemoteClient is a blocking-socket class; C of those
+# would need C threads, which is exactly the overhead the async server
+# exists to avoid.  The bench therefore runs a minimal asyncio Protocol
+# II session performing the *identical* verification work per response
+# (rid echo, counter checks, derive_outcome, tagged-state registers) so
+# the two transports are compared op-for-op.
+
+async def _async_session(host: str, port: int, user: str,
+                         ops: int, window: int,
+                         start_gate: asyncio.Event,
+                         connect_gate: asyncio.Semaphore,
+                         connected: list, all_connected: asyncio.Event,
+                         total: int, latencies: list[float]) -> dict:
+    async with connect_gate:
+        for attempt in range(5):
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                break
+            except OSError:
+                if attempt == 4:
+                    raise
+                await asyncio.sleep(0.05 * (attempt + 1))
+    connected.append(user)
+    if len(connected) == total:
+        all_connected.set()
+    await start_gate.wait()
+    nonce = os.urandom(4).hex()
+    sigma = Digest.zero()
+    last = Digest.zero()
+    gctr = 0
+    pending: deque = deque()
+    sent = 0
+    received = 0
+    try:
+        while received < ops:
+            while sent < ops and len(pending) < window:
+                query = WriteQuery(f"{user}-{sent % 8}".encode(),
+                                   f"{user}:{sent}".encode())
+                rid = f"{user}:{nonce}:{sent}"
+                await async_send_message(writer, Request(
+                    query=query, extras={"user": user, "rid": rid}))
+                pending.append((query, rid, time.perf_counter()))
+                sent += 1
+            await writer.drain()
+            message = await async_recv_message(reader)
+            if message is None:
+                raise RuntimeError(f"{user}: server closed mid-window")
+            if not isinstance(message, Response):
+                raise RuntimeError(f"{user}: unexpected reply {message!r}")
+            query, rid, started = pending.popleft()
+            latencies.append((time.perf_counter() - started) * 1000.0)
+            echoed = message.extras.get("rid")
+            if echoed is not None and echoed != rid:
+                raise RuntimeError(f"{user}: reordered response {echoed!r}")
+            ctr = int(message.extras["ctr"])
+            last_user = message.extras["last_user"]
+            if ctr < gctr:
+                raise RuntimeError(f"{user}: counter regressed")
+            if ctr == 0 and last_user != INITIAL_OWNER:
+                raise RuntimeError(f"{user}: initial state owned")
+            outcome = derive_outcome(query, message.result, ORDER)
+            old_tag = hash_tagged_state(outcome.old_root, ctr, last_user)
+            new_tag = hash_tagged_state(outcome.new_root, ctr + 1, user)
+            sigma = sigma ^ old_tag ^ new_tag
+            last = new_tag
+            gctr = ctr + 1
+            received += 1
+    finally:
+        writer.close()
+    return {"sigma": sigma, "last": last}
+
+
+async def _async_cell(host: str, port: int, clients: int, ops_per_client: int,
+                      window: int, latencies: list[float]) -> tuple[float, dict]:
+    start_gate = asyncio.Event()
+    all_connected = asyncio.Event()
+    connect_gate = asyncio.Semaphore(CONNECT_FANOUT)
+    connected: list = []
+    tasks = [
+        asyncio.ensure_future(_async_session(
+            host, port, f"u{index}", ops_per_client, window,
+            start_gate, connect_gate, connected, all_connected,
+            clients, latencies))
+        for index in range(clients)
+    ]
+    # Let every session connect before the clock starts: cell timings
+    # measure the op phase, not TCP ramp-up.
+    await asyncio.wait_for(all_connected.wait(), timeout=120.0)
+    started = time.perf_counter()
+    start_gate.set()
+    registers = await asyncio.wait_for(asyncio.gather(*tasks), timeout=900.0)
+    wall = time.perf_counter() - started
+    return wall, {f"u{index}": regs for index, regs in enumerate(registers)}
+
+
+def run_async(clients: int, ops_per_client: int, batch: int) -> dict:
+    window = max(1, min(batch, ops_per_client))
+    data_dir = tempfile.mkdtemp(prefix="tput-async-")
+    handle = serve_async_in_thread(order=ORDER, batch_max=batch,
+                                   data_dir=data_dir)
+    host, port = handle.address
+    genesis = handle.initial_root_digest()
+    latencies: list[float] = []
+    try:
+        wall, registers = asyncio.run(_async_cell(
+            host, port, clients, ops_per_client, window, latencies))
+        sync_ok = sync_check(genesis, registers)
+    finally:
+        handle.stop(snapshot=False)
+        shutil.rmtree(data_dir, ignore_errors=True)
+    return _stats("async", clients, batch, clients * ops_per_client,
+                  wall, latencies, sync_ok)
+
+
+# -- Protocol I: per-op signing baseline vs batched signing runs ----------
+#
+# This is the pair the tentpole's headline gate rides on.  Protocol I
+# pays RSA per operation: the stop-and-wait client signs every new
+# root, and the server blocks until the follow-up lands.  The async
+# server turns a pipelined window into one *signing run* -- the client
+# verifies one signature and produces one signature per batch, with
+# the intermediate operations checked by hash-chain membership -- so
+# the per-op RSA cost (and the blocking round trip) amortizes away
+# while the k-bounded detection guarantee is untouched (every VO is
+# still verified per op, and the count sync must still pass).
+
+def _run_p1_side(users: list, signers: dict, verifier,
+                 make_server, make_client, pipelined: bool,
+                 ops_per_client: int, keyspace: int) -> dict:
+    from repro.mtree.database import VerifiedDatabase
+    from repro.net import count_sync_check
+    from repro.protocols.base import ServerState
+    from repro.protocols.protocol1 import Protocol1Server, bootstrap_server_state
+
+    state = ServerState(database=VerifiedDatabase(order=ORDER))
+    bootstrap_server_state(state, signers[users[0]])
+    server = make_server(Protocol1Server(), state)
+    host, port = server.address
+    clients = {user: make_client(host, port, user) for user in users}
+    barrier = threading.Barrier(len(users) + 1)
+    lat_lists: list[list[float]] = [[] for _ in users]
+
+    def worker(user: str, latencies: list[float]) -> None:
+        client = clients[user]
+        barrier.wait()
+        for step in range(ops_per_client):
+            query = WriteQuery(f"{user}-{step % keyspace}".encode(),
+                               f"{user}:{step}".encode())
+            started = time.perf_counter()
+            if pipelined:
+                client.submit(query)
+            else:
+                client.execute(query)
+            latencies.append((time.perf_counter() - started) * 1000.0)
+        if pipelined:
+            client.drain()
+
+    threads = [threading.Thread(target=worker, args=(user, lat), daemon=True)
+               for user, lat in zip(users, lat_lists)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    sync_ok = count_sync_check(
+        {user: client.counts() for user, client in clients.items()})
+    signatures = sum(getattr(client, "followups_sent", ops_per_client)
+                     for client in clients.values())
+    for client in clients.values():
+        client.close()
+    server.stop(snapshot=False)
+    total_ops = len(users) * ops_per_client
+    row = _stats("p1-pipelined" if pipelined else "p1-threaded",
+                 len(users), 1, total_ops, wall,
+                 [value for lat in lat_lists for value in lat], sync_ok)
+    row["signatures"] = signatures
+    if pipelined:
+        # submit() returns before the op completes, so per-op latency
+        # is not comparable to the stop-and-wait side; report only
+        # whole-run throughput for this row.
+        del row["p50_ms"], row["p99_ms"]
+    return row
+
+
+def run_p1_pair(clients: int, ops_per_client: int, window: int,
+                batch_max: int, bits: int, keyspace: int = 4) -> dict:
+    from repro.crypto.signatures import Signer, Verifier
+
+    users = [f"u{index}" for index in range(clients)]
+    signers = {user: Signer.generate(user, bits=bits, seed=100 + index)
+               for index, user in enumerate(users)}
+    verifier = Verifier({user: signer.public_key
+                         for user, signer in signers.items()})
+
+    threaded = _run_p1_side(
+        users, signers, verifier,
+        lambda protocol, state: serve_in_thread(
+            order=ORDER, protocol=protocol, state=state, block_timeout=120.0),
+        lambda host, port, user: RemoteClientP1(
+            host, port, user, signers[user], verifier, order=ORDER,
+            op_timeout=300.0),
+        pipelined=False, ops_per_client=ops_per_client, keyspace=keyspace)
+    pipelined = _run_p1_side(
+        users, signers, verifier,
+        lambda protocol, state: serve_async_in_thread(
+            order=ORDER, protocol=protocol, state=state,
+            batch_max=batch_max, block_timeout=120.0),
+        lambda host, port, user: PipelinedRemoteClientP1(
+            host, port, user, signers[user], verifier, order=ORDER,
+            window=window),
+        pipelined=True, ops_per_client=ops_per_client, keyspace=keyspace)
+    pipelined["window"] = window
+    pipelined["batch"] = batch_max
+
+    speedup = round(pipelined["ops_per_s"] / threaded["ops_per_s"], 2) \
+        if threaded["ops_per_s"] else 0.0
+    # Each client signs once per full window plus scheduling slack: a
+    # fresh signing run starts whenever the drainer catches up with
+    # that client's pipeline.
+    bound = clients * (-(-ops_per_client // window) + 2)
+    return {
+        "key_bits": bits,
+        "threaded": threaded,
+        "pipelined": pipelined,
+        "speedup": speedup,
+        "signatures_per_op_baseline": 1.0,
+        "signatures_per_op_pipelined": round(
+            pipelined["signatures"] / pipelined["ops"], 4),
+        "amortization_bound": bound,
+    }
+
+
+# -- grid + gates ---------------------------------------------------------
+
+def run_grid(quick: bool, verbose: bool = True) -> dict:
+    if quick:
+        levels = [16]
+        batches = [8]
+        target_ops = 600
+        threaded_cap = 16
+    else:
+        levels = [100, 1000, 5000]
+        batches = [1, 8, 64]
+        target_ops = 6000
+        threaded_cap = 1000
+
+    rows: list[dict] = []
+    for clients in levels:
+        ops_per_client = max(2, target_ops // clients)
+        fd_needed = clients * 2 + 256
+        fd_limit = _raise_fd_limit(fd_needed)
+        if fd_limit is not None and fd_limit < fd_needed:
+            rows.append({"transport": "async", "clients": clients,
+                         "skipped": f"fd limit {fd_limit} < {fd_needed}"})
+            continue
+        if clients <= threaded_cap:
+            row = run_threaded(clients, ops_per_client)
+            rows.append(row)
+            if verbose:
+                print(f"  {json.dumps(row)}")
+        else:
+            rows.append({"transport": "threaded", "clients": clients,
+                         "skipped": "thread-per-connection is not viable "
+                                    "at this concurrency; async-only level"})
+        for batch in batches:
+            row = run_async(clients, ops_per_client, batch)
+            rows.append(row)
+            if verbose:
+                print(f"  {json.dumps(row)}")
+
+    if quick:
+        p1 = run_p1_pair(clients=4, ops_per_client=8, window=8,
+                         batch_max=16, bits=1024)
+    else:
+        p1 = run_p1_pair(clients=100, ops_per_client=16, window=16,
+                         batch_max=64, bits=1024)
+    if verbose:
+        print(f"  p1 {json.dumps(p1)}")
+
+    speedup = {}
+    for clients in levels:
+        threaded = next((r for r in rows if r["transport"] == "threaded"
+                         and r["clients"] == clients and "ops_per_s" in r), None)
+        best = max((r for r in rows if r["transport"] == "async"
+                    and r["clients"] == clients and "ops_per_s" in r),
+                   key=lambda r: r["ops_per_s"], default=None)
+        if threaded and best and threaded["ops_per_s"]:
+            speedup[f"clients_{clients}"] = round(
+                best["ops_per_s"] / threaded["ops_per_s"], 2)
+
+    return {"suite": "bench_throughput", "mode": "quick" if quick else "full",
+            "order": ORDER, "rows": rows, "protocol1": p1,
+            "p2_transport_speedup": speedup}
+
+
+def check_gates(results: dict) -> list[str]:
+    """The enforced criteria.
+
+    The speedup gate rides on the Protocol I pair: per-op signing and
+    blocking (the paper's protocol as deployed stop-and-wait on the
+    threaded server) versus pipelined signing runs on the async core.
+    The Protocol II grid measures transport scaling and is reported --
+    with its own sanity checks -- but carries no speedup gate: both
+    transports do identical per-op verification CPU under one
+    interpreter, so its honest ratio on a small box is bounded by the
+    amortizable fraction (fsync, root recompute, scheduling), not 5x.
+    """
+    problems: list[str] = []
+    quick = results["mode"] == "quick"
+    gate = QUICK_SPEEDUP_GATE if quick else FULL_SPEEDUP_GATE
+
+    for row in results["rows"]:
+        if row.get("sync_check") is False:
+            problems.append(f"sync_check failed: {row}")
+    if not any(row.get("transport") == "async" and "ops_per_s" in row
+               for row in results["rows"]):
+        problems.append("no async Protocol II cell measured")
+
+    p1 = results["protocol1"]
+    for side in ("threaded", "pipelined"):
+        if not p1[side]["sync_check"]:
+            problems.append(f"Protocol I count sync failed ({side})")
+    if p1["speedup"] < gate:
+        problems.append(
+            f"Protocol I pipelined {p1['pipelined']['ops_per_s']} ops/s vs "
+            f"threaded per-op baseline {p1['threaded']['ops_per_s']} -- "
+            f"{p1['speedup']}x is below the {gate}x gate")
+    if p1["pipelined"]["signatures"] > p1["amortization_bound"]:
+        problems.append(
+            f"Protocol I signatures not amortized: "
+            f"{p1['pipelined']['signatures']} for {p1['pipelined']['ops']} "
+            f"ops (bound {p1['amortization_bound']})")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid for CI (16 clients, batch 8)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless the speedup gates hold")
+    parser.add_argument("--json", action="store_true", help="JSON only")
+    args = parser.parse_args(argv)
+
+    results = run_grid(quick=args.quick, verbose=not args.json)
+    if args.quick:
+        path = emit_json("throughput_quick", results)
+    else:
+        path = emit_json("throughput", results)
+        emit_json("BENCH_throughput", results, path=BENCH_THROUGHPUT_PATH)
+    problems = check_gates(results)
+    results["pass"] = not problems
+    print(json.dumps(results, indent=2))
+    print(f"[results saved to {path}]")
+    if problems:
+        print("THROUGHPUT GATE FAILURES:" if args.check else
+              "throughput gate notes (not enforced without --check):")
+        for line in problems:
+            print("  " + line)
+        if args.check:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

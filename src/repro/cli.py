@@ -15,7 +15,8 @@ Usage (also via ``python -m repro``)::
     repro -R REPO merge PATH -b BRANCH              merge a branch to trunk
     repro -R REPO update PATH -r BASE --file F      merge head into a working file
     repro -R REPO trust                            show the trust anchor
-    repro -R REPO serve [-p PORT] [--durable]      host the repository over TCP
+    repro -R REPO serve [-p PORT] [--durable] [--async] [--workers N]
+                                                   host the repository over TCP
     repro --remote HOST:PORT ...                   run any command against a server
     repro obs-report [--protocol P] [--json]       simulate a workload, print obs metrics
 
@@ -288,6 +289,7 @@ def cmd_serve(args, out) -> int:
     identical root digest so clients' trust anchors still verify.
     """
     from repro.mtree.persistence import load_database as _load
+    from repro.net.aserver import serve_async_in_thread
     from repro.net.server import serve_in_thread
 
     db_path = os.path.join(args.repo, DB_FILE)
@@ -296,12 +298,23 @@ def cmd_serve(args, out) -> int:
     with open(db_path, "rb") as handle:
         database = _load(handle.read())
     data_dir = os.path.join(args.repo, SERVER_DIR) if args.durable else None
-    server = serve_in_thread(database=database, port=args.port,
-                             data_dir=data_dir,
-                             snapshot_every=args.snapshot_every)
+    if args.use_async:
+        server = serve_async_in_thread(database=database, port=args.port,
+                                       data_dir=data_dir,
+                                       snapshot_every=args.snapshot_every,
+                                       batch_max=args.batch_max)
+        core = f"async event loop, batches <= {args.batch_max}"
+    else:
+        server = serve_in_thread(database=database, port=args.port,
+                                 data_dir=data_dir,
+                                 snapshot_every=args.snapshot_every,
+                                 max_workers=args.workers)
+        core = "threaded" + (f", <= {args.workers} workers"
+                             if args.workers else "")
     host, port = server.address
     mode = "durable (WAL + snapshots)" if args.durable else "in-memory"
-    print(f"serving {args.repo} on {host}:{port}, {mode} (Ctrl-C to stop)", file=out)
+    print(f"serving {args.repo} on {host}:{port}, {mode}, {core} "
+          "(Ctrl-C to stop)", file=out)
     if args.durable and server.replayed_records:
         print(f"recovered: replayed {server.replayed_records} WAL record(s)", file=out)
     try:
@@ -311,9 +324,16 @@ def cmd_serve(args, out) -> int:
     except KeyboardInterrupt:
         pass
     finally:
-        server.stop(snapshot=args.durable)
-        with server.state_lock:
-            snapshot = dump_database(server.state.database)
+        if args.use_async:
+            # Drain in-flight batches, capture the final tree, then stop.
+            server.quiesce()
+            snapshot = server.read_state(
+                lambda state: dump_database(state.database))
+            server.stop(snapshot=args.durable)
+        else:
+            server.stop(snapshot=args.durable)
+            with server.state_lock:
+                snapshot = dump_database(server.state.database)
         with open(db_path, "wb") as handle:
             handle.write(snapshot)
         print("persisted and stopped", file=out)
@@ -505,6 +525,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "crashes lose no acknowledged write")
     serve.add_argument("--snapshot-every", type=int, default=256,
                        help="ops between snapshots in --durable mode")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="serve on the asyncio core (batched root "
+                            "recomputes and signing runs)")
+    serve.add_argument("--batch-max", type=int, default=64,
+                       help="max ops per drainer batch with --async")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="cap concurrent handler threads (threaded core)")
     serve.set_defaults(handler=cmd_serve)
 
     obs_report = commands.add_parser(

@@ -75,6 +75,16 @@ class Digest:
         return digest
 
     @classmethod
+    def _from_hash(cls, value: bytes) -> "Digest":
+        """Fast internal constructor for trusted 32-byte hasher output
+        (skips the public constructor's type/length validation and
+        defensive copy)."""
+        digest = object.__new__(cls)
+        digest._value = value
+        digest._int = int.from_bytes(value, "big")
+        return digest
+
+    @classmethod
     def zero(cls) -> "Digest":
         """The XOR identity: the all-zero digest."""
         return cls._from_int(0)
@@ -125,21 +135,39 @@ class Digest:
         return cls(bytes.fromhex(text))
 
 
+# Precomputed ``len || separator`` prefixes for the common short-field
+# case (keys, 32-byte digests, small values): the VO hot path calls
+# ``_hash`` for every node on an update's root-to-leaf path, and a
+# fresh ``int.to_bytes`` + concat per field is pure overhead there.
+_LEN_PREFIX = tuple(n.to_bytes(8, "big") + _SEPARATOR for n in range(513))
+
+
 def _encode_fields(fields: tuple[bytes, ...]) -> bytes:
     """Length-prefixed, injective encoding of a field tuple."""
+    prefixes = _LEN_PREFIX
     parts = []
+    append = parts.append
     for field in fields:
-        parts.append(len(field).to_bytes(8, "big"))
-        parts.append(_SEPARATOR)
-        parts.append(field)
+        size = len(field)
+        append(prefixes[size] if size < 513
+               else size.to_bytes(8, "big") + _SEPARATOR)
+        append(field)
     return b"".join(parts)
 
 
 def _hash(domain: bytes, *fields: bytes) -> Digest:
-    hasher = hashlib.sha256()
-    hasher.update(domain)
-    hasher.update(_encode_fields(fields))
-    return Digest(hasher.digest())
+    # Stream straight into the hasher -- byte-for-byte the same input
+    # as hashing ``domain || _encode_fields(fields)``, without building
+    # the intermediate list and joined copy.
+    hasher = hashlib.sha256(domain)
+    update = hasher.update
+    prefixes = _LEN_PREFIX
+    for field in fields:
+        size = len(field)
+        update(prefixes[size] if size < 513
+               else size.to_bytes(8, "big") + _SEPARATOR)
+        update(field)
+    return Digest._from_hash(hasher.digest())
 
 
 def hash_bytes(data: bytes) -> Digest:

@@ -111,6 +111,20 @@ class MerkleBPlusTree:
                 cache[index] = hash_leaf(keys[index], values[index])
         return cache
 
+    def refresh_root(self) -> tuple[Digest, int]:
+        """Recompute the root digest and report the work it took.
+
+        Returns ``(root, recomputed)`` where ``recomputed`` is how many
+        nodes this call re-hashed.  One call after a *batch* of
+        mutations walks every dirty path in a single pass, so shared
+        prefix nodes are hashed once for the whole batch instead of
+        once per operation -- the amortisation the batched server path
+        relies on.
+        """
+        before = self.digest_recomputations
+        root = self.node_digest(self._tree.root)
+        return root, self.digest_recomputations - before
+
     def node_digest(self, node: LeafNode | InternalNode) -> Digest:
         """Digest of ``node``, from cache when clean."""
         if node.digest is not None:

@@ -6,6 +6,11 @@ a Byzantine attack adapter (:mod:`repro.net.byzantine`) that aims the
 simulator's malicious-server gallery at the wire path, and forensic
 evidence bundles (:mod:`repro.net.evidence`) for provable detections."""
 
+from repro.net.aserver import (
+    AsyncServerHandle,
+    AsyncTrustedCvsServer,
+    serve_async_in_thread,
+)
 from repro.net.byzantine import WireAttack
 from repro.net.chaosproxy import ChaosConfig, ChaosProxy
 from repro.net.client import (
@@ -18,12 +23,21 @@ from repro.net.client import (
     count_sync_check,
     sync_check,
 )
+from repro.net.core import DedupTable, ServerCore
 from repro.net.evidence import EvidenceError, read_bundle, reverify, write_bundle
 from repro.net.framing import FramingError, recv_message, send_message
+from repro.net.pipeline import PipelinedRemoteClient, PipelinedRemoteClientP1
 from repro.net.server import TrustedCvsTcpServer, serve_in_thread
 from repro.net.wal import ServerStore, WalError
 
 __all__ = [
+    "AsyncServerHandle",
+    "AsyncTrustedCvsServer",
+    "serve_async_in_thread",
+    "DedupTable",
+    "ServerCore",
+    "PipelinedRemoteClient",
+    "PipelinedRemoteClientP1",
     "WireAttack",
     "ChaosConfig",
     "ChaosProxy",

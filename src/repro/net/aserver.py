@@ -1,0 +1,610 @@
+"""The asyncio Trusted-CVS server: one event loop, thousands of
+connections, batched execution.
+
+The threaded deployment (:mod:`repro.net.server`) spends a thread and a
+lock handoff per connection and pays one Merkle root recompute -- and,
+for Protocol I, one signature round trip -- per operation.  This server
+multiplexes every connection on a single event loop and runs **one
+drainer task** that owns the :class:`~repro.net.core.ServerCore`
+outright (single-writer: no lock exists at all).  Per loop iteration
+the drainer pulls everything the reader tasks have queued and applies
+it in arrival order as *batches*:
+
+* every fresh request of a batch is appended to the WAL and made
+  durable with a **single fsync** (group commit) before any of them
+  executes;
+* the Merkle root is recomputed **once per batch** -- one dirty-path
+  pass over all touched leaves (:meth:`MerkleBPlusTree.refresh_root`),
+  so sibling operations share the hashing of their common path
+  prefixes;
+* for Protocol I, a run of pipelined requests from one user becomes a
+  *signing run*: all but the last are stamped with the defer-followup
+  marker, so the server blocks -- and the client signs -- **once per
+  batch** instead of once per operation.
+
+Detection guarantees are unchanged: every operation still gets its own
+verification object, counter, and last-user attribution, and the
+per-op VO chain (old root -> new root) stays contiguous, so k-bounded
+deviation detection and the Lemma 4.1 register algebra apply exactly
+as before.  Dedup, WAL replay, Byzantine attack hooks, and snapshot
+policy are the shared core's -- byte-identical to the threaded server.
+
+Blocking semantics (Protocol I): a request that finds its branch
+awaiting another client's follow-up signature is parked, not refused;
+the drainer retries parked requests the moment a follow-up lands and
+refuses them with a retryable :class:`ErrorReply` when
+``block_timeout`` expires -- the same contract the threaded handler
+implements with its condition variable.
+
+Run it with :func:`serve_async_in_thread`: the loop lives in a daemon
+thread and the returned handle exposes the same management surface as
+the threaded server (``address``, ``stop``, ``quiesce``,
+``read_quiesced``, ``consistent_view``, ``initial_root_digest``), each
+bridged onto the loop with ``run_coroutine_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.mtree.database import VerifiedDatabase
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
+from repro.protocols.base import (
+    ErrorReply,
+    Followup,
+    Request,
+    ServerProtocol,
+    ServerState,
+)
+from repro.protocols.protocol1 import DEFER_FOLLOWUP_KEY
+from repro.net.core import DEDUP_WINDOW, SNAPSHOT_EVERY, ServerCore
+from repro.net.framing import (
+    FramingError,
+    async_recv_message,
+    async_send_message,
+)
+from repro.wire import WireError
+
+#: how long a parked request waits for another client's follow-up
+#: signature before being refused (Protocol I only)
+BLOCK_TIMEOUT_SECONDS = 30.0
+
+#: default per-batch execution cap: the drainer never applies more
+#: than this many requests under one group commit / root pass.
+BATCH_MAX = 64
+
+#: how long the drainer waits for a connection's send buffer to drain
+#: before declaring the client gone and aborting the transport.
+DRAIN_TIMEOUT_SECONDS = 10.0
+
+_REQUEST_MS = _registry.histogram(
+    "net.request_ms", "server-side request handling time (incl. blocking)")
+_FOLLOWUPS = _registry.counter(
+    "net.followups", "follow-up signatures absorbed (Protocol I)")
+_BLOCK_WAITS = _registry.counter(
+    "net.block_waits", "requests that found the server blocked (Protocol I)")
+_BLOCK_TIMEOUTS = _registry.counter(
+    "net.block_timeouts", "requests refused because the block never cleared")
+_INFLIGHT = _registry.gauge(
+    "net.inflight", "requests accepted but not yet answered (async server)")
+
+
+@dataclass
+class _Work:
+    """One queued wire message, waiting for the drainer."""
+
+    user: str
+    message: object  # Request | Followup
+    writer: asyncio.StreamWriter
+    enqueued_ns: int
+    deadline: float = 0.0  # set when the item is parked (blocked)
+    parked: bool = False
+
+
+@dataclass
+class _Shutdown:
+    """Queue sentinel: wakes the drainer so it can observe stop()."""
+
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+
+class AsyncTrustedCvsServer:
+    """Event-loop Trusted-CVS server over the shared :class:`ServerCore`.
+
+    Construct it, then run :meth:`start` on an event loop -- or use
+    :func:`serve_async_in_thread`, which owns a loop in a daemon thread
+    and bridges the management surface for synchronous callers.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        order: int = 8,
+        database: VerifiedDatabase | None = None,
+        protocol: ServerProtocol | None = None,
+        state: ServerState | None = None,
+        block_timeout: float = BLOCK_TIMEOUT_SECONDS,
+        data_dir: str | None = None,
+        snapshot_every: int = SNAPSHOT_EVERY,
+        fsync: bool = True,
+        attack=None,
+        dedup_window: int = DEDUP_WINDOW,
+        batch_max: int = BATCH_MAX,
+        drain_timeout: float = DRAIN_TIMEOUT_SECONDS,
+    ) -> None:
+        if batch_max < 1:
+            raise ValueError("batch_max must be at least 1")
+        self._host, self._port = host, port
+        self.block_timeout = block_timeout
+        self.batch_max = batch_max
+        self.drain_timeout = drain_timeout
+        self.core = ServerCore(order=order, database=database,
+                               protocol=protocol, state=state,
+                               data_dir=data_dir,
+                               snapshot_every=snapshot_every, fsync=fsync,
+                               attack=attack, dedup_window=dedup_window)
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._parked: list[_Work] = []
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._inflight = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._drainer: asyncio.Task | None = None
+        self._state_changed: asyncio.Condition = asyncio.Condition()
+        self._stopping = False
+        self.loop: asyncio.AbstractEventLoop | None = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def protocol(self) -> ServerProtocol:
+        return self.core.protocol
+
+    @property
+    def states(self) -> dict[str, ServerState]:
+        return self.core.states
+
+    @property
+    def attack(self):
+        return self.core.attack
+
+    @property
+    def replayed_records(self) -> int:
+        return self.core.replayed_records
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._server is not None, "server not started"
+        sock = self._server.sockets[0]
+        name = sock.getsockname()
+        return name[0], name[1]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, start accepting, and launch the drainer task."""
+        self.loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port)
+        self._drainer = asyncio.ensure_future(self._drain())
+
+    async def shutdown(self, snapshot: bool = False) -> None:
+        """Stop serving.  With ``snapshot=False`` this is the crash-
+        equivalent shutdown: transports are aborted (a SIGKILLed process
+        takes its sockets down with it) and nothing is flushed beyond
+        what the WAL already holds."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+        if self._drainer is not None:
+            # Wake the drainer with a sentinel so it exits between
+            # batches -- never mid-apply (apply_batch has no awaits, so
+            # cancellation could not split it anyway, but the sentinel
+            # also lets the drainer park cleanly).
+            sentinel = _Shutdown()
+            self._queue.put_nowait(sentinel)
+            await sentinel.done.wait()
+            self._drainer.cancel()
+            try:
+                await self._drainer
+            except asyncio.CancelledError:
+                pass
+        for writer in list(self._writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self.core.store is not None:
+            if snapshot:
+                self.core.snapshot()
+            self.core.close_store()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        try:
+            while not self._stopping:
+                try:
+                    message = await async_recv_message(reader)
+                except (FramingError, WireError, OSError):
+                    return
+                if message is None:
+                    return  # clean EOF
+                if not isinstance(message, (Request, Followup)):
+                    return  # protocol violation: drop the connection
+                if isinstance(message, Request):
+                    # The defer-followup marker is server-internal; a
+                    # client that sets it would skip its signing duty.
+                    message.extras.pop(DEFER_FOLLOWUP_KEY, None)
+                user_id = message.extras.get("user", "anonymous")
+                self._inflight += 1
+                if _obs.enabled:
+                    _INFLIGHT.set(self._inflight)
+                await self._queue.put(_Work(
+                    user=user_id, message=message, writer=writer,
+                    enqueued_ns=time.perf_counter_ns()))
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # -- the drainer -------------------------------------------------------
+
+    async def _drain(self) -> None:
+        """The single-writer task: the only code that touches the core."""
+        while True:
+            item = await self._next_item()
+            items: list = []
+            if item is not None:
+                items.append(item)
+                while not self._queue.empty():
+                    items.append(self._queue.get_nowait())
+            await self._process(items)
+            await self._expire_parked()
+            async with self._state_changed:
+                self._state_changed.notify_all()
+            for sentinel in [i for i in items if isinstance(i, _Shutdown)]:
+                sentinel.done.set()
+                return
+
+    async def _next_item(self):
+        """Next queued message, or ``None`` when a parked request's
+        deadline expires first."""
+        if not self._parked:
+            return await self._queue.get()
+        delay = max(0.0, min(w.deadline for w in self._parked)
+                    - time.monotonic())
+        try:
+            return await asyncio.wait_for(self._queue.get(), timeout=delay)
+        except asyncio.TimeoutError:
+            return None
+
+    async def _process(self, items: list) -> None:
+        core = self.core
+        blocking = getattr(core.protocol, "blocks_after_request", False)
+        supports_defer = getattr(core.protocol,
+                                 "supports_deferred_followup", False)
+        # Parked requests go first (they arrived before anything queued
+        # now), then this iteration's arrivals, in order.
+        candidates = [w for w in self._parked]
+        self._parked = []
+        candidates.extend(i for i in items if not isinstance(i, _Shutdown))
+        pending = list(reversed(candidates))  # pop() from the arrival end
+        batch: list[_Work] = []
+
+        async def flush() -> None:
+            if not batch:
+                return
+            entries = [(w.user, w.message) for w in batch]
+            try:
+                responses = core.apply_batch(entries)
+            except Exception:
+                # A request the protocol cannot execute (the threaded
+                # handler's equivalent is the handler thread dying and
+                # dropping that one connection).  Abort the batch's
+                # connections; the drainer must survive.
+                for work in batch:
+                    self._inflight -= 1
+                    transport = work.writer.transport
+                    if transport is not None:
+                        transport.abort()
+                if _obs.enabled:
+                    _INFLIGHT.set(self._inflight)
+                batch.clear()
+                return
+            await self._send_responses(batch, responses)
+            batch.clear()
+
+        while pending:
+            work = pending.pop()
+            if isinstance(work.message, Followup):
+                # Order matters: everything that arrived before this
+                # follow-up executes before it is absorbed.
+                await flush()
+                try:
+                    core.apply_followup(work.user, work.message)
+                except Exception:
+                    transport = work.writer.transport
+                    if transport is not None:
+                        transport.abort()
+                self._inflight -= 1
+                if _obs.enabled:
+                    _FOLLOWUPS.inc(user=work.user)
+                    _INFLIGHT.set(self._inflight)
+                # The follow-up may have unblocked a branch: give every
+                # parked request another chance, ahead of newer work.
+                if self._parked:
+                    for parked in reversed(self._parked):
+                        pending.append(parked)
+                    self._parked = []
+                continue
+            if blocking:
+                if batch:
+                    if (supports_defer and work.user == batch[0].user
+                            and len(batch) < self.batch_max):
+                        batch.append(work)
+                    else:
+                        self._park(work)
+                    continue
+                if core.blocked_for(work.user):
+                    self._park(work)
+                    continue
+                batch.append(work)
+            else:
+                batch.append(work)
+                if len(batch) >= self.batch_max:
+                    await flush()
+        await flush()
+
+    def _park(self, work: _Work) -> None:
+        """Hold a request until its branch unblocks (Protocol I)."""
+        if not work.parked:
+            work.parked = True
+            work.deadline = time.monotonic() + self.block_timeout
+            if _obs.enabled:
+                _BLOCK_WAITS.inc()
+        self._parked.append(work)
+
+    async def _expire_parked(self) -> None:
+        """Refuse parked requests whose block never cleared -- the same
+        retryable error frame the threaded handler sends on timeout."""
+        if not self._parked:
+            return
+        now = time.monotonic()
+        keep, expired = [], []
+        for work in self._parked:
+            (expired if work.deadline <= now else keep).append(work)
+        self._parked = keep
+        for work in expired:
+            self._inflight -= 1
+            if _obs.enabled:
+                _BLOCK_TIMEOUTS.inc()
+                _INFLIGHT.set(self._inflight)
+            if work.writer.is_closing():
+                continue
+            try:
+                await async_send_message(work.writer, ErrorReply(
+                    reason="server blocked awaiting a follow-up signature",
+                    extras={"timeout_s": self.block_timeout,
+                            "retryable": True}))
+            except (OSError, FramingError):
+                continue
+        if expired:
+            await self._drain_writers({w.writer for w in expired})
+
+    async def _send_responses(self, batch: list[_Work], responses: list) -> None:
+        writers: set[asyncio.StreamWriter] = set()
+        for work, response in zip(batch, responses):
+            self._inflight -= 1
+            if _obs.enabled:
+                _REQUEST_MS.observe(
+                    (time.perf_counter_ns() - work.enqueued_ns) / 1e6,
+                    user=work.user)
+                _INFLIGHT.set(self._inflight)
+            if work.writer.is_closing():
+                continue  # client gone; the op stands, dedup covers retries
+            try:
+                await async_send_message(work.writer, response)
+            except (OSError, FramingError):
+                continue
+            writers.add(work.writer)
+        await self._drain_writers(writers)
+
+    async def _drain_writers(self, writers: set) -> None:
+        """Apply backpressure per batch: one gathered drain, with a
+        timeout so one dead client cannot stall everyone's responses."""
+        drains = [self._drain_one(writer) for writer in writers
+                  if not writer.is_closing()]
+        if drains:
+            await asyncio.gather(*drains)
+
+    async def _drain_one(self, writer: asyncio.StreamWriter) -> None:
+        try:
+            await asyncio.wait_for(writer.drain(), timeout=self.drain_timeout)
+        except (asyncio.TimeoutError, OSError, ConnectionError):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+
+    # -- quiescence (on-loop coroutines) ------------------------------------
+
+    async def quiesce_async(self, timeout: float | None = None) -> bool:
+        """Wait until no follow-up is outstanding on any branch."""
+        if timeout is None:
+            timeout = self.block_timeout
+        return await self._await_unblocked(timeout)
+
+    async def read_quiesced_async(self, reader, timeout: float | None = None):
+        """Run ``reader(main_state)`` at a quiescent instant.
+
+        Atomic with respect to the drainer: between the predicate
+        turning true and ``reader`` returning there is no ``await``, and
+        the drainer only runs at loop yield points.
+        """
+        if timeout is None:
+            timeout = self.block_timeout
+        if not await self._await_unblocked(timeout):
+            return None
+        return reader(self.core.states["main"])
+
+    async def _await_unblocked(self, timeout: float) -> bool:
+        deadline = time.monotonic() + timeout
+        async with self._state_changed:
+            while not (self.core.all_unblocked() and self._queue.empty()
+                       and not self._parked):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                try:
+                    await asyncio.wait_for(self._state_changed.wait(),
+                                           timeout=remaining)
+                except asyncio.TimeoutError:
+                    return False
+            return True
+
+
+class AsyncServerHandle:
+    """Synchronous facade over a server whose loop runs in a thread.
+
+    Mirrors the management surface of the threaded
+    :class:`~repro.net.server.TrustedCvsTcpServer`, so harnesses (chaos
+    campaigns, benchmarks, tests) can drive either deployment through
+    one code path.
+    """
+
+    def __init__(self, server: AsyncTrustedCvsServer,
+                 loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self._server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def core(self) -> ServerCore:
+        return self._server.core
+
+    @property
+    def protocol(self) -> ServerProtocol:
+        return self._server.protocol
+
+    @property
+    def attack(self):
+        return self._server.attack
+
+    @property
+    def replayed_records(self) -> int:
+        return self._server.replayed_records
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.address
+
+    @property
+    def block_timeout(self) -> float:
+        return self._server.block_timeout
+
+    def _call(self, coroutine, timeout: float | None = None):
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(timeout)
+
+    def initial_root_digest(self):
+        """The *current* root digest, read atomically on the loop."""
+        async def _read():
+            return self._server.core.state.database.root_digest()
+        return self._call(_read())
+
+    def quiesce(self, timeout: float | None = None) -> bool:
+        if timeout is None:
+            timeout = self._server.block_timeout
+        return self._call(self._server.quiesce_async(timeout),
+                          timeout=timeout + 5.0)
+
+    def read_quiesced(self, reader, timeout: float | None = None):
+        if timeout is None:
+            timeout = self._server.block_timeout
+        return self._call(self._server.read_quiesced_async(reader, timeout),
+                          timeout=timeout + 5.0)
+
+    def consistent_view(self, timeout: float | None = None):
+        return self.read_quiesced(
+            lambda state: (state.database.root_digest(), state.ctr,
+                           self._server.core.round),
+            timeout=timeout)
+
+    def read_state(self, reader):
+        """Run ``reader(main_state)`` on the loop (no quiescence wait)."""
+        async def _read():
+            return reader(self._server.core.states["main"])
+        return self._call(_read())
+
+    def checkpoint(self) -> None:
+        async def _snap():
+            self._server.core.snapshot()
+        self._call(_snap())
+
+    def stop(self, snapshot: bool = False) -> None:
+        """Stop serving; ``snapshot=False`` is crash-equivalent."""
+        try:
+            self._call(self._server.shutdown(snapshot=snapshot), timeout=30.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            if not self._loop.is_running():
+                self._loop.close()
+
+
+def serve_async_in_thread(
+    order: int = 8,
+    database: VerifiedDatabase | None = None,
+    port: int = 0,
+    protocol: ServerProtocol | None = None,
+    state: ServerState | None = None,
+    block_timeout: float = BLOCK_TIMEOUT_SECONDS,
+    data_dir: str | None = None,
+    snapshot_every: int = SNAPSHOT_EVERY,
+    fsync: bool = True,
+    attack=None,
+    batch_max: int = BATCH_MAX,
+    dedup_window: int = DEDUP_WINDOW,
+) -> AsyncServerHandle:
+    """Start an async server on its own event-loop thread.
+
+    Returns a handle with the threaded server's management surface;
+    call ``handle.stop()`` when done.
+    """
+    loop = asyncio.new_event_loop()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_forever()
+
+    thread = threading.Thread(target=_run, daemon=True,
+                              name="trusted-cvs-aserver")
+    thread.start()
+
+    async def _build() -> AsyncTrustedCvsServer:
+        server = AsyncTrustedCvsServer(
+            order=order, database=database, port=port, protocol=protocol,
+            state=state, block_timeout=block_timeout, data_dir=data_dir,
+            snapshot_every=snapshot_every, fsync=fsync, attack=attack,
+            batch_max=batch_max, dedup_window=dedup_window)
+        await server.start()
+        return server
+
+    future = asyncio.run_coroutine_threadsafe(_build(), loop)
+    try:
+        server = future.result(timeout=30.0)
+    except Exception:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5.0)
+        raise
+    return AsyncServerHandle(server, loop, thread)

@@ -146,6 +146,14 @@ class RemoteClient:
         self.gctr = 0
         self.operations = 0
         self._seq = 0
+        # Request ids must name a *logical operation* uniquely for as
+        # long as the server's dedup window may remember it.  A bare
+        # ``user:seq`` resets with every anchor-less client object, so
+        # a new session for the same user could collide with the old
+        # session's window; the per-session nonce rules that out.  The
+        # anchor persists it, so a resumed process keeps deduping its
+        # own in-flight retries.
+        self._rid_nonce = os.urandom(4).hex()
         self._initial_tag = None
         if anchor_path is not None and os.path.isfile(anchor_path):
             self._load_anchor()
@@ -250,6 +258,8 @@ class RemoteClient:
             self.gctr = int(fields["gctr"])
             self.operations = int(fields["operations"])
             self._seq = int(fields["seq"])
+            # absent in pre-nonce anchors: keep their bare rid format
+            self._rid_nonce = fields.get("nonce", "")
         except KeyError as exc:
             corrupt(f"missing field {exc.args[0]!r}", exc)
         except ValueError as exc:
@@ -269,6 +279,8 @@ class RemoteClient:
             f"operations {self.operations}",
             f"seq {self._seq}",
         ]
+        if self._rid_nonce:
+            lines.append(f"nonce {self._rid_nonce}")
         tmp = self._anchor_path + ".tmp"
         with open(tmp, "w", encoding="ascii") as handle:
             handle.write("\n".join(lines) + "\n")
@@ -317,14 +329,39 @@ class RemoteClient:
             f"operation failed after {io_failures} connection failure(s) and "
             f"{busy_failures} busy refusal(s): {last_error}") from last_error
 
+    def _rid(self, seq: int) -> str:
+        """The idempotency token for logical operation ``seq``."""
+        if self._rid_nonce:
+            return f"{self.user_id}:{self._rid_nonce}:{seq}"
+        return f"{self.user_id}:{seq}"
+
     def execute(self, query: Query) -> object:
         """Send a query; verify the response; return the trusted answer."""
         started = time.perf_counter_ns() if _obs.enabled else 0
         request = Request(query=query, extras={
-            "user": self.user_id, "rid": f"{self.user_id}:{self._seq}"})
+            "user": self.user_id, "rid": self._rid(self._seq)})
         self._capture.clear()
+        response = self._exchange(request)
+        answer = self._absorb(query, request, response)
+        self._seq += 1
+        if self._anchor_path is not None:
+            self.save_anchor()
+        if started:
+            _CLIENT_OP_MS.observe(
+                (time.perf_counter_ns() - started) / 1e6, user=self.user_id)
+        return answer
+
+    def _absorb(self, query: Query, request: Request,
+                response: Response) -> object:
+        """Verify one response and fold it into the registers.
+
+        The verification core shared by the stop-and-wait path above
+        and the pipelined client
+        (:class:`~repro.net.pipeline.PipelinedRemoteClient`): counter
+        regression check, VO-derived root transition, tagged-state XOR
+        accumulation, evidence capture on detection.
+        """
         try:
-            response = self._exchange(request)
             try:
                 ctr = int(response.extras["ctr"])
                 last_user = response.extras["last_user"]
@@ -351,12 +388,6 @@ class RemoteClient:
         self.last = new_tag
         self.gctr = ctr + 1
         self.operations += 1
-        self._seq += 1
-        if self._anchor_path is not None:
-            self.save_anchor()
-        if started:
-            _CLIENT_OP_MS.observe(
-                (time.perf_counter_ns() - started) / 1e6, user=self.user_id)
         return outcome.answer
 
     def _on_detection(self, exc: IntegrityError, request: Request) -> None:

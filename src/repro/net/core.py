@@ -1,0 +1,425 @@
+"""The transport-agnostic server core shared by the threaded and the
+asyncio deployments.
+
+Everything a Trusted-CVS server *is* -- the named state branches, the
+protocol, the request-ID dedup table, the WAL + snapshot store, the
+Byzantine attack hooks, and the tick counter -- lives here, with **no
+locking of its own**.  The caller owns serialisation:
+
+* :class:`~repro.net.server.TrustedCvsTcpServer` wraps every call in
+  its ``state_cond`` condition variable (thread-per-connection model);
+* :class:`~repro.net.aserver.AsyncTrustedCvsServer` funnels every call
+  through a single event-loop drainer task (single-writer model), so
+  no lock is needed at all.
+
+The core also implements the *batched* execution path the async server
+amortises its work through: :meth:`ServerCore.apply_batch` dedups a
+whole batch, appends every fresh request to the WAL with **one** fsync
+(group commit), executes them back to back, and recomputes the Merkle
+root **once** over all dirty paths (:meth:`MerkleBPlusTree.refresh_root`).
+For Protocol I a multi-request batch from one user is a *signing run*:
+every request but the last is stamped with the defer-followup marker
+before it is logged, so the server blocks (and the client signs) once
+per batch rather than once per operation -- and WAL replay, which sees
+the stamped requests, reconstructs the exact same per-op responses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.mtree.database import VerifiedDatabase
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
+from repro.protocols.base import (
+    Followup,
+    Request,
+    Response,
+    ServerProtocol,
+    ServerState,
+    request_id,
+)
+from repro.protocols.protocol1 import DEFER_FOLLOWUP_KEY
+from repro.protocols.protocol2 import Protocol2Server
+from repro.net.byzantine import as_wire_attack
+from repro.net.wal import ServerStore
+
+#: write a snapshot (and truncate the WAL) every this many logged
+#: messages; bounds replay work after a crash.
+SNAPSHOT_EVERY = 256
+
+#: how many recent (request id, response) pairs the server remembers
+#: per user.  Must be at least as large as the deepest client pipeline
+#: window, or a reconnecting pipelined client's verbatim resend could
+#: re-execute its oldest in-flight operations.
+DEDUP_WINDOW = 256
+
+_WAL_APPENDS = _registry.counter(
+    "server.wal_appends", "messages durably logged before execution")
+_WAL_REPLAYS = _registry.counter(
+    "server.wal_replays", "WAL records re-executed during recovery")
+_SNAPSHOTS = _registry.counter(
+    "server.snapshots", "state snapshots written (WAL truncations)")
+_DEDUP_HITS = _registry.counter(
+    "server.dedup_hits", "retried requests answered from the dedup table")
+_BATCHES = _registry.counter(
+    "server.batches", "request batches executed (group commit + one root pass)")
+_BATCH_SIZE = _registry.histogram(
+    "server.batch_size", "requests executed per batch")
+_BATCH_ROOT_NODES = _registry.histogram(
+    "server.batch_root_nodes", "Merkle nodes recomputed by the per-batch root pass")
+
+
+class DedupTable:
+    """Windowed per-user memory of (request id -> response).
+
+    PR 4's table kept exactly one entry per user, which suffices for a
+    stop-and-wait client but not for a pipelined one: a client with W
+    in-flight operations that reconnects resends *all* W verbatim, and
+    any of them may or may not have executed before the crash.  Keeping
+    the last ``window`` responses per user makes the verbatim resend of
+    a whole window answerable without re-execution.
+    """
+
+    def __init__(self, window: int = DEDUP_WINDOW) -> None:
+        if window < 1:
+            raise ValueError("dedup window must hold at least one entry")
+        self.window = window
+        self._users: dict[str, OrderedDict[str, Response]] = {}
+
+    def lookup(self, user_id: str, rid: str) -> Response | None:
+        entries = self._users.get(user_id)
+        if entries is None:
+            return None
+        return entries.get(rid)
+
+    def record(self, user_id: str, rid: str, response: Response) -> None:
+        entries = self._users.setdefault(user_id, OrderedDict())
+        entries[rid] = response
+        entries.move_to_end(rid)
+        while len(entries) > self.window:
+            entries.popitem(last=False)
+
+    def export(self) -> dict[str, list[tuple[str, Response]]]:
+        """Snapshot-serialisable form: user -> ordered (rid, response)."""
+        return {user: list(entries.items())
+                for user, entries in self._users.items()}
+
+    def load(self, data: dict) -> None:
+        """Restore from :meth:`export` output (oldest first per user)."""
+        self._users.clear()
+        for user, pairs in data.items():
+            entries = OrderedDict()
+            for rid, response in pairs:
+                entries[rid] = response
+            self._users[user] = entries
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._users.values())
+
+
+class ServerCore:
+    """State, durability, and execution for one Trusted-CVS server.
+
+    No locking: the owner must serialise all calls (see module docs).
+    """
+
+    def __init__(
+        self,
+        order: int = 8,
+        database: VerifiedDatabase | None = None,
+        protocol: ServerProtocol | None = None,
+        state: ServerState | None = None,
+        data_dir: str | None = None,
+        snapshot_every: int = SNAPSHOT_EVERY,
+        fsync: bool = True,
+        attack=None,
+        dedup_window: int = DEDUP_WINDOW,
+    ) -> None:
+        self.protocol = protocol or Protocol2Server()
+        self.snapshot_every = snapshot_every
+        self._round = 0
+        self.dedup = DedupTable(dedup_window)
+        self._ops_since_snapshot = 0
+        self.store: ServerStore | None = None
+        self.replayed_records = 0
+        #: named state branches; ``"main"`` is the honest history, other
+        #: entries are per-victim forks a Byzantine attack may create.
+        self.states: dict[str, ServerState] = {}
+        self.attack = as_wire_attack(attack)
+        if data_dir is not None:
+            self.store = ServerStore(data_dir, fsync=fsync)
+            self._recover(order=order, database=database, state=state)
+        else:
+            if state is not None:
+                self.state = state
+            else:
+                self.state = ServerState(
+                    database=database or VerifiedDatabase(order=order))
+            self.protocol.initialize(self.state)
+
+    @property
+    def state(self) -> ServerState:
+        """The main (honest-history) state branch."""
+        return self.states["main"]
+
+    @state.setter
+    def state(self, value: ServerState) -> None:
+        self.states["main"] = value
+
+    # -- durability --------------------------------------------------------
+
+    def _recover(self, order: int, database: VerifiedDatabase | None,
+                 state: ServerState | None) -> None:
+        """Restore from snapshot + WAL, or bootstrap a fresh store."""
+        snapshot = self.store.load_snapshot()
+        if snapshot is None:
+            # First run in this directory: initialise, then anchor the
+            # WAL chain with a genesis snapshot so every later record
+            # verifies against a recorded head.
+            if state is not None:
+                self.state = state
+            else:
+                self.state = ServerState(
+                    database=database or VerifiedDatabase(order=order))
+            self.protocol.initialize(self.state)
+            self.store.write_snapshot(self.state, self.dedup.export())
+        else:
+            restored_db, ctr, meta, dedup, chain = snapshot
+            self.state = ServerState(database=restored_db, ctr=ctr, meta=meta)
+            self.dedup.load(dedup)
+            self.store.set_chain(chain)
+        records = self.store.wal_records(self.store._chain)
+        for message in records:
+            user_id = message.extras.get("user", "anonymous")
+            if isinstance(message, Followup):
+                self._execute_followup(user_id, message)
+            else:
+                response = self._execute_request(user_id, message)
+                rid = request_id(message)
+                if rid is not None:
+                    self.dedup.record(user_id, rid, response)
+            if _obs.enabled:
+                _WAL_REPLAYS.inc()
+        self.replayed_records = len(records)
+        self._ops_since_snapshot = len(records)
+
+    def _execute_request(self, user_id: str, message: Request) -> Response:
+        """Execute a request at the next tick -- honestly, or through the
+        configured attack.  Both the live path and WAL replay come here,
+        so after a crash the per-victim forked branches are deterministically
+        reconstructed (the attack triggers on the same tick indices)."""
+        round_no = self.tick()
+        if self.attack is not None:
+            response = self.attack.apply_request(self, user_id, message, round_no)
+        else:
+            response = self.protocol.handle_request(
+                user_id, message, self.state, round_no=round_no)
+        rid = request_id(message)
+        if rid is not None:
+            # Echo the idempotency token so pipelined clients can match
+            # replies to in-flight requests without trusting FIFO order.
+            response.extras.setdefault("rid", rid)
+        return response
+
+    def _execute_followup(self, user_id: str, message: Followup) -> None:
+        round_no = self.tick()
+        if self.attack is not None:
+            self.attack.apply_followup(self, user_id, message, round_no)
+            return
+        self.protocol.handle_followup(
+            user_id, message, self.state, round_no=round_no)
+
+    # -- single-message application (threaded wire path, replay) ----------
+
+    def apply_request(self, user_id: str, message: Request) -> Response:
+        """Dedup-check, log, and execute one request (caller serialised)."""
+        rid = request_id(message)
+        if rid is not None:
+            cached = self.dedup.lookup(user_id, rid)
+            if cached is not None:
+                # A retry of an operation that already executed: return
+                # the recorded response so the write is never applied
+                # twice and the client's register chain stays intact.
+                if _obs.enabled:
+                    _DEDUP_HITS.inc(user=user_id)
+                return cached
+        if self.store is not None:
+            self.store.wal_append(message)
+            if _obs.enabled:
+                _WAL_APPENDS.inc()
+        response = self._execute_request(user_id, message)
+        if rid is not None:
+            self.dedup.record(user_id, rid, response)
+        self._after_logged_message()
+        return response
+
+    def apply_followup(self, user_id: str, message: Followup) -> None:
+        """Log and absorb one follow-up message (caller serialised)."""
+        if self.store is not None:
+            self.store.wal_append(message)
+            if _obs.enabled:
+                _WAL_APPENDS.inc()
+        self._execute_followup(user_id, message)
+        self._after_logged_message()
+
+    # -- batched application (async wire path) ------------------------------
+
+    def apply_batch(self, entries: list[tuple[str, Request]]) -> list[Response]:
+        """Execute a batch of requests with amortised durability + hashing.
+
+        ``entries`` is ``[(user_id, request), ...]`` in execution order.
+        Costs amortised across the batch:
+
+        * **one** WAL flush+fsync covers every fresh request (each is
+          still appended *before* any of them executes);
+        * **one** Merkle dirty-path pass recomputes the root digest over
+          all leaves the batch touched;
+        * for a Protocol I signing run (one user, deferred follow-ups)
+          the server blocks -- and the operating client signs -- once.
+
+        Returns the responses aligned with ``entries``.  Duplicate
+        request ids (dedup hits and intra-batch retries) are answered
+        from the recorded response, never re-executed.
+        """
+        plan: list[tuple[str, object]] = []
+        staged: set[tuple[str, str]] = set()
+        fresh: list[tuple[str, Request]] = []
+        for user_id, message in entries:
+            rid = request_id(message)
+            if rid is not None:
+                cached = self.dedup.lookup(user_id, rid)
+                if cached is not None:
+                    if _obs.enabled:
+                        _DEDUP_HITS.inc(user=user_id)
+                    plan.append(("cached", cached))
+                    continue
+                if (user_id, rid) in staged:
+                    # The same id twice in one batch (a client retried
+                    # while the original was still queued): answer the
+                    # second from the table after the first executes.
+                    plan.append(("dup", (user_id, rid)))
+                    continue
+                staged.add((user_id, rid))
+            plan.append(("exec", len(fresh)))
+            fresh.append((user_id, message))
+
+        if fresh and self._is_signing_run(fresh):
+            # Stamp every request but the last *before* logging, so WAL
+            # replay reconstructs the identical deferred-followup run.
+            for _user, message in fresh[:-1]:
+                message.extras[DEFER_FOLLOWUP_KEY] = True
+
+        if self.store is not None and fresh:
+            for _user, message in fresh:
+                self.store.wal_append(message, sync=False)
+                if _obs.enabled:
+                    _WAL_APPENDS.inc()
+            self.store.wal_sync()
+
+        executed: list[Response] = []
+        for user_id, message in fresh:
+            response = self._execute_request(user_id, message)
+            rid = request_id(message)
+            if rid is not None:
+                self.dedup.record(user_id, rid, response)
+            executed.append(response)
+
+        if fresh:
+            recomputed = self.refresh_roots()
+            if _obs.enabled:
+                _BATCHES.inc()
+                _BATCH_SIZE.observe(len(fresh))
+                _BATCH_ROOT_NODES.observe(recomputed)
+            self._ops_since_snapshot += len(fresh)
+            self._maybe_snapshot()
+
+        responses: list[Response] = []
+        for kind, payload in plan:
+            if kind == "cached":
+                responses.append(payload)
+            elif kind == "exec":
+                responses.append(executed[payload])
+            else:  # "dup"
+                user_id, rid = payload
+                responses.append(self.dedup.lookup(user_id, rid))
+        return responses
+
+    def _is_signing_run(self, fresh: list[tuple[str, Request]]) -> bool:
+        """Whether this batch is a Protocol I-style signing run: a
+        blocking protocol that supports deferred follow-ups, fed more
+        than one request from a single user."""
+        if len(fresh) < 2:
+            return False
+        if not getattr(self.protocol, "supports_deferred_followup", False):
+            return False
+        first_user = fresh[0][0]
+        return all(user == first_user for user, _message in fresh)
+
+    def refresh_roots(self) -> int:
+        """One batched dirty-path Merkle pass over every state branch;
+        returns the number of nodes recomputed."""
+        recomputed = 0
+        for state in self.states.values():
+            _root, nodes = state.database.mtree.refresh_root()
+            recomputed += nodes
+        return recomputed
+
+    # -- snapshots ---------------------------------------------------------
+
+    def _after_logged_message(self) -> None:
+        if self.store is None:
+            return
+        self._ops_since_snapshot += 1
+        self._maybe_snapshot()
+
+    def _maybe_snapshot(self) -> None:
+        if self.store is None:
+            return
+        if self._ops_since_snapshot >= self.snapshot_every:
+            self.snapshot()
+
+    def snapshot(self) -> None:
+        """Write a snapshot now (durable mode only); truncates the WAL."""
+        if self.store is None:
+            return
+        if self.attack is not None:
+            # A snapshot persists only the main branch and truncates the
+            # WAL beneath any Byzantine forks; replaying from it could
+            # not reconstruct them (ticks restart at the snapshot).  In
+            # Byzantine mode the genesis-anchored WAL is the sole truth.
+            return
+        self.store.write_snapshot(self.state, self.dedup.export())
+        self._ops_since_snapshot = 0
+        if _obs.enabled:
+            _SNAPSHOTS.inc()
+
+    # -- shared plumbing ---------------------------------------------------
+
+    def tick(self) -> int:
+        self._round += 1
+        return self._round
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def blocked_for(self, user_id: str) -> bool:
+        """Whether this user's next request must wait.
+
+        Honest servers have one history; a Byzantine server routes the
+        check through the branch the attack would serve this user from,
+        so a forked victim blocks on its own branch's pending follow-up
+        rather than the main branch's.
+        """
+        if self.attack is not None:
+            state = self.attack.route_state(self, user_id, self._round + 1)
+            return self.protocol.blocked(state)
+        return self.protocol.blocked(self.state)
+
+    def all_unblocked(self) -> bool:
+        return all(not self.protocol.blocked(s) for s in self.states.values())
+
+    def close_store(self) -> None:
+        if self.store is not None:
+            self.store.close()

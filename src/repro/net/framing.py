@@ -1,7 +1,14 @@
-"""Message framing for socket transport: 4-byte length + wire bytes."""
+"""Message framing for socket transport: 4-byte length + wire bytes.
+
+Both the blocking (:func:`send_message`/:func:`recv_message`) and the
+asyncio (:func:`async_send_message`/:func:`async_recv_message`) halves
+speak the identical frame format, so threaded clients talk to the
+async server and vice versa.
+"""
 
 from __future__ import annotations
 
+import asyncio
 import socket
 import struct
 
@@ -61,6 +68,56 @@ def recv_message(sock: socket.socket,
     if length > MAX_FRAME:
         raise FramingError(f"peer announced a {length}-byte frame")
     payload = _recv_exact(sock, length, allow_eof=False, what="payload")
+    if capture is not None:
+        capture.append(payload)
+    if _obs.enabled:
+        _FRAMES_RECEIVED.inc()
+        _BYTES_RECEIVED.inc(4 + length)
+        _FRAME_BYTES.observe(length, direction="in")
+    return decode(payload)
+
+
+async def async_send_message(writer: asyncio.StreamWriter,
+                             message: object) -> None:
+    """Encode and send one message on a stream writer (does not drain;
+    the caller decides when to apply backpressure)."""
+    payload = encode(message)
+    if len(payload) > MAX_FRAME:
+        raise FramingError(f"frame of {len(payload)} bytes exceeds the maximum")
+    writer.write(struct.pack(">I", len(payload)) + payload)
+    if _obs.enabled:
+        _FRAMES_SENT.inc()
+        _BYTES_SENT.inc(4 + len(payload))
+        _FRAME_BYTES.observe(len(payload), direction="out")
+
+
+async def async_recv_message(reader: asyncio.StreamReader,
+                             capture: list | None = None) -> object | None:
+    """Receive one message; None on clean EOF at a frame boundary.
+
+    The async twin of :func:`recv_message`, with identical failure
+    semantics: EOF inside a frame raises :class:`FramingError`.
+    """
+    try:
+        header = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF at a frame boundary
+        raise FramingError(
+            f"connection closed mid-length prefix: "
+            f"{len(exc.partial)} of 4 bytes") from exc
+    try:
+        (length,) = struct.unpack(">I", header)
+    except struct.error as exc:  # defensive: readexactly guarantees 4 bytes
+        raise FramingError(f"unreadable frame header: {exc}") from exc
+    if length > MAX_FRAME:
+        raise FramingError(f"peer announced a {length}-byte frame")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FramingError(
+            f"connection closed mid-payload: "
+            f"{len(exc.partial)} of {length} bytes") from exc
     if capture is not None:
         capture.append(payload)
     if _obs.enabled:

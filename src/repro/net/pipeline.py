@@ -1,0 +1,348 @@
+"""Pipelined verifying clients: up to W in-flight operations per user.
+
+A stop-and-wait client pays one full round trip per operation.  Since
+every operation carries an idempotent request id (``user:nonce:seq``)
+and the server answers each connection's requests in order, a client
+can safely keep a *window* of W operations in flight: submit W
+requests back to back, then match responses to requests by their
+echoed rid and verify each one exactly as the stop-and-wait path does.
+Nothing about verification weakens -- every response still carries its
+own VO, counter, and attribution, and the register algebra (Protocol
+II) or signature chain (Protocol I) is updated per operation in order.
+
+Crash recovery (Protocol II): when the connection drops mid-window the
+client reconnects and resends *every* in-flight request verbatim.  The
+server's windowed dedup table answers the already-executed ones from
+its memory and executes the rest, so the pipeline resumes with
+exactly-once application -- this is why the server's dedup window must
+be at least as deep as the client's pipeline.
+
+Protocol I batching: the async server turns a run of W pipelined
+requests from one user into a *signing run* -- only the last response
+carries ``batch_final=True``.  The client verifies the run's first
+response against the server-presented RSA signature (the newest signed
+root) and each subsequent response by *hash-chain membership*: its
+VO-derived old root must equal the previous operation's derived new
+root with a contiguous counter.  It signs once, over the batch-final
+root, so RSA work drops from one sign + one verify per operation to at
+most one of each per batch -- while a tampered operation anywhere in
+the run still breaks either its VO or the root chain and is detected
+immediately.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+
+from repro.crypto.hashing import Digest
+from repro.mtree.database import Query
+from repro.mtree.proofs import ProofError
+from repro.net.client import (
+    IntegrityError,
+    RemoteClient,
+    RemoteClientP1,
+    ServerBusyError,
+    TransientNetworkError,
+    _expect_response,
+)
+from repro.net.framing import FramingError, recv_message, send_message
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
+from repro.protocols.base import Followup, Request
+from repro.protocols.verify import derive_outcome
+from repro.wire import WireError
+
+#: default pipeline window; the server's dedup window (256) must stay
+#: comfortably above whatever is used here.
+DEFAULT_WINDOW = 16
+
+_RESENDS = _registry.counter(
+    "net.pipeline_resends", "in-flight requests resent after a reconnect")
+_WINDOW_FULL = _registry.counter(
+    "net.pipeline_window_full", "submissions that had to drain a slot first")
+
+
+class PipelinedRemoteClient(RemoteClient):
+    """A Protocol II session keeping up to ``window`` operations in flight.
+
+    ``submit(query)`` queues an operation (draining the oldest in-flight
+    one first if the window is full) and returns any answers that
+    completed as a side effect; ``drain()`` completes everything still
+    in flight.  ``execute()`` degrades to submit-and-drain, so the
+    convenience verbs (``get``/``put``/...) still work stop-and-wait.
+    """
+
+    def __init__(self, *args, window: int = DEFAULT_WINDOW, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if window < 1:
+            raise ValueError("pipeline window must be at least 1")
+        self.window = window
+        self._inflight: deque[tuple[Query, Request]] = deque()
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def submit(self, query: Query) -> list:
+        """Queue one operation; returns answers completed on the way.
+
+        Blocks only when the window is full (drains the oldest slot) or
+        the transport needs recovery.
+        """
+        drained = []
+        while len(self._inflight) >= self.window:
+            if _obs.enabled:
+                _WINDOW_FULL.inc(user=self.user_id)
+            drained.append(self._drain_one())
+        request = Request(query=query, extras={
+            "user": self.user_id, "rid": self._rid(self._seq)})
+        self._seq += 1
+        self._inflight.append((query, request))
+        if self._sock is None:
+            self._recover_connection()
+        else:
+            try:
+                send_message(self._sock, request)
+            except OSError:
+                self._drop_connection()
+                self._recover_connection()
+        return drained
+
+    def drain(self) -> list:
+        """Complete (and verify) every in-flight operation, in order."""
+        answers = []
+        while self._inflight:
+            answers.append(self._drain_one())
+        return answers
+
+    def execute(self, query: Query) -> object:
+        """Stop-and-wait compatibility: submit, then drain everything."""
+        answers = self.submit(query)
+        answers.extend(self.drain())
+        return answers[-1]
+
+    def _drain_one(self) -> object:
+        policy = self._retry
+        failures = 0
+        while True:
+            try:
+                if self._sock is None:
+                    self._recover_connection()
+                self._capture.clear()
+                message = recv_message(self._sock, capture=self._capture)
+                if message is None:
+                    raise FramingError("server closed the connection")
+                break
+            except (OSError, FramingError, WireError) as exc:
+                self._drop_connection()
+                failures += 1
+                if failures >= policy.attempts:
+                    raise TransientNetworkError(
+                        f"pipelined operation failed after {failures} "
+                        f"connection failure(s): {exc}") from exc
+                time.sleep(policy.delay(failures - 1))
+        response = _expect_response(message)
+        query, request = self._inflight.popleft()
+        echoed = response.extras.get("rid")
+        if echoed is not None and echoed != request.extras["rid"]:
+            exc = IntegrityError(
+                f"response names request id {echoed!r} but the oldest "
+                f"in-flight operation is {request.extras['rid']!r}: the "
+                "server reordered or dropped operations within one "
+                "connection")
+            self._on_detection(exc, request)
+            raise exc
+        answer = self._absorb(query, request, response)
+        if self._anchor_path is not None:
+            self.save_anchor()
+        return answer
+
+    def _recover_connection(self) -> None:
+        """Reconnect and resend every in-flight request verbatim.
+
+        Any of them may or may not have executed before the connection
+        died; identical rids make the resend idempotent (the server's
+        windowed dedup answers executed ones from memory), so the whole
+        window is re-answered in order on the new connection.  Raises
+        ``TransientNetworkError`` when the retry budget runs out.
+        """
+        policy = self._retry
+        last_error: Exception | None = None
+        for attempt in range(policy.attempts):
+            try:
+                self._connect()
+                for _query, request in self._inflight:
+                    send_message(self._sock, request)
+                    if _obs.enabled:
+                        _RESENDS.inc(user=self.user_id)
+                return
+            except OSError as exc:
+                last_error = exc
+                self._drop_connection()
+                if attempt + 1 < policy.attempts:
+                    time.sleep(policy.delay(attempt))
+        raise TransientNetworkError(
+            f"could not recover the pipelined connection after "
+            f"{policy.attempts} attempt(s): {last_error}") from last_error
+
+    def close(self) -> None:
+        # Draining on close would mask errors; callers drain explicitly.
+        super().close()
+
+
+class PipelinedRemoteClientP1(RemoteClientP1):
+    """A Protocol I session with batched signature verification.
+
+    The async server answers a window of W requests as one signing run:
+    intermediate responses carry ``batch_final=False`` and the stored
+    (stale) head signature; only the final one demands the client's
+    follow-up signature.  Verification per response:
+
+    * *batch head* (first response after this client sent -- or
+      bootstrap-deposited -- a signature): full RSA verification of the
+      presented signature over ``h(old_root || ctr)``;
+    * *inside a run*: hash-chain membership -- the VO-derived old root
+      must equal the previous operation's derived new root, with
+      ``ctr`` advancing by exactly one.
+
+    Every operation's VO is still independently verified, so a tampered
+    answer or root anywhere in the run raises
+    :class:`~repro.net.client.IntegrityError` (with an evidence bundle
+    when configured) exactly as the unbatched client would.
+    ``followups_sent`` counts signatures produced: against the batching
+    server it is ~operations/W instead of ``operations``.
+
+    No transparent reconnect, matching :class:`RemoteClientP1`: a lost
+    connection mid-run surfaces as ``TransientNetworkError``.
+    """
+
+    def __init__(self, host: str, port: int, user_id: str,
+                 signer, verifier, order: int = 8,
+                 window: int = DEFAULT_WINDOW, **kwargs) -> None:
+        super().__init__(host, port, user_id, signer, verifier,
+                         order=order, **kwargs)
+        if window < 1:
+            raise ValueError("pipeline window must be at least 1")
+        self.window = window
+        self._inflight: deque[tuple[Query, Request]] = deque()
+        self._rid_nonce = os.urandom(4).hex()
+        self._next_seq = 0
+        #: True when the next response must present a verifiable RSA
+        #: signature (batch head); False inside a signing run.
+        self._expect_signed = True
+        self._prev_new_root: Digest | None = None
+        self._prev_ctr: int | None = None
+        self.followups_sent = 0
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def submit(self, query: Query) -> list:
+        """Queue one operation; returns answers completed on the way."""
+        drained = []
+        while len(self._inflight) >= self.window:
+            drained.append(self._drain_one())
+        request = Request(query=query, extras={
+            "user": self.user_id,
+            "rid": f"{self.user_id}:{self._rid_nonce}:{self._next_seq}"})
+        self._next_seq += 1
+        self._inflight.append((query, request))
+        try:
+            send_message(self._sock, request)
+        except (OSError, FramingError) as exc:
+            raise TransientNetworkError(
+                f"Protocol I pipelined submit failed in transit: {exc}") from exc
+        return drained
+
+    def drain(self) -> list:
+        """Complete (and verify) every in-flight operation, in order."""
+        answers = []
+        while self._inflight:
+            answers.append(self._drain_one())
+        return answers
+
+    def execute(self, query: Query) -> object:
+        """Stop-and-wait compatibility: submit, then drain everything."""
+        answers = self.submit(query)
+        answers.extend(self.drain())
+        return answers[-1]
+
+    def _drain_one(self) -> object:
+        from repro.crypto.signatures import Signature
+
+        try:
+            self._capture.clear()
+            message = recv_message(self._sock, capture=self._capture)
+            if message is None:
+                raise FramingError("server closed the connection")
+        except (OSError, FramingError) as exc:
+            raise TransientNetworkError(
+                f"Protocol I pipelined operation failed in transit: "
+                f"{exc}") from exc
+        response = _expect_response(message)
+        query, request = self._inflight.popleft()
+        try:
+            echoed = response.extras.get("rid")
+            if echoed is not None and echoed != request.extras["rid"]:
+                raise IntegrityError(
+                    f"response names request id {echoed!r} but the oldest "
+                    f"in-flight operation is {request.extras['rid']!r}")
+            try:
+                ctr = int(response.extras["ctr"])
+                last_user = response.extras["last_user"]
+                signature = response.extras["sig"]
+                final = bool(response.extras.get("batch_final", True))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise IntegrityError("malformed response") from exc
+            if ctr < self.gctr:
+                raise IntegrityError(
+                    f"operation counter regressed: {ctr} after {self.gctr}")
+            try:
+                outcome = derive_outcome(query, response.result, self._order)
+            except ProofError as exc:
+                raise IntegrityError(
+                    f"verification object rejected: {exc}") from exc
+            if self._expect_signed:
+                expected = self._hash_state(outcome.old_root, ctr)
+                if (not isinstance(signature, Signature)
+                        or signature.signer_id != last_user
+                        or not self._verifier.verify(signature, expected)):
+                    raise IntegrityError("illegitimate state signature")
+            else:
+                # Inside a signing run: membership in the hash chain
+                # anchored at the batch head's verified signature.
+                if outcome.old_root != self._prev_new_root:
+                    raise IntegrityError(
+                        "batch root chain broken: this operation's "
+                        "pre-state is not the previous operation's "
+                        "post-state")
+                if self._prev_ctr is None or ctr != self._prev_ctr + 1:
+                    raise IntegrityError(
+                        f"batch counter not contiguous: {ctr} after "
+                        f"{self._prev_ctr}")
+        except IntegrityError as exc:
+            if isinstance(exc, ServerBusyError):
+                raise
+            self._on_detection(exc, request)
+            raise
+        self.lctr += 1
+        self.gctr = ctr + 1
+        self._prev_new_root = outcome.new_root
+        self._prev_ctr = ctr
+        if final:
+            new_sig = self._signer.sign(
+                self._hash_state(outcome.new_root, ctr + 1))
+            try:
+                send_message(self._sock, Followup(
+                    extras={"sig": new_sig, "user": self.user_id}))
+            except (OSError, FramingError) as exc:
+                raise TransientNetworkError(
+                    f"Protocol I follow-up failed in transit: {exc}") from exc
+            self.followups_sent += 1
+            self._expect_signed = True
+        else:
+            self._expect_signed = False
+        return outcome.answer

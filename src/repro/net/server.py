@@ -21,6 +21,13 @@ keeps a write-ahead log and periodic shape-exact snapshots (see
 root digest, counters, and request-ID dedup table, so clients that
 retry in-flight operations are answered exactly once and resume their
 verified sessions as if nothing happened.
+
+This is the *threaded* deployment: one handler thread per connection,
+all of them serialised through ``state_cond``.  The state machine
+itself -- branches, dedup, WAL, attack hooks -- lives in
+:class:`~repro.net.core.ServerCore`, shared with the asyncio
+deployment (:mod:`repro.net.aserver`), which multiplexes thousands of
+connections on one event loop and batches work instead.
 """
 
 from __future__ import annotations
@@ -40,21 +47,15 @@ from repro.protocols.base import (
     Response,
     ServerProtocol,
     ServerState,
-    request_id,
 )
-from repro.protocols.protocol2 import Protocol2Server
-from repro.net.byzantine import as_wire_attack
+from repro.protocols.protocol1 import DEFER_FOLLOWUP_KEY
+from repro.net.core import DEDUP_WINDOW, SNAPSHOT_EVERY, ServerCore
 from repro.net.framing import FramingError, recv_message, send_message
-from repro.net.wal import ServerStore
 from repro.wire import WireError
 
 #: how long a handler waits for another client's follow-up signature
 #: before giving up on the request (Protocol I only)
 BLOCK_TIMEOUT_SECONDS = 30.0
-
-#: write a snapshot (and truncate the WAL) every this many logged
-#: messages; bounds replay work after a crash.
-SNAPSHOT_EVERY = 256
 
 _REQUEST_MS = _registry.histogram(
     "net.request_ms", "server-side request handling time (incl. blocking)")
@@ -66,14 +67,6 @@ _BLOCK_TIMEOUTS = _registry.counter(
     "net.block_timeouts", "requests refused because the block never cleared")
 _FOLLOWUPS = _registry.counter(
     "net.followups", "follow-up signatures absorbed (Protocol I)")
-_WAL_APPENDS = _registry.counter(
-    "server.wal_appends", "messages durably logged before execution")
-_WAL_REPLAYS = _registry.counter(
-    "server.wal_replays", "WAL records re-executed during recovery")
-_SNAPSHOTS = _registry.counter(
-    "server.snapshots", "state snapshots written (WAL truncations)")
-_DEDUP_HITS = _registry.counter(
-    "server.dedup_hits", "retried requests answered from the dedup table")
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -81,7 +74,11 @@ class _Handler(socketserver.BaseRequestHandler):
         server: TrustedCvsTcpServer = self.server  # type: ignore[assignment]
         server._register_connection(self.request)
         try:
-            self._serve_connection(server)
+            if server._workers is not None:
+                with server._workers:
+                    self._serve_connection(server)
+            else:
+                self._serve_connection(server)
         finally:
             server._unregister_connection(self.request)
 
@@ -103,6 +100,10 @@ class _Handler(socketserver.BaseRequestHandler):
                 continue
             if not isinstance(message, Request):
                 return  # protocol violation: drop the connection
+            # The defer-followup marker is server-internal (stamped on
+            # logged batch requests); a client that sets it on the wire
+            # would skip its blocking signature, so strip it here.
+            message.extras.pop(DEFER_FOLLOWUP_KEY, None)
             user_id = message.extras.get("user", "anonymous")
             started = time.perf_counter_ns() if _obs.enabled else 0
             with server.state_cond:
@@ -164,155 +165,80 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         snapshot_every: int = SNAPSHOT_EVERY,
         fsync: bool = True,
         attack=None,
+        dedup_window: int = DEDUP_WINDOW,
+        max_workers: int | None = None,
     ) -> None:
         super().__init__((host, port), _Handler)
-        self.protocol = protocol or Protocol2Server()
         self.block_timeout = block_timeout
-        self.snapshot_every = snapshot_every
         self.state_cond = threading.Condition()
-        self._round = 0
         self._connections: set = set()
         self._connections_lock = threading.Lock()
-        self._dedup: dict[str, tuple[str, Response]] = {}
-        self._ops_since_snapshot = 0
-        self._store: ServerStore | None = None
-        self.replayed_records = 0
-        #: named state branches; ``"main"`` is the honest history, other
-        #: entries are per-victim forks a Byzantine attack may create.
-        self.states: dict[str, ServerState] = {}
-        self.attack = as_wire_attack(attack)
-        if data_dir is not None:
-            self._store = ServerStore(data_dir, fsync=fsync)
-            self._recover(order=order, database=database, state=state)
-        else:
-            if state is not None:
-                self.state = state
-            else:
-                self.state = ServerState(
-                    database=database or VerifiedDatabase(order=order))
-            self.protocol.initialize(self.state)
+        self._workers = (threading.BoundedSemaphore(max_workers)
+                         if max_workers else None)
+        self.core = ServerCore(order=order, database=database,
+                               protocol=protocol, state=state,
+                               data_dir=data_dir,
+                               snapshot_every=snapshot_every, fsync=fsync,
+                               attack=attack, dedup_window=dedup_window)
+
+    # -- core delegation ---------------------------------------------------
+
+    @property
+    def protocol(self) -> ServerProtocol:
+        return self.core.protocol
+
+    @property
+    def attack(self):
+        return self.core.attack
+
+    @property
+    def states(self) -> dict[str, ServerState]:
+        return self.core.states
 
     @property
     def state(self) -> ServerState:
         """The main (honest-history) state branch."""
-        return self.states["main"]
+        return self.core.state
 
     @state.setter
     def state(self, value: ServerState) -> None:
-        self.states["main"] = value
+        self.core.state = value
 
-    # -- durability --------------------------------------------------------
+    @property
+    def replayed_records(self) -> int:
+        return self.core.replayed_records
 
-    def _recover(self, order: int, database: VerifiedDatabase | None,
-                 state: ServerState | None) -> None:
-        """Restore from snapshot + WAL, or bootstrap a fresh store."""
-        snapshot = self._store.load_snapshot()
-        if snapshot is None:
-            # First run in this directory: initialise, then anchor the
-            # WAL chain with a genesis snapshot so every later record
-            # verifies against a recorded head.
-            if state is not None:
-                self.state = state
-            else:
-                self.state = ServerState(
-                    database=database or VerifiedDatabase(order=order))
-            self.protocol.initialize(self.state)
-            self._store.write_snapshot(self.state, self._dedup)
-        else:
-            restored_db, ctr, meta, dedup, chain = snapshot
-            self.state = ServerState(database=restored_db, ctr=ctr, meta=meta)
-            self._dedup = dict(dedup)
-            self._store.set_chain(chain)
-        records = self._store.wal_records(self._store._chain)
-        for message in records:
-            user_id = message.extras.get("user", "anonymous")
-            if isinstance(message, Followup):
-                self._execute_followup(user_id, message)
-            else:
-                response = self._execute_request(user_id, message)
-                rid = request_id(message)
-                if rid is not None:
-                    self._dedup[user_id] = (rid, response)
-            if _obs.enabled:
-                _WAL_REPLAYS.inc()
-        self.replayed_records = len(records)
-        self._ops_since_snapshot = len(records)
+    @property
+    def _round(self) -> int:
+        return self.core.round
 
-    def _execute_request(self, user_id: str, message: Request) -> Response:
-        """Execute a request at the next tick -- honestly, or through the
-        configured attack.  Both the live path and WAL replay come here,
-        so after a crash the per-victim forked branches are deterministically
-        reconstructed (the attack triggers on the same tick indices)."""
-        round_no = self.tick()
-        if self.attack is not None:
-            return self.attack.apply_request(self, user_id, message, round_no)
-        return self.protocol.handle_request(
-            user_id, message, self.state, round_no=round_no)
-
-    def _execute_followup(self, user_id: str, message: Followup) -> None:
-        round_no = self.tick()
-        if self.attack is not None:
-            self.attack.apply_followup(self, user_id, message, round_no)
-            return
-        self.protocol.handle_followup(
-            user_id, message, self.state, round_no=round_no)
+    @property
+    def _store(self):
+        return self.core.store
 
     def apply_request(self, user_id: str, message: Request) -> Response:
         """Dedup-check, log, and execute one request (lock held)."""
-        rid = request_id(message)
-        if rid is not None:
-            cached = self._dedup.get(user_id)
-            if cached is not None and cached[0] == rid:
-                # A retry of an operation that already executed: return
-                # the recorded response so the write is never applied
-                # twice and the client's register chain stays intact.
-                if _obs.enabled:
-                    _DEDUP_HITS.inc(user=user_id)
-                return cached[1]
-        if self._store is not None:
-            self._store.wal_append(message)
-            if _obs.enabled:
-                _WAL_APPENDS.inc()
-        response = self._execute_request(user_id, message)
-        if rid is not None:
-            self._dedup[user_id] = (rid, response)
-        self._after_logged_message()
-        return response
+        return self.core.apply_request(user_id, message)
 
     def apply_followup(self, user_id: str, message: Followup) -> None:
         """Log and absorb one follow-up message (lock held)."""
-        if self._store is not None:
-            self._store.wal_append(message)
-            if _obs.enabled:
-                _WAL_APPENDS.inc()
-        self._execute_followup(user_id, message)
-        self._after_logged_message()
+        self.core.apply_followup(user_id, message)
 
-    def _after_logged_message(self) -> None:
-        if self._store is None:
-            return
-        self._ops_since_snapshot += 1
-        if self._ops_since_snapshot >= self.snapshot_every:
-            self._snapshot_locked()
+    def blocked_for(self, user_id: str) -> bool:
+        """Whether this user's next request must wait (lock held)."""
+        return self.core.blocked_for(user_id)
 
-    def _snapshot_locked(self) -> None:
-        if self.attack is not None:
-            # A snapshot persists only the main branch and truncates the
-            # WAL beneath any Byzantine forks; replaying from it could
-            # not reconstruct them (ticks restart at the snapshot).  In
-            # Byzantine mode the genesis-anchored WAL is the sole truth.
-            return
-        self._store.write_snapshot(self.state, self._dedup)
-        self._ops_since_snapshot = 0
-        if _obs.enabled:
-            _SNAPSHOTS.inc()
+    def tick(self) -> int:
+        return self.core.tick()
 
     def checkpoint(self) -> None:
         """Write a snapshot now (durable mode only); truncates the WAL."""
-        if self._store is None:
+        if self.core.store is None:
             return
         with self.state_cond:
-            self._snapshot_locked()
+            self.core.snapshot()
+
+    # -- connection lifecycle ----------------------------------------------
 
     def _register_connection(self, sock) -> None:
         with self._connections_lock:
@@ -341,38 +267,18 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
                 sock.close()
             except OSError:
                 pass
-        if self._store is not None:
+        if self.core.store is not None:
             if snapshot:
                 with self.state_cond:
-                    self._snapshot_locked()
-            self._store.close()
+                    self.core.snapshot()
+            self.core.close_store()
 
-    # -- shared plumbing ---------------------------------------------------
+    # -- quiescence --------------------------------------------------------
 
     @property
     def state_lock(self):
         """The lock guarding server state (the condition's lock)."""
         return self.state_cond
-
-    def tick(self) -> int:
-        self._round += 1
-        return self._round
-
-    def blocked_for(self, user_id: str) -> bool:
-        """Whether this user's next request must wait (lock held).
-
-        Honest servers have one history; a Byzantine server routes the
-        check through the branch the attack would serve this user from,
-        so a forked victim blocks on its own branch's pending follow-up
-        rather than the main branch's.
-        """
-        if self.attack is not None:
-            state = self.attack.route_state(self, user_id, self._round + 1)
-            return self.protocol.blocked(state)
-        return self.protocol.blocked(self.state)
-
-    def _all_unblocked(self) -> bool:
-        return all(not self.protocol.blocked(s) for s in self.states.values())
 
     def quiesce(self, timeout: float | None = None) -> bool:
         """Wait until no follow-up is outstanding on any branch
@@ -388,7 +294,7 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         if timeout is None:
             timeout = self.block_timeout
         with self.state_cond:
-            return self.state_cond.wait_for(self._all_unblocked,
+            return self.state_cond.wait_for(self.core.all_unblocked,
                                             timeout=timeout)
 
     def read_quiesced(self, reader, timeout: float | None = None):
@@ -406,17 +312,17 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         if timeout is None:
             timeout = self.block_timeout
         with self.state_cond:
-            if not self.state_cond.wait_for(self._all_unblocked,
+            if not self.state_cond.wait_for(self.core.all_unblocked,
                                             timeout=timeout):
                 return None
-            return reader(self.states["main"])
+            return reader(self.core.states["main"])
 
     def consistent_view(self, timeout: float | None = None):
         """An atomic ``(root_digest, ctr, tick)`` triple of the main
         branch at a quiescent instant, or ``None`` on timeout."""
         return self.read_quiesced(
             lambda state: (state.database.root_digest(), state.ctr,
-                           self._round),
+                           self.core.round),
             timeout=timeout)
 
     @property
@@ -442,6 +348,7 @@ def serve_in_thread(
     snapshot_every: int = SNAPSHOT_EVERY,
     fsync: bool = True,
     attack=None,
+    max_workers: int | None = None,
 ) -> TrustedCvsTcpServer:
     """Start a server on an ephemeral port; returns the running server.
 
@@ -453,7 +360,7 @@ def serve_in_thread(
                                  block_timeout=block_timeout,
                                  data_dir=data_dir,
                                  snapshot_every=snapshot_every, fsync=fsync,
-                                 attack=attack)
+                                 attack=attack, max_workers=max_workers)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server

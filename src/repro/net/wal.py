@@ -66,6 +66,19 @@ def _chain_next(head: Digest, payload: bytes) -> Digest:
     return hash_bytes(_CHAIN_DOMAIN + head.to_bytes() + payload)
 
 
+def _dedup_pairs(entry) -> list[tuple]:
+    """Normalise a snapshot dedup entry to ordered (rid, response) pairs.
+
+    Current snapshots store a *window* per user (list of pairs); PR 4
+    snapshots stored exactly one ``[rid, response]`` pair.  Accept both
+    so a server upgraded in place recovers its old snapshot.
+    """
+    entry = list(entry)
+    if entry and isinstance(entry[0], str):
+        return [tuple(entry)]  # legacy single-entry form
+    return [tuple(pair) for pair in entry]
+
+
 class ServerStore:
     """The durable half of a :class:`~repro.net.server.TrustedCvsTcpServer`.
 
@@ -89,7 +102,9 @@ class ServerStore:
         """Atomically persist the full server state; truncate the WAL.
 
         ``state`` is a :class:`~repro.protocols.base.ServerState`;
-        ``dedup`` maps user id -> (request id, Response).
+        ``dedup`` maps user id -> ordered [(request id, Response), ...]
+        (oldest first), the export format of
+        :class:`~repro.net.core.DedupTable`.
         """
         root = state.database.root_digest()
         chain = chain_genesis(root)
@@ -97,7 +112,8 @@ class ServerStore:
         meta_blob = encode({
             "ctr": state.ctr,
             "meta": state.meta,
-            "dedup": {user: list(entry) for user, entry in dedup.items()},
+            "dedup": {user: [list(pair) for pair in pairs]
+                      for user, pairs in dedup.items()},
             "root": root,
             "chain": chain,
         })
@@ -153,7 +169,8 @@ class ServerStore:
         try:
             ctr = int(fields["ctr"])
             meta = dict(fields["meta"])
-            dedup = {user: tuple(entry) for user, entry in dict(fields["dedup"]).items()}
+            dedup = {user: _dedup_pairs(entry)
+                     for user, entry in dict(fields["dedup"]).items()}
             root = fields["root"]
             chain = fields["chain"]
         except (KeyError, TypeError, ValueError) as exc:
@@ -167,8 +184,15 @@ class ServerStore:
 
     # -- write-ahead log ---------------------------------------------------
 
-    def wal_append(self, message: Request | Followup) -> None:
-        """Durably log a request or follow-up *before* it is executed."""
+    def wal_append(self, message: Request | Followup, sync: bool = True) -> None:
+        """Durably log a request or follow-up *before* it is executed.
+
+        ``sync=False`` buffers the record without forcing it to disk --
+        the group-commit half of the batched path: append every request
+        of a batch unsynced, then make them all durable with a single
+        :meth:`wal_sync` before any of them executes.  The before-
+        execution guarantee is unchanged; only the fsync is amortised.
+        """
         payload = encode(message)
         self._chain = _chain_next(self._chain, payload)
         if self._wal_handle is None:
@@ -177,9 +201,18 @@ class ServerStore:
         handle.write(struct.pack(">I", len(payload)))
         handle.write(payload)
         handle.write(self._chain.to_bytes())
-        handle.flush()
+        if sync:
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    def wal_sync(self) -> None:
+        """Flush (and fsync) everything appended with ``sync=False``."""
+        if self._wal_handle is None:
+            return
+        self._wal_handle.flush()
         if self.fsync:
-            os.fsync(handle.fileno())
+            os.fsync(self._wal_handle.fileno())
 
     def wal_records(self, chain: Digest) -> list[Request | Followup]:
         """Read back every complete, chain-verified record.

@@ -225,6 +225,17 @@ class ServerProtocol:
     #: differing response action per Definition 2.1.
     responses_commit_state = True
 
+    #: Whether ``handle_request`` leaves the state blocked until a
+    #: follow-up arrives (Protocol I).  Servers that batch use this to
+    #: plan signing runs; the simulator keeps using :meth:`blocked`.
+    blocks_after_request = False
+
+    #: Whether the protocol understands the defer-followup request
+    #: marker (see :mod:`repro.protocols.protocol1`): requests so
+    #: stamped do not block the state, letting one follow-up signature
+    #: cover a whole batch from the same user.
+    supports_deferred_followup = False
+
     def initialize(self, state: ServerState) -> None:
         """One-time setup of protocol metadata in ``state.meta``."""
 

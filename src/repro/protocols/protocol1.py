@@ -48,6 +48,21 @@ META_SIG = "p1.sig"
 META_LAST_USER = "p1.last_user"
 META_AWAITING = "p1.awaiting_sig"
 
+#: Request ``extras`` marker a *batching server* stamps on every request
+#: of a single-user signing run except the last: the state does not
+#: block after a deferred request, so one follow-up signature -- over
+#: the batch-final root -- covers the whole run.  The marker is written
+#: into the request before it is WAL-logged (replay reconstructs the
+#: identical run) and is stripped from wire-received requests by the
+#: server, so a client cannot smuggle it in to skip its signing duty.
+DEFER_FOLLOWUP_KEY = "p1.defer_followup"
+
+#: Response ``extras`` flag telling the client whether this response
+#: closes a signing run (sign and send the follow-up) or sits inside
+#: one (verify, but do not sign).  Absent means final -- the unbatched
+#: servers never set it, and their every response expects a signature.
+BATCH_FINAL_KEY = "batch_final"
+
 
 def bootstrap_server_state(state: ServerState, elected: Signer) -> None:
     """Initialisation step: the elected user signs ``h(M(D0) || 0)`` and
@@ -64,6 +79,8 @@ class Protocol1Server(ServerProtocol):
     operating user returns a signature over the new state."""
 
     responses_commit_state = True
+    blocks_after_request = True
+    supports_deferred_followup = True
 
     def blocked(self, state: ServerState) -> bool:
         return bool(state.meta.get(META_AWAITING))
@@ -72,16 +89,18 @@ class Protocol1Server(ServerProtocol):
         if request.query is None:
             raise ValueError("Protocol I has no internal requests")
         result = state.database.execute(request.query)
+        final = not request.extras.get(DEFER_FOLLOWUP_KEY)
         response = Response(
             result=result,
             extras={
                 "ctr": state.ctr,
                 "last_user": state.meta[META_LAST_USER],
                 "sig": state.meta[META_SIG],
+                BATCH_FINAL_KEY: final,
             },
         )
         state.ctr += 1
-        state.meta[META_AWAITING] = True
+        state.meta[META_AWAITING] = final
         return response
 
     def handle_followup(self, user_id: str, followup: Followup, state: ServerState, round_no: int) -> None:

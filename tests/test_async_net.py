@@ -1,0 +1,155 @@
+"""The asyncio server core: batched execution over one event loop.
+
+The async server must be *indistinguishable* from the threaded one to
+a verifying client — same wire protocol, same VO chain, same crash
+behaviour — while amortizing the per-op costs (fsync, Merkle root
+pass, Protocol I signature round) across batches.  These tests pin
+both halves: equivalence of what clients observe, and that batching
+actually happens.
+"""
+
+import pytest
+
+from repro import obs
+from repro.mtree.database import VerifiedDatabase, WriteQuery
+from repro.net import (
+    PipelinedRemoteClient,
+    PipelinedRemoteClientP1,
+    RemoteClient,
+    RemoteClientP1,
+    count_sync_check,
+    serve_async_in_thread,
+    sync_check,
+)
+from repro.protocols.base import ServerState
+from repro.protocols.protocol1 import Protocol1Server, bootstrap_server_state
+
+
+def p1_async_server(keys, elected="alice", **kwargs):
+    state = ServerState(database=VerifiedDatabase(order=4))
+    protocol = Protocol1Server()
+    protocol.initialize(state)
+    bootstrap_server_state(state, keys.signers[elected])
+    return serve_async_in_thread(order=4, protocol=protocol, state=state,
+                                 block_timeout=5.0, **kwargs)
+
+
+class TestAsyncServerEquivalence:
+    def test_serial_clients_cannot_tell_the_transports_apart(self):
+        """Stop-and-wait RemoteClients run unchanged against the async
+        server: per-op VOs verify, registers sync, final root matches
+        an in-process reference run."""
+        server = serve_async_in_thread(order=4)
+        reference = VerifiedDatabase(order=4)
+        try:
+            host, port = server.address
+            genesis = server.initial_root_digest()
+            clients = {
+                user: RemoteClient(host, port, user, genesis, order=4)
+                for user in ("alice", "bob")
+            }
+            for i in range(8):
+                for user in ("alice", "bob"):
+                    key, value = f"{user}-{i}".encode(), f"v{i}".encode()
+                    clients[user].put(key, value)
+                    reference.execute(WriteQuery(key, value))
+            assert clients["alice"].get(b"bob-3") == b"v3"
+            registers = {u: c.registers() for u, c in clients.items()}
+            assert sync_check(genesis, registers)
+            final = server.read_state(lambda s: s.database.root_digest())
+            assert final == reference.root_digest()
+            for client in clients.values():
+                client.close()
+        finally:
+            server.stop()
+
+    def test_pipelined_window_verifies_in_order(self):
+        """A full window of in-flight writes drains with every VO
+        verified in submission order; answers land in order too."""
+        server = serve_async_in_thread(order=4, batch_max=8)
+        try:
+            host, port = server.address
+            genesis = server.initial_root_digest()
+            client = PipelinedRemoteClient(host, port, "alice", genesis,
+                                           order=4, window=8)
+            for i in range(24):
+                client.submit(WriteQuery(f"k{i % 5}".encode(),
+                                         f"v{i}".encode()))
+            client.drain()
+            assert client.inflight == 0
+            assert client.get(b"k4") == b"v19"  # last write to k4 wins
+            assert sync_check(genesis, {"alice": client.registers()})
+            client.close()
+        finally:
+            server.stop()
+
+    def test_quiesce_gives_a_stable_read(self):
+        server = serve_async_in_thread(order=4)
+        try:
+            host, port = server.address
+            with RemoteClient(host, port, "alice",
+                              server.initial_root_digest(), order=4) as c:
+                c.put(b"k", b"v")
+            assert server.quiesce(timeout=5.0)
+            ctr = server.read_state(lambda s: s.ctr)
+            assert ctr == 1
+        finally:
+            server.stop()
+
+
+class TestBatchingAmortization:
+    def test_batches_are_actually_batched(self):
+        """With a window of pipelined writers the drainer must group
+        ops: strictly fewer batches (root passes / group commits) than
+        operations, visible in the obs counters."""
+        obs.reset()
+        obs.enable()
+        server = serve_async_in_thread(order=4, batch_max=32)
+        try:
+            host, port = server.address
+            genesis = server.initial_root_digest()
+            client = PipelinedRemoteClient(host, port, "alice", genesis,
+                                           order=4, window=16)
+            total = 64
+            for i in range(total):
+                client.submit(WriteQuery(f"k{i % 7}".encode(), b"v"))
+            client.drain()
+            batches = obs.registry.counter("server.batches").total()
+            assert 0 < batches < total
+            assert sync_check(genesis, {"alice": client.registers()})
+            client.close()
+        finally:
+            server.stop()
+            obs.disable()
+
+    def test_p1_signs_once_per_batch_not_per_op(self, shared_keys):
+        """The amortization claim itself: a pipelined Protocol I client
+        produces ~ops/W follow-up signatures, while a stop-and-wait
+        client against the same server still signs per op."""
+        server = p1_async_server(shared_keys, batch_max=16)
+        try:
+            host, port = server.address
+            pipelined = PipelinedRemoteClientP1(
+                host, port, "alice", shared_keys.signers["alice"],
+                shared_keys.verifier, order=4, window=8)
+            total = 32
+            for i in range(total):
+                pipelined.submit(WriteQuery(f"a{i % 5}".encode(), b"v"))
+            pipelined.drain()
+            # One signature per signing run, not per op.  Runs can be
+            # shorter than W when the drainer ticks early, but there
+            # must be real amortization, not per-op signing.
+            assert pipelined.followups_sent < total // 2
+
+            serial = RemoteClientP1(
+                host, port, "bob", shared_keys.signers["bob"],
+                shared_keys.verifier, order=4)
+            for i in range(4):
+                serial.put(f"b{i}".encode(), b"v")
+
+            counts = {"alice": pipelined.counts(), "bob": serial.counts()}
+            assert count_sync_check(counts)
+            pipelined.close()
+            serial.close()
+        finally:
+            server.stop()

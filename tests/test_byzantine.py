@@ -243,6 +243,89 @@ class TestWireAttacksProtocol1:
             server.stop()
 
 
+class TestAsyncBatchedDetection:
+    """The async server's signature amortization must not weaken
+    detection: one signed root covers a whole signing run, so a
+    tampered operation *inside* the run has no per-op signature of its
+    own -- the hash-chain membership check has to catch it."""
+
+    def _p1_async_server(self, keys, attack, elected="alice", **kwargs):
+        from repro.net import serve_async_in_thread
+
+        state = ServerState(database=VerifiedDatabase(order=4))
+        protocol = Protocol1Server()
+        protocol.initialize(state)
+        bootstrap_server_state(state, keys.signers[elected])
+        return serve_async_in_thread(order=4, protocol=protocol, state=state,
+                                     block_timeout=5.0, attack=attack,
+                                     **kwargs)
+
+    def test_tampered_op_inside_signed_batch_detected_with_evidence(
+            self, shared_keys, tmp_path):
+        """Forge-proof value tamper on a read mid-window: the VO is
+        internally consistent, but its implied root cannot join the
+        hash chain anchored at the run's signed root.  IntegrityError
+        plus an offline-reverifiable evidence bundle, exactly as the
+        unbatched client would produce."""
+        from repro.net import PipelinedRemoteClientP1
+        from repro.mtree.database import ReadQuery, WriteQuery
+
+        wire = WireAttack(TamperValueAttack(victim="alice", tamper_round=6,
+                                            forge_proof=True))
+        server = self._p1_async_server(shared_keys, attack=wire, batch_max=16)
+        try:
+            host, port = server.address
+            alice = PipelinedRemoteClientP1(
+                host, port, "alice", shared_keys.signers["alice"],
+                shared_keys.verifier, order=4, window=8,
+                evidence_dir=str(tmp_path))
+            for i in range(4):
+                alice.submit(WriteQuery(f"k{i}".encode(), f"v{i}".encode()))
+            alice.drain()
+            with pytest.raises(IntegrityError) as exc:
+                for i in range(8):
+                    alice.submit(ReadQuery(f"k{i % 4}".encode()))
+                alice.drain()
+            path = exc.value.evidence_path
+            assert wire.injected >= 1
+            assert wire.first_deviation_op is not None
+
+            bundle = evidence.read_bundle(path)
+            assert bundle["protocol"] == "I"
+            genuine, why = evidence.reverify(bundle)
+            assert genuine, why
+            assert inspect(path)[0] == 0
+            alice.close()
+        finally:
+            server.stop()
+
+    def test_honest_batched_run_never_alarms(self, shared_keys, tmp_path):
+        """Control: the same pipelined client over an honest async
+        server produces zero bundles and passes count_sync_check."""
+        from repro.net import PipelinedRemoteClientP1
+        from repro.mtree.database import ReadQuery, WriteQuery
+
+        wire = WireAttack(HonestBehavior())
+        server = self._p1_async_server(shared_keys, attack=wire, batch_max=16)
+        try:
+            host, port = server.address
+            alice = PipelinedRemoteClientP1(
+                host, port, "alice", shared_keys.signers["alice"],
+                shared_keys.verifier, order=4, window=8,
+                evidence_dir=str(tmp_path / "ev"))
+            for i in range(8):
+                alice.submit(WriteQuery(f"k{i}".encode(), b"v"))
+            for i in range(8):
+                alice.submit(ReadQuery(f"k{i}".encode()))
+            alice.drain()
+            assert wire.injected == 0
+            assert not os.path.isdir(str(tmp_path / "ev"))
+            assert count_sync_check({"alice": alice.counts()})
+            alice.close()
+        finally:
+            server.stop()
+
+
 class TestForkSurvivesWalReplay:
     def test_forked_branches_reconstructed_after_crash(self, tmp_path):
         """A Byzantine durable server crash-restarts into the *same*

@@ -16,10 +16,12 @@ import pytest
 
 from repro.mtree.database import VerifiedDatabase, WriteQuery
 from repro.net import (
+    PipelinedRemoteClient,
     RemoteClient,
     RetryPolicy,
     TransientNetworkError,
     WalError,
+    serve_async_in_thread,
     serve_in_thread,
     sync_check,
 )
@@ -46,14 +48,14 @@ class TestServerStore:
         for i in range(30):
             state.database.execute(WriteQuery(f"k{i}".encode(), b"v"))
             state.ctr += 1
-        store.write_snapshot(state, {"alice": ("alice:3", None)})
+        store.write_snapshot(state, {"alice": [("alice:2", None), ("alice:3", None)]})
         loaded = store.load_snapshot()
         assert loaded is not None
         database, ctr, meta, dedup, chain = loaded
         assert database.root_digest() == state.database.root_digest()
         assert ctr == 30
         assert meta == state.meta
-        assert dedup == {"alice": ("alice:3", None)}
+        assert dedup == {"alice": [("alice:2", None), ("alice:3", None)]}
         assert chain == chain_genesis(state.database.root_digest())
 
     def test_wal_append_and_replay(self, tmp_path):
@@ -332,6 +334,81 @@ class TestKillAndRestart:
                           anchor_path=anchor) as resumed:
             assert resumed.get(b"k") == b"v"
         server.stop()
+
+    def test_pipelined_window_survives_crash_exactly_once(self, tmp_path):
+        """A pipelined client with a full window in flight loses the
+        server mid-batch.  On reconnect it resends the whole window
+        verbatim (identical rids); the restarted server's replayed
+        dedup table re-answers the already-executed ops from memory, so
+        every operation lands exactly once -- server ctr equals the
+        number of distinct operations, never the number of sends."""
+        window = 8
+        data_dir = str(tmp_path / "server")
+        server = serve_async_in_thread(order=4, data_dir=data_dir,
+                                       snapshot_every=1000)
+        host, port = server.address
+        genesis = server.initial_root_digest()
+        client = PipelinedRemoteClient(host, port, "alice", genesis,
+                                       order=4, window=window,
+                                       retry=_fast_retry(seed=3))
+        try:
+            # Fill the window, let the server execute it all (quiesce),
+            # then crash *before the client has read a single reply*.
+            for i in range(window):
+                client.submit(WriteQuery(f"k{i}".encode(), f"v{i}".encode()))
+            assert client.inflight == window
+            assert server.quiesce(timeout=10.0)
+            server.stop(snapshot=False)  # crash: WAL only
+            server = serve_async_in_thread(order=4, data_dir=data_dir,
+                                           port=port, snapshot_every=1000)
+            assert server.replayed_records == window
+
+            # drain() hits the dead socket, reconnects, resends all W
+            # verbatim; replies must verify exactly as if nothing died.
+            client.drain()
+            assert client.inflight == 0
+
+            # Exactly-once: one execution per distinct op despite every
+            # op having been sent twice.
+            assert server.read_state(lambda s: s.ctr) == window
+            for i in range(window):
+                assert client.get(f"k{i}".encode()) == f"v{i}".encode()
+            assert sync_check(genesis, {"alice": client.registers()})
+        finally:
+            client.close()
+            server.stop()
+
+    def test_pipelined_partial_batch_crash_exactly_once(self, tmp_path):
+        """Crash while only part of the window has executed: resent
+        rids split between dedup hits (already in the WAL) and fresh
+        executions.  Both paths must converge on one application each."""
+        window = 6
+        data_dir = str(tmp_path / "server")
+        server = serve_async_in_thread(order=4, data_dir=data_dir,
+                                       snapshot_every=1000)
+        host, port = server.address
+        genesis = server.initial_root_digest()
+        client = PipelinedRemoteClient(host, port, "alice", genesis,
+                                       order=4, window=window,
+                                       retry=_fast_retry(seed=4))
+        try:
+            # Execute (and read) two ops so they are surely in the WAL,
+            # then queue a window the server may or may not get to.
+            client.put(b"warm0", b"w")
+            client.put(b"warm1", b"w")
+            for i in range(window):
+                client.submit(WriteQuery(f"k{i}".encode(), f"v{i}".encode()))
+            server.stop(snapshot=False)
+            server = serve_async_in_thread(order=4, data_dir=data_dir,
+                                           port=port, snapshot_every=1000)
+            client.drain()
+            assert server.read_state(lambda s: s.ctr) == 2 + window
+            for i in range(window):
+                assert client.get(f"k{i}".encode()) == f"v{i}".encode()
+            assert sync_check(genesis, {"alice": client.registers()})
+        finally:
+            client.close()
+            server.stop()
 
     def test_tampered_wal_blocks_recovery(self, tmp_path):
         data_dir = str(tmp_path / "server")
