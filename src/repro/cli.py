@@ -65,12 +65,14 @@ class RemoteServerAdapter:
     def __init__(self, host: str, port: int, order: int = 8) -> None:
         import socket as _socket
 
+        from repro.mtree.forest import StoreSpec
         from repro.net.framing import recv_message, send_message
         from repro.protocols.base import Request, Response
 
         self._send, self._recv = send_message, recv_message
         self._request_cls, self._response_cls = Request, Response
-        self.order = order
+        self.spec = StoreSpec.coerce(order)
+        self.order = self.spec.order
         try:
             self._sock = _socket.create_connection((host, port), timeout=10)
         except OSError as exc:
@@ -360,7 +362,8 @@ def cmd_obs_report(args, out) -> int:
         workload = steady_workload(
             args.users, args.ops, spacing=6, keyspace=32,
             write_ratio=0.6, scan_ratio=0.1, seed=args.seed)
-        simulation = build_simulation(args.protocol, workload, k=args.k, seed=args.seed)
+        simulation = build_simulation(args.protocol, workload, k=args.k,
+                                      shards=args.shards, seed=args.seed)
         report = simulation.execute()
         snap = obs.snapshot()
     finally:
@@ -542,6 +545,8 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--users", type=int, default=6)
     obs_report.add_argument("--ops", type=int, default=8,
                             help="operations per user")
+    obs_report.add_argument("--shards", type=int, default=1,
+                            help="shard the store into a Merkle forest")
     obs_report.add_argument("-k", type=int, default=4, help="sync period")
     obs_report.add_argument("--seed", type=int, default=9)
     obs_report.add_argument("--json", action="store_true",

@@ -45,12 +45,17 @@ class CvsServer:
     a normal CVS; a compromised one is caught by the client.
     """
 
-    def __init__(self, order: int = 8) -> None:
-        self._database = VerifiedDatabase(order=order)
+    def __init__(self, order: int = 8, shards: int = 1) -> None:
+        self._database = VerifiedDatabase(order=order, shards=shards)
 
     @property
     def order(self) -> int:
         return self._database.order
+
+    @property
+    def spec(self):
+        """The full store spec (order + shard layout) clients verify against."""
+        return self._database.spec
 
     def root_digest(self) -> Digest:
         return self._database.root_digest()
@@ -78,7 +83,7 @@ class CvsClient:
         self._server = server
         self.author = author
         initial = trusted_root if trusted_root is not None else server.root_digest()
-        self._verifier = ClientVerifier(initial, order=server.order)
+        self._verifier = ClientVerifier(initial, order=server.spec)
         self._logical_time = 0
 
     @property

@@ -89,6 +89,7 @@ def build_simulation(
     k: int = 8,
     epoch_length: int = 40,
     order: int = 8,
+    shards: int = 1,
     seed: int = 0,
     service_rate: int | None = None,
     slot_length: int = 6,
@@ -106,13 +107,16 @@ def build_simulation(
     if not user_ids:
         raise ValueError("workload has no users")
 
-    database = VerifiedDatabase(order=order)
+    database = VerifiedDatabase(order=order, shards=shards)
     # populate_from lets run-comparison experiments (Theorem 3.1's
     # rA / rB / r construction) start every run from the same state
     # even when the workloads' key sets differ.
     populate_database(database, populate_from or workload)
     initial_root = database.root_digest()
     state = ServerState(database=database)
+    # Clients verify against the full store spec; when unsharded this
+    # is just the plain branching order, as before.
+    order = database.spec if database.spec.sharded else order
 
     needs_keys = protocol in ("protocol1", "protocol3", "tokenpass")
     keys = make_keys(user_ids, seed=seed) if needs_keys else None

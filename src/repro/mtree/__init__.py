@@ -9,6 +9,9 @@ Layers, bottom up:
   point reads, range reads, and updates, with pure client-side
   verification (update verification replays splits/borrows/merges on a
   shadow tree and derives the new root digest independently).
+* :mod:`repro.mtree.forest` -- :class:`MerkleForest`: the store
+  partitioned across per-shard Merkle trees whose roots feed a small
+  top tree, with two-level verification objects.
 * :mod:`repro.mtree.database` -- :class:`VerifiedDatabase` (server) and
   :class:`ClientVerifier` (client) tying queries to proofs.
 """
@@ -23,6 +26,17 @@ from repro.mtree.database import (
     ReadQuery,
     VerifiedDatabase,
     WriteQuery,
+)
+from repro.mtree.forest import (
+    ForestRangeProof,
+    ForestReadProof,
+    ForestUpdateProof,
+    MerkleForest,
+    StoreSpec,
+    shard_for_key,
+    verify_forest_range,
+    verify_forest_read,
+    verify_forest_update,
 )
 from repro.mtree.merkle import MerkleBPlusTree
 from repro.mtree.proofs import (
@@ -50,6 +64,15 @@ __all__ = [
     "VerifiedDatabase",
     "WriteQuery",
     "MerkleBPlusTree",
+    "MerkleForest",
+    "StoreSpec",
+    "ForestRangeProof",
+    "ForestReadProof",
+    "ForestUpdateProof",
+    "shard_for_key",
+    "verify_forest_range",
+    "verify_forest_read",
+    "verify_forest_update",
     "ProofError",
     "RangeProof",
     "ReadProof",

@@ -21,6 +21,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.hashing import Digest
+from repro.mtree.forest import (
+    DEFAULT_TOP_ORDER,
+    ForestRangeProof,
+    ForestReadProof,
+    ForestUpdateProof,
+    MerkleForest,
+    StoreSpec,
+    build_forest_range_proof,
+    build_forest_read_proof,
+    build_forest_update_proof,
+    verify_forest_range,
+    verify_forest_read,
+    verify_forest_update,
+)
 from repro.mtree.merkle import MerkleBPlusTree
 from repro.mtree.proofs import (
     ProofError,
@@ -85,7 +99,8 @@ class DeleteQuery:
 
 
 Query = ReadQuery | RangeQuery | WriteQuery | DeleteQuery
-Proof = ReadProof | RangeProof | UpdateProof
+Proof = (ReadProof | RangeProof | UpdateProof
+         | ForestReadProof | ForestRangeProof | ForestUpdateProof)
 
 
 @dataclass(frozen=True)
@@ -101,22 +116,43 @@ class QueryResult:
 
 
 class VerifiedDatabase:
-    """Server-side Merkle-tree-backed store answering queries with VOs."""
+    """Server-side Merkle-backed store answering queries with VOs.
 
-    def __init__(self, order: int = 8) -> None:
-        self._mtree = MerkleBPlusTree(order=order)
+    With ``shards == 1`` the store is the classic single Merkle
+    B+-tree; with ``shards > 1`` it is a :class:`MerkleForest` and
+    every VO becomes two-level.  The signed root is always
+    :meth:`root_digest`, whichever backing store produced it.
+    """
+
+    def __init__(self, order: int = 8, shards: int = 1,
+                 top_order: int = DEFAULT_TOP_ORDER) -> None:
+        self._spec = StoreSpec(order=order, shards=shards, top_order=top_order)
+        if shards > 1:
+            self._mtree: MerkleBPlusTree | MerkleForest = MerkleForest(
+                order=order, shards=shards, top_order=top_order)
+        else:
+            self._mtree = MerkleBPlusTree(order=order)
 
     @property
     def order(self) -> int:
-        return self._mtree.order
+        return self._spec.order
 
     @property
-    def mtree(self) -> MerkleBPlusTree:
+    def spec(self) -> StoreSpec:
+        return self._spec
+
+    @property
+    def shards(self) -> int:
+        return self._spec.shards
+
+    @property
+    def mtree(self) -> MerkleBPlusTree | MerkleForest:
         return self._mtree
 
     def clone(self) -> "VerifiedDatabase":
         """Independent copy (see :meth:`MerkleBPlusTree.clone`)."""
         twin = VerifiedDatabase.__new__(VerifiedDatabase)
+        twin._spec = self._spec
         twin._mtree = self._mtree.clone()
         return twin
 
@@ -137,6 +173,8 @@ class VerifiedDatabase:
         Section 4.1 ("recompute the root digest ... before and after
         the operation").
         """
+        if isinstance(self._mtree, MerkleForest):
+            return self._execute_forest(self._mtree, query)
         if isinstance(query, ReadQuery):
             proof = build_read_proof(self._mtree, query.key)
             return QueryResult(answer=proof.value, proof=proof)
@@ -155,6 +193,26 @@ class VerifiedDatabase:
             return QueryResult(answer=None, proof=proof)
         raise TypeError(f"unknown query type {type(query).__name__}")
 
+    def _execute_forest(self, forest: MerkleForest, query: Query) -> QueryResult:
+        """Forest mode: same answers, two-level proofs."""
+        if isinstance(query, ReadQuery):
+            proof = build_forest_read_proof(forest, query.key)
+            return QueryResult(answer=proof.inner.value, proof=proof)
+        if isinstance(query, RangeQuery):
+            proof = build_forest_range_proof(forest, query.low, query.high)
+            return QueryResult(answer=proof.entries, proof=proof)
+        if isinstance(query, WriteQuery):
+            proof = build_forest_update_proof(forest, "insert", query.key)
+            forest.insert(query.key, query.value)
+            return QueryResult(answer=None, proof=proof)
+        if isinstance(query, DeleteQuery):
+            if query.key not in forest:
+                raise KeyError(f"cannot delete absent key {query.key!r}")
+            proof = build_forest_update_proof(forest, "delete", query.key)
+            forest.delete(query.key)
+            return QueryResult(answer=None, proof=proof)
+        raise TypeError(f"unknown query type {type(query).__name__}")
+
 
 class ClientVerifier:
     """Client-side verification state: the tracked root digest ``M``.
@@ -165,13 +223,18 @@ class ClientVerifier:
     ``M`` to the new root digest the client *itself* derived.
     """
 
-    def __init__(self, root_digest: Digest, order: int = 8) -> None:
+    def __init__(self, root_digest: Digest, order: int | StoreSpec = 8) -> None:
         self._root_digest = root_digest
-        self._order = order
+        self._spec = StoreSpec.coerce(order)
+        self._order = self._spec.order
 
     @property
     def root_digest(self) -> Digest:
         return self._root_digest
+
+    @property
+    def spec(self) -> StoreSpec:
+        return self._spec
 
     def expected_new_root(self, query: Query, proof: Proof) -> Digest:
         """The root digest an honest server must have after ``query``.
@@ -181,6 +244,8 @@ class ClientVerifier:
         """
         if isinstance(query, (ReadQuery, RangeQuery)):
             return self._root_digest
+        if self._spec.sharded:
+            return self._expected_forest_root(query, proof)
         if isinstance(query, WriteQuery):
             if not isinstance(proof, UpdateProof) or proof.operation != "insert":
                 raise ProofError("write query answered with a non-insert proof")
@@ -191,21 +256,48 @@ class ClientVerifier:
             return verify_update(self._root_digest, proof, self._order, query.key)
         raise TypeError(f"unknown query type {type(query).__name__}")
 
+    def _expected_forest_root(self, query: Query, proof: Proof) -> Digest:
+        if isinstance(query, WriteQuery):
+            if not isinstance(proof, ForestUpdateProof) or proof.operation != "insert":
+                raise ProofError("write query answered with a non-insert proof")
+            return verify_forest_update(
+                self._root_digest, proof, self._spec, query.key, query.value)
+        if isinstance(query, DeleteQuery):
+            if not isinstance(proof, ForestUpdateProof) or proof.operation != "delete":
+                raise ProofError("delete query answered with a non-delete proof")
+            return verify_forest_update(
+                self._root_digest, proof, self._spec, query.key)
+        raise TypeError(f"unknown query type {type(query).__name__}")
+
     def apply(self, query: Query, result: QueryResult) -> object:
         """Verify a response and advance the tracked root digest."""
         if isinstance(query, ReadQuery):
-            if not isinstance(result.proof, ReadProof):
-                raise ProofError("read query answered with a non-read proof")
-            value = verify_read(self._root_digest, result.proof, query.key)
+            if self._spec.sharded:
+                if not isinstance(result.proof, ForestReadProof):
+                    raise ProofError("read query answered with a non-read proof")
+                value = verify_forest_read(
+                    self._root_digest, result.proof, query.key, self._spec)
+            else:
+                if not isinstance(result.proof, ReadProof):
+                    raise ProofError("read query answered with a non-read proof")
+                value = verify_read(self._root_digest, result.proof, query.key)
             if value != result.answer:
                 raise ProofError("server answer disagrees with its own proof")
             return value
         if isinstance(query, RangeQuery):
-            if not isinstance(result.proof, RangeProof):
-                raise ProofError("range query answered with a non-range proof")
-            if (result.proof.low, result.proof.high) != (query.low, query.high):
-                raise ProofError("range proof covers a different range")
-            entries = verify_range(self._root_digest, result.proof)
+            if self._spec.sharded:
+                if not isinstance(result.proof, ForestRangeProof):
+                    raise ProofError("range query answered with a non-range proof")
+                if (result.proof.low, result.proof.high) != (query.low, query.high):
+                    raise ProofError("range proof covers a different range")
+                entries = verify_forest_range(
+                    self._root_digest, result.proof, self._spec)
+            else:
+                if not isinstance(result.proof, RangeProof):
+                    raise ProofError("range query answered with a non-range proof")
+                if (result.proof.low, result.proof.high) != (query.low, query.high):
+                    raise ProofError("range proof covers a different range")
+                entries = verify_range(self._root_digest, result.proof)
             if entries != result.answer:
                 raise ProofError("server answer disagrees with its own proof")
             return entries

@@ -1,0 +1,566 @@
+"""A sharded Merkle store: S per-shard B+-trees under one signed top tree.
+
+One global Merkle B+-tree means one global root and one global
+dirty-path pass per batch.  The forest partitions keys across ``S``
+per-shard :class:`~repro.mtree.merkle.MerkleBPlusTree` instances whose
+root digests are the *entries* of a small top Merkle B+-tree keyed by a
+fixed-width shard label.  Protocols I--III keep signing and checking
+only the top root, so their detection guarantees are untouched, while
+refreshes after a batch recompute only the touched shard paths plus the
+top tree.
+
+Verification objects become two-level: the proof for a key carries the
+ordinary path inside its shard *plus* the shard-root path in the top
+tree, and the client folds both -- the inner proof's implied shard root
+must be the exact value the top tree commits for that shard.  Routing
+is part of the trust base: the client recomputes ``shard_for_key`` and
+rejects proofs from any other shard, otherwise a malicious server could
+prove non-membership out of a shard the key never routes to.
+
+:class:`StoreSpec` carries ``(order, shards, top_order)`` through every
+parameter slot that used to hold a bare B+-tree order, so the protocol
+layers stay byte-compatible in single-tree mode (``shards == 1`` wires
+as a plain int) and forest-aware everywhere else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from heapq import merge as _sorted_merge
+from typing import Iterator
+
+from repro.crypto.hashing import Digest, hash_leaf
+from repro.mtree.bplus import DEFAULT_ORDER
+from repro.mtree.merkle import MerkleBPlusTree
+from repro.mtree.proofs import (
+    ProofError,
+    RangeProof,
+    ReadProof,
+    UpdateProof,
+    _implied_path_root,
+    build_range_proof,
+    build_read_proof,
+    build_update_proof,
+    check_read_answer,
+    derive_update_roots,
+    implied_root_for_range,
+    implied_root_for_read,
+    verify_update,
+)
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
+
+_SHARD_RECOMPUTE = _registry.counter(
+    "merkle.recompute", "Merkle nodes re-hashed per refresh, labeled by shard")
+
+#: default branching factor of the top tree; small on purpose so the
+#: top-tree half of a VO stays O(log S) digests rather than O(S).
+DEFAULT_TOP_ORDER = 8
+
+# Routing hashes get their own domain prefix (next free tag after
+# ``\x08internal-node`` in repro.crypto.hashing) so a routing digest can
+# never collide with any structural digest role.
+_DOMAIN_ROUTE = b"\x09shard-route"
+
+
+# ---------------------------------------------------------------------------
+# Spec + routing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """Shape of an authenticated store: shard count and tree orders.
+
+    Every client-side verifier needs the same three integers the server
+    built the store with; they travel through the parameter slots that
+    historically carried the bare B+-tree ``order``.
+    """
+
+    order: int = DEFAULT_ORDER
+    shards: int = 1
+    top_order: int = DEFAULT_TOP_ORDER
+
+    def __post_init__(self) -> None:
+        if self.order < 3:
+            raise ValueError("shard tree order must be at least 3")
+        if self.shards < 1:
+            raise ValueError("shard count must be at least 1")
+        if self.top_order < 3:
+            raise ValueError("top tree order must be at least 3")
+
+    @property
+    def sharded(self) -> bool:
+        return self.shards > 1
+
+    @classmethod
+    def coerce(cls, value: "StoreSpec | int | dict") -> "StoreSpec":
+        """Accept a spec, a bare order int, or a wire/JSON dict."""
+        if isinstance(value, StoreSpec):
+            return value
+        if isinstance(value, int):
+            return cls(order=value)
+        if isinstance(value, dict):
+            try:
+                return cls(
+                    order=int(value["order"]),
+                    shards=int(value.get("shards", 1)),
+                    top_order=int(value.get("top_order", DEFAULT_TOP_ORDER)),
+                )
+            except KeyError as exc:
+                raise ValueError(f"store spec dict lacks {exc}") from exc
+        raise TypeError(f"cannot build a StoreSpec from {type(value).__name__}")
+
+    def to_wire(self) -> int | dict:
+        """Wire/JSON form: a bare int in single-tree mode (so existing
+        evidence bundles and frames stay byte-identical), a dict when
+        sharded."""
+        if self.shards == 1:
+            return self.order
+        return {"order": self.order, "shards": self.shards,
+                "top_order": self.top_order}
+
+
+def shard_for_key(key: bytes, shards: int) -> int:
+    """Deterministic key -> shard routing (domain-separated SHA-256).
+
+    Both sides compute this: the server to place writes, the client to
+    reject proofs served out of the wrong shard.
+    """
+    if shards <= 1:
+        return 0
+    raw = hashlib.sha256(_DOMAIN_ROUTE + key).digest()
+    return int.from_bytes(raw[:8], "big") % shards
+
+
+def shard_key(index: int) -> bytes:
+    """Fixed-width top-tree key for shard ``index``.
+
+    Zero-padded so lexicographic order equals numeric order -- range
+    proofs over the top tree can then cover exactly shards 0..S-1.
+    """
+    if index < 0:
+        raise ValueError("shard index must be non-negative")
+    return b"shard:%08d" % index
+
+
+# ---------------------------------------------------------------------------
+# The forest
+# ---------------------------------------------------------------------------
+
+
+class MerkleForest:
+    """S per-shard Merkle B+-trees under one top Merkle B+-tree.
+
+    Mirrors the :class:`MerkleBPlusTree` surface the rest of the system
+    uses (queries, mutation, ``refresh_root``, ``clone``), plus
+    per-shard dirty tracking: mutations mark their shard, and
+    :meth:`refresh_root` re-hashes only dirty shard paths before
+    folding the changed shard roots into the top tree.
+
+    The top tree's shape is deterministic -- shard keys are inserted in
+    ascending order at construction and only ever *overwritten* -- so
+    two forests holding the same entries always agree on the top root.
+    """
+
+    def __init__(self, order: int = DEFAULT_ORDER, shards: int = 2,
+                 top_order: int = DEFAULT_TOP_ORDER) -> None:
+        self._spec = StoreSpec(order=order, shards=shards, top_order=top_order)
+        self._shards = [MerkleBPlusTree(order=order) for _ in range(shards)]
+        self._top = MerkleBPlusTree(order=top_order)
+        for index, tree in enumerate(self._shards):
+            self._top.insert(shard_key(index), tree.root_digest().to_bytes())
+        self._dirty: set[int] = set()
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def spec(self) -> StoreSpec:
+        return self._spec
+
+    @property
+    def order(self) -> int:
+        return self._spec.order
+
+    @property
+    def top_order(self) -> int:
+        return self._spec.top_order
+
+    @property
+    def shard_count(self) -> int:
+        return self._spec.shards
+
+    @property
+    def dirty_shard_count(self) -> int:
+        """Shards mutated since the last top sync (obs + tests)."""
+        return len(self._dirty)
+
+    @property
+    def digest_recomputations(self) -> int:
+        """Total Merkle re-hashes across all shards plus the top tree."""
+        return (self._top.digest_recomputations
+                + sum(tree.digest_recomputations for tree in self._shards))
+
+    def shard_tree(self, index: int) -> MerkleBPlusTree:
+        """The per-shard Merkle tree (proof building + tests)."""
+        return self._shards[index]
+
+    @property
+    def top_tree(self) -> MerkleBPlusTree:
+        """The top Merkle tree (proof building + tests)."""
+        return self._top
+
+    # -- queries -----------------------------------------------------------
+
+    def _route(self, key: bytes) -> int:
+        return shard_for_key(key, self._spec.shards)
+
+    def __len__(self) -> int:
+        return sum(len(tree) for tree in self._shards)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._shards[self._route(key)]
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._shards[self._route(key)].get(key)
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """All entries in global key order (merge of sorted shards)."""
+        return _sorted_merge(*(tree.items() for tree in self._shards))
+
+    def range(self, low: bytes, high: bytes) -> Iterator[tuple[bytes, bytes]]:
+        return _sorted_merge(*(tree.range(low, high) for tree in self._shards))
+
+    def height(self) -> int:
+        return max(tree.height() for tree in self._shards)
+
+    def check_invariants(self) -> None:
+        for tree in self._shards:
+            tree.check_invariants()
+        self._top.check_invariants()
+        assert len(self._top) == self._spec.shards, \
+            "top tree entry count disagrees with the shard count"
+        for index, tree in enumerate(self._shards):
+            for key, _value in tree.items():
+                assert self._route(key) == index, \
+                    f"key {key!r} stored in shard {index} but routes elsewhere"
+            if index not in self._dirty:
+                committed = self._top.get(shard_key(index))
+                assert committed == tree.root_digest().to_bytes(), \
+                    f"top tree entry for clean shard {index} is stale"
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, key: bytes, value: bytes) -> bool:
+        index = self._route(key)
+        created = self._shards[index].insert(key, value)
+        self._dirty.add(index)
+        return created
+
+    def delete(self, key: bytes) -> bool:
+        index = self._route(key)
+        removed = self._shards[index].delete(key)
+        if removed:
+            self._dirty.add(index)
+        return removed
+
+    def clone(self) -> "MerkleForest":
+        """Structural copy sharing immutable entries and cached digests."""
+        twin = MerkleForest.__new__(MerkleForest)
+        twin._spec = self._spec
+        twin._shards = [tree.clone() for tree in self._shards]
+        twin._top = self._top.clone()
+        twin._dirty = set(self._dirty)
+        return twin
+
+    # -- digests -----------------------------------------------------------
+
+    def _sync_top(self) -> int:
+        """Fold every dirty shard's fresh root into the top tree.
+
+        Returns the number of shard-tree nodes re-hashed.  Must run
+        before any proof is built: the top tree half of a VO has to
+        commit the *current* root of every shard, or a client that just
+        verified a write in shard A would reject the very next proof.
+        """
+        if not self._dirty:
+            return 0
+        recomputed = 0
+        observing = _obs.enabled
+        for index in sorted(self._dirty):
+            root, nodes = self._shards[index].refresh_root()
+            recomputed += nodes
+            if observing and nodes:
+                _SHARD_RECOMPUTE.inc(nodes, shard=str(index))
+            blob = root.to_bytes()
+            if self._top.get(shard_key(index)) != blob:
+                self._top.insert(shard_key(index), blob)
+        self._dirty.clear()
+        return recomputed
+
+    def root_digest(self) -> Digest:
+        """The signed root: the top tree's root digest."""
+        self._sync_top()
+        return self._top.root_digest()
+
+    def refresh_root(self) -> tuple[Digest, int]:
+        """Recompute the top root; returns ``(root, nodes_recomputed)``.
+
+        Only dirty shard paths plus the top tree's dirty path are
+        re-hashed -- a batch that touched 2 of 64 shards pays for 2
+        shard paths, not 64.
+        """
+        recomputed = self._sync_top()
+        root, top_nodes = self._top.refresh_root()
+        if _obs.enabled and top_nodes:
+            _SHARD_RECOMPUTE.inc(top_nodes, shard="top")
+        return root, recomputed + top_nodes
+
+
+# ---------------------------------------------------------------------------
+# Two-level verification objects
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ForestReadProof:
+    """Point-read VO: leaf path inside the shard + shard-root path in
+    the top tree."""
+
+    shard: int
+    inner: ReadProof
+    top: ReadProof
+
+    @property
+    def key(self) -> bytes:
+        return self.inner.key
+
+    @property
+    def value(self) -> bytes | None:
+        return self.inner.value
+
+    def size_digests(self) -> int:
+        return self.inner.size_digests() + self.top.size_digests()
+
+
+@dataclass(frozen=True)
+class ForestUpdateProof:
+    """Update VO: pre-update path in the shard + pre-update shard-root
+    path in the top tree.
+
+    The top half is always an ``insert`` proof for the shard key -- the
+    shard's entry in the top tree is *overwritten* with the new shard
+    root, never created or removed, so the replay can never split the
+    top tree and its shape stays deterministic.
+    """
+
+    operation: str  # "insert" or "delete" (the inner, user-level op)
+    shard: int
+    inner: UpdateProof
+    top: UpdateProof
+
+    @property
+    def key(self) -> bytes:
+        return self.inner.key
+
+    def size_digests(self) -> int:
+        return self.inner.size_digests() + self.top.size_digests()
+
+
+@dataclass(frozen=True)
+class ForestRangeProof:
+    """Range VO: one completeness-carrying range proof *per shard* plus
+    a top-tree range proof covering every shard root.
+
+    Hash routing scatters adjacent keys across shards, so completeness
+    for ``[low, high]`` requires every shard to prove its slice; the
+    top proof pins each shard proof's implied root to the signed top
+    root, and ``entries`` is the sorted merge the client re-derives.
+    """
+
+    low: bytes
+    high: bytes
+    shard_proofs: tuple[RangeProof, ...]
+    top: RangeProof
+    entries: tuple[tuple[bytes, bytes], ...]
+
+    def size_digests(self) -> int:
+        total = 0
+        for proof in self.shard_proofs:
+            total += _range_proof_digests(proof.root)
+        return total + _range_proof_digests(self.top.root)
+
+
+def _range_proof_digests(node) -> int:
+    """Digest count of a (possibly fringe) range-proof subtree."""
+    if isinstance(node, Digest):
+        return 1
+    if hasattr(node, "entry_digests"):  # LeafSnapshot
+        return len(node.entry_digests)
+    return sum(_range_proof_digests(child) for child in node.children)
+
+
+ForestProof = ForestReadProof | ForestRangeProof | ForestUpdateProof
+
+
+# -- building (server side) --------------------------------------------------
+
+
+def build_forest_read_proof(forest: MerkleForest, key: bytes) -> ForestReadProof:
+    forest._sync_top()
+    index = forest._route(key)
+    return ForestReadProof(
+        shard=index,
+        inner=build_read_proof(forest.shard_tree(index), key),
+        top=build_read_proof(forest.top_tree, shard_key(index)),
+    )
+
+
+def build_forest_update_proof(
+    forest: MerkleForest, operation: str, key: bytes
+) -> ForestUpdateProof:
+    forest._sync_top()
+    index = forest._route(key)
+    return ForestUpdateProof(
+        operation=operation,
+        shard=index,
+        inner=build_update_proof(forest.shard_tree(index), operation, key),
+        top=build_update_proof(forest.top_tree, "insert", shard_key(index)),
+    )
+
+
+def build_forest_range_proof(
+    forest: MerkleForest, low: bytes, high: bytes
+) -> ForestRangeProof:
+    forest._sync_top()
+    shard_proofs = tuple(
+        build_range_proof(tree, low, high)
+        for tree in (forest.shard_tree(i) for i in range(forest.shard_count))
+    )
+    top = build_range_proof(
+        forest.top_tree, shard_key(0), shard_key(forest.shard_count - 1))
+    entries = tuple(_sorted_merge(*(proof.entries for proof in shard_proofs)))
+    return ForestRangeProof(
+        low=low, high=high, shard_proofs=shard_proofs, top=top, entries=entries)
+
+
+# -- verification (client side) ----------------------------------------------
+
+
+def implied_root_for_forest_read(
+    proof: ForestReadProof, key: bytes, spec: StoreSpec
+) -> Digest:
+    """The *top* root a forest read proof vouches for.
+
+    Checks (a) the proof comes from the shard ``key`` routes to, (b)
+    the inner proof's membership claim and path, and (c) the top tree
+    commits exactly the shard root the inner proof implies.
+    """
+    if proof.shard != shard_for_key(key, spec.shards):
+        raise ProofError("read proof was served out of the wrong shard")
+    shard_root = implied_root_for_read(proof.inner, key)
+    skey = shard_key(proof.shard)
+    committed = check_read_answer(proof.top, skey)
+    if committed != shard_root.to_bytes():
+        raise ProofError("top tree entry disagrees with the shard proof")
+    return _implied_path_root(proof.top.internals, proof.top.leaf, skey)
+
+
+def verify_forest_read(
+    root_digest: Digest, proof: ForestReadProof, key: bytes, spec: StoreSpec
+) -> bytes | None:
+    """Validate a forest read VO against the known (signed) top root."""
+    if implied_root_for_forest_read(proof, key, spec) != root_digest:
+        raise ProofError("read proof does not match committed root digest")
+    return proof.inner.value
+
+
+def derive_forest_update_roots(
+    proof: ForestUpdateProof,
+    spec: StoreSpec,
+    key: bytes,
+    value: bytes | None = None,
+) -> tuple[Digest, Digest]:
+    """Derive the (old, new) *top* roots a forest update vouches for.
+
+    The level binding is the heart of the scheme: the top proof's leaf
+    must commit ``hash_leaf(shard_key, old_shard_root)`` where
+    ``old_shard_root`` is what the inner proof implies -- then the new
+    top root is derived by replaying the overwrite of that entry with
+    the client-recomputed new shard root.
+    """
+    if proof.shard != shard_for_key(key, spec.shards):
+        raise ProofError("update proof was served out of the wrong shard")
+    if proof.inner.operation != proof.operation:
+        raise ProofError("forest update proof disagrees with its inner operation")
+    if proof.top.operation != "insert":
+        raise ProofError("top-tree half of a forest update must be an overwrite")
+    skey = shard_key(proof.shard)
+    if proof.top.key != skey:
+        raise ProofError("top-tree proof is for a different shard key")
+    old_shard, new_shard = derive_update_roots(proof.inner, spec.order, key, value)
+    try:
+        position = proof.top.leaf.keys.index(skey)
+    except ValueError:
+        raise ProofError("top-tree leaf does not contain the shard key") from None
+    if proof.top.leaf.entry_digests[position] != hash_leaf(skey, old_shard.to_bytes()):
+        raise ProofError("top tree does not commit the shard's pre-update root")
+    old_top = _implied_path_root(proof.top.internals, proof.top.leaf, skey)
+    new_top = verify_update(
+        old_top, proof.top, spec.top_order, skey, new_shard.to_bytes())
+    return old_top, new_top
+
+
+def verify_forest_update(
+    old_root_digest: Digest,
+    proof: ForestUpdateProof,
+    spec: StoreSpec,
+    key: bytes,
+    value: bytes | None = None,
+) -> Digest:
+    """Validate a forest update VO against the known old top root and
+    return the client-derived new top root."""
+    old_top, new_top = derive_forest_update_roots(proof, spec, key, value)
+    if old_top != old_root_digest:
+        raise ProofError("update proof does not match committed root digest")
+    return new_top
+
+
+def implied_root_for_forest_range(
+    proof: ForestRangeProof, spec: StoreSpec
+) -> Digest:
+    """The top root a forest range proof vouches for.
+
+    Every shard must prove its slice (completeness), every shard
+    proof's implied root must be the exact entry the top tree commits,
+    and ``entries`` must be the sorted merge of the per-shard slices.
+    """
+    if len(proof.shard_proofs) != spec.shards:
+        raise ProofError("range proof does not cover every shard")
+    if (proof.top.low, proof.top.high) != (shard_key(0), shard_key(spec.shards - 1)):
+        raise ProofError("top-tree range proof does not span the shard keys")
+    top_root = implied_root_for_range(proof.top)
+    if [key for key, _ in proof.top.entries] != \
+            [shard_key(i) for i in range(spec.shards)]:
+        raise ProofError("top-tree range proof reveals the wrong shard set")
+    for index, shard_proof in enumerate(proof.shard_proofs):
+        if (shard_proof.low, shard_proof.high) != (proof.low, proof.high):
+            raise ProofError(f"shard {index} proof covers a different range")
+        implied = implied_root_for_range(shard_proof)
+        if proof.top.entries[index][1] != implied.to_bytes():
+            raise ProofError(f"top tree entry disagrees with shard {index} proof")
+    merged = tuple(_sorted_merge(*(p.entries for p in proof.shard_proofs)))
+    if merged != proof.entries:
+        raise ProofError("merged entries disagree with the per-shard proofs")
+    return top_root
+
+
+def verify_forest_range(
+    root_digest: Digest, proof: ForestRangeProof, spec: StoreSpec
+) -> tuple[tuple[bytes, bytes], ...]:
+    """Validate a forest range VO against the known top root; returns
+    the proven, globally sorted entries."""
+    if implied_root_for_forest_range(proof, spec) != root_digest:
+        raise ProofError("range proof does not match committed root digest")
+    return proof.entries

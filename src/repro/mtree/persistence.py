@@ -18,6 +18,7 @@ import base64
 
 from repro.mtree.bplus import BPlusTree, InternalNode, LeafNode
 from repro.mtree.database import VerifiedDatabase
+from repro.mtree.forest import MerkleForest
 from repro.mtree.merkle import MerkleBPlusTree
 
 
@@ -143,13 +144,108 @@ def _relink_leaves(tree: BPlusTree) -> None:
         leaves[-1].next_leaf = None
 
 
+def dump_forest(forest: MerkleForest) -> bytes:
+    """Serialise a Merkle forest: header plus one shard dump per shard.
+
+    Only the shard trees are serialised.  The top tree's shape is a
+    deterministic function of the shard count (keys inserted in
+    ascending order, then only overwritten), so a load rebuilds it and
+    the top root matches the dumped forest bit-for-bit.
+    """
+    spec = forest.spec
+    header = (f"forest-snapshot 1 {spec.order} {spec.top_order} "
+              f"{spec.shards}\n").encode("ascii")
+    parts = [header]
+    for index in range(spec.shards):
+        shard_blob = dump_tree(forest.shard_tree(index).tree)
+        parts.append(f"shard {index} {len(shard_blob)}\n".encode("ascii"))
+        parts.append(shard_blob)
+    return b"".join(parts)
+
+
+def load_forest(blob: bytes) -> MerkleForest:
+    """Reconstruct a forest serialised by :func:`dump_forest`."""
+    newline = blob.find(b"\n")
+    if newline < 0:
+        raise PersistenceError("truncated forest snapshot: no header line")
+    header = blob[:newline].decode("ascii", errors="replace").split(" ")
+    if len(header) != 5 or header[0] != "forest-snapshot" or header[1] != "1":
+        raise PersistenceError("bad forest snapshot header")
+    try:
+        order, top_order, shards = int(header[2]), int(header[3]), int(header[4])
+    except ValueError as exc:
+        raise PersistenceError(f"bad forest snapshot header: {exc}") from exc
+    if order < 3 or top_order < 3 or shards < 1:
+        raise PersistenceError(
+            "bad forest snapshot header: implausible order/shard count")
+
+    forest = MerkleForest(order=order, shards=shards, top_order=top_order)
+    position = newline + 1
+    for expected_index in range(shards):
+        line_end = blob.find(b"\n", position)
+        if line_end < 0:
+            raise PersistenceError(
+                f"truncated forest snapshot: expected {shards} shard "
+                f"sections, found {expected_index}")
+        fields = blob[position:line_end].decode("ascii", errors="replace").split(" ")
+        if len(fields) != 3 or fields[0] != "shard":
+            raise PersistenceError("bad shard section header")
+        try:
+            index, size = int(fields[1]), int(fields[2])
+        except ValueError as exc:
+            raise PersistenceError(f"bad shard section header: {exc}") from exc
+        if index != expected_index:
+            raise PersistenceError(
+                f"shard sections out of order: expected {expected_index}, "
+                f"found {index}")
+        position = line_end + 1
+        if position + size > len(blob):
+            raise PersistenceError(
+                f"truncated forest snapshot: shard {index} section cut short")
+        tree = load_tree(blob[position:position + size])
+        if tree.order != order:
+            raise PersistenceError(
+                f"shard {index} order {tree.order} disagrees with the "
+                f"forest header order {order}")
+        position += size
+        mtree = MerkleBPlusTree(order=order)
+        mtree._tree = tree
+        forest._shards[index] = mtree
+        forest._dirty.add(index)
+    if position != len(blob):
+        raise PersistenceError("trailing data in forest snapshot")
+    # Fold the restored shard roots into the deterministically shaped
+    # top tree; the routing invariant rides along for free.
+    forest._sync_top()
+    try:
+        forest.check_invariants()
+    except AssertionError as exc:
+        raise PersistenceError(f"snapshot violates forest invariants: {exc}") from exc
+    return forest
+
+
 def dump_database(database: VerifiedDatabase) -> bytes:
-    """Snapshot a verified database (its Merkle tree, shape included)."""
-    return dump_tree(database.mtree.tree)
+    """Snapshot a verified database (its Merkle store, shape included)."""
+    mtree = database.mtree
+    if isinstance(mtree, MerkleForest):
+        return dump_forest(mtree)
+    return dump_tree(mtree.tree)
 
 
 def load_database(blob: bytes) -> VerifiedDatabase:
-    """Restore a database; the root digest matches the one dumped."""
+    """Restore a database; the root digest matches the one dumped.
+
+    Dispatches on the snapshot header: plain ``bplus-snapshot`` blobs
+    restore a single-tree store, ``forest-snapshot`` blobs a sharded
+    one.
+    """
+    if blob.startswith(b"forest-snapshot "):
+        forest = load_forest(blob)
+        database = VerifiedDatabase(
+            order=forest.order, shards=forest.shard_count,
+            top_order=forest.top_order)
+        database._mtree = forest
+        return database
     tree = load_tree(blob)
     database = VerifiedDatabase(order=tree.order)
     mtree = MerkleBPlusTree(order=tree.order)

@@ -136,6 +136,7 @@ class AsyncTrustedCvsServer:
         dedup_window: int = DEDUP_WINDOW,
         batch_max: int = BATCH_MAX,
         drain_timeout: float = DRAIN_TIMEOUT_SECONDS,
+        shards: int = 1,
     ) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be at least 1")
@@ -147,7 +148,8 @@ class AsyncTrustedCvsServer:
                                protocol=protocol, state=state,
                                data_dir=data_dir,
                                snapshot_every=snapshot_every, fsync=fsync,
-                               attack=attack, dedup_window=dedup_window)
+                               attack=attack, dedup_window=dedup_window,
+                               shards=shards)
         self._queue: asyncio.Queue = asyncio.Queue()
         self._parked: list[_Work] = []
         self._writers: set[asyncio.StreamWriter] = set()
@@ -575,6 +577,7 @@ def serve_async_in_thread(
     attack=None,
     batch_max: int = BATCH_MAX,
     dedup_window: int = DEDUP_WINDOW,
+    shards: int = 1,
 ) -> AsyncServerHandle:
     """Start an async server on its own event-loop thread.
 
@@ -596,7 +599,7 @@ def serve_async_in_thread(
             order=order, database=database, port=port, protocol=protocol,
             state=state, block_timeout=block_timeout, data_dir=data_dir,
             snapshot_every=snapshot_every, fsync=fsync, attack=attack,
-            batch_max=batch_max, dedup_window=dedup_window)
+            batch_max=batch_max, dedup_window=dedup_window, shards=shards)
         await server.start()
         return server
 

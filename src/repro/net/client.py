@@ -31,6 +31,7 @@ import time
 
 from repro.crypto.hashing import Digest, hash_tagged_state, xor_all
 from repro.mtree.database import DeleteQuery, Query, RangeQuery, ReadQuery, WriteQuery
+from repro.mtree.forest import StoreSpec
 from repro.mtree.proofs import ProofError
 from repro.net.framing import FramingError, recv_message, send_message
 from repro.obs import runtime as _obs
@@ -126,7 +127,8 @@ class RemoteClient:
     """
 
     def __init__(self, host: str, port: int, user_id: str,
-                 initial_root: Digest | None = None, order: int = 8,
+                 initial_root: Digest | None = None,
+                 order: "int | StoreSpec" = 8,
                  connect_timeout: float = CONNECT_TIMEOUT_SECONDS,
                  op_timeout: float = OP_TIMEOUT_SECONDS,
                  retry: RetryPolicy | None = None,
@@ -404,7 +406,8 @@ class RemoteClient:
 
         bundle = evidence.response_bundle(
             protocol="II", user_id=self.user_id, reason=str(exc),
-            op_index=self.operations, order=self._order,
+            op_index=self.operations,
+            order=StoreSpec.coerce(self._order).to_wire(),
             request_frame=encode(request),
             response_frame=self._capture[-1] if self._capture else b"",
             client_state={"sigma": self.sigma, "last": self.last,
@@ -451,7 +454,7 @@ class RemoteClientP1:
     """
 
     def __init__(self, host: str, port: int, user_id: str,
-                 signer, verifier, order: int = 8,
+                 signer, verifier, order: "int | StoreSpec" = 8,
                  connect_timeout: float = CONNECT_TIMEOUT_SECONDS,
                  op_timeout: float = OP_TIMEOUT_SECONDS,
                  evidence_dir: str | None = None) -> None:
@@ -539,7 +542,8 @@ class RemoteClientP1:
 
         bundle = evidence.response_bundle(
             protocol="I", user_id=self.user_id, reason=str(exc),
-            op_index=self.lctr, order=self._order,
+            op_index=self.lctr,
+            order=StoreSpec.coerce(self._order).to_wire(),
             request_frame=encode(request),
             response_frame=self._capture[-1] if self._capture else b"",
             client_state={"lctr": self.lctr, "gctr": self.gctr},

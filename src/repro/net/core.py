@@ -68,6 +68,8 @@ _BATCH_SIZE = _registry.histogram(
     "server.batch_size", "requests executed per batch")
 _BATCH_ROOT_NODES = _registry.histogram(
     "server.batch_root_nodes", "Merkle nodes recomputed by the per-batch root pass")
+_DIRTY_SHARDS = _registry.histogram(
+    "server.dirty_shards", "shards visited per forest refresh pass")
 
 
 class DedupTable:
@@ -135,8 +137,10 @@ class ServerCore:
         fsync: bool = True,
         attack=None,
         dedup_window: int = DEDUP_WINDOW,
+        shards: int = 1,
     ) -> None:
         self.protocol = protocol or Protocol2Server()
+        self._shards = shards
         self.snapshot_every = snapshot_every
         self._round = 0
         self.dedup = DedupTable(dedup_window)
@@ -155,7 +159,8 @@ class ServerCore:
                 self.state = state
             else:
                 self.state = ServerState(
-                    database=database or VerifiedDatabase(order=order))
+                    database=database or VerifiedDatabase(
+                        order=order, shards=shards))
             self.protocol.initialize(self.state)
 
     @property
@@ -181,7 +186,8 @@ class ServerCore:
                 self.state = state
             else:
                 self.state = ServerState(
-                    database=database or VerifiedDatabase(order=order))
+                    database=database or VerifiedDatabase(
+                        order=order, shards=self._shards))
             self.protocol.initialize(self.state)
             self.store.write_snapshot(self.state, self.dedup.export())
         else:
@@ -358,10 +364,20 @@ class ServerCore:
 
     def refresh_roots(self) -> int:
         """One batched dirty-path Merkle pass over every state branch;
-        returns the number of nodes recomputed."""
+        returns the number of nodes recomputed.
+
+        In forest mode only dirty shard paths plus the top tree are
+        touched; ``server.dirty_shards`` records how many shards each
+        pass actually had to visit."""
         recomputed = 0
+        observing = _obs.enabled
         for state in self.states.values():
-            _root, nodes = state.database.mtree.refresh_root()
+            mtree = state.database.mtree
+            if observing:
+                dirty = getattr(mtree, "dirty_shard_count", None)
+                if dirty is not None:
+                    _DIRTY_SHARDS.observe(dirty)
+            _root, nodes = mtree.refresh_root()
             recomputed += nodes
         return recomputed
 

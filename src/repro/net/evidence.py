@@ -41,6 +41,7 @@ import os
 from repro.crypto import rsa
 from repro.crypto.hashing import Digest, hash_state
 from repro.crypto.signatures import Signature
+from repro.mtree.forest import StoreSpec
 from repro.mtree.proofs import ProofError
 from repro.obs import runtime as _obs
 from repro.obs.metrics import REGISTRY as _registry
@@ -120,7 +121,7 @@ def key_directory(verifier) -> dict:
 
 
 def response_bundle(*, protocol: str, user_id: str, reason: str,
-                    op_index: int, order: int,
+                    op_index: int, order: int | dict,
                     request_frame: bytes, response_frame: bytes,
                     client_state: dict, anchor: dict,
                     verifier_keys: dict | None = None) -> dict:
@@ -223,7 +224,7 @@ def _reverify_response(bundle: dict) -> tuple[bool, str]:
         return True, "initial state attributed to a user"
     try:
         outcome = derive_outcome(request.query, response.result,
-                                 int(bundle["order"]))
+                                 StoreSpec.coerce(bundle["order"]))
     except ProofError as exc:
         return True, f"verification object rejected: {exc}"
     if bundle["protocol"] == "I":

@@ -219,7 +219,7 @@ class PipelinedRemoteClientP1(RemoteClientP1):
     """
 
     def __init__(self, host: str, port: int, user_id: str,
-                 signer, verifier, order: int = 8,
+                 signer, verifier, order: "int | StoreSpec" = 8,
                  window: int = DEFAULT_WINDOW, **kwargs) -> None:
         super().__init__(host, port, user_id, signer, verifier,
                          order=order, **kwargs)

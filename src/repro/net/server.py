@@ -167,6 +167,7 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         attack=None,
         dedup_window: int = DEDUP_WINDOW,
         max_workers: int | None = None,
+        shards: int = 1,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.block_timeout = block_timeout
@@ -179,7 +180,8 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
                                protocol=protocol, state=state,
                                data_dir=data_dir,
                                snapshot_every=snapshot_every, fsync=fsync,
-                               attack=attack, dedup_window=dedup_window)
+                               attack=attack, dedup_window=dedup_window,
+                               shards=shards)
 
     # -- core delegation ---------------------------------------------------
 
@@ -349,6 +351,7 @@ def serve_in_thread(
     fsync: bool = True,
     attack=None,
     max_workers: int | None = None,
+    shards: int = 1,
 ) -> TrustedCvsTcpServer:
     """Start a server on an ephemeral port; returns the running server.
 
@@ -360,7 +363,8 @@ def serve_in_thread(
                                  block_timeout=block_timeout,
                                  data_dir=data_dir,
                                  snapshot_every=snapshot_every, fsync=fsync,
-                                 attack=attack, max_workers=max_workers)
+                                 attack=attack, max_workers=max_workers,
+                                 shards=shards)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server

@@ -39,9 +39,7 @@ import os
 import struct
 
 from repro.crypto.hashing import DIGEST_SIZE, Digest, hash_bytes
-from repro.mtree.database import VerifiedDatabase
-from repro.mtree.merkle import MerkleBPlusTree
-from repro.mtree.persistence import PersistenceError, dump_tree, load_tree
+from repro.mtree.persistence import PersistenceError, dump_database, load_database
 from repro.protocols.base import Followup, Request
 from repro.wire import WireError, decode, encode
 
@@ -108,7 +106,7 @@ class ServerStore:
         """
         root = state.database.root_digest()
         chain = chain_genesis(root)
-        tree_blob = dump_tree(state.database.mtree.tree)
+        tree_blob = dump_database(state.database)
         meta_blob = encode({
             "ctr": state.ctr,
             "meta": state.meta,
@@ -156,16 +154,12 @@ class ServerStore:
         except struct.error as exc:
             raise WalError(f"truncated snapshot: {exc}") from exc
         try:
-            tree = load_tree(tree_blob)
+            database = load_database(tree_blob)
             fields = decode(meta_blob)
         except (PersistenceError, WireError) as exc:
             raise WalError(f"corrupt snapshot: {exc}") from exc
         if not isinstance(fields, dict):
             raise WalError("corrupt snapshot: meta section is not a dict")
-        database = VerifiedDatabase(order=tree.order)
-        mtree = MerkleBPlusTree(order=tree.order)
-        mtree._tree = tree
-        database._mtree = mtree
         try:
             ctr = int(fields["ctr"])
             meta = dict(fields["meta"])

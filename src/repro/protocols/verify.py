@@ -22,6 +22,15 @@ from repro.mtree.database import (
     ReadQuery,
     WriteQuery,
 )
+from repro.mtree.forest import (
+    ForestRangeProof,
+    ForestReadProof,
+    ForestUpdateProof,
+    StoreSpec,
+    derive_forest_update_roots,
+    implied_root_for_forest_range,
+    implied_root_for_forest_read,
+)
 from repro.mtree.proofs import (
     ProofError,
     RangeProof,
@@ -57,12 +66,16 @@ class VerifiedOutcome:
         return self.old_root != self.new_root
 
 
-def derive_outcome(query: Query, result: QueryResult, order: int) -> VerifiedOutcome:
+def derive_outcome(
+    query: Query, result: QueryResult, order: int | StoreSpec
+) -> VerifiedOutcome:
     """Derive roots and answer from a response, or raise ProofError.
 
     For reads the old and new roots coincide; for updates the new root
     is *recomputed by the client* from the pre-update VO, never taken
-    from the server.
+    from the server.  ``order`` may be a bare B+-tree order (single
+    tree) or a full :class:`StoreSpec`; in sharded mode the proofs must
+    be the two-level forest kinds and the derived roots are top roots.
     """
     if not _obs.enabled:
         return _derive_outcome(query, result, order)
@@ -84,7 +97,13 @@ def derive_outcome(query: Query, result: QueryResult, order: int) -> VerifiedOut
     return outcome
 
 
-def _derive_outcome(query: Query, result: QueryResult, order: int) -> VerifiedOutcome:
+def _derive_outcome(
+    query: Query, result: QueryResult, order: int | StoreSpec
+) -> VerifiedOutcome:
+    spec = StoreSpec.coerce(order)
+    if spec.sharded:
+        return _derive_forest_outcome(query, result, spec)
+    order = spec.order
     proof = result.proof
     if isinstance(query, ReadQuery):
         if not isinstance(proof, ReadProof):
@@ -111,5 +130,40 @@ def _derive_outcome(query: Query, result: QueryResult, order: int) -> VerifiedOu
         if not isinstance(proof, UpdateProof) or proof.operation != "delete":
             raise ProofError("delete query answered with a non-delete proof")
         old_root, new_root = derive_update_roots(proof, order, query.key)
+        return VerifiedOutcome(old_root=old_root, new_root=new_root, answer=None)
+    raise ProofError(f"unknown query type {type(query).__name__}")
+
+
+def _derive_forest_outcome(
+    query: Query, result: QueryResult, spec: StoreSpec
+) -> VerifiedOutcome:
+    """Sharded stores answer with two-level proofs; roots are top roots."""
+    proof = result.proof
+    if isinstance(query, ReadQuery):
+        if not isinstance(proof, ForestReadProof):
+            raise ProofError("read query answered with a non-read proof")
+        root = implied_root_for_forest_read(proof, query.key, spec)
+        if result.answer != proof.inner.value:
+            raise ProofError("server answer disagrees with its own proof")
+        return VerifiedOutcome(old_root=root, new_root=root, answer=proof.inner.value)
+    if isinstance(query, RangeQuery):
+        if not isinstance(proof, ForestRangeProof):
+            raise ProofError("range query answered with a non-range proof")
+        if (proof.low, proof.high) != (query.low, query.high):
+            raise ProofError("range proof covers a different range")
+        root = implied_root_for_forest_range(proof, spec)
+        if tuple(result.answer) != proof.entries:
+            raise ProofError("server answer disagrees with its own proof")
+        return VerifiedOutcome(old_root=root, new_root=root, answer=proof.entries)
+    if isinstance(query, WriteQuery):
+        if not isinstance(proof, ForestUpdateProof) or proof.operation != "insert":
+            raise ProofError("write query answered with a non-insert proof")
+        old_root, new_root = derive_forest_update_roots(
+            proof, spec, query.key, query.value)
+        return VerifiedOutcome(old_root=old_root, new_root=new_root, answer=None)
+    if isinstance(query, DeleteQuery):
+        if not isinstance(proof, ForestUpdateProof) or proof.operation != "delete":
+            raise ProofError("delete query answered with a non-delete proof")
+        old_root, new_root = derive_forest_update_roots(proof, spec, query.key)
         return VerifiedOutcome(old_root=old_root, new_root=new_root, answer=None)
     raise ProofError(f"unknown query type {type(query).__name__}")

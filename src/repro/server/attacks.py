@@ -30,7 +30,14 @@ from __future__ import annotations
 from repro.crypto.hashing import hash_leaf
 from repro.crypto.signatures import Signature
 from repro.mtree.database import QueryResult, ReadQuery
-from repro.mtree.proofs import LeafSnapshot, ReadProof
+from repro.mtree.forest import ForestReadProof, shard_key
+from repro.mtree.proofs import (
+    InternalSnapshot,
+    LeafSnapshot,
+    ReadProof,
+    implied_root_for_read,
+    route_index,
+)
 from repro.protocols.base import Request, Response, ServerState
 
 
@@ -176,16 +183,47 @@ class TamperValueAttack(Attack):
         corrupted = b"/* backdoored */ " + bytes(response.result.answer)
         proof = response.result.proof
         if self.forge_proof and isinstance(proof, ReadProof):
-            position = proof.leaf.keys.index(request.query.key)
-            entry_digests = list(proof.leaf.entry_digests)
-            entry_digests[position] = hash_leaf(request.query.key, corrupted)
-            forged_leaf = LeafSnapshot(keys=proof.leaf.keys, entry_digests=tuple(entry_digests))
-            proof = ReadProof(key=proof.key, value=corrupted,
-                              internals=proof.internals, leaf=forged_leaf)
+            proof = self._forge_read_proof(proof, request.query.key, corrupted)
+        elif self.forge_proof and isinstance(proof, ForestReadProof):
+            # Two-level forgery: rebuild the shard proof around the
+            # corrupted value, then rebuild the top proof around the
+            # shard root the forged shard proof now implies.  Fully
+            # internally consistent -- only the final top root betrays it.
+            forged_inner = self._forge_read_proof(
+                proof.inner, request.query.key, corrupted)
+            shard_root = implied_root_for_read(forged_inner, request.query.key)
+            forged_top = self._forge_read_proof(
+                proof.top, shard_key(proof.shard), shard_root.to_bytes())
+            proof = ForestReadProof(shard=proof.shard, inner=forged_inner,
+                                    top=forged_top)
         return Response(
             result=QueryResult(answer=corrupted, proof=proof),
             extras=response.extras,
         )
+
+    @staticmethod
+    def _forge_read_proof(proof: ReadProof, key: bytes, value: bytes) -> ReadProof:
+        """Rebuild a read proof around ``value``, re-chaining the path
+        digests so every internal link checks out -- the forgery is only
+        exposed when the implied root meets the trusted one."""
+        position = proof.leaf.keys.index(key)
+        entry_digests = list(proof.leaf.entry_digests)
+        entry_digests[position] = hash_leaf(key, value)
+        forged_leaf = LeafSnapshot(keys=proof.leaf.keys,
+                                   entry_digests=tuple(entry_digests))
+        digest = forged_leaf.digest()
+        forged_internals = []
+        for snapshot in reversed(proof.internals):
+            index = route_index(snapshot.keys, key)
+            child_digests = list(snapshot.child_digests)
+            child_digests[index] = digest
+            patched = InternalSnapshot(keys=snapshot.keys,
+                                       child_digests=tuple(child_digests))
+            forged_internals.append(patched)
+            digest = patched.digest()
+        forged_internals.reverse()
+        return ReadProof(key=proof.key, value=value,
+                         internals=tuple(forged_internals), leaf=forged_leaf)
 
 
 class CounterReplayAttack(Attack):

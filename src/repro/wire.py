@@ -30,6 +30,11 @@ from repro.mtree.database import (
     ReadQuery,
     WriteQuery,
 )
+from repro.mtree.forest import (
+    ForestRangeProof,
+    ForestReadProof,
+    ForestUpdateProof,
+)
 from repro.mtree.proofs import (
     FringeNode,
     InternalSnapshot,
@@ -62,6 +67,8 @@ _TAGS = {
     "leaf_snapshot": 0x20, "internal_snapshot": 0x21, "read_proof": 0x22,
     "range_proof": 0x23, "fringe_node": 0x24, "update_proof": 0x25,
     "sibling_pair": 0x26, "query_result": 0x27,
+    "forest_read_proof": 0x28, "forest_update_proof": 0x29,
+    "forest_range_proof": 0x2A,
     "signature": 0x30, "epoch_deposit": 0x31,
     "request": 0x40, "response": 0x41, "followup": 0x42,
     "error_reply": 0x43,
@@ -165,6 +172,24 @@ def _encode_value(value: object, out: bytearray) -> None:
         _encode_value(list(value.internals), out)
         _encode_value(value.leaf, out)
         _encode_value(list(value.siblings), out)
+    elif isinstance(value, ForestReadProof):
+        out += _TAG_BYTES["forest_read_proof"]
+        _encode_value(value.shard, out)
+        _encode_value(value.inner, out)
+        _encode_value(value.top, out)
+    elif isinstance(value, ForestUpdateProof):
+        out += _TAG_BYTES["forest_update_proof"]
+        _encode_value(value.operation, out)
+        _encode_value(value.shard, out)
+        _encode_value(value.inner, out)
+        _encode_value(value.top, out)
+    elif isinstance(value, ForestRangeProof):
+        out += _TAG_BYTES["forest_range_proof"]
+        _encode_raw(value.low, out)
+        _encode_raw(value.high, out)
+        _encode_value(list(value.shard_proofs), out)
+        _encode_value(value.top, out)
+        _encode_value([list(entry) for entry in value.entries], out)
     elif isinstance(value, QueryResult):
         out += _TAG_BYTES["query_result"]
         _encode_value(value.answer, out)
@@ -284,6 +309,31 @@ def _decode_value(reader: _Reader) -> object:
         return UpdateProof(operation=_decode_value(reader), key=reader.raw(),
                            internals=_decode_value(reader), leaf=_decode_value(reader),
                            siblings=_decode_value(reader))
+    if name == "forest_read_proof":
+        shard = _decode_value(reader)
+        inner, top = _decode_value(reader), _decode_value(reader)
+        if not isinstance(shard, int) or not isinstance(inner, ReadProof) \
+                or not isinstance(top, ReadProof):
+            raise WireError("malformed forest read proof")
+        return ForestReadProof(shard=shard, inner=inner, top=top)
+    if name == "forest_update_proof":
+        operation, shard = _decode_value(reader), _decode_value(reader)
+        inner, top = _decode_value(reader), _decode_value(reader)
+        if not isinstance(shard, int) or not isinstance(inner, UpdateProof) \
+                or not isinstance(top, UpdateProof):
+            raise WireError("malformed forest update proof")
+        return ForestUpdateProof(operation=operation, shard=shard,
+                                 inner=inner, top=top)
+    if name == "forest_range_proof":
+        low, high = reader.raw(), reader.raw()
+        shard_proofs = _decode_value(reader)
+        top = _decode_value(reader)
+        entries = tuple(tuple(entry) for entry in _decode_value(reader))
+        if not isinstance(top, RangeProof) or not all(
+                isinstance(p, RangeProof) for p in shard_proofs):
+            raise WireError("malformed forest range proof")
+        return ForestRangeProof(low=low, high=high, shard_proofs=shard_proofs,
+                                top=top, entries=entries)
     if name == "query_result":
         return QueryResult(answer=_decode_value(reader), proof=_decode_value(reader))
     if name == "signature":

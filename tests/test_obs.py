@@ -248,3 +248,84 @@ class TestRuntime:
         assert obs.runtime.hook_fires > 0
         obs.reset()
         assert obs.runtime.hook_fires == 0
+
+
+class TestForestObsLabels:
+    """Forest-mode instrumentation: per-shard recompute labels and the
+    server's dirty-shard histogram, and the guarantee that obs-report
+    reconciliation still balances when the store is sharded."""
+
+    def test_per_shard_recompute_labels(self):
+        from repro.mtree.forest import MerkleForest
+        from repro.obs.metrics import REGISTRY
+
+        obs.reset()
+        obs.enable()
+        forest = MerkleForest(order=4, shards=4)
+        for i in range(40):
+            forest.insert(b"k%02d" % i, b"v")
+        _root, recomputed = forest.refresh_root()
+        counter = REGISTRY.counter("merkle.recompute")
+        series = counter.series()
+        # every touched shard reports under its own label, plus the top
+        assert "shard=top" in series
+        shard_labels = [label for label in series
+                        if label.startswith("shard=") and label != "shard=top"]
+        assert shard_labels, series
+        # the labeled total is exactly the refresh pass's own count
+        assert counter.total() == recomputed
+
+    def test_dirty_shards_histogram_observed_by_server_core(self):
+        from repro.mtree.database import WriteQuery
+        from repro.net.core import ServerCore
+        from repro.obs.metrics import REGISTRY
+        from repro.protocols.base import Request
+
+        obs.reset()
+        obs.enable()
+        core = ServerCore(order=4, shards=4)
+        core.apply_batch([
+            ("alice", Request(query=WriteQuery(b"k%02d" % i, b"v"),
+                              extras={"user": "alice", "rid": f"r{i}"}))
+            for i in range(12)])
+        hist = REGISTRY.histogram("server.dirty_shards")
+        assert hist.count() >= 1
+        assert hist.sum() >= 1  # at least one dirty shard was seen
+
+    def test_single_tree_reports_no_dirty_shards(self):
+        from repro.mtree.database import WriteQuery
+        from repro.net.core import ServerCore
+        from repro.obs.metrics import REGISTRY
+        from repro.protocols.base import Request
+
+        obs.reset()
+        obs.enable()
+        core = ServerCore(order=4)
+        core.apply_batch([
+            ("alice", Request(query=WriteQuery(b"k", b"v"),
+                              extras={"user": "alice", "rid": "r"}))])
+        assert REGISTRY.histogram("server.dirty_shards").count() == 0
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_obs_report_reconciliation_balances_in_forest_mode(self, shards):
+        from repro.analysis.metrics import obs_reconciliation
+        from repro.core.scenarios import build_simulation
+        from repro.simulation.workload import steady_workload
+
+        obs.reset()
+        obs.enable()
+        try:
+            workload = steady_workload(3, 4, spacing=6, keyspace=16,
+                                       write_ratio=0.6, scan_ratio=0.1, seed=9)
+            simulation = build_simulation("protocol2", workload, k=4,
+                                          shards=shards, seed=9)
+            report = simulation.execute()
+            snap = obs.snapshot()
+        finally:
+            obs.disable()
+        reconciliation = obs_reconciliation(report, snap)
+        assert all(entry["ok"] for entry in reconciliation.values()), \
+            reconciliation
+        if shards > 1:
+            series = snap["counters"]["merkle.recompute"]["series"]
+            assert any(label.startswith("shard=") for label in series)

@@ -213,3 +213,154 @@ class TestDatabaseSnapshot:
         restored = load_database(dump_database(db))
         assert restored.root_digest() == db.root_digest()
         assert len(restored) == 15
+
+
+def build_random_forest(seed: int, shards: int = 4, ops: int = 200,
+                        order: int = 4):
+    from repro.mtree.forest import MerkleForest
+
+    rng = random.Random(seed)
+    forest = MerkleForest(order=order, shards=shards, top_order=4)
+    for step in range(ops):
+        key = f"k{rng.randrange(60):03d}".encode()
+        if rng.random() < 0.7:
+            forest.insert(key, f"v{step}".encode())
+        else:
+            forest.delete(key)
+    return forest
+
+
+class TestForestSnapshot:
+    """Forest persistence: shard layout and top root bit-for-bit."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_roundtrip_preserves_top_root_and_layout(self, shards):
+        from repro.mtree.persistence import dump_forest, load_forest
+
+        forest = build_random_forest(shards, shards=shards)
+        clone = load_forest(dump_forest(forest))
+        assert clone.spec == forest.spec
+        assert clone.refresh_root()[0] == forest.refresh_root()[0]
+        assert list(clone.items()) == list(forest.items())
+        # per-shard layout (not just the union) is preserved exactly
+        for index in range(shards):
+            assert clone.shard_tree(index).root_digest() == \
+                forest.shard_tree(index).root_digest()
+
+    def test_roundtrip_is_canonical(self):
+        from repro.mtree.persistence import dump_forest, load_forest
+
+        forest = build_random_forest(11, shards=3)
+        blob = dump_forest(forest)
+        assert dump_forest(load_forest(blob)) == blob
+
+    def test_database_roundtrip_dispatches_on_header(self):
+        forest_db = VerifiedDatabase(order=4, shards=4)
+        single_db = VerifiedDatabase(order=4)
+        for step in range(80):
+            query = WriteQuery(f"k{step % 30:03d}".encode(), b"x%d" % step)
+            forest_db.execute(query)
+            single_db.execute(query)
+        restored = load_database(dump_database(forest_db))
+        assert restored.shards == 4
+        assert restored.root_digest() == forest_db.root_digest()
+        restored_single = load_database(dump_database(single_db))
+        assert restored_single.shards == 1
+        assert restored_single.root_digest() == single_db.root_digest()
+
+    def test_client_trust_survives_forest_restart(self):
+        db = VerifiedDatabase(order=4, shards=4)
+        client = ClientVerifier(db.root_digest(), order=db.spec)
+        rng = random.Random(13)
+        for step in range(120):
+            query = WriteQuery(f"k{rng.randrange(40):03d}".encode(),
+                               f"v{step}".encode())
+            client.apply(query, db.execute(query))
+        restarted = load_database(dump_database(db))
+        query = WriteQuery(b"k001", b"after restart")
+        client.apply(query, restarted.execute(query))
+        assert client.root_digest == restarted.root_digest()
+
+
+class TestCorruptForestSnapshotRejected:
+    def _blob(self, shards: int = 3) -> bytes:
+        from repro.mtree.persistence import dump_forest
+
+        return dump_forest(build_random_forest(21, shards=shards, ops=60))
+
+    def test_garbage_headers(self):
+        from repro.mtree.persistence import load_forest
+
+        for blob in (b"", b"no newline at all",
+                     b"forest-snapshot 2 4 4 3\n",
+                     b"forest-snapshot 1 4 4\n",
+                     b"forest-snapshot 1 4 4 zero\n",
+                     b"bplus-snapshot 1 4 0\n"):
+            with pytest.raises(PersistenceError):
+                load_forest(blob)
+
+    def test_implausible_header_values(self):
+        from repro.mtree.persistence import load_forest
+
+        with pytest.raises(PersistenceError, match="implausible"):
+            load_forest(b"forest-snapshot 1 2 4 3\n")
+        with pytest.raises(PersistenceError, match="implausible"):
+            load_forest(b"forest-snapshot 1 4 4 0\n")
+
+    def test_truncated_mid_shard_section(self):
+        from repro.mtree.persistence import load_forest
+
+        blob = self._blob()
+        with pytest.raises(PersistenceError, match="truncated|cut short"):
+            load_forest(blob[: len(blob) - len(blob) // 3])
+
+    def test_shard_count_mismatch_too_few_sections(self):
+        """Header claims more shards than the file holds: rejected with
+        a message naming both counts."""
+        from repro.mtree.persistence import load_forest
+
+        blob = self._blob(shards=3)
+        header, rest = blob.split(b"\n", 1)
+        doctored = header.rsplit(b" ", 1)[0] + b" 5\n" + rest
+        with pytest.raises(PersistenceError,
+                           match="expected 5 shard sections"):
+            load_forest(doctored)
+
+    def test_shard_count_mismatch_reroutes_keys(self):
+        """Header claims *fewer* shards: the sections still parse, but
+        the loaded keys no longer route to the shards holding them --
+        the invariant check refuses the snapshot instead of silently
+        serving wrong-shard proofs."""
+        from repro.mtree.persistence import load_forest
+
+        blob = self._blob(shards=3)
+        header, rest = blob.split(b"\n", 1)
+        doctored = header.rsplit(b" ", 1)[0] + b" 2\n" + rest
+        with pytest.raises(PersistenceError,
+                           match="invariants|trailing data"):
+            load_forest(doctored)
+
+    def test_shard_sections_out_of_order(self):
+        from repro.mtree.persistence import load_forest
+
+        blob = self._blob()
+        with pytest.raises(PersistenceError, match="out of order"):
+            load_forest(blob.replace(b"shard 1 ", b"shard 2 ", 1))
+
+    def test_shard_order_disagrees_with_header(self):
+        from repro.mtree.persistence import dump_forest, load_forest
+        from repro.mtree.forest import MerkleForest
+
+        forest = MerkleForest(order=5, shards=2, top_order=4)
+        forest.insert(b"k", b"v")
+        blob = dump_forest(forest)
+        doctored = blob.replace(b"forest-snapshot 1 5 4 2",
+                                b"forest-snapshot 1 4 4 2")
+        with pytest.raises(PersistenceError, match="disagrees"):
+            load_forest(doctored)
+
+    def test_trailing_data(self):
+        from repro.mtree.persistence import load_forest
+
+        with pytest.raises(PersistenceError, match="trailing data"):
+            load_forest(self._blob() + b"extra")
