@@ -52,17 +52,24 @@ from repro.net import (  # noqa: E402
     ChaosConfig,
     ChaosProxy,
     IntegrityError,
+    QuorumChecker,
     RemoteClient,
+    Replicator,
     RetryPolicy,
     ServerBusyError,
+    TransientNetworkError,
     WireAttack,
+    WitnessCollusion,
+    WitnessProtocol,
     count_sync_check,
+    make_replica_keys,
     serve_async_in_thread,
     serve_in_thread,
     sync_check,
 )
 from repro.net import evidence  # noqa: E402
-from repro.net.client import RemoteClientP1  # noqa: E402
+from repro.net.client import RemoteClientP1, ReplicationDivergence  # noqa: E402
+from repro.net.replication import witness_name  # noqa: E402
 from repro.core.scenarios import make_keys  # noqa: E402
 from repro.protocols.base import ServerState  # noqa: E402
 from repro.protocols.protocol1 import (  # noqa: E402
@@ -289,6 +296,256 @@ def run_p1(name, attack_factory, *, seed, k=4, steps=10,
                        proxy=proxy, verbose=verbose)
 
 
+# -- replicated (N-server) runs -------------------------------------------
+
+_REPLICA_KEYS: dict[int, object] = {}
+
+
+def _replica_keys(n_witnesses: int):
+    """Deterministic deployment keyrings, memoised -- key generation
+    dominates run setup and the ring depends only on (N, seed)."""
+    if n_witnesses not in _REPLICA_KEYS:
+        _REPLICA_KEYS[n_witnesses] = make_replica_keys(n_witnesses, KEY_SEED)
+    return _REPLICA_KEYS[n_witnesses]
+
+
+def run_replicated(name, attack_factory, *, seed, n_witnesses=3, colluders=0,
+                   collusion_mode="fabricate", n_users=3, steps=12,
+                   quorum_every=2, verbose=True) -> dict:
+    """One N-server run: a (possibly Byzantine) primary behind the full
+    chaos proxy replicating its signed root lineage to ``n_witnesses``
+    witness servers (the first ``colluders`` of which lie on fetches),
+    while a client fleet confirms every verified root against random
+    f+1 witness quorums routed through light per-witness chaos.
+
+    The run ends with each surviving client confirming its entire
+    lineage (``require_all``) -- the no-rollback progress gate: as long
+    as f+1 honest witnesses exist, honest clients finish their whole
+    workload on the quorum-agreed lineage.
+    """
+    users = [f"u{i}" for i in range(n_users)]
+    f = (n_witnesses - 1) // 2
+    keys = _replica_keys(n_witnesses)
+    wire = WireAttack(attack_factory()) if attack_factory else None
+    evidence_dir = tempfile.mkdtemp(prefix=f"byz-{name}-")
+
+    collusions = {}
+    witness_servers = []
+    witness_proxies = []
+    witness_endpoints = []  # client fetch leg, chaos-routed
+    deposit_endpoints = []  # primary deposit leg, direct
+    for index in range(n_witnesses):
+        wid = witness_name(index)
+        collusion = (WitnessCollusion(collusion_mode)
+                     if index < colluders else None)
+        if collusion is not None:
+            collusions[wid] = collusion
+        protocol = WitnessProtocol(wid, keys.witnesses[index], keys.verifier,
+                                   collusion=collusion)
+        witness = serve_in_thread(order=ORDER, protocol=protocol)
+        witness_servers.append(witness)
+        deposit_endpoints.append(witness.address)
+        wproxy = ChaosProxy(*witness.address, seed=seed * 7 + index,
+                            config=ChaosConfig(drop_rate=0.01,
+                                               delay_rate=0.05,
+                                               delay_s=0.001,
+                                               immune_chunks=1)).start()
+        witness_proxies.append(wproxy)
+        witness_endpoints.append((wid, wproxy.address))
+
+    replicator = Replicator(keys.primary, witnesses=deposit_endpoints)
+    server = serve_in_thread(order=ORDER, attack=wire, replicator=replicator)
+    genesis = server.initial_root_digest()
+    proxy = ChaosProxy(*server.address, seed=seed, config=ChaosConfig(
+        drop_rate=0.015, truncate_rate=0.01, reset_rate=0.01,
+        delay_rate=0.02, delay_s=0.002, immune_chunks=1)).start()
+    host, port = proxy.address
+
+    clients = {}
+    for index, user in enumerate(users):
+        quorum = QuorumChecker(
+            witness_endpoints, keys.verifier, f, user_id=user,
+            seed=seed + 100 + index,
+            retry=RetryPolicy(attempts=12, base=0.01, cap=0.25,
+                              jitter=0.5, seed=seed + 200 + index),
+            evidence_dir=evidence_dir, order=ORDER)
+        clients[user] = RemoteClient(
+            host, port, user, genesis, order=ORDER,
+            connect_timeout=5.0, op_timeout=10.0,
+            retry=RetryPolicy(attempts=24, base=0.01, cap=0.25,
+                              jitter=0.5, seed=seed + index),
+            evidence_dir=evidence_dir,
+            quorum=quorum, quorum_every=quorum_every)
+
+    detections = []        # primary-implicating halts, one per victim
+    halted = {}
+    false_alarm = False
+    confirm_failures = []
+    global_op = 0
+    completed = {user: 0 for user in users}
+
+    def _halt(user, exc):
+        nonlocal false_alarm
+        if wire is None or wire.first_deviation_op is None:
+            false_alarm = True
+            return
+        halted[user] = global_op
+        detections.append({
+            "user": user, "op": global_op,
+            "kind": ("replication" if isinstance(exc, ReplicationDivergence)
+                     else "response"),
+            "deviant": getattr(exc, "deviant", None),
+            "evidence_path": getattr(exc, "evidence_path", None)})
+
+    try:
+        for step in range(steps):
+            for user in users:
+                if false_alarm:
+                    break
+                if user in halted:
+                    continue
+                global_op += 1
+                client = clients[user]
+                try:
+                    if step % 3 == 2:
+                        client.get(f"{user}-{(step - 1) % 5}".encode())
+                    else:
+                        client.put(f"{user}-{step % 5}".encode(),
+                                   f"{user}:{step}".encode())
+                    completed[user] += 1
+                except ServerBusyError:
+                    raise
+                except IntegrityError as exc:
+                    _halt(user, exc)
+            if false_alarm:
+                break
+        # The no-rollback gate: every client the attack did not halt
+        # must confirm its whole lineage against the witness quorum.
+        for user, client in clients.items():
+            if user in halted or false_alarm:
+                continue
+            try:
+                client.quorum_check(require_all=True)
+            except IntegrityError as exc:
+                _halt(user, exc)
+            except TransientNetworkError as exc:
+                confirm_failures.append((user, str(exc)))
+    finally:
+        for client in clients.values():
+            client.close()
+        proxy.stop()
+        for wproxy in witness_proxies:
+            wproxy.stop()
+        server.stop()
+        for witness in witness_servers:
+            witness.stop()
+
+    witness_detections = [
+        dict(entry, user=user)
+        for user, client in clients.items()
+        for entry in client.quorum.detections
+        if entry["mode"] == "witness-fabrication"]
+    excluded = {user: sorted(client.quorum.excluded)
+                for user, client in clients.items() if client.quorum.excluded}
+    served = {wid: collusion.served for wid, collusion in collusions.items()}
+
+    return _replicated_record(
+        name, wire, n_witnesses=n_witnesses, f=f, colluders=sorted(collusions),
+        collusion_mode=collusion_mode if collusions else None,
+        detections=detections, witness_detections=witness_detections,
+        excluded=excluded, served=served, false_alarm=false_alarm,
+        confirm_failures=confirm_failures, halted=halted,
+        completed=completed, steps=steps, global_op=global_op,
+        clients=clients, evidence_dir=evidence_dir, verbose=verbose)
+
+
+def _replicated_record(name, wire, *, n_witnesses, f, colluders,
+                       collusion_mode, detections, witness_detections,
+                       excluded, served, false_alarm, confirm_failures,
+                       halted, completed, steps, global_op, clients,
+                       evidence_dir, verbose) -> dict:
+    deviated = wire is not None and wire.first_deviation_op is not None
+    colluder_set = set(colluders)
+
+    def _genuine(path):
+        return bool(path) and (evidence.reverify(
+            evidence.read_bundle(path))[0] and _inspect_ok(path))
+
+    bad_bundles = [entry for entry in detections + witness_detections
+                   if not _genuine(entry["evidence_path"])]
+    # Attribution: a primary-implicating replication bundle must name
+    # the primary; a fabrication bundle must name an actual colluder.
+    misattributed = (
+        [entry for entry in detections
+         if entry["kind"] == "replication" and entry["deviant"] != "primary"]
+        + [entry for entry in witness_detections
+           if entry["deviant"] not in colluder_set])
+    # An honest witness must never be excluded.
+    falsely_excluded = sorted({
+        wid for wids in excluded.values() for wid in wids
+        if wid not in colluder_set})
+    # Progress: every client the attack did not halt finished its whole
+    # workload and confirmed it against the quorum.
+    survivors = [user for user in completed if user not in halted]
+    stalled = [user for user in survivors if completed[user] != steps]
+    fabricating = collusion_mode == "fabricate" and bool(colluder_set)
+    record = {
+        "run": name,
+        "protocol": "replicated",
+        "attack": wire.name if wire else None,
+        "witnesses": n_witnesses,
+        "f": f,
+        "colluders": colluders,
+        "collusion_mode": collusion_mode,
+        "collusion_served": served,
+        "operations": global_op,
+        "quorum_checks": sum(c.quorum.checks for c in clients.values()),
+        "confirmed_roots": sum(c.quorum.confirmed for c in clients.values()),
+        "false_alarm": false_alarm,
+        "deviated": deviated,
+        "injected_responses": wire.injected if wire else 0,
+        "detected": bool(detections),
+        "detections": [
+            {k: v for k, v in entry.items() if k != "evidence_path"}
+            for entry in detections],
+        "witness_detections": [
+            {k: v for k, v in entry.items() if k != "evidence_path"}
+            for entry in witness_detections],
+        "excluded": excluded,
+        "confirm_failures": [user for user, _ in confirm_failures],
+        "stalled_clients": stalled,
+        "bad_bundles": len(bad_bundles),
+        "misattributed": len(misattributed),
+        "falsely_excluded": falsely_excluded,
+        # Fabricating colluders that actually served a lie are always
+        # caught (valid outer, invalid inner signature); withholding
+        # ones never are -- starvation is indistinguishable from lag.
+        "collusion_exercised": (not colluder_set
+                                or any(count > 0 for count in served.values())),
+        "false_accusations": (len(witness_detections)
+                              if not fabricating else 0),
+    }
+    if verbose:
+        if false_alarm:
+            print(f"  [{name}] FALSE ALARM")
+        elif deviated and not detections:
+            print(f"  [{name}] MISSED: primary deviated but no client halted")
+        elif deviated:
+            first = detections[0]
+            print(f"  [{name}] {len(detections)} client(s) caught the primary "
+                  f"via {first['kind']} at op {first['op']}; "
+                  f"{len(witness_detections)} fabrication(s) named; "
+                  f"survivors confirmed "
+                  f"{record['confirmed_roots']} roots")
+        else:
+            print(f"  [{name}] clean: {global_op} ops, "
+                  f"{record['quorum_checks']} quorum checks, "
+                  f"{record['confirmed_roots']} roots confirmed, "
+                  f"{len(witness_detections)} fabrication(s) named")
+    shutil.rmtree(evidence_dir, ignore_errors=True)
+    return record
+
+
 # -- shared reporting ------------------------------------------------------
 
 def _run_record(name, protocol, wire, detection, false_alarm, global_op,
@@ -449,6 +706,105 @@ def campaign_passes(results: dict) -> bool:
             and checks["obs_consistent"])
 
 
+# -- the replicated campaign ----------------------------------------------
+
+# f-of-N colluding-witness sweep: every tolerated minority size at every
+# deployment width the issue names.
+REPL_COLLUSION_CONFIGS = [
+    (3, 0), (3, 1),
+    (5, 0), (5, 1), (5, 2),
+    (7, 0), (7, 1), (7, 2),
+]
+
+
+def run_replicated_campaign(seed: int = 2203, replicas: int = 3,
+                            quick: bool = False,
+                            verbose: bool = True) -> dict:
+    """The N-server gauntlet: the full WireAttack gallery on the primary
+    at ``replicas`` witnesses, the f-of-N colluding-witness sweep, a
+    withholding colluder (must read as noise, never an accusation), and
+    a fork composed with a fabricating colluder."""
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    runs = []
+    try:
+        steps = 8 if quick else 12
+        runs.append(run_replicated("repl-honest", None, seed=seed,
+                                   n_witnesses=replicas, steps=steps,
+                                   verbose=verbose))
+        for index, (name, factory) in enumerate(P2_ATTACKS):
+            if quick and name not in QUICK_P2:
+                continue
+            runs.append(run_replicated(f"repl-{name}", factory,
+                                       seed=seed + 10 + index,
+                                       n_witnesses=replicas, steps=steps,
+                                       verbose=verbose))
+        configs = [(3, 1)] if quick else REPL_COLLUSION_CONFIGS
+        for index, (n_witnesses, colluders) in enumerate(configs):
+            runs.append(run_replicated(
+                f"repl-collude-{colluders}of{n_witnesses}", None,
+                seed=seed + 40 + index, n_witnesses=n_witnesses,
+                colluders=colluders, steps=steps, verbose=verbose))
+        if not quick:
+            runs.append(run_replicated(
+                "repl-withhold-1of3", None, seed=seed + 70, n_witnesses=3,
+                colluders=1, collusion_mode="withhold", steps=steps,
+                verbose=verbose))
+            runs.append(run_replicated(
+                "repl-fork+collude-1of5",
+                lambda: ForkAttack(victims=["u1"], fork_round=10),
+                seed=seed + 71, n_witnesses=5, colluders=1, steps=steps,
+                verbose=verbose))
+        obs_counters = {
+            name: obs.registry.counter(name).total()
+            for name in ("repl.deposits", "repl.quorum_checks",
+                         "repl.divergences", "net.attacks_injected")}
+    finally:
+        obs.disable()
+
+    deviating = [r for r in runs if r["deviated"]]
+    named = sum(
+        sum(1 for d in r["detections"] if d["kind"] == "replication")
+        + len(r["witness_detections"])
+        for r in runs)
+    checks = {
+        "false_positives": sum(1 for r in runs if r["false_alarm"]),
+        "missed_divergences": sum(1 for r in deviating if not r["detected"]),
+        "misattributed_bundles": sum(r["misattributed"] for r in runs),
+        "unproven_detections": sum(r["bad_bundles"] for r in runs),
+        "falsely_excluded_witnesses": sum(
+            len(r["falsely_excluded"]) for r in runs),
+        "false_accusations": sum(r["false_accusations"] for r in runs),
+        "stalled_honest_clients": sum(
+            len(r["stalled_clients"]) + len(r["confirm_failures"])
+            for r in runs),
+        "collusions_never_exercised": sum(
+            1 for r in runs if not r["collusion_exercised"]),
+        "attacks_that_never_deviated": sum(
+            1 for r in runs if r["attack"] is not None and not r["deviated"]),
+        # Every divergence the clients named is mirrored in the obs
+        # counter, and the quorum machinery demonstrably ran.
+        "obs_consistent": (obs_counters["repl.divergences"] >= named
+                           and obs_counters["repl.deposits"] > 0
+                           and obs_counters["repl.quorum_checks"] > 0),
+    }
+    return {
+        "config": {"seed": seed, "quick": quick, "order": ORDER,
+                   "replicas": replicas},
+        "runs": runs,
+        "obs": obs_counters,
+        "checks": checks,
+    }
+
+
+def replicated_campaign_passes(results: dict) -> bool:
+    checks = results["checks"]
+    return all(checks[key] == 0 for key in checks if key != "obs_consistent") \
+        and checks["obs_consistent"]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -459,11 +815,23 @@ def main(argv=None) -> int:
     parser.add_argument("--json", action="store_true", help="JSON only")
     parser.add_argument("--async", dest="use_async", action="store_true",
                         help="run every attack against the asyncio server")
+    parser.add_argument("--replicas", type=int, default=0, metavar="N",
+                        help="run the N-server replicated campaign instead: "
+                             "the gallery on the primary at N witnesses plus "
+                             "the f-of-N colluding-witness sweep")
     args = parser.parse_args(argv)
 
-    results = run_campaign(seed=args.seed, quick=args.quick,
-                           verbose=not args.json, use_async=args.use_async)
-    ok = campaign_passes(results)
+    if args.replicas:
+        results = run_replicated_campaign(seed=args.seed,
+                                          replicas=args.replicas,
+                                          quick=args.quick,
+                                          verbose=not args.json)
+        ok = replicated_campaign_passes(results)
+    else:
+        results = run_campaign(seed=args.seed, quick=args.quick,
+                               verbose=not args.json,
+                               use_async=args.use_async)
+        ok = campaign_passes(results)
     results["pass"] = ok
     print(json.dumps(results, indent=2))
     if args.check and not ok:

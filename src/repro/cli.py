@@ -282,63 +282,138 @@ def cmd_update(args, out) -> int:
     return 0
 
 
+def _parse_endpoints(text: str) -> list[tuple[str, int]]:
+    """Parse ``HOST:PORT[,HOST:PORT...]`` into endpoint tuples."""
+    endpoints = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        host, _, port_text = chunk.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise CliError(f"expected HOST:PORT, got {chunk!r}")
+        endpoints.append((host, int(port_text)))
+    if not endpoints:
+        raise CliError("no endpoints given")
+    return endpoints
+
+
 def cmd_serve(args, out) -> int:
-    """Host a local repository over TCP (Ctrl-C to stop and persist).
+    """Host a local repository over TCP (SIGTERM/Ctrl-C to stop).
 
     With ``--durable`` the server keeps a write-ahead log + periodic
     snapshots under ``REPO/server/``: a crash (power cut, SIGKILL)
     loses no acknowledged write, and the next ``serve`` replays to the
     identical root digest so clients' trust anchors still verify.
+
+    Shutdown is graceful: SIGTERM and SIGINT quiesce in-flight work,
+    flush the replicator (if any), fsync the WAL, and write a final
+    snapshot before exiting -- never dying mid-batch.
+
+    Replication: ``--replicas N --key-seed S`` fixes a deterministic
+    keyring shared by the whole deployment.  A primary adds
+    ``--replicate-to H:P,...`` to deposit every signed root with the
+    witnesses; each witness runs ``serve --witness I`` (no repository
+    needed -- it banks deposits, not the tree, in its own durable store
+    under ``REPO/witness-wI/``).
     """
+    import signal
+    import threading
+
     from repro.mtree.persistence import load_database as _load
     from repro.net.aserver import serve_async_in_thread
     from repro.net.server import serve_in_thread
 
-    db_path = os.path.join(args.repo, DB_FILE)
-    if not os.path.isfile(db_path):
-        raise CliError(f"{args.repo!r} is not a repository (run 'repro init' first)")
-    with open(db_path, "rb") as handle:
-        database = _load(handle.read())
-    data_dir = os.path.join(args.repo, SERVER_DIR) if args.durable else None
+    keys = None
+    if args.replicas:
+        from repro.net.replication import make_replica_keys
+
+        keys = make_replica_keys(args.replicas, args.key_seed)
+    database = None
+    db_path = None
+    protocol = None
+    replicator = None
+    if args.witness is not None:
+        from repro.net.replication import WitnessProtocol, witness_name
+
+        if keys is None:
+            raise CliError("--witness requires --replicas N (the witness count)")
+        if not 0 <= args.witness < args.replicas:
+            raise CliError(f"--witness must be in [0, {args.replicas})")
+        wid = witness_name(args.witness)
+        protocol = WitnessProtocol(wid, keys.witnesses[args.witness],
+                                   keys.verifier)
+        data_dir = (os.path.join(args.repo, f"witness-{wid}")
+                    if args.durable else None)
+        role = f"witness {wid} (1 of {args.replicas})"
+    else:
+        db_path = os.path.join(args.repo, DB_FILE)
+        if not os.path.isfile(db_path):
+            raise CliError(f"{args.repo!r} is not a repository (run 'repro init' first)")
+        with open(db_path, "rb") as handle:
+            database = _load(handle.read())
+        data_dir = os.path.join(args.repo, SERVER_DIR) if args.durable else None
+        role = "standalone"
+        if args.replicate_to:
+            from repro.net.replication import Replicator
+
+            if keys is None:
+                raise CliError("--replicate-to requires --replicas N "
+                               "(and the deployment's --key-seed)")
+            endpoints = _parse_endpoints(args.replicate_to)
+            replicator = Replicator(keys.primary, witnesses=endpoints)
+            role = f"primary depositing to {len(endpoints)} witness(es)"
     if args.use_async:
-        server = serve_async_in_thread(database=database, port=args.port,
-                                       data_dir=data_dir,
+        server = serve_async_in_thread(database=database, protocol=protocol,
+                                       port=args.port, data_dir=data_dir,
                                        snapshot_every=args.snapshot_every,
-                                       batch_max=args.batch_max)
+                                       batch_max=args.batch_max,
+                                       replicator=replicator)
         core = f"async event loop, batches <= {args.batch_max}"
     else:
-        server = serve_in_thread(database=database, port=args.port,
-                                 data_dir=data_dir,
+        server = serve_in_thread(database=database, protocol=protocol,
+                                 port=args.port, data_dir=data_dir,
                                  snapshot_every=args.snapshot_every,
-                                 max_workers=args.workers)
+                                 max_workers=args.workers,
+                                 replicator=replicator)
         core = "threaded" + (f", <= {args.workers} workers"
                              if args.workers else "")
     host, port = server.address
     mode = "durable (WAL + snapshots)" if args.durable else "in-memory"
-    print(f"serving {args.repo} on {host}:{port}, {mode}, {core} "
-          "(Ctrl-C to stop)", file=out)
+    print(f"serving {args.repo} on {host}:{port}, {mode}, {core}, {role} "
+          "(SIGTERM/Ctrl-C to stop)", file=out)
     if args.durable and server.replayed_records:
         print(f"recovered: replayed {server.replayed_records} WAL record(s)", file=out)
+    out.flush()
+    stop = threading.Event()
+    # Signal handlers are only legal on the main thread; test harnesses
+    # that call cli_main from a worker thread set args.stop_event
+    # instead (or rely on KeyboardInterrupt injection).
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: stop.set())
+    external = getattr(args, "stop_event", None)
     try:
-        import threading
-
-        threading.Event().wait()  # sleep until interrupted
+        if external is not None:
+            external.wait()
+        else:
+            stop.wait()
     except KeyboardInterrupt:
         pass
     finally:
-        if args.use_async:
-            # Drain in-flight batches, capture the final tree, then stop.
-            server.quiesce()
-            snapshot = server.read_state(
-                lambda state: dump_database(state.database))
-            server.stop(snapshot=args.durable)
-        else:
-            server.stop(snapshot=args.durable)
-            with server.state_lock:
-                snapshot = dump_database(server.state.database)
-        with open(db_path, "wb") as handle:
-            handle.write(snapshot)
-        print("persisted and stopped", file=out)
+        # Graceful: quiesce, flush replication, fsync WAL, final
+        # snapshot -- identical sequence for both cores.
+        clean = server.graceful_stop()
+        if db_path is not None:
+            if args.use_async:
+                snapshot = dump_database(server.core.state.database)
+            else:
+                with server.state_lock:
+                    snapshot = dump_database(server.state.database)
+            with open(db_path, "wb") as handle:
+                handle.write(snapshot)
+        suffix = "" if clean else " (quiesce timed out)"
+        print(f"persisted and stopped{suffix}", file=out)
     return 0
 
 
@@ -415,6 +490,13 @@ def cmd_evidence_inspect(args, out) -> int:
         anchor = bundle.get("anchor") or {}
         if anchor.get("anchor_path"):
             print(f"anchor   : {anchor['anchor_path']}", file=out)
+    elif bundle["kind"] == "replication":
+        print(f"mode     : {bundle.get('mode', '?')}", file=out)
+        print(f"deviant  : {bundle.get('deviant', '?')}", file=out)
+        print(f"counter  : {bundle.get('ctr', '?')}", file=out)
+        frames = bundle.get("attestation_frames", [])
+        sizes = ", ".join(f"{len(frame)} B" for frame in frames)
+        print(f"frames   : {len(frames)} attestation(s) ({sizes})", file=out)
     verdict = "GENUINE DEVIATION" if genuine else "verifies cleanly (NOT evidence)"
     print(f"re-verify: {verdict} -- {why}", file=out)
     return 0 if genuine else 1
@@ -535,6 +617,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max ops per drainer batch with --async")
     serve.add_argument("--workers", type=int, default=None,
                        help="cap concurrent handler threads (threaded core)")
+    serve.add_argument("--replicas", type=int, default=0, metavar="N",
+                       help="witness count of the replicated deployment "
+                            "(fixes the shared keyring with --key-seed)")
+    serve.add_argument("--key-seed", type=int, default=4096,
+                       help="deterministic seed for the deployment keyring")
+    serve.add_argument("--witness", type=int, default=None, metavar="I",
+                       help="serve as witness index I (banks root deposits; "
+                            "requires --replicas)")
+    serve.add_argument("--replicate-to", default=None, metavar="H:P,...",
+                       help="primary mode: deposit every signed root with "
+                            "these witness endpoints")
     serve.set_defaults(handler=cmd_serve)
 
     obs_report = commands.add_parser(

@@ -3,25 +3,41 @@ TCP, speaking the binary wire format of :mod:`repro.wire`, with
 crash-safe server recovery (:mod:`repro.net.wal`), self-healing clients,
 a fault-injecting proxy (:mod:`repro.net.chaosproxy`) for chaos testing,
 a Byzantine attack adapter (:mod:`repro.net.byzantine`) that aims the
-simulator's malicious-server gallery at the wire path, and forensic
-evidence bundles (:mod:`repro.net.evidence`) for provable detections."""
+simulator's malicious-server gallery at the wire path, forensic
+evidence bundles (:mod:`repro.net.evidence`) for provable detections,
+and N-server replicated root deposits (:mod:`repro.net.replication`)
+that out-vote a forking primary through witness quorums."""
 
 from repro.net.aserver import (
     AsyncServerHandle,
     AsyncTrustedCvsServer,
     serve_async_in_thread,
 )
-from repro.net.byzantine import WireAttack
+from repro.net.byzantine import WireAttack, WitnessCollusion
 from repro.net.chaosproxy import ChaosConfig, ChaosProxy
 from repro.net.client import (
+    EndpointConnector,
     IntegrityError,
     RemoteClient,
     RemoteClientP1,
+    ReplicationDivergence,
     RetryPolicy,
     ServerBusyError,
     TransientNetworkError,
     count_sync_check,
     sync_check,
+)
+from repro.net.replication import (
+    QuorumChecker,
+    Replicator,
+    RootAttestation,
+    RootDeposit,
+    WitnessProtocol,
+    attest,
+    attestation_valid,
+    deposit_valid,
+    make_deposit,
+    make_replica_keys,
 )
 from repro.net.core import DedupTable, ServerCore
 from repro.net.evidence import EvidenceError, read_bundle, reverify, write_bundle
@@ -39,8 +55,21 @@ __all__ = [
     "PipelinedRemoteClient",
     "PipelinedRemoteClientP1",
     "WireAttack",
+    "WitnessCollusion",
     "ChaosConfig",
     "ChaosProxy",
+    "QuorumChecker",
+    "Replicator",
+    "RootAttestation",
+    "RootDeposit",
+    "WitnessProtocol",
+    "attest",
+    "attestation_valid",
+    "deposit_valid",
+    "make_deposit",
+    "make_replica_keys",
+    "EndpointConnector",
+    "ReplicationDivergence",
     "EvidenceError",
     "read_bundle",
     "reverify",

@@ -137,6 +137,7 @@ class AsyncTrustedCvsServer:
         batch_max: int = BATCH_MAX,
         drain_timeout: float = DRAIN_TIMEOUT_SECONDS,
         shards: int = 1,
+        replicator=None,
     ) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be at least 1")
@@ -149,7 +150,7 @@ class AsyncTrustedCvsServer:
                                data_dir=data_dir,
                                snapshot_every=snapshot_every, fsync=fsync,
                                attack=attack, dedup_window=dedup_window,
-                               shards=shards)
+                               shards=shards, replicator=replicator)
         self._queue: asyncio.Queue = asyncio.Queue()
         self._parked: list[_Work] = []
         self._writers: set[asyncio.StreamWriter] = set()
@@ -221,10 +222,9 @@ class AsyncTrustedCvsServer:
                 transport.abort()
         if self._server is not None:
             await self._server.wait_closed()
-        if self.core.store is not None:
-            if snapshot:
-                self.core.snapshot()
-            self.core.close_store()
+        if self.core.store is not None and snapshot:
+            self.core.snapshot()
+        self.core.close_store()
 
     # -- connection handling -----------------------------------------------
 
@@ -563,6 +563,31 @@ class AsyncServerHandle:
             if not self._loop.is_running():
                 self._loop.close()
 
+    def graceful_stop(self, timeout: float | None = None) -> bool:
+        """The operator shutdown, mirroring the threaded server's:
+        quiesce (drains queued batches and parked requests), flush the
+        replicator, fsync the WAL and write a final snapshot on the
+        loop, then stop.  Returns False when a wait timed out (shutdown
+        still proceeds)."""
+        if timeout is None:
+            timeout = self._server.block_timeout
+        clean = self.quiesce(timeout=timeout)
+        replicator = self._server.core.replicator
+        if replicator is not None:
+            # Flushed from this thread: sender threads are independent
+            # of the event loop, and the quiesce above already drained
+            # every operation that could still create a deposit.
+            clean = replicator.flush(timeout=timeout) and clean
+
+        async def _finalise():
+            core = self._server.core
+            if core.store is not None:
+                core.store.wal_sync()
+                core.snapshot()
+        self._call(_finalise(), timeout=timeout + 5.0)
+        self.stop(snapshot=False)
+        return clean
+
 
 def serve_async_in_thread(
     order: int = 8,
@@ -578,6 +603,7 @@ def serve_async_in_thread(
     batch_max: int = BATCH_MAX,
     dedup_window: int = DEDUP_WINDOW,
     shards: int = 1,
+    replicator=None,
 ) -> AsyncServerHandle:
     """Start an async server on its own event-loop thread.
 
@@ -599,7 +625,8 @@ def serve_async_in_thread(
             order=order, database=database, port=port, protocol=protocol,
             state=state, block_timeout=block_timeout, data_dir=data_dir,
             snapshot_every=snapshot_every, fsync=fsync, attack=attack,
-            batch_max=batch_max, dedup_window=dedup_window, shards=shards)
+            batch_max=batch_max, dedup_window=dedup_window, shards=shards,
+            replicator=replicator)
         await server.start()
         return server
 

@@ -115,6 +115,40 @@ class WireAttack:
             user_id, message, state, round_no=round_no)
 
 
+class WitnessCollusion:
+    """Byzantine behaviour for one *witness* replica.
+
+    Handed to :class:`~repro.net.replication.WitnessProtocol`, it turns
+    that witness into a colluder on every attestation fetch:
+
+    ``"fabricate"``
+        answer with attestations over doctored deposits -- a valid
+        witness signature wrapping a deposit whose root was flipped and
+        whose primary signature is therefore invalid.  Without the
+        primary's key this is the strongest equivocation a witness can
+        mount, and its shape (valid outer, invalid inner signature) is
+        exactly what lets the client name the *witness* as the deviant;
+    ``"withhold"``
+        deny holding any deposit (and report an empty head), starving
+        the fetch -- indistinguishable from lag, so the client must
+        treat it as noise and re-sample, never as evidence.
+
+    ``served`` counts fetches the collusion actually answered
+    dishonestly -- the benchmark's ground truth that a configured
+    colluder was really exercised.  Deposit *storage* stays honest
+    either way: colluders still bank the real lineage, modelling
+    witnesses that misbehave only where it could pay off.
+    """
+
+    MODES = ("fabricate", "withhold")
+
+    def __init__(self, mode: str = "fabricate") -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown collusion mode {mode!r}")
+        self.mode = mode
+        self.served = 0
+
+
 def as_wire_attack(attack) -> "WireAttack | None":
     """Normalise ``None`` / a gallery ``Attack`` / a ``WireAttack``."""
     if attack is None or isinstance(attack, WireAttack):

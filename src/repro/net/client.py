@@ -77,6 +77,67 @@ class TransientNetworkError(Exception):
     because operations carry idempotent request ids."""
 
 
+class ReplicationDivergence(IntegrityError):
+    """A witness quorum proved the primary served this client a root
+    lineage it never deposited (fork) or deposited two lineages at once
+    (equivocation).  ``deviant`` names the replica the evidence bundle
+    at ``evidence_path`` implicates."""
+
+    def __init__(self, reason: str, deviant: str = "primary",
+                 evidence_path: str | None = None) -> None:
+        super().__init__(reason)
+        self.deviant = deviant
+        self.evidence_path = evidence_path
+
+
+class EndpointConnector:
+    """Sticky failover over an ordered ``[(host, port), ...]`` list.
+
+    One code path for every multi-server client: the operation clients
+    (:class:`RemoteClient` and subclasses) and the witness fetch in
+    :class:`~repro.net.replication.QuorumChecker` both connect through
+    it.  A connect tries the *current* endpoint first -- reconnects
+    prefer the server the session last spoke to, keeping dedup windows
+    and blocking state warm -- then rotates through the rest in order.
+    One full pass with no listener raises the last ``OSError``, so the
+    caller's retry budget counts a pass as a single attempt.
+    """
+
+    def __init__(self, endpoints, connect_timeout: float,
+                 op_timeout: float) -> None:
+        self.endpoints = [(str(host), int(port)) for host, port in endpoints]
+        if not self.endpoints:
+            raise ValueError("endpoint list must not be empty")
+        self._connect_timeout = connect_timeout
+        self._op_timeout = op_timeout
+        self._index = 0
+        self.failovers = 0
+
+    @property
+    def current(self) -> tuple[str, int]:
+        return self.endpoints[self._index]
+
+    def describe(self) -> str:
+        return ", ".join(f"{host}:{port}" for host, port in self.endpoints)
+
+    def connect(self) -> socket.socket:
+        last_error: OSError | None = None
+        for offset in range(len(self.endpoints)):
+            index = (self._index + offset) % len(self.endpoints)
+            try:
+                sock = socket.create_connection(
+                    self.endpoints[index], timeout=self._connect_timeout)
+            except OSError as exc:
+                last_error = exc
+                continue
+            sock.settimeout(self._op_timeout)
+            if index != self._index:
+                self.failovers += 1
+                self._index = index
+            return sock
+        raise last_error
+
+
 class RetryPolicy:
     """Capped exponential backoff with jitter, driven by a seeded RNG.
 
@@ -124,21 +185,46 @@ class RemoteClient:
     after every verified operation, so a restarted client process can
     resume the same session: pass the same path and ``initial_root``
     may be omitted.
+
+    ``endpoints`` (optional) replaces the single ``host``/``port`` pair
+    with an ordered failover list: every connect and reconnect walks it
+    through one shared :class:`EndpointConnector`.  ``quorum`` attaches
+    a :class:`~repro.net.replication.QuorumChecker`; each verified
+    operation's expected ``(ctr, new_root)`` is then recorded and
+    confirmed against f+1 random witnesses every ``quorum_every``
+    operations (and on demand via :meth:`quorum_check`).
     """
 
-    def __init__(self, host: str, port: int, user_id: str,
+    def __init__(self, host: str, port: int | None = None,
+                 user_id: str = "anonymous",
                  initial_root: Digest | None = None,
                  order: "int | StoreSpec" = 8,
                  connect_timeout: float = CONNECT_TIMEOUT_SECONDS,
                  op_timeout: float = OP_TIMEOUT_SECONDS,
                  retry: RetryPolicy | None = None,
                  anchor_path: str | None = None,
-                 evidence_dir: str | None = None) -> None:
+                 evidence_dir: str | None = None,
+                 endpoints=None,
+                 quorum=None, quorum_every: int = 8) -> None:
         self.user_id = user_id
         self._order = order
-        self._host, self._port = host, port
+        if endpoints is None:
+            if port is None and isinstance(host, (list, tuple)):
+                endpoints = list(host)
+            else:
+                endpoints = [(host, port)]
+        self._connector = EndpointConnector(
+            endpoints, connect_timeout, op_timeout)
+        self._host, self._port = self._connector.current
         self._connect_timeout = connect_timeout
         self._op_timeout = op_timeout
+        self.quorum = quorum
+        if quorum is not None:
+            quorum.set_order(order)
+        if quorum_every < 1:
+            raise ValueError("quorum_every must be at least 1")
+        self._quorum_every = quorum_every
+        self._ops_since_quorum = 0
         self._retry = retry or RetryPolicy()
         self._anchor_path = anchor_path
         self._evidence_dir = evidence_dir
@@ -185,14 +271,12 @@ class RemoteClient:
                 if attempt + 1 < self._retry.attempts:
                     time.sleep(self._retry.delay(attempt))
         raise TransientNetworkError(
-            f"could not connect to {self._host}:{self._port} after "
+            f"could not connect to {self._connector.describe()} after "
             f"{self._retry.attempts} attempt(s): {last_error}") from last_error
 
     def _connect(self, first: bool = False) -> None:
-        sock = socket.create_connection(
-            (self._host, self._port), timeout=self._connect_timeout)
-        sock.settimeout(self._op_timeout)
-        self._sock = sock
+        self._sock = self._connector.connect()
+        self._host, self._port = self._connector.current
         if not first and _obs.enabled:
             _RECONNECTS.inc(user=self.user_id)
 
@@ -206,6 +290,8 @@ class RemoteClient:
 
     def close(self) -> None:
         self._drop_connection()
+        if self.quorum is not None:
+            self.quorum.close()
 
     def __enter__(self) -> "RemoteClient":
         return self
@@ -390,7 +476,42 @@ class RemoteClient:
         self.last = new_tag
         self.gctr = ctr + 1
         self.operations += 1
+        self._record_quorum(ctr + 1, outcome.new_root, request)
+        self._maybe_quorum_check()
         return outcome.answer
+
+    # -- witness quorum -----------------------------------------------------
+
+    def _record_quorum(self, ctr: int, new_root, request: Request) -> None:
+        """Remember a verified op's expected lineage entry: the primary
+        must have deposited exactly ``new_root`` at counter ``ctr``."""
+        if self.quorum is None:
+            return
+        from repro.wire import encode
+
+        self.quorum.record(
+            ctr, new_root, request_frame=encode(request),
+            response_frame=self._capture[-1] if self._capture else b"")
+
+    def _maybe_quorum_check(self) -> None:
+        """Every ``quorum_every`` verified ops, confirm the pending
+        lineage against a random f+1 witness sample.  Counters no
+        witness holds yet (replication lag) simply stay pending; a
+        proven divergence raises :class:`ReplicationDivergence` out of
+        the operation that triggered the check."""
+        if self.quorum is None:
+            return
+        self._ops_since_quorum += 1
+        if self._ops_since_quorum >= self._quorum_every:
+            self._ops_since_quorum = 0
+            self.quorum.check()
+
+    def quorum_check(self, require_all: bool = False):
+        """Confirm the recorded lineage now; see
+        :meth:`~repro.net.replication.QuorumChecker.check`."""
+        if self.quorum is None:
+            return set()
+        return self.quorum.check(require_all=require_all)
 
     def _on_detection(self, exc: IntegrityError, request: Request) -> None:
         """A verification failed: count it and, when an evidence
@@ -457,7 +578,8 @@ class RemoteClientP1:
                  signer, verifier, order: "int | StoreSpec" = 8,
                  connect_timeout: float = CONNECT_TIMEOUT_SECONDS,
                  op_timeout: float = OP_TIMEOUT_SECONDS,
-                 evidence_dir: str | None = None) -> None:
+                 evidence_dir: str | None = None,
+                 quorum=None, quorum_every: int = 8) -> None:
         from repro.crypto.hashing import hash_state
 
         self._hash_state = hash_state
@@ -469,12 +591,21 @@ class RemoteClientP1:
         self._capture: list[bytes] = []
         self.lctr = 0
         self.gctr = 0
+        self.quorum = quorum
+        if quorum is not None:
+            quorum.set_order(order)
+        if quorum_every < 1:
+            raise ValueError("quorum_every must be at least 1")
+        self._quorum_every = quorum_every
+        self._ops_since_quorum = 0
         self._sock = socket.create_connection((host, port),
                                               timeout=connect_timeout)
         self._sock.settimeout(op_timeout)
 
     def close(self) -> None:
         self._sock.close()
+        if self.quorum is not None:
+            self.quorum.close()
 
     def __enter__(self) -> "RemoteClientP1":
         return self
@@ -524,10 +655,16 @@ class RemoteClientP1:
         self.gctr = ctr + 1
         new_sig = self._signer.sign(self._hash_state(outcome.new_root, ctr + 1))
         send_message(self._sock, Followup(extras={"sig": new_sig, "user": self.user_id}))
+        self._record_quorum(ctr + 1, outcome.new_root, request)
+        self._maybe_quorum_check()
         if started:
             _CLIENT_OP_MS.observe(
                 (time.perf_counter_ns() - started) / 1e6, user=self.user_id)
         return outcome.answer
+
+    _record_quorum = RemoteClient._record_quorum
+    _maybe_quorum_check = RemoteClient._maybe_quorum_check
+    quorum_check = RemoteClient.quorum_check
 
     def _on_detection(self, exc: IntegrityError, request: Request) -> None:
         """Count the detection and capture a forensic bundle carrying

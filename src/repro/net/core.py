@@ -138,6 +138,7 @@ class ServerCore:
         attack=None,
         dedup_window: int = DEDUP_WINDOW,
         shards: int = 1,
+        replicator=None,
     ) -> None:
         self.protocol = protocol or Protocol2Server()
         self._shards = shards
@@ -162,6 +163,14 @@ class ServerCore:
                     database=database or VerifiedDatabase(
                         order=order, shards=shards))
             self.protocol.initialize(self.state)
+        #: primary-side replication: deposits the main branch's signed
+        #: root lineage to the witness group after every executed
+        #: request (see :mod:`repro.net.replication`).  Priming after
+        #: recovery re-deposits the recovered head so a restarted
+        #: primary's witnesses catch up to the live root.
+        self.replicator = replicator
+        if replicator is not None:
+            replicator.prime(self)
 
     @property
     def state(self) -> ServerState:
@@ -257,6 +266,8 @@ class ServerCore:
         response = self._execute_request(user_id, message)
         if rid is not None:
             self.dedup.record(user_id, rid, response)
+        if self.replicator is not None:
+            self.replicator.observe(self)
         self._after_logged_message()
         return response
 
@@ -329,6 +340,12 @@ class ServerCore:
             rid = request_id(message)
             if rid is not None:
                 self.dedup.record(user_id, rid, response)
+            # Replication deposits are per-operation (a client confirms
+            # each verified (ctr, root) pair), so in replicated mode the
+            # batch pays one lazy dirty-path root recompute per op here
+            # instead of amortising them all into refresh_roots() below.
+            if self.replicator is not None:
+                self.replicator.observe(self)
             executed.append(response)
 
         if fresh:
@@ -437,5 +454,7 @@ class ServerCore:
         return all(not self.protocol.blocked(s) for s in self.states.values())
 
     def close_store(self) -> None:
+        if self.replicator is not None:
+            self.replicator.close()
         if self.store is not None:
             self.store.close()

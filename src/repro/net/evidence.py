@@ -22,7 +22,7 @@ wire-encoded dict (the codec already covers every type involved, and
 :func:`reverify` replays the client-side checks against the recorded
 pre-operation state and answers the only question that matters after
 the fact: *is this bundle evidence of a genuine deviation, or would the
-response have verified cleanly?*  Three bundle kinds exist:
+response have verified cleanly?*  Four bundle kinds exist:
 
 ``response``
     a per-operation verification failure (bad VO, counter regression,
@@ -31,7 +31,14 @@ response have verified cleanly?*  Three bundle kinds exist:
     a failed Protocol II synchronisation predicate over exchanged
     registers;
 ``count-sync``
-    a failed Protocol I count-sync predicate over exchanged counts.
+    a failed Protocol I count-sync predicate over exchanged counts;
+``replication``
+    a cross-replica divergence proven by witness attestations
+    (:mod:`repro.net.replication`), naming the deviating replica --
+    the primary (fork/equivocation) or a fabricating witness.  Unlike
+    ``response`` bundles, the signed attestation frames ARE the proof:
+    a frame that fails to decode or a witness signature that does not
+    verify makes the bundle prove *nothing* (``genuine=False``).
 """
 
 from __future__ import annotations
@@ -166,6 +173,44 @@ def count_sync_bundle(counts: dict[str, dict]) -> dict:
     }
 
 
+def replication_bundle(*, mode: str, deviant: str, user_id: str, ctr: int,
+                       reason: str, attestations: list[bytes],
+                       order: int | dict,
+                       expected_root: Digest | None = None,
+                       request_frame: bytes = b"",
+                       response_frame: bytes = b"",
+                       verifier_keys: dict | None = None) -> dict:
+    """A cross-replica divergence, with the replica it implicates.
+
+    ``mode`` is one of ``witness-fabrication`` (a valid witness
+    signature over a deposit the primary never signed),
+    ``primary-equivocation`` (two valid primary-signed deposits at one
+    counter with different roots), or ``primary-fork`` (a valid
+    primary-signed deposit contradicting the root this client derived
+    from the operation's own VO, whose frames ride along).
+    ``attestations`` are canonical wire encodings of the
+    :class:`~repro.net.replication.RootAttestation` frames that prove
+    the claim; ``verifier_keys`` carries the replica group's public
+    keys so the verdict reproduces offline without the PKI.
+    """
+    return {
+        "codec": CODEC_VERSION,
+        "kind": "replication",
+        "protocol": "repl",
+        "user": user_id,
+        "reason": reason,
+        "mode": mode,
+        "deviant": deviant,
+        "ctr": ctr,
+        "attestation_frames": list(attestations),
+        "expected_root": expected_root,
+        "request_frame": request_frame,
+        "response_frame": response_frame,
+        "order": order,
+        "verifier_keys": verifier_keys or {},
+    }
+
+
 # -- offline re-verification ----------------------------------------------
 
 def reverify(bundle: dict) -> tuple[bool, str]:
@@ -184,6 +229,8 @@ def reverify(bundle: dict) -> tuple[bool, str]:
         return _reverify_count_sync(bundle)
     if kind == "response":
         return _reverify_response(bundle)
+    if kind == "replication":
+        return _reverify_replication(bundle)
     raise EvidenceError(f"unknown bundle kind {kind!r}")
 
 
@@ -251,3 +298,124 @@ def _reverify_signature(bundle, response, outcome, ctr,
     if not rsa.verify_digest(key, expected, signature.raw):
         return True, "signature bytes do not verify under the signer's key"
     return False, "state signature verifies cleanly"
+
+
+def _bundle_key(bundle: dict, signer_id: str):
+    info = bundle.get("verifier_keys", {}).get(signer_id)
+    if info is None:
+        return None
+    return rsa.PublicKey(modulus=int(info["modulus"], 16),
+                         exponent=int(info["exponent"]))
+
+
+def _signature_holds(bundle: dict, signature, signer_id: str,
+                     expected: Digest) -> bool:
+    if not isinstance(signature, Signature) or signature.signer_id != signer_id:
+        return False
+    key = _bundle_key(bundle, signer_id)
+    if key is None or signature.digest != expected:
+        return False
+    return rsa.verify_digest(key, expected, signature.raw)
+
+
+def _reverify_replication(bundle: dict) -> tuple[bool, str]:
+    """Re-judge a cross-replica divergence from its signed attestations.
+
+    The polarity is inverted relative to ``response`` bundles: there, a
+    frame that fails to decode is itself the deviation; here the
+    attestation frames carry the *proof*, so anything unverifiable
+    about them means the bundle implicates nobody.
+    """
+    from repro.net.replication import (
+        RootAttestation,
+        attestation_digest,
+        deposit_digest,
+    )
+
+    mode = bundle.get("mode")
+    deviant = bundle.get("deviant")
+    ctr = bundle.get("ctr")
+    attestations = []
+    for frame in bundle.get("attestation_frames", ()):
+        try:
+            attestation = decode(frame)
+        except WireError as exc:
+            return False, f"attestation frame does not decode: {exc}"
+        if not isinstance(attestation, RootAttestation):
+            return False, "attestation frame is not a root attestation"
+        expected = attestation_digest(attestation.witness_id,
+                                      attestation.deposit)
+        if not _signature_holds(bundle, attestation.signature,
+                                attestation.witness_id, expected):
+            return False, (f"witness signature by "
+                           f"{attestation.witness_id!r} does not verify: "
+                           "the attestation proves nothing")
+        attestations.append(attestation)
+    if not attestations:
+        return False, "bundle carries no attestations"
+
+    def primary_signed(deposit) -> bool:
+        return _signature_holds(
+            bundle, deposit.signature, deposit.primary_id,
+            deposit_digest(deposit.primary_id, deposit.ctr, deposit.root))
+
+    if mode == "witness-fabrication":
+        attestation = attestations[0]
+        if attestation.witness_id != deviant:
+            return False, (f"bundle names {deviant!r} but the attestation "
+                           f"was signed by {attestation.witness_id!r}")
+        if primary_signed(attestation.deposit):
+            return False, ("the attested deposit was validly signed by the "
+                           "primary: the witness told the truth")
+        return True, (f"witness {deviant!r} validly countersigned a deposit "
+                      "the primary never signed")
+
+    if mode == "primary-equivocation":
+        valid = [a.deposit for a in attestations
+                 if a.deposit.ctr == ctr and primary_signed(a.deposit)]
+        if len(valid) < 2:
+            return False, ("fewer than two validly primary-signed deposits "
+                           f"at counter {ctr}")
+        roots = {deposit.root for deposit in valid}
+        if len(roots) < 2:
+            return False, "the deposits agree on one root: no equivocation"
+        if valid[0].primary_id != deviant:
+            return False, (f"bundle names {deviant!r} but the deposits were "
+                           f"signed by {valid[0].primary_id!r}")
+        return True, (f"primary signed {len(roots)} different roots at "
+                      f"counter {ctr}")
+
+    if mode == "primary-fork":
+        attestation = attestations[0]
+        deposit = attestation.deposit
+        if deposit.ctr != ctr or not primary_signed(deposit):
+            return False, ("the attested deposit is not validly "
+                           f"primary-signed at counter {ctr}")
+        if deposit.primary_id != deviant:
+            return False, (f"bundle names {deviant!r} but the deposit was "
+                           f"signed by {deposit.primary_id!r}")
+        expected_root = bundle.get("expected_root")
+        if not isinstance(expected_root, Digest):
+            return False, "bundle records no expected root to contradict"
+        if bundle.get("request_frame") and bundle.get("response_frame"):
+            # The strong form: re-derive the client's expected root from
+            # the served operation's own VO, rather than trusting the
+            # recorded digest.
+            try:
+                request = decode(bundle["request_frame"])
+                response = decode(bundle["response_frame"])
+                outcome = derive_outcome(request.query, response.result,
+                                         StoreSpec.coerce(bundle["order"]))
+            except (WireError, ProofError, AttributeError) as exc:
+                return False, (f"recorded operation frames do not re-verify: "
+                               f"{exc}")
+            if outcome.new_root != expected_root:
+                return False, ("recorded frames do not derive the claimed "
+                               "expected root")
+        if deposit.root == expected_root:
+            return False, ("the deposited root matches the VO-derived root: "
+                           "no fork")
+        return True, ("primary signed a deposit contradicting the root it "
+                      f"served this client at counter {ctr}")
+
+    return False, f"unknown replication divergence mode {mode!r}"

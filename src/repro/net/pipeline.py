@@ -345,4 +345,8 @@ class PipelinedRemoteClientP1(RemoteClientP1):
             self._expect_signed = True
         else:
             self._expect_signed = False
+        # Only after any due follow-up went out: a divergence raised by
+        # the quorum check must not leave the server blocked on us.
+        self._record_quorum(ctr + 1, outcome.new_root, request)
+        self._maybe_quorum_check()
         return outcome.answer

@@ -168,6 +168,7 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         dedup_window: int = DEDUP_WINDOW,
         max_workers: int | None = None,
         shards: int = 1,
+        replicator=None,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.block_timeout = block_timeout
@@ -181,7 +182,7 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
                                data_dir=data_dir,
                                snapshot_every=snapshot_every, fsync=fsync,
                                attack=attack, dedup_window=dedup_window,
-                               shards=shards)
+                               shards=shards, replicator=replicator)
 
     # -- core delegation ---------------------------------------------------
 
@@ -269,11 +270,34 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
                 sock.close()
             except OSError:
                 pass
-        if self.core.store is not None:
-            if snapshot:
-                with self.state_cond:
-                    self.core.snapshot()
-            self.core.close_store()
+        if self.core.store is not None and snapshot:
+            with self.state_cond:
+                self.core.snapshot()
+        self.core.close_store()
+
+    def graceful_stop(self, timeout: float | None = None) -> bool:
+        """The operator shutdown: quiesce, drain replication, make the
+        WAL durable, write a final snapshot, *then* stop serving.
+
+        Unlike :meth:`stop` (the crash-equivalent teardown the recovery
+        tests exercise), nothing is lost mid-batch: outstanding
+        Protocol I follow-ups are waited for, the replicator flushes
+        every created deposit to every witness, and the snapshot means a
+        restart replays zero WAL records.  Returns False when the
+        quiesce or the replication flush timed out (shutdown still
+        proceeds -- the WAL keeps its durability promise either way).
+        """
+        if timeout is None:
+            timeout = self.block_timeout
+        clean = self.quiesce(timeout=timeout)
+        if self.core.replicator is not None:
+            clean = self.core.replicator.flush(timeout=timeout) and clean
+        with self.state_cond:
+            if self.core.store is not None:
+                self.core.store.wal_sync()
+                self.core.snapshot()
+        self.stop(snapshot=False)
+        return clean
 
     # -- quiescence --------------------------------------------------------
 
@@ -352,6 +376,7 @@ def serve_in_thread(
     attack=None,
     max_workers: int | None = None,
     shards: int = 1,
+    replicator=None,
 ) -> TrustedCvsTcpServer:
     """Start a server on an ephemeral port; returns the running server.
 
@@ -364,7 +389,7 @@ def serve_in_thread(
                                  data_dir=data_dir,
                                  snapshot_every=snapshot_every, fsync=fsync,
                                  attack=attack, max_workers=max_workers,
-                                 shards=shards)
+                                 shards=shards, replicator=replicator)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server

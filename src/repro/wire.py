@@ -70,6 +70,7 @@ _TAGS = {
     "forest_read_proof": 0x28, "forest_update_proof": 0x29,
     "forest_range_proof": 0x2A,
     "signature": 0x30, "epoch_deposit": 0x31,
+    "root_deposit": 0x32, "root_attestation": 0x33,
     "request": 0x40, "response": 0x41, "followup": 0x42,
     "error_reply": 0x43,
 }
@@ -205,6 +206,17 @@ def _encode_value(value: object, out: bytearray) -> None:
         _encode_value(value.epoch, out)
         _encode_value(value.sigma, out)
         _encode_value(value.last, out)
+        _encode_value(value.signature, out)
+    elif isinstance(value, RootDeposit):
+        out += _TAG_BYTES["root_deposit"]
+        _encode_value(value.primary_id, out)
+        _encode_value(value.ctr, out)
+        _encode_value(value.root, out)
+        _encode_value(value.signature, out)
+    elif isinstance(value, RootAttestation):
+        out += _TAG_BYTES["root_attestation"]
+        _encode_value(value.witness_id, out)
+        _encode_value(value.deposit, out)
         _encode_value(value.signature, out)
     elif isinstance(value, Request):
         out += _TAG_BYTES["request"]
@@ -343,6 +355,24 @@ def _decode_value(reader: _Reader) -> object:
         return EpochDeposit(user_id=_decode_value(reader), epoch=_decode_value(reader),
                             sigma=_decode_value(reader), last=_decode_value(reader),
                             signature=_decode_value(reader))
+    if name == "root_deposit":
+        primary_id, ctr = _decode_value(reader), _decode_value(reader)
+        root, signature = _decode_value(reader), _decode_value(reader)
+        if not isinstance(primary_id, str) or not isinstance(ctr, int) \
+                or not isinstance(root, Digest) \
+                or not isinstance(signature, Signature):
+            raise WireError("malformed root deposit")
+        return RootDeposit(primary_id=primary_id, ctr=ctr, root=root,
+                           signature=signature)
+    if name == "root_attestation":
+        witness_id, deposit = _decode_value(reader), _decode_value(reader)
+        signature = _decode_value(reader)
+        if not isinstance(witness_id, str) \
+                or not isinstance(deposit, RootDeposit) \
+                or not isinstance(signature, Signature):
+            raise WireError("malformed root attestation")
+        return RootAttestation(witness_id=witness_id, deposit=deposit,
+                               signature=signature)
     if name == "request":
         return Request(query=_decode_value(reader), extras=_decode_value(reader))
     if name == "response":
@@ -385,3 +415,11 @@ def decode(data: bytes) -> object:
 def wire_size(message: object) -> int:
     """Bytes this message occupies on the wire."""
     return len(encode(message))
+
+
+# Imported last: repro.net.replication is reached through the repro.net
+# package, whose __init__ imports modules that import *this* module --
+# deferring until every name above exists keeps either import order
+# (wire first or repro.net first) cycle-safe.  replication itself is
+# codec-free at module level for the same reason.
+from repro.net.replication import RootAttestation, RootDeposit  # noqa: E402

@@ -1,0 +1,89 @@
+"""Chaos faults on the *async* server leg.
+
+``test_chaos.py`` proves the self-healing client against the threaded
+server; the asyncio core has its own connection handling (StreamReader
+framing, batched drain), so RST resets and truncated frames get their
+own pass here.  The invariants are identical: the client retries
+verbatim, the dedup table keeps acknowledged writes exactly-once, and
+registers still pass the sync predicate.
+"""
+
+import pytest
+
+from repro.net import (
+    ChaosConfig,
+    ChaosProxy,
+    RemoteClient,
+    RetryPolicy,
+    serve_async_in_thread,
+    sync_check,
+)
+
+
+@pytest.fixture
+def server():
+    handle = serve_async_in_thread(order=4)
+    yield handle
+    handle.stop()
+
+
+class TestAsyncServerUnderChaos:
+    def test_client_survives_connection_resets(self, server):
+        """ECONNRESET mid-exchange against the asyncio core: the client
+        reconnects and resends; application stays exactly-once."""
+        host, port = server.address
+        genesis = server.initial_root_digest()
+        config = ChaosConfig(reset_rate=0.2, immune_chunks=0)
+        with ChaosProxy(host, port, seed=37, config=config) as proxy:
+            phost, pport = proxy.address
+            with RemoteClient(phost, pport, "alice", genesis, order=4,
+                              retry=RetryPolicy(attempts=30, base=0.005,
+                                                cap=0.05, seed=9)) as alice:
+                for i in range(20):
+                    alice.put(f"k{i % 3}".encode(), f"v{i}".encode())
+                assert alice.gctr == 20
+                assert sync_check(genesis, {"alice": alice.registers()})
+            assert proxy.faults["resets"] >= 1
+        assert server.consistent_view()[1] == 20
+
+    def test_client_survives_truncated_frames(self, server):
+        """A truncated frame starves the async reader mid-message; the
+        severed connection must not wedge the drainer or duplicate the
+        retried op."""
+        host, port = server.address
+        genesis = server.initial_root_digest()
+        config = ChaosConfig(truncate_rate=0.2, immune_chunks=0)
+        with ChaosProxy(host, port, seed=41, config=config) as proxy:
+            phost, pport = proxy.address
+            with RemoteClient(phost, pport, "alice", genesis, order=4,
+                              retry=RetryPolicy(attempts=30, base=0.005,
+                                                cap=0.05, seed=4)) as alice:
+                for i in range(20):
+                    alice.put(f"k{i % 3}".encode(), f"v{i}".encode())
+                assert alice.gctr == 20
+                assert sync_check(genesis, {"alice": alice.registers()})
+            assert proxy.faults["truncations"] >= 1
+        assert server.consistent_view()[1] == 20
+
+    def test_combined_resets_and_truncations(self, server):
+        """Both fault classes at once, plus two interleaved users."""
+        host, port = server.address
+        genesis = server.initial_root_digest()
+        config = ChaosConfig(reset_rate=0.1, truncate_rate=0.1,
+                             immune_chunks=0)
+        with ChaosProxy(host, port, seed=53, config=config) as proxy:
+            phost, pport = proxy.address
+            with RemoteClient(phost, pport, "alice", genesis, order=4,
+                              retry=RetryPolicy(attempts=40, base=0.005,
+                                                cap=0.05, seed=2)) as alice, \
+                 RemoteClient(phost, pport, "bob", genesis, order=4,
+                              retry=RetryPolicy(attempts=40, base=0.005,
+                                                cap=0.05, seed=3)) as bob:
+                for i in range(10):
+                    alice.put(f"a{i % 3}".encode(), f"v{i}".encode())
+                    bob.put(f"b{i % 3}".encode(), f"v{i}".encode())
+                registers = {"alice": alice.registers(),
+                             "bob": bob.registers()}
+                assert sync_check(genesis, registers)
+            assert (proxy.faults["resets"] + proxy.faults["truncations"]) >= 1
+        assert server.consistent_view()[1] == 20
