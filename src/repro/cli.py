@@ -323,6 +323,7 @@ def cmd_serve(args, out) -> int:
     from repro.mtree.persistence import load_database as _load
     from repro.net.aserver import serve_async_in_thread
     from repro.net.server import serve_in_thread
+    from repro.storage.atomic import LockError
 
     keys = None
     if args.replicas:
@@ -363,23 +364,36 @@ def cmd_serve(args, out) -> int:
             endpoints = _parse_endpoints(args.replicate_to)
             replicator = Replicator(keys.primary, witnesses=endpoints)
             role = f"primary depositing to {len(endpoints)} witness(es)"
-    if args.use_async:
-        server = serve_async_in_thread(database=database, protocol=protocol,
-                                       port=args.port, data_dir=data_dir,
-                                       snapshot_every=args.snapshot_every,
-                                       batch_max=args.batch_max,
-                                       replicator=replicator)
-        core = f"async event loop, batches <= {args.batch_max}"
-    else:
-        server = serve_in_thread(database=database, protocol=protocol,
-                                 port=args.port, data_dir=data_dir,
-                                 snapshot_every=args.snapshot_every,
-                                 max_workers=args.workers,
-                                 replicator=replicator)
-        core = "threaded" + (f", <= {args.workers} workers"
-                             if args.workers else "")
+    if args.backend != "file" and not args.durable:
+        raise CliError("--backend sqlite requires --durable")
+    # The flock guard only matters when a data directory is in play; it
+    # stops a second `serve` pointed at the same REPO from interleaving
+    # WAL appends with this one.
+    lock = data_dir is not None
+    try:
+        if args.use_async:
+            server = serve_async_in_thread(database=database,
+                                           protocol=protocol,
+                                           port=args.port, data_dir=data_dir,
+                                           snapshot_every=args.snapshot_every,
+                                           batch_max=args.batch_max,
+                                           replicator=replicator,
+                                           backend=args.backend, lock=lock)
+            core = f"async event loop, batches <= {args.batch_max}"
+        else:
+            server = serve_in_thread(database=database, protocol=protocol,
+                                     port=args.port, data_dir=data_dir,
+                                     snapshot_every=args.snapshot_every,
+                                     max_workers=args.workers,
+                                     replicator=replicator,
+                                     backend=args.backend, lock=lock)
+            core = "threaded" + (f", <= {args.workers} workers"
+                                 if args.workers else "")
+    except LockError as exc:
+        raise CliError(str(exc)) from exc
     host, port = server.address
-    mode = "durable (WAL + snapshots)" if args.durable else "in-memory"
+    mode = ("in-memory" if not args.durable
+            else f"durable (WAL + snapshots, {args.backend} backend)")
     print(f"serving {args.repo} on {host}:{port}, {mode}, {core}, {role} "
           "(SIGTERM/Ctrl-C to stop)", file=out)
     if args.durable and server.replayed_records:
@@ -414,6 +428,85 @@ def cmd_serve(args, out) -> int:
                 handle.write(snapshot)
         suffix = "" if clean else " (quiesce timed out)"
         print(f"persisted and stopped{suffix}", file=out)
+    return 0
+
+
+def cmd_store_inspect(args, out) -> int:
+    """Describe a server data directory without starting a server.
+
+    For the sqlite backend, decodes the checkpoint manifest and prints
+    the per-shard generation/page layout plus the retained WAL
+    segments; for the file backend, summarises the snapshot and WAL.
+    Read-only: safe to run against a live server's directory.
+    """
+    from repro.net.wal import (
+        SEGMENT_PREFIX,
+        SEGMENT_SUFFIX,
+        SNAPSHOT_FILE,
+        WAL_FILE,
+        _MANIFEST_KEY,
+        _parse_records,
+    )
+    from repro.storage.pagestore import SqlitePageStore, open_page_store
+    from repro.wire import decode as _decode
+
+    data_dir = args.data_dir
+    if not os.path.isdir(data_dir):
+        raise CliError(f"{data_dir!r} is not a directory")
+
+    def _file_size(name: str) -> int | None:
+        path = os.path.join(data_dir, name)
+        return os.path.getsize(path) if os.path.isfile(path) else None
+
+    wal_size = _file_size(WAL_FILE)
+    if wal_size is not None:
+        with open(os.path.join(data_dir, WAL_FILE), "rb") as handle:
+            records, good_end = _parse_records(handle.read())
+        torn = "" if good_end == wal_size else \
+            f" + {wal_size - good_end} torn tail byte(s)"
+        print(f"wal.log: {wal_size} bytes, {len(records)} record(s){torn}",
+              file=out)
+
+    if os.path.isfile(os.path.join(data_dir, SqlitePageStore.FILE)):
+        store = open_page_store(data_dir, readonly=True)
+        try:
+            blob = store.get_meta(_MANIFEST_KEY)
+            if blob is None:
+                print("backend: sqlite (no checkpoint committed yet)",
+                      file=out)
+                return 0
+            manifest = _decode(blob)
+            print("backend: sqlite", file=out)
+            print(f"checkpoint generation: {manifest['gen']}", file=out)
+            print(f"top root: {manifest['root'].hex()}", file=out)
+            print(f"spec: {manifest['spec']}", file=out)
+            print(f"ops counter: {manifest['ctr']}", file=out)
+            for record in manifest["shards"]:
+                shard = int(record["shard"])
+                gen = int(record["gen"])
+                pages = sum(store.page_count(kind, shard, gen)
+                            for kind in ("nodes", "entries"))
+                size = sum(store.page_bytes(kind, shard, gen)
+                           for kind in ("nodes", "entries"))
+                prev = int(record["prev_gen"])
+                prev_note = "none" if prev < 0 else str(prev)
+                print(f"shard {shard}: gen {gen} ({pages} pages, "
+                      f"{size} bytes), prev gen {prev_note}, "
+                      f"root {record['root'].short()}...", file=out)
+            for gen_key in sorted(manifest["segments"], key=int):
+                size = _file_size(
+                    f"{SEGMENT_PREFIX}{gen_key}{SEGMENT_SUFFIX}")
+                state = "missing" if size is None else f"{size} bytes"
+                print(f"segment {gen_key}: {state}", file=out)
+        finally:
+            store.close()
+        return 0
+
+    snap_size = _file_size(SNAPSHOT_FILE)
+    if snap_size is None:
+        raise CliError(f"{data_dir!r} holds no snapshot or page store")
+    print("backend: file", file=out)
+    print(f"state.snapshot: {snap_size} bytes", file=out)
     return 0
 
 
@@ -628,7 +721,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--replicate-to", default=None, metavar="H:P,...",
                        help="primary mode: deposit every signed root with "
                             "these witness endpoints")
+    serve.add_argument("--backend", choices=("file", "sqlite"),
+                       default="file",
+                       help="durable store engine: 'file' rewrites one "
+                            "snapshot file; 'sqlite' keeps checksummed "
+                            "shard pages and checkpoints incrementally "
+                            "(requires --durable)")
     serve.set_defaults(handler=cmd_serve)
+
+    store_inspect = commands.add_parser(
+        "store-inspect",
+        help="describe a server data directory (checkpoint manifest, "
+             "shard pages, WAL segments) without starting a server")
+    store_inspect.add_argument("data_dir",
+                               help="the server/witness data directory")
+    store_inspect.set_defaults(handler=cmd_store_inspect)
 
     obs_report = commands.add_parser(
         "obs-report",

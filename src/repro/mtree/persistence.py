@@ -45,6 +45,125 @@ def dump_tree(tree: BPlusTree) -> bytes:
     return ("\n".join(out) + "\n").encode("ascii")
 
 
+def iter_tree_stream(tree: BPlusTree):
+    """Stream a tree's exact shape as ``(stream, line)`` pairs.
+
+    The same preorder walk as :func:`dump_tree`, but split into two
+    line streams so the page engine can persist them separately:
+
+    * ``"nodes"`` -- the header plus per-node structure lines (kind,
+      key count, internal separator keys);
+    * ``"entries"`` -- the leaf key/value lines, in leaf order.
+
+    :func:`load_tree_stream` consumes the two streams back and yields
+    the identical shape; memory stays bounded by the tree being built
+    plus one line per stream.
+    """
+    yield "nodes", f"bplus-snapshot 1 {tree.order} {len(tree)}"
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            yield "nodes", f"leaf {len(node.keys)}"
+            for key, value in zip(node.keys, node.values):
+                yield "entries", f"{_b64(key)} {_b64(value)}"
+        else:
+            yield "nodes", f"internal {len(node.keys)}"
+            yield "nodes", (" ".join(_b64(key) for key in node.keys)
+                            if node.keys else "")
+            stack.extend(reversed(node.children))
+
+
+def load_tree_stream(nodes_lines, entries_lines) -> BPlusTree:
+    """Reconstruct a tree from :func:`iter_tree_stream`'s two streams.
+
+    ``nodes_lines`` and ``entries_lines`` are iterators of text lines;
+    they are consumed incrementally (never materialised), so the caller
+    can feed them page by page.
+    """
+    nodes_iter = iter(nodes_lines)
+    entries_iter = iter(entries_lines)
+
+    def next_line(source, what: str) -> str:
+        try:
+            return next(source)
+        except StopIteration:
+            raise PersistenceError(
+                f"unexpected end of snapshot ({what} stream)") from None
+
+    header = next_line(nodes_iter, "nodes").split(" ")
+    if len(header) != 4 or header[0] != "bplus-snapshot" or header[1] != "1":
+        raise PersistenceError("bad snapshot header")
+    try:
+        order, size = int(header[2]), int(header[3])
+    except ValueError as exc:
+        raise PersistenceError(f"bad snapshot header: {exc}") from exc
+    if order < 3 or size < 0:
+        raise PersistenceError("bad snapshot header: implausible order/size")
+    tree = BPlusTree(order=order)
+
+    def read_node():
+        parts = next_line(nodes_iter, "nodes").split(" ")
+        if parts[0] == "leaf":
+            node = LeafNode()
+            try:
+                count = int(parts[1])
+            except (IndexError, ValueError) as exc:
+                raise PersistenceError(f"bad leaf line: {exc}") from exc
+            for _ in range(count):
+                key_text, _, value_text = \
+                    next_line(entries_iter, "entries").partition(" ")
+                node.keys.append(_unb64(key_text))
+                node.values.append(_unb64(value_text))
+                node.entry_digests.append(None)
+            return node
+        if parts[0] == "internal":
+            node = InternalNode()
+            try:
+                key_count = int(parts[1])
+            except (IndexError, ValueError) as exc:
+                raise PersistenceError(f"bad internal line: {exc}") from exc
+            key_line = next_line(nodes_iter, "nodes")
+            if key_count:
+                encoded = key_line.split(" ")
+                if len(encoded) != key_count:
+                    raise PersistenceError("internal key count mismatch")
+                node.keys = [_unb64(text) for text in encoded]
+            elif key_line:
+                raise PersistenceError("expected empty key line")
+            for _ in range(key_count + 1):
+                node.children.append(read_node())
+            return node
+        raise PersistenceError(f"unknown node kind {parts[0]!r}")
+
+    root = read_node()
+    for source, what in ((nodes_iter, "nodes"), (entries_iter, "entries")):
+        try:
+            next(source)
+        except StopIteration:
+            pass
+        else:
+            raise PersistenceError(f"trailing data in snapshot ({what} stream)")
+
+    def count_entries(node) -> int:
+        if node.is_leaf:
+            return len(node.keys)
+        return sum(count_entries(child) for child in node.children)
+
+    actual = count_entries(root)
+    if actual != size:
+        raise PersistenceError(
+            f"snapshot header claims {size} entries but the nodes hold {actual}")
+    tree._root = root
+    tree._size = size
+    _relink_leaves(tree)
+    try:
+        tree.check_invariants()
+    except AssertionError as exc:
+        raise PersistenceError(f"snapshot violates tree invariants: {exc}") from exc
+    return tree
+
+
 def load_tree(blob: bytes) -> BPlusTree:
     """Reconstruct a tree serialised by :func:`dump_tree`."""
     try:

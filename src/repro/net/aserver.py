@@ -138,6 +138,9 @@ class AsyncTrustedCvsServer:
         drain_timeout: float = DRAIN_TIMEOUT_SECONDS,
         shards: int = 1,
         replicator=None,
+        backend: str = "file",
+        io=None,
+        lock: bool = False,
     ) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be at least 1")
@@ -150,7 +153,8 @@ class AsyncTrustedCvsServer:
                                data_dir=data_dir,
                                snapshot_every=snapshot_every, fsync=fsync,
                                attack=attack, dedup_window=dedup_window,
-                               shards=shards, replicator=replicator)
+                               shards=shards, replicator=replicator,
+                               backend=backend, io=io, lock=lock)
         self._queue: asyncio.Queue = asyncio.Queue()
         self._parked: list[_Work] = []
         self._writers: set[asyncio.StreamWriter] = set()
@@ -604,6 +608,9 @@ def serve_async_in_thread(
     dedup_window: int = DEDUP_WINDOW,
     shards: int = 1,
     replicator=None,
+    backend: str = "file",
+    io=None,
+    lock: bool = False,
 ) -> AsyncServerHandle:
     """Start an async server on its own event-loop thread.
 
@@ -626,7 +633,7 @@ def serve_async_in_thread(
             state=state, block_timeout=block_timeout, data_dir=data_dir,
             snapshot_every=snapshot_every, fsync=fsync, attack=attack,
             batch_max=batch_max, dedup_window=dedup_window, shards=shards,
-            replicator=replicator)
+            replicator=replicator, backend=backend, io=io, lock=lock)
         await server.start()
         return server
 

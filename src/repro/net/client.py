@@ -34,6 +34,7 @@ from repro.mtree.database import DeleteQuery, Query, RangeQuery, ReadQuery, Writ
 from repro.mtree.forest import StoreSpec
 from repro.mtree.proofs import ProofError
 from repro.net.framing import FramingError, recv_message, send_message
+from repro.storage.atomic import atomic_write
 from repro.obs import runtime as _obs
 from repro.obs.metrics import REGISTRY as _registry
 from repro.protocols.base import ErrorReply, Request, Response
@@ -354,7 +355,13 @@ class RemoteClient:
             corrupt(f"unparseable field value ({exc})", exc)
 
     def save_anchor(self) -> None:
-        """Persist the trust anchor atomically (tmp + rename)."""
+        """Persist the trust anchor atomically and durably.
+
+        The anchor is the client's entire defence against a forking
+        server; it gets the full tmp + fsync + rename + dir-fsync
+        sequence so a crash can never leave a torn or resurrected-stale
+        anchor behind.
+        """
         if self._anchor_path is None:
             return
         lines = [
@@ -369,10 +376,8 @@ class RemoteClient:
         ]
         if self._rid_nonce:
             lines.append(f"nonce {self._rid_nonce}")
-        tmp = self._anchor_path + ".tmp"
-        with open(tmp, "w", encoding="ascii") as handle:
-            handle.write("\n".join(lines) + "\n")
-        os.replace(tmp, self._anchor_path)
+        atomic_write(self._anchor_path,
+                     ("\n".join(lines) + "\n").encode("ascii"))
 
     # -- operations ---------------------------------------------------------
 

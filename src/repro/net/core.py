@@ -42,7 +42,8 @@ from repro.protocols.base import (
 from repro.protocols.protocol1 import DEFER_FOLLOWUP_KEY
 from repro.protocols.protocol2 import Protocol2Server
 from repro.net.byzantine import as_wire_attack
-from repro.net.wal import ServerStore
+from repro.net.wal import ServerStore, open_server_store
+from repro.storage.pagestore import StorageError
 
 #: write a snapshot (and truncate the WAL) every this many logged
 #: messages; bounds replay work after a crash.
@@ -70,6 +71,9 @@ _BATCH_ROOT_NODES = _registry.histogram(
     "server.batch_root_nodes", "Merkle nodes recomputed by the per-batch root pass")
 _DIRTY_SHARDS = _registry.histogram(
     "server.dirty_shards", "shards visited per forest refresh pass")
+_SNAPSHOT_FAILURES = _registry.counter(
+    "server.snapshot_failures",
+    "periodic snapshots that failed (ENOSPC/EIO) and will be retried")
 
 
 class DedupTable:
@@ -139,6 +143,9 @@ class ServerCore:
         dedup_window: int = DEDUP_WINDOW,
         shards: int = 1,
         replicator=None,
+        backend: str = "file",
+        io=None,
+        lock: bool = False,
     ) -> None:
         self.protocol = protocol or Protocol2Server()
         self._shards = shards
@@ -153,7 +160,8 @@ class ServerCore:
         self.states: dict[str, ServerState] = {}
         self.attack = as_wire_attack(attack)
         if data_dir is not None:
-            self.store = ServerStore(data_dir, fsync=fsync)
+            self.store = open_server_store(
+                data_dir, backend=backend, fsync=fsync, io=io, lock=lock)
             self._recover(order=order, database=database, state=state)
         else:
             if state is not None:
@@ -410,7 +418,19 @@ class ServerCore:
         if self.store is None:
             return
         if self._ops_since_snapshot >= self.snapshot_every:
-            self.snapshot()
+            try:
+                self.snapshot()
+            except (StorageError, OSError):
+                # A failed periodic checkpoint (ENOSPC, EIO) must not
+                # take the server down: the WAL is intact and every
+                # acked write is replayable from it.  Back off, keep
+                # serving, retry a quarter-interval later.  Bootstrap
+                # and operator-requested snapshots still propagate --
+                # only the opportunistic path is survivable.
+                if _obs.enabled:
+                    _SNAPSHOT_FAILURES.inc()
+                self._ops_since_snapshot = (
+                    self.snapshot_every - max(1, self.snapshot_every // 4))
 
     def snapshot(self) -> None:
         """Write a snapshot now (durable mode only); truncates the WAL."""

@@ -55,6 +55,7 @@ from repro.obs.metrics import REGISTRY as _registry
 from repro.protocols.base import Response
 from repro.protocols.protocol2 import INITIAL_OWNER
 from repro.protocols.verify import derive_outcome
+from repro.storage.atomic import atomic_write
 from repro.wire import CODEC_VERSION, WireError, decode, encode
 
 _BUNDLES = _registry.counter(
@@ -70,13 +71,15 @@ class EvidenceError(Exception):
 # -- serialisation ---------------------------------------------------------
 
 def write_bundle(path: str, bundle: dict) -> str:
-    """Serialise a bundle atomically (tmp + rename); returns ``path``."""
+    """Serialise a bundle atomically and durably; returns ``path``.
+
+    Evidence is the artefact a dispute is settled with -- it gets the
+    same tmp + fsync + rename + dir-fsync treatment as a snapshot, so a
+    power cut right after "evidence written" cannot leave a half bundle
+    (or no bundle) behind.
+    """
     payload = encode(bundle)
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as handle:
-        handle.write(_MAGIC)
-        handle.write(payload)
-    os.replace(tmp, path)
+    atomic_write(path, _MAGIC + payload)
     if _obs.enabled:
         _BUNDLES.inc(kind=bundle.get("kind", "?"))
     return path

@@ -169,6 +169,9 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
         max_workers: int | None = None,
         shards: int = 1,
         replicator=None,
+        backend: str = "file",
+        io=None,
+        lock: bool = False,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.block_timeout = block_timeout
@@ -182,7 +185,8 @@ class TrustedCvsTcpServer(socketserver.ThreadingTCPServer):
                                data_dir=data_dir,
                                snapshot_every=snapshot_every, fsync=fsync,
                                attack=attack, dedup_window=dedup_window,
-                               shards=shards, replicator=replicator)
+                               shards=shards, replicator=replicator,
+                               backend=backend, io=io, lock=lock)
 
     # -- core delegation ---------------------------------------------------
 
@@ -377,6 +381,9 @@ def serve_in_thread(
     max_workers: int | None = None,
     shards: int = 1,
     replicator=None,
+    backend: str = "file",
+    io=None,
+    lock: bool = False,
 ) -> TrustedCvsTcpServer:
     """Start a server on an ephemeral port; returns the running server.
 
@@ -389,7 +396,8 @@ def serve_in_thread(
                                  data_dir=data_dir,
                                  snapshot_every=snapshot_every, fsync=fsync,
                                  attack=attack, max_workers=max_workers,
-                                 shards=shards, replicator=replicator)
+                                 shards=shards, replicator=replicator,
+                                 backend=backend, io=io, lock=lock)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server

@@ -4,29 +4,44 @@ The trust anchor the whole system hangs off is the root digest, and the
 root digest commits to the *exact tree shape* -- so recovery cannot be
 "rebuild from the entry set"; it has to replay the identical operation
 sequence onto the identical starting shape.  This module gives the
-server that property with two files in a data directory:
+server that property through two interchangeable stores:
 
-``state.snapshot``
-    The Merkle tree (via :mod:`repro.mtree.persistence`, shape-exact)
-    plus the protocol metadata (``ctr``, ``meta``, the request-ID dedup
-    table) and the WAL hash-chain head, all wire-encoded.  Written
-    atomically (tmp + rename), so a crash mid-snapshot leaves the
-    previous snapshot intact.
+:class:`ServerStore` (``--backend file``)
+    ``state.snapshot`` -- the whole Merkle store (via
+    :mod:`repro.mtree.persistence`, shape-exact) plus protocol metadata
+    (``ctr``, ``meta``, the request-ID dedup table) and the WAL
+    hash-chain head, written with the full tmp + fsync + rename +
+    dir-fsync dance (:func:`repro.storage.atomic.atomic_write`).
+:class:`PagedServerStore` (``--backend sqlite``)
+    The disk engine for stores too large to rewrite per snapshot: each
+    shard tree is serialised into checksummed 32 KB page streams in a
+    :class:`~repro.storage.pagestore.SqlitePageStore`, a checkpoint
+    rewrites only the shards dirtied since the last one (one sqlite
+    transaction), and the WAL is *rotated* into a retained segment file
+    instead of truncated.  A shard whose pages fail verification on
+    recovery is quarantined and repaired from its previous generation
+    plus a replay of exactly the retained segment that produced it --
+    never trusted as-is, never silently rebuilt.
 
-``wal.log``
-    One record per request accepted since the last snapshot, appended
-    and fsynced *before* the request is executed.  Each record is
-    ``len(4B) || wire(Request) || chain(32B)`` where
-    ``chain_i = h(chain_{i-1} || payload_i)`` anchors the record to the
-    snapshot's recorded chain head.  On recovery the records are
-    re-executed in order, which -- execution being deterministic --
-    reproduces the pre-crash state bit-for-bit, dedup table included.
+Both share the WAL: one record per request accepted since the last
+snapshot, appended and fsynced *before* the request is executed.  Each
+record is ``len(4B) || wire(Request) || chain(32B)`` where
+``chain_i = h(chain_{i-1} || payload_i)`` anchors the record to the
+snapshot's recorded chain head.  On recovery the records are
+re-executed in order, which -- execution being deterministic --
+reproduces the pre-crash state bit-for-bit, dedup table included.
 
 Failure semantics of the chain:
 
 * a *truncated tail* record (the process died mid-append) is discarded
   silently -- the request was never acknowledged, so dropping it is
   correct, and the file is trimmed back to the last complete record;
+* a *stale* WAL -- the process died after the snapshot rename but
+  before the WAL reset, so the log still chains from the *previous*
+  snapshot -- is recognised only if the entire file verifies against
+  the ``prev_chain`` head the snapshot recorded, and is then discarded
+  (its every record is already inside the snapshot); anything less than
+  a full match is treated as tamper;
 * any *other* corruption (bit flips, edited payloads, spliced records)
   breaks the hash chain and raises :class:`WalError`.  Recovery refuses
   to run, so a tampered log cannot be laundered into a "recovered"
@@ -39,16 +54,47 @@ import os
 import struct
 
 from repro.crypto.hashing import DIGEST_SIZE, Digest, hash_bytes
+from repro.mtree.database import VerifiedDatabase
+from repro.mtree.forest import MerkleForest, StoreSpec
+from repro.mtree.merkle import MerkleBPlusTree
 from repro.mtree.persistence import PersistenceError, dump_database, load_database
+from repro.obs import runtime as _obs
+from repro.obs.metrics import REGISTRY as _registry
 from repro.protocols.base import Followup, Request
+from repro.storage.atomic import DirLock, atomic_write
+from repro.storage.engine import (
+    LoadStats,
+    load_shard_tree,
+    replay_data_ops,
+    write_shard_pages,
+)
+from repro.storage.faults import REAL_IO, IoShim
+from repro.storage.pagestore import StorageError, open_page_store
 from repro.wire import WireError, decode, encode
 
 SNAPSHOT_FILE = "state.snapshot"
 WAL_FILE = "wal.log"
+SEGMENT_PREFIX = "wal-seg."
+SEGMENT_SUFFIX = ".log"
 
 _SNAPSHOT_MAGIC = b"cvs-server-snapshot 1\n"
 _CHAIN_DOMAIN = b"wal-chain"
 _GENESIS_DOMAIN = b"wal-genesis"
+_MANIFEST_KEY = "checkpoint"
+_MANIFEST_FORMAT = "cvs-paged-store 1"
+
+_CHECKPOINTS = _registry.counter(
+    "storage.checkpoints", "paged-store checkpoints committed")
+_WAL_ROTATIONS = _registry.counter(
+    "storage.wal_rotations", "WAL files rotated into retained segments")
+_STALE_WALS = _registry.counter(
+    "storage.stale_wals", "verified-stale WALs discarded during recovery")
+_QUARANTINES = _registry.counter(
+    "storage.quarantines", "shards quarantined after failing verification")
+_REPAIRS = _registry.counter(
+    "storage.repairs", "quarantined shards repaired from segment replay")
+_SEGMENTS_DROPPED = _registry.counter(
+    "storage.segments_dropped", "retained WAL segments garbage-collected")
 
 
 class WalError(Exception):
@@ -77,27 +123,102 @@ def _dedup_pairs(entry) -> list[tuple]:
     return [tuple(pair) for pair in entry]
 
 
+def _parse_records(blob: bytes) -> tuple[list[tuple[bytes, bytes]], int]:
+    """Split a WAL blob into complete ``(payload, stored_chain)`` records.
+
+    Returns the records plus the offset where the last complete record
+    ends; bytes past it are a torn tail (the process died mid-append).
+    """
+    records: list[tuple[bytes, bytes]] = []
+    position = 0
+    good_end = 0
+    while position < len(blob):
+        if position + 4 > len(blob):
+            break  # truncated tail: mid length prefix
+        (length,) = struct.unpack_from(">I", blob, position)
+        end = position + 4 + length + DIGEST_SIZE
+        if end > len(blob):
+            break  # truncated tail: mid payload or mid chain digest
+        payload = blob[position + 4:position + 4 + length]
+        stored = blob[position + 4 + length:end]
+        records.append((payload, stored))
+        position = good_end = end
+    return records, good_end
+
+
+def _verify_records(records: list[tuple[bytes, bytes]],
+                    chain: Digest) -> tuple[list[Request | Followup], Digest]:
+    """Chain-verify and decode parsed records starting from ``chain``."""
+    messages: list[Request | Followup] = []
+    for index, (payload, stored) in enumerate(records):
+        chain = _chain_next(chain, payload)
+        if chain.to_bytes() != stored:
+            raise WalError(
+                f"WAL record {index} breaks the hash chain: "
+                "the log was corrupted or tampered with")
+        try:
+            message = decode(payload)
+        except WireError as exc:
+            raise WalError(f"WAL record {index} undecodable: {exc}") from exc
+        if not isinstance(message, (Request, Followup)):
+            raise WalError(f"WAL record {index} is not a request")
+        messages.append(message)
+    return messages, chain
+
+
+def _is_stale_wal(records: list[tuple[bytes, bytes]],
+                  prev_chain: Digest) -> bool:
+    """Whether a chain-mismatched WAL is the *previous* epoch's log.
+
+    A crash between the snapshot becoming durable and the WAL reset
+    leaves the old log in place.  That exact file -- and, by collision
+    resistance, only that file -- satisfies two checks without knowing
+    its genesis: every adjacent pair obeys the chain recurrence, and
+    the final stored head equals the ``prev_chain`` the snapshot
+    recorded.  Anything else is corruption, not staleness.
+    """
+    if not records:
+        return False
+    for (_, prev_stored), (payload, stored) in zip(records, records[1:]):
+        expected = _chain_next(Digest(prev_stored), payload)
+        if expected.to_bytes() != stored:
+            return False
+    return records[-1][1] == prev_chain.to_bytes()
+
+
 class ServerStore:
     """The durable half of a :class:`~repro.net.server.TrustedCvsTcpServer`.
 
     Owns the snapshot and WAL files in ``data_dir`` and the running
     hash-chain head.  All methods must be called under the server's
-    state lock; the store itself does no locking.
+    state lock; the store itself does no locking of calls -- ``lock``
+    guards the *directory* (flock), so a second server process cannot
+    interleave appends into the same WAL.
     """
 
-    def __init__(self, data_dir: str, fsync: bool = True) -> None:
+    backend = "file"
+
+    def __init__(self, data_dir: str, fsync: bool = True,
+                 io: IoShim | None = None, lock: bool = False) -> None:
         self.data_dir = data_dir
         self.fsync = fsync
+        self.io = io or REAL_IO
         os.makedirs(data_dir, exist_ok=True)
+        self._lock = DirLock(data_dir) if lock else None
         self.snapshot_path = os.path.join(data_dir, SNAPSHOT_FILE)
         self.wal_path = os.path.join(data_dir, WAL_FILE)
         self._wal_handle = None
         self._chain = Digest.zero()  # set by load()/write_snapshot()
+        #: the pre-snapshot chain head the last loaded snapshot recorded
+        #: (None for snapshots written before this field existed).
+        self._prev_chain: Digest | None = None
+        #: how many verified-stale WALs recovery has discarded.
+        self.stale_wals_discarded = 0
 
     # -- snapshot ----------------------------------------------------------
 
     def write_snapshot(self, state, dedup: dict) -> None:
-        """Atomically persist the full server state; truncate the WAL.
+        """Atomically persist the full server state; reset the WAL.
 
         ``state`` is a :class:`~repro.protocols.base.ServerState`;
         ``dedup`` maps user id -> ordered [(request id, Response), ...]
@@ -114,19 +235,18 @@ class ServerStore:
                       for user, pairs in dedup.items()},
             "root": root,
             "chain": chain,
+            # The running head at snapshot time: lets recovery prove a
+            # leftover WAL is merely stale (crash before the reset
+            # below) rather than tampered.
+            "prev_chain": self._chain,
         })
-        tmp_path = self.snapshot_path + ".tmp"
-        with open(tmp_path, "wb") as handle:
-            handle.write(_SNAPSHOT_MAGIC)
-            handle.write(struct.pack(">I", len(tree_blob)))
-            handle.write(tree_blob)
-            handle.write(struct.pack(">I", len(meta_blob)))
-            handle.write(meta_blob)
-            handle.flush()
-            if self.fsync:
-                os.fsync(handle.fileno())
-        os.replace(tmp_path, self.snapshot_path)
+        blob = (_SNAPSHOT_MAGIC
+                + struct.pack(">I", len(tree_blob)) + tree_blob
+                + struct.pack(">I", len(meta_blob)) + meta_blob)
+        atomic_write(self.snapshot_path, blob, fsync=self.fsync, io=self.io)
+        self.io.crash_point("snapshot:before-wal-reset")
         self._reset_wal()
+        self._prev_chain = self._chain
         self._chain = chain
 
     def load_snapshot(self):
@@ -134,8 +254,7 @@ class ServerStore:
         or ``None`` when no snapshot exists yet."""
         if not os.path.isfile(self.snapshot_path):
             return None
-        with open(self.snapshot_path, "rb") as handle:
-            blob = handle.read()
+        blob = self.io.read_file(self.snapshot_path)
         if not blob.startswith(_SNAPSHOT_MAGIC):
             raise WalError("bad snapshot header")
         position = len(_SNAPSHOT_MAGIC)
@@ -174,6 +293,8 @@ class ServerStore:
                 "snapshot tree does not hash to its recorded root digest")
         if chain != chain_genesis(root):
             raise WalError("snapshot chain head does not match its root")
+        prev_chain = fields.get("prev_chain")
+        self._prev_chain = prev_chain if isinstance(prev_chain, Digest) else None
         return database, ctr, meta, dedup, chain
 
     # -- write-ahead log ---------------------------------------------------
@@ -186,19 +307,43 @@ class ServerStore:
         of a batch unsynced, then make them all durable with a single
         :meth:`wal_sync` before any of them executes.  The before-
         execution guarantee is unchanged; only the fsync is amortised.
+
+        Fail-stop on I/O errors (ENOSPC, short writes): the in-memory
+        chain head is rolled back and the file trimmed to the last good
+        record, so a later retry -- or a clean shutdown -- continues
+        from a consistent log instead of corrupting every subsequent
+        append.
         """
         payload = encode(message)
+        previous_chain = self._chain
         self._chain = _chain_next(self._chain, payload)
         if self._wal_handle is None:
-            self._wal_handle = open(self.wal_path, "ab")
+            self._wal_handle = self.io.open(self.wal_path, "ab")
         handle = self._wal_handle
-        handle.write(struct.pack(">I", len(payload)))
-        handle.write(payload)
-        handle.write(self._chain.to_bytes())
-        if sync:
-            handle.flush()
-            if self.fsync:
-                os.fsync(handle.fileno())
+        good_size = handle.tell()
+        record = (struct.pack(">I", len(payload)) + payload
+                  + self._chain.to_bytes())
+        self.io.crash_point("wal:append")
+        try:
+            handle.write(record)
+            if sync:
+                handle.flush()
+                if self.fsync:
+                    handle.fsync()
+        except OSError:
+            # Roll back: whatever prefix of the record reached the file
+            # must not poison the next append's chain arithmetic.
+            self._chain = previous_chain
+            try:
+                handle.close()
+            except OSError:
+                pass
+            self._wal_handle = None
+            try:
+                self.io.truncate_file(self.wal_path, good_size)
+            except OSError:
+                pass
+            raise
 
     def wal_sync(self) -> None:
         """Flush (and fsync) everything appended with ``sync=False``."""
@@ -206,51 +351,47 @@ class ServerStore:
             return
         self._wal_handle.flush()
         if self.fsync:
-            os.fsync(self._wal_handle.fileno())
+            self._wal_handle.fsync()
 
     def wal_records(self, chain: Digest) -> list[Request | Followup]:
         """Read back every complete, chain-verified record.
 
         A truncated final record (crash mid-append) is trimmed off the
-        file; any other inconsistency raises :class:`WalError`.
+        file; a whole file proven stale against the snapshot's recorded
+        ``prev_chain`` is discarded; any other inconsistency raises
+        :class:`WalError`.
         """
         if not os.path.isfile(self.wal_path):
             self._chain = chain
             return []
-        with open(self.wal_path, "rb") as handle:
-            blob = handle.read()
-        records: list[Request | Followup] = []
-        position = 0
-        good_end = 0
-        while position < len(blob):
-            if position + 4 > len(blob):
-                break  # truncated tail: mid length prefix
-            (length,) = struct.unpack_from(">I", blob, position)
-            end = position + 4 + length + DIGEST_SIZE
-            if end > len(blob):
-                break  # truncated tail: mid payload or mid chain digest
-            payload = blob[position + 4:position + 4 + length]
-            recorded = blob[position + 4 + length:end]
-            chain = _chain_next(chain, payload)
-            if chain.to_bytes() != recorded:
-                raise WalError(
-                    f"WAL record {len(records)} breaks the hash chain: "
-                    "the log was corrupted or tampered with")
-            try:
-                message = decode(payload)
-            except WireError as exc:
-                raise WalError(f"WAL record {len(records)} undecodable: {exc}") from exc
-            if not isinstance(message, (Request, Followup)):
-                raise WalError(f"WAL record {len(records)} is not a request")
-            records.append(message)
-            position = good_end = end
+        blob = self.io.read_file(self.wal_path)
+        records, good_end = _parse_records(blob)
+        try:
+            messages, chain = _verify_records(records, chain)
+        except WalError:
+            if self._prev_chain is not None and \
+                    _is_stale_wal(records, self._prev_chain):
+                # The crash hit between the snapshot rename and the WAL
+                # reset: every record here is already *inside* the
+                # snapshot.  Finish the interrupted reset and recover
+                # with nothing to replay.
+                self._discard_stale_wal()
+                self.stale_wals_discarded += 1
+                if _obs.enabled:
+                    _STALE_WALS.inc()
+                self._chain = chain
+                return []
+            raise
         if good_end < len(blob):
             # Trim the torn tail so the next append starts at a record
             # boundary (the request it held was never acknowledged).
-            with open(self.wal_path, "r+b") as handle:
-                handle.truncate(good_end)
+            self.io.truncate_file(self.wal_path, good_end)
         self._chain = chain
-        return records
+        return messages
+
+    def _discard_stale_wal(self) -> None:
+        """Complete the interrupted post-snapshot WAL reset."""
+        self._reset_wal()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -261,10 +402,439 @@ class ServerStore:
         if self._wal_handle is not None:
             self._wal_handle.close()
             self._wal_handle = None
-        with open(self.wal_path, "wb"):
-            pass
+        handle = self.io.open(self.wal_path, "wb")
+        try:
+            if self.fsync:
+                handle.fsync()
+        finally:
+            handle.close()
 
     def close(self) -> None:
         if self._wal_handle is not None:
             self._wal_handle.close()
             self._wal_handle = None
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
+
+
+class PagedServerStore(ServerStore):
+    """Disk-backed store: checksummed shard pages + WAL segment rotation.
+
+    The checkpoint/compaction cycle (:meth:`write_snapshot`):
+
+    1. serialise every shard dirtied since the last checkpoint into
+       fresh page streams under generation ``G`` and commit them,
+       together with the updated manifest, in **one** page-store
+       transaction -- a crash anywhere before the commit leaves the
+       previous checkpoint fully intact and the WAL unrotated;
+    2. rotate ``wal.log`` to ``wal-seg.G.log`` (rename + dir fsync) and
+       start a fresh log chained from the new genesis;
+    3. drop page generations and WAL segments nothing references any
+       more.  A shard rewritten at ``G`` keeps its previous generation
+       ``P`` and the manifest keeps segment ``G``'s start chain: the
+       shard was clean between its two rewrites, so ``P``'s pages plus
+       segment ``G``'s data operations are exactly the recipe
+       :meth:`load_snapshot` uses to repair it if its pages rot.
+
+    Recovery order of trust: page checksum -> recomputed shard root ->
+    manifest root -> WAL chain.  A shard failing any of the first two is
+    quarantined and repaired; a repair that does not reproduce the
+    manifest's recorded shard root is tamper and recovery refuses.
+    """
+
+    backend = "sqlite"
+
+    def __init__(self, data_dir: str, fsync: bool = True,
+                 io: IoShim | None = None, lock: bool = False) -> None:
+        super().__init__(data_dir, fsync=fsync, io=io, lock=lock)
+        self.pages = open_page_store(data_dir, fsync=fsync, io=self.io)
+        self._manifest: dict | None = self._load_manifest()
+        #: streaming-load accounting for the most recent load_snapshot.
+        self.load_stats = LoadStats()
+        #: shards quarantined + repaired during the most recent load.
+        self.repaired_shards: list[int] = []
+
+    # -- manifest ----------------------------------------------------------
+
+    def _load_manifest(self) -> dict | None:
+        blob = self.pages.get_meta(_MANIFEST_KEY)
+        if blob is None:
+            return None
+        try:
+            manifest = decode(blob)
+        except WireError as exc:
+            raise WalError(f"corrupt checkpoint manifest: {exc}") from exc
+        if not isinstance(manifest, dict) or \
+                manifest.get("format") != _MANIFEST_FORMAT:
+            raise WalError("corrupt checkpoint manifest: bad format tag")
+        return manifest
+
+    def _segment_path(self, gen: int) -> str:
+        return os.path.join(
+            self.data_dir, f"{SEGMENT_PREFIX}{gen}{SEGMENT_SUFFIX}")
+
+    def _newest_segment_gen(self) -> int:
+        """Highest generation with a retained segment file on disk."""
+        newest = -1
+        try:
+            names = os.listdir(self.data_dir)
+        except OSError:
+            return newest
+        for name in names:
+            if not (name.startswith(SEGMENT_PREFIX)
+                    and name.endswith(SEGMENT_SUFFIX)):
+                continue
+            try:
+                gen = int(name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)])
+            except ValueError:
+                continue
+            newest = max(newest, gen)
+        return newest
+
+    # -- checkpoint + compaction -------------------------------------------
+
+    def write_snapshot(self, state, dedup: dict) -> None:
+        """Incremental checkpoint: rewrite dirty shards, rotate the WAL."""
+        database = state.database
+        mtree = database.mtree
+        spec = database.spec
+        root = database.root_digest()
+        chain = chain_genesis(root)
+        old = self._manifest
+        new_gen = 0 if old is None else int(old["gen"]) + 1
+
+        if isinstance(mtree, MerkleForest):
+            shard_trees = [mtree.shard_tree(i) for i in range(spec.shards)]
+            dirty = set(mtree.checkpoint_dirty_shards())
+        else:
+            shard_trees = [mtree]
+            dirty = {0} if mtree.checkpoint_dirty else set()
+        if old is None:
+            dirty = set(range(spec.shards))
+
+        old_shards = {} if old is None else \
+            {int(rec["shard"]): rec for rec in old["shards"]}
+        shard_records = []
+        dropped: list[tuple[int, int]] = []
+        self.pages.begin()
+        try:
+            for index in range(spec.shards):
+                previous = old_shards.get(index)
+                if index in dirty or previous is None:
+                    tree = shard_trees[index]
+                    counts = write_shard_pages(
+                        self.pages, index, new_gen, tree.tree)
+                    record = {
+                        "shard": index,
+                        "gen": new_gen,
+                        "root": tree.root_digest(),
+                        "prev_gen": -1 if previous is None
+                        else int(previous["gen"]),
+                        "prev_root": Digest.zero() if previous is None
+                        else previous["root"],
+                        "counts": counts,
+                    }
+                    if previous is not None and int(previous["prev_gen"]) >= 0:
+                        # The generation before the one that just
+                        # became "previous" is now unreachable.
+                        self.pages.drop_generation(
+                            index, int(previous["prev_gen"]))
+                        dropped.append((index, int(previous["prev_gen"])))
+                else:
+                    record = dict(previous)
+                shard_records.append(record)
+
+            referenced = {int(rec["gen"]) for rec in shard_records}
+            old_segments = {} if old is None else dict(old["segments"])
+            segments = {key: value for key, value in old_segments.items()
+                        if int(key) in referenced}
+            if old is not None:
+                # The log being rotated becomes segment ``new_gen``; it
+                # chains from the previous checkpoint's genesis head.
+                segments[str(new_gen)] = old["chain"]
+
+            manifest = {
+                "format": _MANIFEST_FORMAT,
+                "gen": new_gen,
+                "root": root,
+                "chain": chain,
+                "prev_chain": self._chain,
+                "spec": spec.to_wire(),
+                "ctr": state.ctr,
+                "meta": state.meta,
+                "dedup": {user: [list(pair) for pair in pairs]
+                          for user, pairs in dedup.items()},
+                "shards": shard_records,
+                "segments": segments,
+            }
+            self.pages.put_meta(_MANIFEST_KEY, encode(manifest))
+            self.io.crash_point("checkpoint:before-commit")
+            self.pages.commit()
+        except BaseException:
+            # Covers SimulatedCrash too: the in-process stand-in for
+            # what sqlite's journal would do after a real kill.
+            self.pages.rollback()
+            raise
+        self.io.crash_point("checkpoint:after-commit")
+
+        self._rotate_wal(new_gen)
+        self._gc_segments({int(k) for k in manifest["segments"]})
+        self._manifest = manifest
+        self._prev_chain = self._chain
+        self._chain = chain
+        if isinstance(mtree, MerkleForest):
+            mtree.clear_checkpoint_dirty()
+        else:
+            mtree.checkpoint_dirty = False
+        if _obs.enabled:
+            _CHECKPOINTS.inc()
+
+    def _rotate_wal(self, gen: int) -> None:
+        """Rename the just-checkpointed log into its retained segment."""
+        if self._wal_handle is not None:
+            self._wal_handle.close()
+            self._wal_handle = None
+        if not os.path.isfile(self.wal_path) or \
+                os.path.getsize(self.wal_path) == 0:
+            return  # nothing to retain (manual checkpoint with no ops)
+        self.io.crash_point("compaction:before-rotate")
+        self.io.replace(self.wal_path, self._segment_path(gen))
+        self.io.crash_point("compaction:between-rename-and-dirfsync")
+        if self.fsync:
+            self.io.fsync_dir(self.data_dir)
+        if _obs.enabled:
+            _WAL_ROTATIONS.inc()
+
+    def _gc_segments(self, referenced: set[int]) -> None:
+        """Delete retained segments no shard's repair recipe needs."""
+        try:
+            names = os.listdir(self.data_dir)
+        except OSError:
+            return
+        removed = False
+        for name in names:
+            if not (name.startswith(SEGMENT_PREFIX)
+                    and name.endswith(SEGMENT_SUFFIX)):
+                continue
+            try:
+                gen = int(name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)])
+            except ValueError:
+                continue
+            if gen in referenced:
+                continue
+            self.io.crash_point("compaction:mid-segment-gc")
+            try:
+                self.io.remove(os.path.join(self.data_dir, name))
+                removed = True
+                if _obs.enabled:
+                    _SEGMENTS_DROPPED.inc()
+            except OSError:
+                pass  # retry at the next checkpoint
+        if removed and self.fsync:
+            self.io.fsync_dir(self.data_dir)
+
+    # -- recovery ----------------------------------------------------------
+
+    def load_snapshot(self):
+        """Stream the checkpoint back; quarantine + repair bad shards.
+
+        Returns ``(database, ctr, meta, dedup, chain)`` or ``None`` for
+        a fresh directory, like the base class.  Memory stays bounded:
+        shard pages are parsed as they arrive
+        (:attr:`load_stats` ``.max_resident_page_bytes`` proves it).
+        """
+        manifest = self._load_manifest()
+        self._manifest = manifest
+        # A retained segment is created only by the rotation that
+        # *follows* a durable manifest commit -- so a segment newer than
+        # the manifest proves the page store lost a checkpoint it
+        # reported committed (a lying disk).  The acked writes of that
+        # epoch live in the newer segment, but the chain head needed to
+        # trust them went down with the manifest: refuse loudly instead
+        # of silently serving the older root.
+        newest_segment = self._newest_segment_gen()
+        manifest_gen = -1 if manifest is None else int(manifest["gen"])
+        if newest_segment > manifest_gen:
+            raise WalError(
+                f"retained WAL segment {newest_segment} is newer than the "
+                f"checkpoint manifest (generation {manifest_gen}): the page "
+                "store lost a checkpoint it reported durable")
+        if manifest is None:
+            return None
+        try:
+            spec = StoreSpec.coerce(manifest["spec"])
+            gen = int(manifest["gen"])
+            root = manifest["root"]
+            chain = manifest["chain"]
+            ctr = int(manifest["ctr"])
+            meta = dict(manifest["meta"])
+            dedup = {user: _dedup_pairs(entry)
+                     for user, entry in dict(manifest["dedup"]).items()}
+            shard_records = list(manifest["shards"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WalError(f"corrupt checkpoint manifest: {exc}") from exc
+        if chain != chain_genesis(root):
+            raise WalError("manifest chain head does not match its root")
+        if len(shard_records) != spec.shards:
+            raise WalError("manifest shard records disagree with the spec")
+
+        stats = LoadStats()
+        self.load_stats = stats
+        self.repaired_shards = []
+        shard_trees: list[MerkleBPlusTree] = []
+        for record in shard_records:
+            index = int(record["shard"])
+            shard_gen = int(record["gen"])
+            expected = record["root"]
+            try:
+                tree = load_shard_tree(
+                    self.pages, index, shard_gen,
+                    expected_root=expected, stats=stats)
+            except (StorageError, PersistenceError) as exc:
+                if _obs.enabled:
+                    _QUARANTINES.inc(shard=str(index))
+                tree = self._repair_shard(record, spec, manifest, exc)
+                self.repaired_shards.append(index)
+                if _obs.enabled:
+                    _REPAIRS.inc(shard=str(index))
+            shard_trees.append(tree)
+
+        database = self._assemble_database(spec, shard_trees)
+        if database.root_digest() != root:
+            raise WalError(
+                "checkpoint shards do not hash to the manifest's top root")
+        prev_chain = manifest.get("prev_chain")
+        self._prev_chain = prev_chain if isinstance(prev_chain, Digest) else None
+        return database, ctr, meta, dedup, chain
+
+    def _assemble_database(self, spec: StoreSpec,
+                           shard_trees: list[MerkleBPlusTree]) -> VerifiedDatabase:
+        """Rebuild the in-memory store around the loaded shard trees.
+
+        The top tree is not persisted at all: its shape is a
+        deterministic function of the shard count, so it is rebuilt
+        from the verified shard roots (exactly as the file backend's
+        ``load_forest`` does).
+        """
+        database = VerifiedDatabase(
+            order=spec.order, shards=spec.shards, top_order=spec.top_order)
+        if spec.shards == 1:
+            database._mtree = shard_trees[0]
+            return database
+        forest = database.mtree
+        for index, tree in enumerate(shard_trees):
+            forest._shards[index] = tree
+            forest._dirty.add(index)
+        forest._sync_top()
+        return database
+
+    def _repair_shard(self, record: dict, spec: StoreSpec, manifest: dict,
+                      cause: Exception) -> MerkleBPlusTree:
+        """Rebuild a quarantined shard: previous generation + segment replay.
+
+        Raises :class:`WalError` when the recipe cannot reproduce the
+        manifest's recorded shard root -- that is tamper (or a double
+        fault), and it is *reported*, never masked by serving the
+        damaged pages or a silently rebuilt tree.
+        """
+        index = int(record["shard"])
+        shard_gen = int(record["gen"])
+        prev_gen = int(record["prev_gen"])
+        expected = record["root"]
+        if prev_gen >= 0:
+            try:
+                tree = load_shard_tree(
+                    self.pages, index, prev_gen,
+                    expected_root=record["prev_root"], stats=self.load_stats)
+            except (StorageError, PersistenceError) as double_fault:
+                raise WalError(
+                    f"shard {index} is quarantined ({cause}) and its "
+                    f"previous generation {prev_gen} is also damaged "
+                    f"({double_fault}); cannot repair") from double_fault
+        else:
+            tree = MerkleBPlusTree(order=spec.order)
+        segment_path = self._segment_path(shard_gen)
+        if os.path.isfile(segment_path):
+            start = dict(manifest["segments"]).get(str(shard_gen))
+            if not isinstance(start, Digest):
+                raise WalError(
+                    f"shard {index} needs segment {shard_gen} for repair "
+                    "but the manifest records no start chain for it")
+            messages = self._read_segment(segment_path, start)
+            replay_data_ops(tree, messages, index, spec.shards)
+        actual, _nodes = tree.refresh_root()
+        if actual != expected:
+            raise WalError(
+                f"shard {index} quarantined ({cause}) and its repair from "
+                f"generation {prev_gen} + segment {shard_gen} replays to "
+                f"root {actual.short()}..., but the manifest records "
+                f"{expected.short()}...: the pages or the segment were "
+                "tampered with")
+        # Re-materialise the repaired pages so the *next* restart does
+        # not need the segment again.
+        self.pages.begin()
+        try:
+            self.pages.drop_generation(index, shard_gen)
+            # drop_generation stages deletes by (shard, gen) pair only;
+            # rewrite the verified pages under the same generation.
+            write_shard_pages(self.pages, index, shard_gen, tree.tree)
+            self.pages.commit()
+        except BaseException:
+            self.pages.rollback()
+            raise
+        return tree
+
+    def _read_segment(self, path: str,
+                      start: Digest) -> list[Request | Followup]:
+        """Chain-verify a retained segment from its recorded start head."""
+        blob = self.io.read_file(path)
+        records, good_end = _parse_records(blob)
+        try:
+            messages, _chain = _verify_records(records, start)
+        except WalError as exc:
+            raise WalError(
+                f"retained WAL segment {os.path.basename(path)} fails "
+                f"verification: {exc}") from exc
+        return messages
+
+    def _discard_stale_wal(self) -> None:
+        """Finish the rotation a crash interrupted instead of discarding.
+
+        The stale log *is* the current generation's retained segment --
+        shard repair may need it, so it is renamed into place rather
+        than truncated (unless the segment somehow already exists).
+        """
+        if self._manifest is None:
+            super()._discard_stale_wal()
+            return
+        gen = int(self._manifest["gen"])
+        segment_path = self._segment_path(gen)
+        if str(gen) in dict(self._manifest["segments"]) and \
+                not os.path.isfile(segment_path):
+            if self._wal_handle is not None:
+                self._wal_handle.close()
+                self._wal_handle = None
+            self.io.replace(self.wal_path, segment_path)
+            if self.fsync:
+                self.io.fsync_dir(self.data_dir)
+        else:
+            super()._discard_stale_wal()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self.pages.close()
+        super().close()
+
+
+def open_server_store(data_dir: str, backend: str = "file",
+                      fsync: bool = True, io: IoShim | None = None,
+                      lock: bool = False) -> ServerStore:
+    """Open the durable store for ``data_dir`` with the chosen backend."""
+    if backend == "file":
+        return ServerStore(data_dir, fsync=fsync, io=io, lock=lock)
+    if backend == "sqlite":
+        return PagedServerStore(data_dir, fsync=fsync, io=io, lock=lock)
+    raise ValueError(f"unknown storage backend {backend!r} "
+                     "(expected 'file' or 'sqlite')")

@@ -1,4 +1,5 @@
-"""CVS storage substrate: diff engine, RCS revision chains, repository.
+"""CVS storage substrate: diff engine, RCS revision chains, repository,
+and the disk layer under the Merkle forest.
 
 * :mod:`repro.storage.diff` -- Myers O(ND) line diff, delta apply and
   inversion, unified-diff rendering.
@@ -6,7 +7,26 @@
   deterministic serialisation (so Merkle digests commit to history).
 * :mod:`repro.storage.repository` -- the multi-file repository with
   checkout/commit/log/status/tags.
+* :mod:`repro.storage.atomic` -- durable file primitives
+  (tmp+fsync+rename+dir-fsync writes, flock data-directory locks).
+* :mod:`repro.storage.faults` -- the fault-injecting I/O shim the
+  crash-recovery tests drive (torn writes, lying fsync, bit-rot...).
+* :mod:`repro.storage.pagestore` -- checksummed page stores (sqlite +
+  in-memory) holding per-shard checkpoint pages.
+* :mod:`repro.storage.engine` -- streaming shard-tree <-> page-stream
+  codec plus the quarantined-shard repair replay.
 """
+
+from repro.storage.atomic import DirLock, LockError, atomic_write
+from repro.storage.faults import ALWAYS, REAL_IO, FaultyIO, IoShim, SimulatedCrash
+from repro.storage.pagestore import (
+    CorruptPageError,
+    MemoryPageStore,
+    PageStore,
+    SqlitePageStore,
+    StorageError,
+    open_page_store,
+)
 
 from repro.storage.diff import (
     Delta,
@@ -53,4 +73,18 @@ __all__ = [
     "CommitRecord",
     "Repository",
     "RepositoryError",
+    "DirLock",
+    "LockError",
+    "atomic_write",
+    "ALWAYS",
+    "REAL_IO",
+    "FaultyIO",
+    "IoShim",
+    "SimulatedCrash",
+    "CorruptPageError",
+    "MemoryPageStore",
+    "PageStore",
+    "SqlitePageStore",
+    "StorageError",
+    "open_page_store",
 ]

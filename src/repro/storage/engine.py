@@ -1,0 +1,177 @@
+"""The paged snapshot engine: shard trees <-> page streams.
+
+Sits between the Merkle layer and a :class:`~repro.storage.pagestore.PageStore`.
+Each shard tree is serialised with
+:func:`~repro.mtree.persistence.iter_tree_stream` into two page
+streams -- ``"nodes"`` (structure) and ``"entries"`` (leaf key/value
+lines) -- chunked at :data:`PAGE_BYTES`.  Loading feeds the committed
+pages back through :func:`~repro.mtree.persistence.load_tree_stream`
+one page at a time, so restart memory is bounded by the tree being
+rebuilt plus two pages, never the whole serialised snapshot
+(:class:`LoadStats.max_resident_page_bytes` proves it).
+
+The engine also owns the two *recovery* moves the checkpoint protocol
+leans on:
+
+* :func:`load_shard_tree` verifies page checksums while streaming and
+  then recomputes the shard's Merkle root from scratch, comparing it to
+  the root the checkpoint manifest recorded -- the full verification
+  chain is page checksum -> recomputed structural root -> recorded root
+  -> WAL-chain-anchored top root;
+* :func:`replay_data_ops` re-applies the WAL segment's data operations
+  to a quarantined shard's previous generation, which is exactly the
+  delta that produced the damaged generation (a shard rewritten at
+  checkpoint G was clean since its previous rewrite, so all its
+  operations live in segment G alone).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import Digest
+from repro.mtree.bplus import BPlusTree
+from repro.mtree.database import DeleteQuery, WriteQuery
+from repro.mtree.forest import shard_for_key
+from repro.mtree.merkle import MerkleBPlusTree
+from repro.mtree.persistence import (
+    PersistenceError,
+    iter_tree_stream,
+    load_tree_stream,
+)
+from repro.protocols.base import Request
+from repro.storage.pagestore import PageStore, StorageError
+
+#: target payload size of one page; a page holds whole lines, so real
+#: pages straddle this by at most one line.
+PAGE_BYTES = 32 * 1024
+
+KIND_NODES = "nodes"
+KIND_ENTRIES = "entries"
+
+
+class LoadStats:
+    """Streaming-load accounting: proves bounded page residency."""
+
+    def __init__(self) -> None:
+        self.pages = 0
+        self.bytes = 0
+        self.resident_page_bytes = 0
+        self.max_resident_page_bytes = 0
+
+    def acquire(self, size: int) -> None:
+        self.pages += 1
+        self.bytes += size
+        self.resident_page_bytes += size
+        if self.resident_page_bytes > self.max_resident_page_bytes:
+            self.max_resident_page_bytes = self.resident_page_bytes
+
+    def release(self, size: int) -> None:
+        self.resident_page_bytes -= size
+
+
+def write_shard_pages(store: PageStore, shard: int, gen: int,
+                      tree: BPlusTree,
+                      page_bytes: int = PAGE_BYTES) -> dict[str, int]:
+    """Serialise one shard tree into the store under ``gen``.
+
+    Must be called inside an open store transaction.  Returns page and
+    byte counts per stream (recorded in the checkpoint manifest so
+    loads can sanity-check completeness before parsing).
+    """
+    buffers = {KIND_NODES: [], KIND_ENTRIES: []}
+    sizes = {KIND_NODES: 0, KIND_ENTRIES: 0}
+    seqs = {KIND_NODES: 0, KIND_ENTRIES: 0}
+    counts = {"nodes_pages": 0, "entries_pages": 0,
+              "nodes_bytes": 0, "entries_bytes": 0}
+
+    def flush(kind: str) -> None:
+        if not buffers[kind]:
+            return
+        blob = ("\n".join(buffers[kind]) + "\n").encode("ascii")
+        store.write_page(kind, shard, gen, seqs[kind], blob)
+        seqs[kind] += 1
+        counts[f"{kind}_pages"] += 1
+        counts[f"{kind}_bytes"] += len(blob)
+        buffers[kind].clear()
+        sizes[kind] = 0
+
+    for kind, line in iter_tree_stream(tree):
+        buffers[kind].append(line)
+        sizes[kind] += len(line) + 1
+        if sizes[kind] >= page_bytes:
+            flush(kind)
+    flush(KIND_NODES)
+    flush(KIND_ENTRIES)
+    return counts
+
+
+def _page_lines(store: PageStore, kind: str, shard: int, gen: int,
+                stats: LoadStats):
+    """Yield lines from a committed page stream, one page resident at a
+    time; checksum verification happens inside ``read_pages``."""
+    for blob in store.read_pages(kind, shard, gen):
+        stats.acquire(len(blob))
+        try:
+            text = blob.decode("ascii")
+        except UnicodeDecodeError as exc:
+            stats.release(len(blob))
+            raise PersistenceError(f"page is not ascii: {exc}") from exc
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        yield from lines
+        stats.release(len(blob))
+
+
+def load_shard_tree(store: PageStore, shard: int, gen: int,
+                    expected_root: Digest | None = None,
+                    stats: LoadStats | None = None) -> MerkleBPlusTree:
+    """Stream one shard's pages back into a Merkle tree and verify it.
+
+    Raises :class:`~repro.storage.pagestore.CorruptPageError` on page
+    rot, :class:`~repro.mtree.persistence.PersistenceError` on a
+    malformed stream, and :class:`~repro.storage.pagestore.StorageError`
+    when the recomputed root disagrees with ``expected_root`` -- all
+    three send the caller down the quarantine + repair path.
+    """
+    stats = stats if stats is not None else LoadStats()
+    tree = load_tree_stream(
+        _page_lines(store, KIND_NODES, shard, gen, stats),
+        _page_lines(store, KIND_ENTRIES, shard, gen, stats))
+    mtree = MerkleBPlusTree(order=tree.order)
+    mtree._tree = tree
+    if expected_root is not None:
+        # Recompute every digest from the loaded entries: binds the
+        # page bytes to the root the WAL chain anchors, so tampered
+        # pages with refreshed checksums are still caught here.
+        actual, _nodes = mtree.refresh_root()
+        if actual != expected_root:
+            raise StorageError(
+                f"shard {shard} gen {gen} hashes to {actual.short()}..., "
+                f"manifest records {expected_root.short()}...")
+    return mtree
+
+
+def replay_data_ops(mtree: MerkleBPlusTree, messages, shard: int,
+                    shards: int) -> int:
+    """Re-apply a WAL segment's data operations routed to ``shard``.
+
+    Mirrors :meth:`VerifiedDatabase.execute` semantics exactly: writes
+    insert-or-overwrite verbatim, deletes of absent keys are no-ops
+    (the live execution raised before mutating).  Non-data messages
+    (follow-ups, protocol-internal requests, reads) never touch the
+    tree.  Returns the number of operations applied.
+    """
+    applied = 0
+    for message in messages:
+        if not isinstance(message, Request):
+            continue
+        query = message.query
+        if isinstance(query, WriteQuery):
+            if shard_for_key(query.key, shards) == shard:
+                mtree.insert(query.key, query.value)
+                applied += 1
+        elif isinstance(query, DeleteQuery):
+            if shard_for_key(query.key, shards) == shard:
+                if mtree.delete(query.key):
+                    applied += 1
+    return applied

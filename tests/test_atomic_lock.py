@@ -1,0 +1,116 @@
+"""Durable-write primitives: atomic_write's crash envelope and the
+data-directory lock.
+
+``atomic_write`` claims: after a crash at *any* point, the target file
+holds either the complete old contents or the complete new contents --
+never a mix, never a torn file.  The fault shim lets us assert that at
+every announced crash point.
+"""
+
+import os
+
+import pytest
+
+from repro.storage.atomic import DirLock, LockError, atomic_write
+from repro.storage.faults import FaultyIO, SimulatedCrash
+
+
+class TestAtomicWrite:
+    def test_plain_write_and_overwrite(self, tmp_path):
+        path = str(tmp_path / "file.bin")
+        atomic_write(path, b"first")
+        assert open(path, "rb").read() == b"first"
+        atomic_write(path, b"second")
+        assert open(path, "rb").read() == b"second"
+        assert not os.path.exists(path + ".tmp")
+
+    @pytest.mark.parametrize("point", [
+        "atomic:before-file-fsync",
+        "atomic:before-rename",
+        "atomic:between-rename-and-dirfsync",
+        "atomic:after-dirfsync",
+    ])
+    def test_crash_anywhere_leaves_old_or_new_never_torn(
+            self, tmp_path, point):
+        path = str(tmp_path / "file.bin")
+        atomic_write(path, b"OLD" * 100)
+
+        io = FaultyIO(seed=11, crash_at={point: 1})
+        # Make the old contents durable in the shim's model first.
+        io._track(path)
+        with pytest.raises(SimulatedCrash):
+            atomic_write(path, b"NEW" * 100, io=io)
+        io.simulate_crash()
+
+        survivor = open(path, "rb").read()
+        assert survivor in (b"OLD" * 100, b"NEW" * 100)
+        if point == "atomic:after-dirfsync":
+            # Every durability step completed before the crash.
+            assert survivor == b"NEW" * 100
+        if point in ("atomic:before-file-fsync", "atomic:before-rename"):
+            # The rename never happened: the old file must survive.
+            assert survivor == b"OLD" * 100
+
+    def test_lying_fsync_crash_keeps_old_contents(self, tmp_path):
+        """fsync lies, rename happens, crash: the directory entry was
+        never durably updated, so the old contents come back."""
+        path = str(tmp_path / "file.bin")
+        atomic_write(path, b"OLD")
+        io = FaultyIO(seed=2, lying_fsync="always")
+        io._track(path)
+        atomic_write(path, b"NEW", io=io)  # "succeeds"
+        assert open(path, "rb").read() == b"NEW"  # visible pre-crash
+        io.simulate_crash()
+        assert open(path, "rb").read() == b"OLD"  # but not durable
+
+
+class TestDirLock:
+    def test_second_locker_rejected_with_owner(self, tmp_path):
+        first = DirLock(str(tmp_path))
+        assert first.held
+        with pytest.raises(LockError, match="already locked"):
+            DirLock(str(tmp_path))
+        try:
+            DirLock(str(tmp_path))
+        except LockError as exc:
+            assert f"pid {os.getpid()}" in str(exc)
+        first.release()
+        assert not first.held
+
+    def test_release_allows_relock(self, tmp_path):
+        first = DirLock(str(tmp_path))
+        first.release()
+        second = DirLock(str(tmp_path))
+        assert second.held
+        second.release()
+
+    def test_server_store_lock_excludes_second_server(self, tmp_path):
+        from repro.net.wal import open_server_store
+
+        store = open_server_store(str(tmp_path), lock=True, fsync=False)
+        with pytest.raises(LockError, match="share a WAL"):
+            open_server_store(str(tmp_path), lock=True, fsync=False)
+        store.close()
+        # released on close: a restart can take the directory over
+        again = open_server_store(str(tmp_path), lock=True, fsync=False)
+        again.close()
+
+    def test_paged_store_lock_excludes_second_server(self, tmp_path):
+        from repro.net.wal import open_server_store
+
+        store = open_server_store(str(tmp_path), backend="sqlite",
+                                  lock=True, fsync=False)
+        with pytest.raises(LockError):
+            open_server_store(str(tmp_path), backend="sqlite",
+                              lock=True, fsync=False)
+        store.close()
+
+    def test_unlocked_stores_do_not_conflict(self, tmp_path):
+        """Default lock=False keeps in-process crash-restart tests (which
+        abandon stores without closing them) working."""
+        from repro.net.wal import ServerStore
+
+        first = ServerStore(str(tmp_path), fsync=False)
+        second = ServerStore(str(tmp_path), fsync=False)
+        first.close()
+        second.close()

@@ -428,3 +428,487 @@ class TestKillAndRestart:
             handle.write(blob)
         with pytest.raises(WalError):
             TrustedCvsTcpServer(order=4, data_dir=data_dir)
+
+
+# ---------------------------------------------------------------------------
+# Disk-backed page store (--backend sqlite) + fault injection
+# ---------------------------------------------------------------------------
+
+from repro.mtree.forest import StoreSpec  # noqa: E402
+from repro.net.core import ServerCore  # noqa: E402
+from repro.net.wal import PagedServerStore, open_server_store  # noqa: E402
+from repro.storage.faults import ALWAYS, FaultyIO, SimulatedCrash  # noqa: E402
+
+
+def _run_ops(core, ops, start=0):
+    """Apply writes until done or crash; returns the acked (key, value)s."""
+    acked = []
+    try:
+        for seq, (key, value) in enumerate(ops, start=start):
+            core.apply_request("u", _request("u", key, value, seq))
+            acked.append((key, value))
+    except SimulatedCrash:
+        pass
+    return acked
+
+
+def _reference_root(n_ops, ops, order=4, shards=1):
+    """Root of an uninterrupted run of the first ``n_ops`` operations."""
+    reference = VerifiedDatabase(order=order, shards=shards)
+    for key, value in ops[:n_ops]:
+        reference.execute(WriteQuery(key, value))
+    return reference.root_digest()
+
+
+_OPS = [(b"key%04d" % i, b"val%d" % i) for i in range(35)]
+
+
+class TestStaleWalRecovery:
+    """The pre-existing crash hole: dying between the snapshot rename
+    and the WAL reset used to leave an old-genesis log that recovery
+    mistook for tamper.  The snapshot's recorded ``prev_chain`` now
+    proves such a log stale -- and *only* such a log."""
+
+    def _crashed_store(self, tmp_path, mutate_wal=None):
+        io = FaultyIO(seed=9, crash_at={"snapshot:before-wal-reset": 2})
+        store = ServerStore(str(tmp_path), io=io)
+        state = ServerState(database=VerifiedDatabase(order=4))
+        Protocol2Server().initialize(state)
+        store.write_snapshot(state, {})  # bootstrap (occurrence 1)
+        for i in range(4):
+            store.wal_append(_request("u", b"k%d" % i, b"v", i))
+            state.database.execute(WriteQuery(b"k%d" % i, b"v"))
+            state.ctr += 1
+        with pytest.raises(SimulatedCrash):
+            store.write_snapshot(state, {})
+        store.close()
+        io.simulate_crash()
+        if mutate_wal is not None:
+            mutate_wal(os.path.join(str(tmp_path), "wal.log"))
+        return state
+
+    def test_stale_wal_discarded_not_fatal(self, tmp_path):
+        state = self._crashed_store(tmp_path)
+        fresh = ServerStore(str(tmp_path))
+        database, ctr, _meta, _dedup, chain = fresh.load_snapshot()
+        assert database.root_digest() == state.database.root_digest()
+        assert ctr == 4
+        # the old-epoch log is proven stale and dropped, not replayed
+        # (its every record is already inside the snapshot) and not
+        # reported as tamper
+        assert fresh.wal_records(chain) == []
+        assert fresh.stale_wals_discarded == 1
+        assert os.path.getsize(os.path.join(str(tmp_path), "wal.log")) == 0
+        fresh.close()
+
+    def test_tampered_stale_wal_still_fatal(self, tmp_path):
+        """Staleness must be *proven*, not presumed: break the chain
+        recurrence inside the leftover log and recovery refuses."""
+        def flip(wal):
+            from repro.net.wal import _parse_records
+
+            with open(wal, "r+b") as handle:
+                blob = bytearray(handle.read())
+                records, _ = _parse_records(bytes(blob))
+                # record 0's stored chain: every later record's proof
+                # hangs off it
+                offset = 4 + len(records[0][0])
+                blob[offset] ^= 0x04
+                handle.seek(0)
+                handle.write(blob)
+
+        self._crashed_store(tmp_path, mutate_wal=flip)
+        fresh = ServerStore(str(tmp_path))
+        _, _, _, _, chain = fresh.load_snapshot()
+        with pytest.raises(WalError, match="chain"):
+            fresh.wal_records(chain)
+        assert fresh.stale_wals_discarded == 0
+        fresh.close()
+
+    def test_truncated_stale_wal_still_fatal(self, tmp_path):
+        """A stale log missing its tail cannot prove it reaches the
+        snapshot's recorded head -- refused, because discarding it
+        would mask whatever removed the records."""
+        def chop(wal):
+            size = os.path.getsize(wal)
+            with open(wal, "r+b") as handle:
+                handle.truncate(size - 40)
+
+        self._crashed_store(tmp_path, mutate_wal=chop)
+        fresh = ServerStore(str(tmp_path))
+        _, _, _, _, chain = fresh.load_snapshot()
+        with pytest.raises(WalError):
+            fresh.wal_records(chain)
+        fresh.close()
+
+
+class TestWalFaults:
+    def _store_with_io(self, tmp_path, io):
+        store = ServerStore(str(tmp_path), io=io)
+        state = ServerState(database=VerifiedDatabase(order=4))
+        Protocol2Server().initialize(state)
+        store.write_snapshot(state, {})
+        return store
+
+    def test_enospc_append_rolls_back_chain(self, tmp_path):
+        """A failed append must leave the log and the in-memory chain
+        exactly where they were -- later appends (after space is freed)
+        must still verify."""
+        io = FaultyIO(seed=1, enospc_after_bytes=None)
+        store = self._store_with_io(tmp_path, io)
+        store.wal_append(_request("u", b"a", b"1", 0))
+        io._enospc_budget = 10  # space for part of one record
+        with pytest.raises(OSError):
+            store.wal_append(_request("u", b"b", b"2", 1))
+        io._enospc_budget = None  # space freed
+        store.wal_append(_request("u", b"c", b"3", 2))
+        store.close()
+
+        fresh = ServerStore(str(tmp_path))
+        _, _, _, _, chain = fresh.load_snapshot()
+        records = fresh.wal_records(chain)
+        assert [r.query.key for r in records] == [b"a", b"c"]
+        fresh.close()
+
+    def test_torn_unsynced_tail_recovers_prefix(self, tmp_path):
+        """Crash with an un-fsynced group-commit tail: any persisted
+        prefix of it must recover cleanly (none of it was acked)."""
+        io = FaultyIO(seed=13, torn_tail=True)
+        store = self._store_with_io(tmp_path, io)
+        for i in range(2):
+            store.wal_append(_request("u", b"sync%d" % i, b"v", i))
+        for i in range(3):  # buffered, never synced
+            store.wal_append(_request("u", b"buf%d" % i, b"v", 10 + i),
+                             sync=False)
+        store._wal_handle.flush()  # reaches the "page cache", not disk
+        io.simulate_crash()
+
+        fresh = ServerStore(str(tmp_path))
+        _, _, _, _, chain = fresh.load_snapshot()
+        records = fresh.wal_records(chain)
+        keys = [r.query.key for r in records]
+        assert keys[:2] == [b"sync0", b"sync1"]  # synced records survive
+        # whatever survived of the tail is a *prefix*, chain-verified
+        assert keys[2:] == [b"buf0", b"buf1", b"buf2"][:len(keys) - 2]
+        store.close()
+        fresh.close()
+
+    def test_lying_fsync_loses_only_tail_never_consistency(self, tmp_path):
+        """With a lying disk, acked-durability is unenforceable -- but
+        recovery must still land on a consistent chain-verified prefix,
+        never an error and never a mixed state."""
+        io = FaultyIO(seed=7)
+        store = self._store_with_io(tmp_path, io)  # honest bootstrap
+        io._plan["lying_fsync"] = ALWAYS  # ...then the disk starts lying
+        for i in range(5):
+            store.wal_append(_request("u", b"w%d" % i, b"v", i))
+        io.simulate_crash()
+
+        fresh = ServerStore(str(tmp_path))
+        _, _, _, _, chain = fresh.load_snapshot()
+        records = fresh.wal_records(chain)
+        expected = [b"w0", b"w1", b"w2", b"w3", b"w4"]
+        assert [r.query.key for r in records] == expected[:len(records)]
+        store.close()
+        fresh.close()
+
+
+class TestPagedStoreRoundtrip:
+    @pytest.mark.parametrize("shards", [1, 8])
+    def test_checkpoint_restart_identical_root(self, tmp_path, shards):
+        data_dir = str(tmp_path / "s")
+        core = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                          fsync=False, shards=shards, snapshot_every=10)
+        _run_ops(core, _OPS)
+        root = core.state.database.root_digest()
+        ctr = core.state.ctr
+        core.snapshot()
+        core.close_store()
+
+        fresh = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                           fsync=False, shards=shards)
+        assert fresh.state.database.root_digest() == root
+        assert fresh.state.ctr == ctr
+        assert fresh.replayed_records == 0  # all state inside the checkpoint
+        for key, value in _OPS:
+            assert fresh.state.database.get(key) == value
+        assert fresh.state.database.root_digest() == \
+            _reference_root(len(_OPS), _OPS, shards=shards)
+        fresh.close_store()
+
+    @pytest.mark.parametrize("shards", [1, 8])
+    def test_wal_tail_replays_on_top_of_checkpoint(self, tmp_path, shards):
+        data_dir = str(tmp_path / "s")
+        core = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                          fsync=False, shards=shards, snapshot_every=10)
+        _run_ops(core, _OPS)  # 35 ops: checkpoints at 10/20/30, tail of 5
+        root = core.state.database.root_digest()
+        core.close_store()  # crash-stop: no final snapshot
+
+        fresh = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                           fsync=False, shards=shards)
+        assert fresh.replayed_records == 5
+        assert fresh.state.database.root_digest() == root
+        fresh.close_store()
+
+    def test_dedup_table_inside_manifest(self, tmp_path):
+        data_dir = str(tmp_path / "s")
+        core = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                          fsync=False, snapshot_every=1000)
+        request = _request("u", b"k", b"v", 0)
+        first = core.apply_request("u", request)
+        core.snapshot()
+        core.close_store()
+        fresh = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                           fsync=False)
+        assert fresh.apply_request("u", request) == first  # dedup hit
+        assert fresh.state.ctr == 1
+        fresh.close_store()
+
+    def test_incremental_checkpoint_rewrites_only_dirty_shards(self, tmp_path):
+        data_dir = str(tmp_path / "s")
+        core = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                          fsync=False, shards=8, snapshot_every=10_000)
+        _run_ops(core, _OPS)
+        core.snapshot()
+        manifest_before = dict(core.store._manifest)
+        # one more write dirties exactly one shard
+        core.apply_request("u", _request("u", b"lonely", b"x", 99))
+        core.snapshot()
+        manifest_after = core.store._manifest
+        new_gen = int(manifest_after["gen"])
+        rewritten = [int(r["shard"]) for r in manifest_after["shards"]
+                     if int(r["gen"]) == new_gen]
+        assert len(rewritten) == 1  # only the dirtied shard moved
+        untouched = [r for r in manifest_after["shards"]
+                     if int(r["gen"]) != new_gen]
+        before = {int(r["shard"]): r for r in manifest_before["shards"]}
+        for record in untouched:
+            assert record["root"] == before[int(record["shard"])]["root"]
+        core.close_store()
+
+    def test_segment_retention_is_bounded(self, tmp_path):
+        """Old WAL segments are garbage-collected as soon as no shard's
+        repair recipe references them: retention stays O(shards)."""
+        data_dir = str(tmp_path / "s")
+        core = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                          fsync=False, shards=2, snapshot_every=5)
+        ops = [(b"g%04d" % i, b"v") for i in range(200)]
+        _run_ops(core, ops)
+        core.close_store()
+        segments = [n for n in os.listdir(data_dir)
+                    if n.startswith("wal-seg.")]
+        assert 0 < len(segments) <= 3  # <= shards + the freshest
+
+
+class TestPagedStoreCrashMatrix:
+    """Kill the server at every storage crash point; recovery must lose
+    no acked write and land on the uninterrupted reference root."""
+
+    POINTS = [
+        ("wal:append", 17),
+        ("file:mid-write", 17),
+        ("pagestore:page-write", 4),
+        ("pagestore:pre-commit", 2),
+        ("pagestore:post-commit", 2),
+        ("checkpoint:before-commit", 2),
+        ("checkpoint:after-commit", 2),
+        ("compaction:before-rotate", 1),
+        ("compaction:between-rename-and-dirfsync", 1),
+        ("compaction:mid-segment-gc", 1),
+    ]
+
+    @pytest.mark.parametrize("point,occurrence", POINTS,
+                             ids=[p for p, _ in POINTS])
+    def test_crash_point_recovers(self, tmp_path, point, occurrence):
+        data_dir = str(tmp_path / "s")
+        io = FaultyIO(seed=len(point) * 7 + occurrence,
+                      crash_at={point: occurrence})
+        core = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                          fsync=True, shards=2, snapshot_every=10, io=io)
+        acked = _run_ops(core, _OPS)
+        assert io.crashed is False and io.crash_count == 1, \
+            f"crash point {point} never fired"
+        core.store.close()
+        io.simulate_crash()
+
+        fresh = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                           fsync=True, shards=2, io=io)
+        for key, value in acked:
+            assert fresh.state.database.get(key) == value, \
+                f"acked write {key!r} lost after crash at {point}"
+        executed = fresh.state.ctr
+        assert executed >= len(acked)
+        assert fresh.state.database.root_digest() == \
+            _reference_root(executed, _OPS, shards=2)
+        # and the store keeps working after recovery
+        fresh.apply_request("u", _request("u", b"post", b"crash", 999))
+        assert fresh.state.database.get(b"post") == b"crash"
+        fresh.close_store()
+
+
+class TestPagedStoreCorruption:
+    def _populated(self, tmp_path, shards=4):
+        data_dir = str(tmp_path / "s")
+        core = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                          fsync=False, shards=shards, snapshot_every=10)
+        _run_ops(core, _OPS)
+        root = core.state.database.root_digest()
+        core.snapshot()
+        core.close_store()
+        return data_dir, root
+
+    def test_rotted_page_quarantined_and_repaired(self, tmp_path):
+        data_dir, root = self._populated(tmp_path)
+        io = FaultyIO(seed=21, bitrot_page=("any", -1))
+        fresh = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                           fsync=False, shards=4, io=io)
+        assert fresh.state.database.root_digest() == root
+        assert len(fresh.store.repaired_shards) == 1
+        fresh.close_store()
+        # the repair rewrote verified pages: next restart is clean
+        again = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                           fsync=False, shards=4)
+        assert again.state.database.root_digest() == root
+        assert again.store.repaired_shards == []
+        again.close_store()
+
+    def test_tampered_segment_fails_repair_loudly(self, tmp_path):
+        """Quarantine + a doctored replay segment: the repaired shard
+        cannot reproduce the manifest root, and recovery refuses --
+        tamper is reported, never masked by serving the wrong data."""
+        data_dir, _root = self._populated(tmp_path)
+        segments = sorted(n for n in os.listdir(data_dir)
+                          if n.startswith("wal-seg."))
+        assert segments
+        path = os.path.join(data_dir, segments[-1])
+        with open(path, "r+b") as handle:
+            blob = bytearray(handle.read())
+            blob[9] ^= 0x20
+            handle.seek(0)
+            handle.write(blob)
+        io = FaultyIO(seed=22, bitrot_page=("any", -1))
+        with pytest.raises(WalError, match="segment|tamper"):
+            ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                       fsync=False, shards=4, io=io)
+
+    def test_lost_commit_detected_not_masked(self, tmp_path):
+        """A page store that *lies* about commit durability loses the
+        checkpoint on crash.  The retained segment it rotated afterwards
+        outlives the manifest -- recovery notices the mismatch and
+        refuses to silently serve the older root."""
+        data_dir = str(tmp_path / "s")
+        io = FaultyIO(seed=23, lose_commit=3)  # bootstrap=1, cp1=2, cp2=3
+        core = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                          fsync=True, shards=2, snapshot_every=10, io=io)
+        _run_ops(core, _OPS)
+        core.store.close()
+        io.simulate_crash()
+        with pytest.raises(WalError, match="lost a checkpoint"):
+            ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                       fsync=True, shards=2, io=io)
+
+    def test_corrupt_manifest_refused(self, tmp_path):
+        data_dir, _root = self._populated(tmp_path)
+        import sqlite3 as _sqlite3
+        conn = _sqlite3.connect(os.path.join(data_dir, "pages.db"))
+        conn.execute("UPDATE meta SET value=? WHERE key='checkpoint'",
+                     (b"garbage",))
+        conn.commit()
+        conn.close()
+        with pytest.raises(WalError, match="manifest"):
+            ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                       fsync=False, shards=4)
+
+
+class TestCompactionRace:
+    def test_checkpoints_race_concurrent_writes(self, tmp_path):
+        """Writes keep flowing while checkpoint/rotation/GC cycles run
+        between them; every acked write must survive a crash landing in
+        the middle of the churn."""
+        data_dir = str(tmp_path / "s")
+        io = FaultyIO(seed=31, crash_at={"compaction:mid-segment-gc": 3})
+        core = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                          fsync=True, shards=2, snapshot_every=5, io=io)
+        ops = [(b"race%04d" % i, b"v%d" % i) for i in range(120)]
+        acked = _run_ops(core, ops)
+        assert io.crash_count == 1
+        core.store.close()
+        io.simulate_crash()
+
+        fresh = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                           fsync=True, shards=2, io=io)
+        for key, value in acked:
+            assert fresh.state.database.get(key) == value
+        assert fresh.state.database.root_digest() == \
+            _reference_root(fresh.state.ctr, ops, shards=2)
+        fresh.close_store()
+
+    def test_snapshot_failure_is_survivable(self, tmp_path):
+        """ENOSPC during a periodic checkpoint must not kill the server:
+        the WAL holds every acked write, the checkpoint retries later."""
+        data_dir = str(tmp_path / "s")
+        core = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                          fsync=False, shards=2, snapshot_every=10)
+        io = core.store.io  # REAL_IO; swap in a failing gate
+        _run_ops(core, _OPS[:5])
+        failing = FaultyIO(seed=41, enospc_after_bytes=0)
+        core.store.io = failing
+        core.store.pages.io = failing
+        acked = _run_ops(core, _OPS[5:15], start=5)  # crosses a checkpoint
+        assert len(acked) == 10  # the failed checkpoint lost no ack
+        core.store.io = io
+        core.store.pages.io = io
+        _run_ops(core, _OPS[15:], start=15)
+        root = core.state.database.root_digest()
+        core.close_store()
+
+        fresh = ServerCore(order=4, data_dir=data_dir, backend="sqlite",
+                           fsync=False, shards=2)
+        assert fresh.state.database.root_digest() == root
+        fresh.close_store()
+
+
+class TestPagedServerEndToEnd:
+    def test_sqlite_backend_serves_verifying_clients(self, tmp_path):
+        """Full stack: TCP server on the sqlite backend, crash-restart,
+        pipelined client VOs verify across the boundary."""
+        data_dir = str(tmp_path / "server")
+        server = serve_in_thread(order=4, data_dir=data_dir,
+                                 backend="sqlite", snapshot_every=8,
+                                 shards=2)
+        host, port = server.address
+        genesis = server.initial_root_digest()
+        spec = StoreSpec(order=4, shards=2)
+        with RemoteClient(host, port, "alice", genesis, order=spec,
+                          retry=_fast_retry()) as alice:
+            for i in range(21):
+                alice.put(f"e{i}".encode(), f"v{i}".encode())
+        with server.state_lock:
+            root = server.state.database.root_digest()
+        server.stop(snapshot=False)  # crash
+
+        restarted = serve_in_thread(order=4, data_dir=data_dir, port=port,
+                                    backend="sqlite", snapshot_every=8,
+                                    shards=2)
+        with restarted.state_lock:
+            assert restarted.state.database.root_digest() == root
+        with RemoteClient(host, port, "bob", genesis, order=spec,
+                          retry=_fast_retry(1)) as bob:
+            assert bob.get(b"e7") == b"v7"  # VO verifies post-recovery
+            bob.put(b"after", b"restart")
+            assert bob.get(b"after") == b"restart"
+        restarted.stop()
+
+    def test_open_server_store_rejects_unknown_backend(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown storage backend"):
+            open_server_store(str(tmp_path), backend="postgres")
+
+    def test_store_backends_report_names(self, tmp_path):
+        file_store = open_server_store(str(tmp_path / "a"))
+        paged = open_server_store(str(tmp_path / "b"), backend="sqlite")
+        assert file_store.backend == "file"
+        assert isinstance(paged, PagedServerStore)
+        assert paged.backend == "sqlite"
+        file_store.close()
+        paged.close()

@@ -1,0 +1,174 @@
+"""The streaming shard codec: tree <-> page streams, bounded residency,
+root verification, and segment-replay semantics.
+
+The codec is what makes a million-entry restart possible without
+materialising the serialised tree: pages are parsed as they arrive.
+``LoadStats.max_resident_page_bytes`` is the proof obligation -- these
+tests pin it to at most two pages (one per stream) regardless of tree
+size.
+"""
+
+import pytest
+
+from repro.crypto.hashing import hash_bytes
+from repro.mtree.database import DeleteQuery, WriteQuery
+from repro.mtree.forest import shard_for_key
+from repro.mtree.merkle import MerkleBPlusTree
+from repro.mtree.persistence import (
+    PersistenceError,
+    iter_tree_stream,
+    load_tree_stream,
+)
+from repro.protocols.base import Followup, Request
+from repro.storage.engine import (
+    PAGE_BYTES,
+    LoadStats,
+    load_shard_tree,
+    replay_data_ops,
+    write_shard_pages,
+)
+from repro.storage.pagestore import MemoryPageStore, StorageError
+
+
+def _tree(n, order=8, prefix=b"key"):
+    tree = MerkleBPlusTree(order=order)
+    for i in range(n):
+        tree.insert(b"%s%06d" % (prefix, i), b"value-%d" % i)
+    return tree
+
+
+class TestStreamCodec:
+    @pytest.mark.parametrize("n", [0, 1, 7, 300])
+    def test_roundtrip_identical_root(self, n):
+        tree = _tree(n)
+        expected, _ = tree.refresh_root()
+        nodes, entries = [], []
+        for stream, line in iter_tree_stream(tree.tree):
+            (nodes if stream == "nodes" else entries).append(line)
+        rebuilt = load_tree_stream(iter(nodes), iter(entries))
+        twin = MerkleBPlusTree(order=rebuilt.order)
+        twin._tree = rebuilt
+        actual, _ = twin.refresh_root()
+        assert actual == expected
+        assert len(rebuilt) == n
+
+    def test_trailing_entries_rejected(self):
+        tree = _tree(10)
+        nodes, entries = [], []
+        for stream, line in iter_tree_stream(tree.tree):
+            (nodes if stream == "nodes" else entries).append(line)
+        entries.append(entries[-1])  # a spliced-in extra leaf line
+        with pytest.raises(PersistenceError, match="trailing"):
+            load_tree_stream(iter(nodes), iter(entries))
+
+    def test_truncated_entries_rejected(self):
+        tree = _tree(10)
+        nodes, entries = [], []
+        for stream, line in iter_tree_stream(tree.tree):
+            (nodes if stream == "nodes" else entries).append(line)
+        with pytest.raises(PersistenceError):
+            load_tree_stream(iter(nodes), iter(entries[:-1]))
+
+
+class TestShardPages:
+    def test_roundtrip_through_store(self):
+        store = MemoryPageStore()
+        tree = _tree(500)
+        expected, _ = tree.refresh_root()
+        store.begin()
+        counts = write_shard_pages(store, 3, 7, tree.tree, page_bytes=1024)
+        store.commit()
+        assert counts["entries_pages"] > 1  # really paged, not one blob
+        loaded = load_shard_tree(store, 3, 7, expected_root=expected)
+        assert loaded.refresh_root()[0] == expected
+        assert len(loaded) == 500
+
+    def test_load_is_streaming_bounded(self):
+        """Peak page residency must stay ~2 pages (one per stream) no
+        matter how many pages the shard serialised to."""
+        store = MemoryPageStore()
+        tree = _tree(2000)
+        store.begin()
+        counts = write_shard_pages(store, 0, 0, tree.tree, page_bytes=2048)
+        store.commit()
+        total = counts["nodes_bytes"] + counts["entries_bytes"]
+        stats = LoadStats()
+        load_shard_tree(store, 0, 0, stats=stats)
+        assert stats.bytes == total
+        # one page per stream resident at once, each page straddling
+        # the target by at most one line
+        assert stats.max_resident_page_bytes < 3 * 2048
+        assert stats.max_resident_page_bytes < total / 4
+
+    def test_root_mismatch_raises(self):
+        store = MemoryPageStore()
+        tree = _tree(50)
+        store.begin()
+        write_shard_pages(store, 0, 0, tree.tree)
+        store.commit()
+        wrong = hash_bytes(b"not the root")
+        with pytest.raises(StorageError, match="manifest records"):
+            load_shard_tree(store, 0, 0, expected_root=wrong)
+
+    def test_default_page_size_used(self):
+        store = MemoryPageStore()
+        tree = _tree(30)
+        store.begin()
+        counts = write_shard_pages(store, 0, 0, tree.tree)
+        store.commit()
+        assert counts["entries_bytes"] < PAGE_BYTES
+        assert counts["entries_pages"] == 1
+
+
+class TestReplay:
+    def _request(self, query):
+        return Request(query=query, extras={"user": "u"})
+
+    def test_replay_mirrors_live_execution(self):
+        shards = 4
+        shard = 1
+        tree = MerkleBPlusTree(order=8)
+        messages = []
+        mirror = {}
+        for i in range(200):
+            key = b"rk%04d" % i
+            messages.append(self._request(WriteQuery(key, b"v%d" % i)))
+            if shard_for_key(key, shards) == shard:
+                mirror[key] = b"v%d" % i
+        applied = replay_data_ops(tree, messages, shard, shards)
+        assert applied == len(mirror)
+        assert dict(tree.items()) == mirror
+
+    def test_delete_of_absent_key_is_noop(self):
+        """Live execution raises KeyError *before* mutating on a delete
+        of an absent key -- so replay must treat it as a no-op, not an
+        error and not a tamper signal."""
+        shards = 1
+        tree = MerkleBPlusTree(order=8)
+        tree.insert(b"present", b"x")
+        messages = [
+            self._request(DeleteQuery(b"never-existed")),
+            self._request(DeleteQuery(b"present")),
+        ]
+        applied = replay_data_ops(tree, messages, 0, shards)
+        assert applied == 1
+        assert b"present" not in tree
+
+    def test_non_data_messages_ignored(self):
+        tree = MerkleBPlusTree(order=8)
+        messages = [
+            Followup(extras={"user": "u"}),
+            self._request(None),  # protocol-internal request
+            self._request(WriteQuery(b"k", b"v")),
+        ]
+        assert replay_data_ops(tree, messages, 0, 1) == 1
+        assert tree.get(b"k") == b"v"
+
+    def test_overwrite_keeps_latest(self):
+        tree = MerkleBPlusTree(order=8)
+        messages = [
+            self._request(WriteQuery(b"k", b"first")),
+            self._request(WriteQuery(b"k", b"second")),
+        ]
+        replay_data_ops(tree, messages, 0, 1)
+        assert tree.get(b"k") == b"second"
